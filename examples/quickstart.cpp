@@ -1,0 +1,71 @@
+// ConGrid quickstart -- the paper's Figure 1 network, run locally.
+//
+// Builds Wave -> Gaussian -> FFT -> AccumStat -> Grapher in code, streams
+// 20 iterations through the data-flow engine, and prints how the averaged
+// spectrum pulls the 50 Hz tone out of the noise (the paper's Figure 2).
+// Also shows the XML task-graph round trip ("a Triana network can be
+// constructed ... directly by writing an XML taskgraph").
+#include <cstdio>
+
+#include "core/engine/runtime.hpp"
+#include "core/graph/taskgraph_xml.hpp"
+#include "core/unit/builtin.hpp"
+#include "dsp/spectrum.hpp"
+
+using namespace cg;
+
+int main() {
+  // 1. Build the workflow.
+  core::TaskGraph g("figure1");
+  core::ParamSet wave;
+  wave.set_double("freq", 50.0);
+  wave.set_double("rate", 512.0);
+  wave.set_int("samples", 512);
+  wave.set_double("amplitude", 0.15);  // buried: noise sigma is 1.0
+  g.add_task("Wave", "Wave", wave);
+  core::ParamSet noise;
+  noise.set_double("stddev", 1.0);
+  g.add_task("Gaussian", "Gaussian", noise);
+  g.add_task("FFT", "FFT");
+  g.add_task("AccumStat", "AccumStat");
+  g.add_task("Grapher", "Grapher");
+  g.connect("Wave", 0, "Gaussian", 0);
+  g.connect("Gaussian", 0, "FFT", 0);
+  g.connect("FFT", 0, "AccumStat", 0);
+  g.connect("AccumStat", 0, "Grapher", 0);
+
+  // 2. It round-trips as an XML task-graph document.
+  const std::string xml = core::write_taskgraph(g);
+  core::TaskGraph reloaded = core::parse_taskgraph(xml);
+  std::printf("task graph '%s': %zu tasks, %zu connections, %zu bytes XML\n\n",
+              reloaded.name().c_str(), reloaded.tasks().size(),
+              reloaded.connections().size(), xml.size());
+
+  // 3. Run 20 streaming iterations.
+  core::UnitRegistry registry = core::UnitRegistry::with_builtins();
+  core::GraphRuntime runtime(reloaded, registry,
+                             core::RuntimeOptions{.rng_seed = 11});
+  runtime.run(20);
+
+  // 4. Report the Figure 2 effect: tone visibility vs iteration.
+  auto* grapher = runtime.unit_as<core::GrapherUnit>("Grapher");
+  std::printf("%-10s %-14s %-18s\n", "iteration", "peak (Hz)",
+              "tone/noise-max");
+  for (std::size_t i : {std::size_t{0}, std::size_t{4}, std::size_t{9},
+                        std::size_t{19}}) {
+    const auto& item = grapher->items().at(i);
+    dsp::Spectrum s;
+    s.bin_width = item.spectrum().bin_width;
+    s.power = item.spectrum().power;
+    const auto bin = static_cast<std::size_t>(50.0 / s.bin_width + 0.5);
+    double noise_max = 0;
+    for (std::size_t k = 1; k < s.power.size(); ++k) {
+      if (k != bin) noise_max = std::max(noise_max, s.power[k]);
+    }
+    std::printf("%-10zu %-14.1f %-18.2f\n", i + 1, dsp::peak_frequency(s),
+                s.power[bin] / noise_max);
+  }
+  std::printf(
+      "\nAs in the paper's Figure 2: buried at iteration 1, clear by 20.\n");
+  return 0;
+}

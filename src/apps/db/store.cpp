@@ -1,0 +1,192 @@
+#include "apps/db/store.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace cg::db {
+namespace {
+
+std::optional<double> as_number(const std::string& s) {
+  if (s.empty()) return std::nullopt;
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end == s.c_str() || *end != '\0') return std::nullopt;
+  return v;
+}
+
+}  // namespace
+
+Op op_from_name(const std::string& s) {
+  if (s == "==") return Op::kEq;
+  if (s == "!=") return Op::kNe;
+  if (s == "<") return Op::kLt;
+  if (s == "<=") return Op::kLe;
+  if (s == ">") return Op::kGt;
+  if (s == ">=") return Op::kGe;
+  if (s == "contains") return Op::kContains;
+  throw std::invalid_argument("unknown predicate operator: " + s);
+}
+
+std::string op_name(Op op) {
+  switch (op) {
+    case Op::kEq: return "==";
+    case Op::kNe: return "!=";
+    case Op::kLt: return "<";
+    case Op::kLe: return "<=";
+    case Op::kGt: return ">";
+    case Op::kGe: return ">=";
+    case Op::kContains: return "contains";
+  }
+  return "==";
+}
+
+bool Predicate::matches(const std::string& cell) const {
+  if (op == Op::kContains) return cell.find(value) != std::string::npos;
+
+  const auto a = as_number(cell);
+  const auto b = as_number(value);
+  int cmp;
+  if (a && b) {
+    cmp = (*a < *b) ? -1 : (*a > *b ? 1 : 0);
+  } else {
+    cmp = cell.compare(value);
+    cmp = (cmp < 0) ? -1 : (cmp > 0 ? 1 : 0);
+  }
+  switch (op) {
+    case Op::kEq: return cmp == 0;
+    case Op::kNe: return cmp != 0;
+    case Op::kLt: return cmp < 0;
+    case Op::kLe: return cmp <= 0;
+    case Op::kGt: return cmp > 0;
+    case Op::kGe: return cmp >= 0;
+    case Op::kContains: return false;  // handled above
+  }
+  return false;
+}
+
+void TableStore::create(const std::string& name,
+                        std::vector<std::string> columns) {
+  Table t;
+  t.columns = std::move(columns);
+  tables_[name] = std::move(t);
+}
+
+void TableStore::insert(const std::string& name,
+                        std::vector<std::string> row) {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    throw std::invalid_argument("insert into unknown table: " + name);
+  }
+  if (row.size() != it->second.columns.size()) {
+    throw std::invalid_argument("row arity mismatch for table " + name);
+  }
+  it->second.rows.push_back(std::move(row));
+}
+
+std::vector<std::string> TableStore::table_names() const {
+  std::vector<std::string> out;
+  for (const auto& [name, t] : tables_) out.push_back(name);
+  return out;
+}
+
+const Table& TableStore::table(const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    throw std::out_of_range("unknown table: " + name);
+  }
+  return it->second;
+}
+
+Table TableStore::select(const std::string& name,
+                         const std::vector<Predicate>& where) const {
+  return filter(table(name), where);
+}
+
+std::size_t TableStore::row_count(const std::string& name) const {
+  return table(name).rows.size();
+}
+
+std::size_t column_index(const Table& t, const std::string& column) {
+  for (std::size_t i = 0; i < t.columns.size(); ++i) {
+    if (t.columns[i] == column) return i;
+  }
+  throw std::out_of_range("unknown column: " + column);
+}
+
+Table project(const Table& t, const std::vector<std::string>& columns) {
+  std::vector<std::size_t> idx;
+  idx.reserve(columns.size());
+  for (const auto& c : columns) idx.push_back(column_index(t, c));
+
+  Table out;
+  out.columns = columns;
+  out.rows.reserve(t.rows.size());
+  for (const auto& row : t.rows) {
+    std::vector<std::string> r;
+    r.reserve(idx.size());
+    for (std::size_t i : idx) r.push_back(row[i]);
+    out.rows.push_back(std::move(r));
+  }
+  return out;
+}
+
+Table order_by(const Table& t, const std::string& column, bool ascending) {
+  const std::size_t i = column_index(t, column);
+  Table out = t;
+  std::stable_sort(out.rows.begin(), out.rows.end(),
+                   [i, ascending](const auto& a, const auto& b) {
+                     const auto na = as_number(a[i]);
+                     const auto nb = as_number(b[i]);
+                     bool less;
+                     if (na && nb) {
+                       less = *na < *nb;
+                     } else {
+                       less = a[i] < b[i];
+                     }
+                     return ascending ? less
+                                      : (na && nb ? *nb < *na : b[i] < a[i]);
+                   });
+  return out;
+}
+
+Table filter(const Table& t, const std::vector<Predicate>& where) {
+  std::vector<std::size_t> idx;
+  idx.reserve(where.size());
+  for (const auto& p : where) idx.push_back(column_index(t, p.column));
+
+  Table out;
+  out.columns = t.columns;
+  for (const auto& row : t.rows) {
+    bool keep = true;
+    for (std::size_t k = 0; k < where.size(); ++k) {
+      if (!where[k].matches(row[idx[k]])) {
+        keep = false;
+        break;
+      }
+    }
+    if (keep) out.rows.push_back(row);
+  }
+  return out;
+}
+
+Aggregate aggregate(const Table& t, const std::string& column) {
+  const std::size_t i = column_index(t, column);
+  Aggregate a;
+  for (const auto& row : t.rows) {
+    const auto v = as_number(row[i]);
+    if (!v) continue;
+    if (a.count == 0) {
+      a.min = a.max = *v;
+    } else {
+      a.min = std::min(a.min, *v);
+      a.max = std::max(a.max, *v);
+    }
+    ++a.count;
+    a.sum += *v;
+  }
+  a.mean = a.count ? a.sum / static_cast<double>(a.count) : 0.0;
+  return a;
+}
+
+}  // namespace cg::db

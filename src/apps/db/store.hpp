@@ -1,0 +1,86 @@
+// ConGrid -- a small table store.
+//
+// The substrate behind Case 3 (paper 3.6.3): "The data access service can
+// either read from flat files, or read from a structured database" -- the
+// JDBC bridge substitution. A TableStore holds named tables with string
+// cells and answers simple select/project/order/aggregate queries -- enough
+// surface for a pipeline of access -> manipulation -> visualisation ->
+// verification services over real data.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/types/data_item.hpp"
+
+namespace cg::db {
+
+using core::Table;
+
+/// Predicate operators for select().
+enum class Op { kEq, kNe, kLt, kLe, kGt, kGe, kContains };
+
+Op op_from_name(const std::string& s);  ///< "==", "!=", "<", "<=", ...
+std::string op_name(Op op);
+
+/// One where-clause: column OP literal. Numeric comparison is used when
+/// both sides parse as numbers, string comparison otherwise.
+struct Predicate {
+  std::string column;
+  Op op = Op::kEq;
+  std::string value;
+
+  bool matches(const std::string& cell) const;
+};
+
+/// In-memory named-table database.
+class TableStore {
+ public:
+  /// Create (or replace) a table with the given columns.
+  void create(const std::string& name, std::vector<std::string> columns);
+
+  /// Append a row; throws std::invalid_argument on arity mismatch or
+  /// unknown table.
+  void insert(const std::string& name, std::vector<std::string> row);
+
+  bool has(const std::string& name) const { return tables_.contains(name); }
+  std::vector<std::string> table_names() const;
+
+  /// Whole-table read; throws std::out_of_range on unknown table.
+  const Table& table(const std::string& name) const;
+
+  /// Filtered read: rows matching ALL predicates.
+  Table select(const std::string& name,
+               const std::vector<Predicate>& where) const;
+
+  std::size_t row_count(const std::string& name) const;
+
+ private:
+  std::map<std::string, Table> tables_;
+};
+
+// -- pure table operators (used by the manipulation service) ---------------
+
+/// Keep only the named columns (in the given order).
+Table project(const Table& t, const std::vector<std::string>& columns);
+
+/// Sort rows by a column (numeric when possible), ascending/descending.
+Table order_by(const Table& t, const std::string& column, bool ascending);
+
+/// Filter by predicates.
+Table filter(const Table& t, const std::vector<Predicate>& where);
+
+/// Aggregate one numeric column: returns {count, sum, mean, min, max};
+/// non-numeric cells are skipped.
+struct Aggregate {
+  std::size_t count = 0;
+  double sum = 0, mean = 0, min = 0, max = 0;
+};
+Aggregate aggregate(const Table& t, const std::string& column);
+
+/// Column index; throws std::out_of_range when absent.
+std::size_t column_index(const Table& t, const std::string& column);
+
+}  // namespace cg::db

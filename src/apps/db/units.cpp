@@ -1,0 +1,284 @@
+#include "apps/db/units.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "dsp/rng.hpp"
+
+namespace cg::db {
+
+using core::DataItem;
+using core::DataType;
+using core::PortSpec;
+using core::type_bit;
+using core::UnitInfo;
+
+namespace {
+
+std::string fmt(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.4g", v);
+  return buf;
+}
+
+const Table& require_table(core::ProcessContext& ctx, const char* unit) {
+  if (ctx.input(0).type() != DataType::kTable) {
+    throw std::invalid_argument(std::string(unit) + ": expected a table");
+  }
+  return ctx.input(0).table();
+}
+
+std::vector<std::string> split_csv(const std::string& csv) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= csv.size() && !csv.empty()) {
+    const std::size_t comma = csv.find(',', start);
+    out.push_back(csv.substr(
+        start, comma == std::string::npos ? std::string::npos : comma - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+Table make_dataset(const std::string& name, std::size_t rows,
+                   std::uint64_t seed) {
+  dsp::Rng rng(seed);
+  Table t;
+  if (name == "stars") {
+    t.columns = {"id", "ra", "dec", "magnitude", "class"};
+    const char* classes[] = {"O", "B", "A", "F", "G", "K", "M"};
+    for (std::size_t i = 0; i < rows; ++i) {
+      t.rows.push_back({std::to_string(i), fmt(rng.uniform(0.0, 360.0)),
+                        fmt(rng.uniform(-90.0, 90.0)),
+                        fmt(rng.gaussian(12.0, 3.0)),
+                        classes[rng.below(7)]});
+    }
+    return t;
+  }
+  if (name == "sensors") {
+    t.columns = {"id", "t", "value", "status"};
+    for (std::size_t i = 0; i < rows; ++i) {
+      const bool ok = rng.chance(0.95);
+      t.rows.push_back({std::to_string(i),
+                        fmt(static_cast<double>(i) * 0.5),
+                        fmt(rng.gaussian(20.0, 4.0)), ok ? "ok" : "fault"});
+    }
+    return t;
+  }
+  throw std::invalid_argument("unknown dataset: " + name);
+}
+
+// ------------------------------------------------------------- DataAccess
+
+UnitInfo DataAccessUnit::make_info() {
+  UnitInfo i;
+  i.type_name = "DataAccess";
+  i.package = "db";
+  i.description = "Reads a dataset (flat file / database substitute)";
+  i.outputs = {PortSpec{"table", type_bit(DataType::kTable)}};
+  i.is_source = true;
+  return i;
+}
+
+const UnitInfo& DataAccessUnit::info() const {
+  static const UnitInfo i = make_info();
+  return i;
+}
+
+void DataAccessUnit::configure(const core::ParamSet& p) {
+  data_ = make_dataset(p.get("dataset", "stars"),
+                       static_cast<std::size_t>(p.get_int("rows", 200)),
+                       static_cast<std::uint64_t>(p.get_int("seed", 7)));
+  if (p.has("where_column")) {
+    Predicate pred;
+    pred.column = p.get("where_column", "");
+    pred.op = op_from_name(p.get("where_op", "=="));
+    pred.value = p.get("where_value", "");
+    data_ = filter(data_, {pred});
+  }
+}
+
+void DataAccessUnit::process(core::ProcessContext& ctx) {
+  ctx.emit(0, data_);
+}
+
+// ---------------------------------------------------------- DataManipulate
+
+UnitInfo DataManipulateUnit::make_info() {
+  UnitInfo i;
+  i.type_name = "DataManipulate";
+  i.package = "db";
+  i.description = "Filter / project / order / limit a table";
+  i.inputs = {PortSpec{"in", type_bit(DataType::kTable)}};
+  i.outputs = {PortSpec{"out", type_bit(DataType::kTable)}};
+  return i;
+}
+
+const UnitInfo& DataManipulateUnit::info() const {
+  static const UnitInfo i = make_info();
+  return i;
+}
+
+void DataManipulateUnit::configure(const core::ParamSet& p) {
+  params_ = p;
+  op_ = p.get("op", "filter");
+  if (op_ != "filter" && op_ != "project" && op_ != "orderby" &&
+      op_ != "limit") {
+    throw std::invalid_argument("DataManipulate: unknown op " + op_);
+  }
+}
+
+void DataManipulateUnit::process(core::ProcessContext& ctx) {
+  const Table& in = require_table(ctx, "DataManipulate");
+  if (op_ == "filter") {
+    Predicate pred;
+    pred.column = params_.get("column", "");
+    pred.op = op_from_name(params_.get("where_op", "=="));
+    pred.value = params_.get("value", "");
+    ctx.emit(0, filter(in, {pred}));
+  } else if (op_ == "project") {
+    ctx.emit(0, project(in, split_csv(params_.get("columns", ""))));
+  } else if (op_ == "orderby") {
+    ctx.emit(0, order_by(in, params_.get("column", ""),
+                         params_.get_bool("ascending", true)));
+  } else {  // limit
+    const auto n = static_cast<std::size_t>(params_.get_int("n", 10));
+    Table out = in;
+    if (out.rows.size() > n) out.rows.resize(n);
+    ctx.emit(0, std::move(out));
+  }
+}
+
+// ----------------------------------------------------------- DataVisualise
+
+UnitInfo DataVisualiseUnit::make_info() {
+  UnitInfo i;
+  i.type_name = "DataVisualise";
+  i.package = "db";
+  i.description = "Text summary and histogram of a table column";
+  i.inputs = {PortSpec{"in", type_bit(DataType::kTable)}};
+  i.outputs = {PortSpec{"summary", type_bit(DataType::kText)},
+               PortSpec{"histogram", type_bit(DataType::kImage)}};
+  return i;
+}
+
+const UnitInfo& DataVisualiseUnit::info() const {
+  static const UnitInfo i = make_info();
+  return i;
+}
+
+void DataVisualiseUnit::configure(const core::ParamSet& p) {
+  column_ = p.get("column", "");
+  bins_ = static_cast<std::size_t>(p.get_int("bins", 16));
+  if (bins_ < 1) throw std::invalid_argument("DataVisualise: bins < 1");
+}
+
+void DataVisualiseUnit::process(core::ProcessContext& ctx) {
+  const Table& in = require_table(ctx, "DataVisualise");
+
+  std::string summary = "table(" + std::to_string(in.rows.size()) + " rows x " +
+                        std::to_string(in.columns.size()) + " cols)";
+  core::ImageFrame hist;
+  hist.width = static_cast<std::uint32_t>(bins_);
+  hist.height = 1;
+  hist.pixels.assign(bins_, 0.0);
+
+  if (!column_.empty() && !in.rows.empty()) {
+    const Aggregate agg = aggregate(in, column_);
+    summary += "; " + column_ + ": n=" + std::to_string(agg.count) +
+               " mean=" + fmt(agg.mean) + " min=" + fmt(agg.min) +
+               " max=" + fmt(agg.max);
+    // Histogram over [min, max].
+    const std::size_t col = column_index(in, column_);
+    const double span = std::max(1e-12, agg.max - agg.min);
+    for (const auto& row : in.rows) {
+      char* end = nullptr;
+      const double v = std::strtod(row[col].c_str(), &end);
+      if (end == row[col].c_str() || *end != '\0') continue;
+      auto bin = static_cast<std::size_t>((v - agg.min) / span *
+                                          static_cast<double>(bins_));
+      if (bin >= bins_) bin = bins_ - 1;
+      hist.pixels[bin] += 1.0;
+    }
+  }
+  ctx.emit(0, std::move(summary));
+  ctx.emit(1, std::move(hist));
+}
+
+// -------------------------------------------------------------- DataVerify
+
+UnitInfo DataVerifyUnit::make_info() {
+  UnitInfo i;
+  i.type_name = "DataVerify";
+  i.package = "db";
+  i.description = "Checks table invariants";
+  i.inputs = {PortSpec{"in", type_bit(DataType::kTable)}};
+  i.outputs = {PortSpec{"ok", type_bit(DataType::kInteger)},
+               PortSpec{"report", type_bit(DataType::kText)}};
+  return i;
+}
+
+const UnitInfo& DataVerifyUnit::info() const {
+  static const UnitInfo i = make_info();
+  return i;
+}
+
+void DataVerifyUnit::configure(const core::ParamSet& p) {
+  min_rows_ = static_cast<std::size_t>(p.get_int("min_rows", 1));
+  numeric_column_ = p.get("numeric_column", "");
+  has_min_ = p.has("min_value");
+  has_max_ = p.has("max_value");
+  min_value_ = p.get_double("min_value", 0.0);
+  max_value_ = p.get_double("max_value", 0.0);
+}
+
+void DataVerifyUnit::process(core::ProcessContext& ctx) {
+  const Table& in = require_table(ctx, "DataVerify");
+  std::string report;
+  bool ok = true;
+
+  if (in.rows.size() < min_rows_) {
+    ok = false;
+    report += "too few rows (" + std::to_string(in.rows.size()) + " < " +
+              std::to_string(min_rows_) + "); ";
+  }
+  for (const auto& row : in.rows) {
+    if (row.size() != in.columns.size()) {
+      ok = false;
+      report += "ragged row; ";
+      break;
+    }
+  }
+  if (!numeric_column_.empty() && !in.rows.empty()) {
+    const std::size_t col = column_index(in, numeric_column_);
+    for (const auto& row : in.rows) {
+      char* end = nullptr;
+      const double v = std::strtod(row[col].c_str(), &end);
+      if (end == row[col].c_str() || *end != '\0') {
+        ok = false;
+        report += "non-numeric cell in " + numeric_column_ + "; ";
+        break;
+      }
+      if ((has_min_ && v < min_value_) || (has_max_ && v > max_value_)) {
+        ok = false;
+        report += numeric_column_ + " out of bounds (" + row[col] + "); ";
+        break;
+      }
+    }
+  }
+  if (ok) report = "ok";
+  ctx.emit(0, static_cast<std::int64_t>(ok ? 1 : 0));
+  ctx.emit(1, std::move(report));
+}
+
+void register_db_units(core::UnitRegistry& r) {
+  r.add<DataAccessUnit>();
+  r.add<DataManipulateUnit>();
+  r.add<DataVisualiseUnit>();
+  r.add<DataVerifyUnit>();
+}
+
+}  // namespace cg::db

@@ -1,0 +1,86 @@
+// ConGrid -- the Case 3 database-access pipeline units.
+//
+// Paper 3.6.3: "the user establishes a pipeline in Triana consisting of:
+// (1) a data access service, (2) a data manipulation service, (3) a data
+// visualisation service, and (4) a data verification service", each
+// potentially provided by a different peer. These four units are that
+// pipeline; DataAccess substitutes the JDBC bridge with the in-memory
+// TableStore loaded from a deterministic synthetic dataset.
+#pragma once
+
+#include "apps/db/store.hpp"
+#include "core/unit/registry.hpp"
+
+namespace cg::db {
+
+/// Deterministic synthetic datasets standing in for the structured
+/// database: "stars" (id, ra, dec, magnitude, class) or "sensors"
+/// (id, t, value, status). Throws std::invalid_argument on unknown names.
+Table make_dataset(const std::string& name, std::size_t rows,
+                   std::uint64_t seed);
+
+/// Data access service: emits the (optionally pre-filtered) dataset each
+/// iteration. Params: dataset ("stars"), rows (200), seed (7),
+/// where_column, where_op, where_value (optional single predicate).
+class DataAccessUnit final : public core::Unit {
+ public:
+  static core::UnitInfo make_info();
+  const core::UnitInfo& info() const override;
+  void configure(const core::ParamSet& p) override;
+  void process(core::ProcessContext& ctx) override;
+
+ private:
+  Table data_;
+};
+
+/// Data manipulation service. Params: op ("filter"|"project"|"orderby"|
+/// "limit"), and per-op arguments: columns (csv, project), column +
+/// where_op + value (filter), column + ascending (orderby), n (limit).
+class DataManipulateUnit final : public core::Unit {
+ public:
+  static core::UnitInfo make_info();
+  const core::UnitInfo& info() const override;
+  void configure(const core::ParamSet& p) override;
+  void process(core::ProcessContext& ctx) override;
+
+ private:
+  core::ParamSet params_;
+  std::string op_;
+};
+
+/// Data visualisation service: emits a text summary (port 0) and a
+/// histogram image of one numeric column (port 1).
+/// Params: column (required for the histogram), bins (16).
+class DataVisualiseUnit final : public core::Unit {
+ public:
+  static core::UnitInfo make_info();
+  const core::UnitInfo& info() const override;
+  void configure(const core::ParamSet& p) override;
+  void process(core::ProcessContext& ctx) override;
+
+ private:
+  std::string column_;
+  std::size_t bins_ = 16;
+};
+
+/// Data verification service: checks structural invariants and emits 1/0
+/// (port 0) plus a report (port 1). Params: min_rows (1),
+/// numeric_column (optional: every cell must parse as a number),
+/// min_value / max_value (bounds on that column when set).
+class DataVerifyUnit final : public core::Unit {
+ public:
+  static core::UnitInfo make_info();
+  const core::UnitInfo& info() const override;
+  void configure(const core::ParamSet& p) override;
+  void process(core::ProcessContext& ctx) override;
+
+ private:
+  std::size_t min_rows_ = 1;
+  std::string numeric_column_;
+  bool has_min_ = false, has_max_ = false;
+  double min_value_ = 0, max_value_ = 0;
+};
+
+void register_db_units(core::UnitRegistry& r);
+
+}  // namespace cg::db

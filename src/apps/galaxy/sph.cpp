@@ -1,0 +1,76 @@
+#include "apps/galaxy/sph.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cg::galaxy {
+
+double sph_kernel_2d(double q) {
+  // Integrated (column) cubic spline, approximated by the 2D cubic spline
+  // with normalisation 10/(7*pi) -- standard for column-density splats.
+  if (q >= 2.0) return 0.0;
+  constexpr double norm = 10.0 / (7.0 * M_PI);
+  if (q < 1.0) {
+    return norm * (1.0 - 1.5 * q * q + 0.75 * q * q * q);
+  }
+  const double two_q = 2.0 - q;
+  return norm * 0.25 * two_q * two_q * two_q;
+}
+
+core::ImageFrame project_column_density(const Snapshot& snap,
+                                        const View& view) {
+  const std::uint32_t n = view.grid;
+  core::ImageFrame img;
+  img.width = n;
+  img.height = n;
+  img.pixels.assign(static_cast<std::size_t>(n) * n, 0.0);
+
+  const double ca = std::cos(view.azimuth_rad), sa = std::sin(view.azimuth_rad);
+  const double ce = std::cos(view.elevation_rad),
+               se = std::sin(view.elevation_rad);
+  const double pixel = 2.0 * view.half_extent / static_cast<double>(n);
+  const double inv_pixel = 1.0 / pixel;
+
+  for (const auto& p : snap) {
+    // Rotate: azimuth about z, then elevation about x; project onto xy.
+    const double x1 = ca * p.x - sa * p.y;
+    const double y1 = sa * p.x + ca * p.y;
+    const double y2 = ce * y1 - se * p.z;
+
+    const double px = (x1 + view.half_extent) * inv_pixel;
+    const double py = (y2 + view.half_extent) * inv_pixel;
+    const double h = std::max(p.smoothing, 0.5 * pixel);
+    const double reach = 2.0 * h * inv_pixel;
+
+    const long x_lo = std::lround(std::floor(px - reach));
+    const long x_hi = std::lround(std::ceil(px + reach));
+    const long y_lo = std::lround(std::floor(py - reach));
+    const long y_hi = std::lround(std::ceil(py + reach));
+    const double inv_h2 = 1.0 / (h * h);
+
+    for (long gy = std::max(0L, y_lo);
+         gy <= std::min<long>(n - 1, y_hi); ++gy) {
+      for (long gx = std::max(0L, x_lo);
+           gx <= std::min<long>(n - 1, x_hi); ++gx) {
+        const double dx = (static_cast<double>(gx) + 0.5 - px) * pixel;
+        const double dy = (static_cast<double>(gy) + 0.5 - py) * pixel;
+        const double q = std::sqrt((dx * dx + dy * dy) * inv_h2);
+        const double w = sph_kernel_2d(q);
+        if (w > 0.0) {
+          img.pixels[static_cast<std::size_t>(gy) * n +
+                     static_cast<std::size_t>(gx)] += p.mass * w * inv_h2;
+        }
+      }
+    }
+  }
+  return img;
+}
+
+double image_mass(const core::ImageFrame& frame, const View& view) {
+  const double pixel = 2.0 * view.half_extent / static_cast<double>(frame.width);
+  double sum = 0.0;
+  for (double v : frame.pixels) sum += v;
+  return sum * pixel * pixel;
+}
+
+}  // namespace cg::galaxy

@@ -1,0 +1,79 @@
+#include "apps/gw/chirp.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace cg::gw {
+namespace {
+
+// Geometrised solar mass in seconds: G*Msun/c^3.
+constexpr double kMsunSeconds = 4.925490947e-6;
+
+}  // namespace
+
+double time_to_coalescence_s(const ChirpParams& p) {
+  // Newtonian chirp: tc = 5/256 * (pi f)^(-8/3) * M^(-5/3), geometric units.
+  const double mc = p.chirp_mass_msun * kMsunSeconds;
+  const double pif = M_PI * p.f_low_hz;
+  return 5.0 / 256.0 * std::pow(pif, -8.0 / 3.0) * std::pow(mc, -5.0 / 3.0);
+}
+
+std::vector<double> make_chirp(const ChirpParams& p) {
+  if (p.f_low_hz <= 0 || p.f_high_hz <= p.f_low_hz) {
+    throw std::invalid_argument("make_chirp: bad frequency band");
+  }
+  if (p.f_high_hz > p.sample_rate_hz / 2.0) {
+    throw std::invalid_argument("make_chirp: f_high above Nyquist");
+  }
+  const double tc = time_to_coalescence_s(p);
+  const double dt = 1.0 / p.sample_rate_hz;
+
+  std::vector<double> h;
+  h.reserve(static_cast<std::size_t>(tc / dt) + 1);
+
+  // Phase integrates 2*pi*f(t); frequency follows the Newtonian power law
+  //   f(t) = f_low * (1 - t/tc)^(-3/8),
+  // amplitude scales as f^(2/3). Stop at f_high.
+  double phase = 0.0;
+  const double f_ref_amp = std::pow(p.f_low_hz, 2.0 / 3.0);
+  for (double t = 0.0; t < tc; t += dt) {
+    const double x = 1.0 - t / tc;
+    if (x <= 0.0) break;
+    const double f = p.f_low_hz * std::pow(x, -3.0 / 8.0);
+    if (f > p.f_high_hz) break;
+    const double amp = std::pow(f, 2.0 / 3.0) / f_ref_amp;
+    h.push_back(amp * std::cos(phase));
+    phase += 2.0 * M_PI * f * dt;
+  }
+  if (h.empty()) {
+    throw std::invalid_argument("make_chirp: empty waveform (band too narrow)");
+  }
+  // Normalise to unit peak.
+  double peak = 0.0;
+  for (double v : h) peak = std::max(peak, std::abs(v));
+  for (double& v : h) v /= peak;
+  return h;
+}
+
+std::vector<double> make_strain_chunk(const DetectorSpec& spec, dsp::Rng& rng,
+                                      const ChirpParams* injection,
+                                      std::size_t inject_at_sample,
+                                      double inject_amp,
+                                      std::size_t n_samples_override) {
+  const std::size_t n =
+      n_samples_override ? n_samples_override : spec.samples_per_chunk();
+  std::vector<double> strain(n);
+  for (auto& s : strain) s = rng.gaussian();
+
+  if (injection && inject_amp > 0.0) {
+    const auto chirp = make_chirp(*injection);
+    for (std::size_t i = 0; i < chirp.size(); ++i) {
+      const std::size_t k = inject_at_sample + i;
+      if (k >= n) break;
+      strain[k] += inject_amp * chirp[i];
+    }
+  }
+  return strain;
+}
+
+}  // namespace cg::gw

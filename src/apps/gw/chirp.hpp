@@ -1,0 +1,60 @@
+// ConGrid -- inspiral chirp waveforms.
+//
+// The paper's Case 2 (section 3.6.2): compact binaries spiralling together
+// emit "a characteristic chirp waveform ... whose amplitude and frequency
+// increase with time until eventually the two bodies merge". We model the
+// leading-order (Newtonian, quadrupole) chirp: frequency evolves as
+// f(t) = f0 * (1 - t/tc)^(-3/8) with tc set by the chirp mass, amplitude
+// grows as f^(2/3). GEO600 would supply real strain; our substitution is
+// synthetic Gaussian detector noise with optional injected chirps -- the
+// matched-filter cost and detection statistics are unchanged.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "dsp/rng.hpp"
+
+namespace cg::gw {
+
+/// Physical/search parameters of one template or injection.
+struct ChirpParams {
+  double chirp_mass_msun = 1.2;  ///< (m1*m2)^(3/5)/(m1+m2)^(1/5), solar masses
+  double f_low_hz = 50.0;        ///< frequency when the template starts
+  double f_high_hz = 900.0;      ///< cut-off (approaching merger / Nyquist)
+  double sample_rate_hz = 2000.0;  ///< paper: "2,000 samples per second"
+};
+
+/// Seconds from f_low to coalescence at leading (Newtonian) order.
+double time_to_coalescence_s(const ChirpParams& p);
+
+/// Generate the chirp strain h(t), unit peak amplitude, sampled at
+/// p.sample_rate_hz, from f_low until f reaches f_high (or coalescence).
+std::vector<double> make_chirp(const ChirpParams& p);
+
+/// GEO600-style data-taking constants (paper 3.6.2).
+struct DetectorSpec {
+  double sample_rate_hz = 2000.0;  ///< searchable band under 1 kHz
+  double chunk_seconds = 900.0;    ///< 15-minute stretches
+  std::size_t bytes_per_sample = 4;
+
+  std::size_t samples_per_chunk() const {
+    return static_cast<std::size_t>(sample_rate_hz * chunk_seconds);
+  }
+  /// 4 x 900 x 2000 = 7.2 MB in the paper.
+  std::size_t chunk_bytes() const {
+    return samples_per_chunk() * bytes_per_sample;
+  }
+};
+
+/// One synthetic detector chunk: Gaussian noise, optionally with a chirp
+/// injected at `inject_at_sample` scaled to `inject_snr_amp` times the
+/// noise sigma.
+std::vector<double> make_strain_chunk(const DetectorSpec& spec,
+                                      dsp::Rng& rng,
+                                      const ChirpParams* injection = nullptr,
+                                      std::size_t inject_at_sample = 0,
+                                      double inject_amp = 0.0,
+                                      std::size_t n_samples_override = 0);
+
+}  // namespace cg::gw

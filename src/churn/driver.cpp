@@ -1,0 +1,25 @@
+#include "churn/driver.hpp"
+
+namespace cg::churn {
+
+void apply_trace(net::SimNetwork& net, std::uint32_t node,
+                 const Trace& trace) {
+  const bool up_at_zero = !trace.empty() && trace.front().start <= 0.0;
+  net.set_up(node, up_at_zero);
+  for (const auto& iv : trace) {
+    if (iv.start > 0.0) {
+      net.schedule(iv.start, [&net, node] { net.set_up(node, true); });
+    }
+    net.schedule(iv.end, [&net, node] { net.set_up(node, false); });
+  }
+}
+
+Trace apply_model(net::SimNetwork& net, std::uint32_t node,
+                  const AvailabilityModel& model, double duration_s,
+                  dsp::Rng& rng) {
+  Trace t = model.sample(duration_s, rng);
+  apply_trace(net, node, t);
+  return t;
+}
+
+}  // namespace cg::churn

@@ -1,0 +1,26 @@
+// ConGrid -- churn driver: replay availability traces onto a SimNetwork.
+//
+// Turns a sampled Trace into scheduled set_up(node, true/false) calls so
+// peers in a simulated experiment actually drop off and return at the
+// trace's boundaries.
+#pragma once
+
+#include <cstdint>
+
+#include "churn/availability.hpp"
+#include "net/sim_network.hpp"
+
+namespace cg::churn {
+
+/// Schedule up/down transitions for `node` according to `trace`. The node
+/// is marked down at t=0 unless the trace's first interval starts at 0.
+/// Call before running the simulation.
+void apply_trace(net::SimNetwork& net, std::uint32_t node, const Trace& trace);
+
+/// Sample a trace from `model` and apply it; returns the trace for
+/// bookkeeping (e.g. computing expected availability).
+Trace apply_model(net::SimNetwork& net, std::uint32_t node,
+                  const AvailabilityModel& model, double duration_s,
+                  dsp::Rng& rng);
+
+}  // namespace cg::churn

@@ -1,0 +1,66 @@
+#include "core/checkpoint/checkpoint.hpp"
+
+#include "serial/reader.hpp"
+#include "serial/writer.hpp"
+
+namespace cg::core {
+
+bool CheckpointStore::put(const std::string& key, serial::Bytes state,
+                          double taken_at) {
+  auto it = records_.find(key);
+  if (it == records_.end()) {
+    records_[key] = CheckpointRecord{std::move(state), taken_at, 1};
+    return true;
+  }
+  if (taken_at < it->second.taken_at) return false;  // stale
+  it->second.state = std::move(state);
+  it->second.taken_at = taken_at;
+  ++it->second.sequence;
+  return true;
+}
+
+std::optional<CheckpointRecord> CheckpointStore::get(
+    const std::string& key) const {
+  auto it = records_.find(key);
+  if (it == records_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool CheckpointStore::erase(const std::string& key) {
+  return records_.erase(key) > 0;
+}
+
+std::size_t CheckpointStore::total_bytes() const {
+  std::size_t n = 0;
+  for (const auto& [key, r] : records_) n += r.state.size();
+  return n;
+}
+
+serial::Bytes CheckpointStore::serialise() const {
+  serial::Writer w;
+  w.varint(records_.size());
+  for (const auto& [key, r] : records_) {
+    w.string(key);
+    w.blob(r.state);
+    w.f64(r.taken_at);
+    w.u64(r.sequence);
+  }
+  return w.take();
+}
+
+CheckpointStore CheckpointStore::deserialise(const serial::Bytes& data) {
+  serial::Reader r(data);
+  CheckpointStore store;
+  const std::uint64_t n = r.varint();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const std::string key = r.string();
+    CheckpointRecord rec;
+    rec.state = r.blob();
+    rec.taken_at = r.f64();
+    rec.sequence = r.u64();
+    store.records_[key] = std::move(rec);
+  }
+  return store;
+}
+
+}  // namespace cg::core

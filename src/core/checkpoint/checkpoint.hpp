@@ -1,0 +1,48 @@
+// ConGrid -- checkpoint store.
+//
+// Controller-side keeper of fragment checkpoints: the periodic-checkpoint
+// loop of experiment E8 stores each fragment's latest state here so that
+// when a volunteer disappears mid-computation, the fragment resumes on a
+// new worker from the last saved state rather than from scratch (paper
+// 3.6.2: "A check-pointing mechanism may also be employed to migrate
+// computation if necessary").
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "serial/bytes.hpp"
+
+namespace cg::core {
+
+struct CheckpointRecord {
+  serial::Bytes state;
+  double taken_at = 0;       ///< clock seconds when captured
+  std::uint64_t sequence = 0;  ///< monotonically increasing per key
+};
+
+/// Latest-wins store of checkpoints keyed by an application-chosen id
+/// (fragment index, job id, ...). Serialisable so a controller can itself
+/// be restarted.
+class CheckpointStore {
+ public:
+  /// Store a newer checkpoint for `key`; stale sequence numbers are
+  /// rejected (returns false) so out-of-order arrivals cannot regress.
+  bool put(const std::string& key, serial::Bytes state, double taken_at);
+
+  std::optional<CheckpointRecord> get(const std::string& key) const;
+  bool erase(const std::string& key);
+  std::size_t size() const { return records_.size(); }
+  /// Sum of stored state bytes (capacity planning in E8).
+  std::size_t total_bytes() const;
+
+  serial::Bytes serialise() const;
+  static CheckpointStore deserialise(const serial::Bytes& data);
+
+ private:
+  std::map<std::string, CheckpointRecord> records_;
+};
+
+}  // namespace cg::core

@@ -1,0 +1,305 @@
+#include "core/dist/policy.hpp"
+
+#include <stdexcept>
+#include <unordered_map>
+
+namespace cg::core {
+namespace {
+
+/// Common checks + group handle.
+const TaskDef& checked_group(const TaskGraph& g, const std::string& group_name,
+                             std::size_t workers) {
+  if (workers == 0) {
+    throw std::invalid_argument("distribution plan needs at least 1 worker");
+  }
+  const TaskDef& group = g.require_task(group_name);
+  if (!group.is_group()) {
+    throw std::invalid_argument("task '" + group_name + "' is not a group");
+  }
+  return group;
+}
+
+/// Home graph common to both policies: every task except the group, plus
+/// Receive proxies for the group's output ports (label "<prefix>/out<j>"),
+/// with outer connections re-wired. Input-side proxies differ per policy
+/// and are installed by `add_input_proxy`, which must create a task named
+/// "<group>.in<i>" for each group input port i.
+template <typename AddInputProxy>
+TaskGraph make_home_graph(const TaskGraph& g, const TaskDef& group,
+                          const std::string& prefix,
+                          AddInputProxy add_input_proxy) {
+  TaskGraph home(g.name());
+  for (const auto& t : g.tasks()) {
+    if (t.name == group.name) continue;
+    home.tasks().push_back(t.clone());
+  }
+  for (std::size_t i = 0; i < group.group_inputs.size(); ++i) {
+    add_input_proxy(home, i);
+  }
+  for (std::size_t j = 0; j < group.group_outputs.size(); ++j) {
+    ParamSet p;
+    p.set("label", prefix + "/out" + std::to_string(j));
+    home.add_task(group.name + ".out" + std::to_string(j), "Receive", p);
+  }
+  for (const auto& c : g.connections()) {
+    Connection r = c;
+    if (c.to_task == group.name) {
+      r.to_task = group.name + ".in" + std::to_string(c.to_port);
+      r.to_port = 0;
+    }
+    if (c.from_task == group.name) {
+      r.from_task = group.name + ".out" + std::to_string(c.from_port);
+      r.from_port = 0;
+    }
+    home.connections().push_back(std::move(r));
+  }
+  return home;
+}
+
+std::vector<std::string> home_output_labels(const TaskDef& group,
+                                            const std::string& prefix) {
+  std::vector<std::string> labels;
+  for (std::size_t j = 0; j < group.group_outputs.size(); ++j) {
+    labels.push_back(prefix + "/out" + std::to_string(j));
+  }
+  return labels;
+}
+
+}  // namespace
+
+DistributionPlan ParallelPolicy::plan(const TaskGraph& g,
+                                      const std::string& group_name,
+                                      std::size_t workers,
+                                      const std::string& prefix) const {
+  const TaskDef& group = checked_group(g, group_name, workers);
+
+  DistributionPlan plan;
+  plan.home_input_labels = home_output_labels(group, prefix);
+
+  // One replica of the whole group per worker.
+  for (std::size_t w = 0; w < workers; ++w) {
+    const std::string wp = prefix + "/w" + std::to_string(w);
+    TaskGraph frag = group.group->clone();
+    frag.set_name(g.name() + "/" + group_name + "#" + std::to_string(w));
+    for (std::size_t i = 0; i < group.group_inputs.size(); ++i) {
+      ParamSet p;
+      p.set("label", wp + "/in" + std::to_string(i));
+      frag.add_task("__recv" + std::to_string(i), "Receive", p);
+      frag.connect("__recv" + std::to_string(i), 0,
+                   group.group_inputs[i].inner_task,
+                   group.group_inputs[i].inner_port);
+    }
+    for (std::size_t j = 0; j < group.group_outputs.size(); ++j) {
+      ParamSet p;
+      // All replicas funnel into the same home channel.
+      p.set("label", prefix + "/out" + std::to_string(j));
+      frag.add_task("__send" + std::to_string(j), "Send", p);
+      frag.connect(group.group_outputs[j].inner_task,
+                   group.group_outputs[j].inner_port,
+                   "__send" + std::to_string(j), 0);
+    }
+    plan.fragments.push_back(std::move(frag));
+  }
+
+  // Home side: scatter each input port round-robin over the replicas.
+  plan.home_graph = make_home_graph(
+      g, group, prefix, [&](TaskGraph& home, std::size_t i) {
+        std::string csv;
+        for (std::size_t w = 0; w < workers; ++w) {
+          if (w) csv += ",";
+          csv += prefix + "/w" + std::to_string(w) + "/in" + std::to_string(i);
+        }
+        ParamSet p;
+        p.set("labels", csv);
+        home.add_task(group_name + ".in" + std::to_string(i), "Scatter", p);
+      });
+  return plan;
+}
+
+DistributionPlan PipelinePolicy::plan(const TaskGraph& g,
+                                      const std::string& group_name,
+                                      std::size_t workers,
+                                      const std::string& prefix) const {
+  const TaskDef& group = checked_group(g, group_name, workers);
+  const TaskGraph& inner = *group.group;
+
+  // Resource slot per inner task, round-robin over the offered workers.
+  const std::size_t slots = std::min(workers, inner.tasks().size());
+  if (slots == 0) {
+    throw std::invalid_argument("pipeline policy: group is empty");
+  }
+
+  DistributionPlan plan;
+  plan.home_input_labels = home_output_labels(group, prefix);
+  plan.fragments.reserve(slots);
+  for (std::size_t s = 0; s < slots; ++s) {
+    TaskGraph frag(g.name() + "/" + group_name + "@stage" +
+                   std::to_string(s));
+    plan.fragments.push_back(std::move(frag));
+  }
+  // Which slot hosts each inner task.
+  std::unordered_map<std::string, std::size_t> slot_of;
+  for (std::size_t i = 0; i < inner.tasks().size(); ++i) {
+    const TaskDef& t = inner.tasks()[i];
+    const std::size_t s = i % slots;
+    slot_of[t.name] = s;
+    plan.fragments[s].tasks().push_back(t.clone());
+  }
+
+  // The label for data consumed by inner task `name` on `port`.
+  auto in_label = [&](const std::string& name, std::size_t port) {
+    return prefix + "/t/" + name + "/p" + std::to_string(port);
+  };
+
+  // Inner connections: local when both ends share a slot, otherwise a
+  // Send on the producer and a Receive on the consumer.
+  std::size_t proxy_n = 0;
+  for (const auto& c : inner.connections()) {
+    const std::size_t sa = slot_of.at(c.from_task);
+    const std::size_t sb = slot_of.at(c.to_task);
+    if (sa == sb) {
+      plan.fragments[sa].connections().push_back(c);
+      continue;
+    }
+    const std::string label = in_label(c.to_task, c.to_port);
+    ParamSet ps;
+    ps.set("label", label);
+    const std::string send_name = "__send" + std::to_string(proxy_n);
+    plan.fragments[sa].add_task(send_name, "Send", ps);
+    plan.fragments[sa].connect(c.from_task, c.from_port, send_name, 0);
+
+    ParamSet pr;
+    pr.set("label", label);
+    const std::string recv_name = "__recv" + std::to_string(proxy_n);
+    plan.fragments[sb].add_task(recv_name, "Receive", pr);
+    plan.fragments[sb].connect(recv_name, 0, c.to_task, c.to_port);
+    ++proxy_n;
+  }
+
+  // Group boundary inputs: the consuming fragment advertises the channel.
+  for (std::size_t i = 0; i < group.group_inputs.size(); ++i) {
+    const GroupPort& gp = group.group_inputs[i];
+    const std::size_t s = slot_of.at(gp.inner_task);
+    const std::string label = in_label(gp.inner_task, gp.inner_port);
+    ParamSet p;
+    p.set("label", label);
+    const std::string recv_name = "__gin" + std::to_string(i);
+    plan.fragments[s].add_task(recv_name, "Receive", p);
+    plan.fragments[s].connect(recv_name, 0, gp.inner_task, gp.inner_port);
+  }
+  // Group boundary outputs: producer sends home.
+  for (std::size_t j = 0; j < group.group_outputs.size(); ++j) {
+    const GroupPort& gp = group.group_outputs[j];
+    const std::size_t s = slot_of.at(gp.inner_task);
+    ParamSet p;
+    p.set("label", prefix + "/out" + std::to_string(j));
+    const std::string send_name = "__gout" + std::to_string(j);
+    plan.fragments[s].add_task(send_name, "Send", p);
+    plan.fragments[s].connect(gp.inner_task, gp.inner_port, send_name, 0);
+  }
+
+  // Home side: a plain Send per group input port, targeting the consuming
+  // fragment's channel.
+  plan.home_graph = make_home_graph(
+      g, group, prefix, [&](TaskGraph& home, std::size_t i) {
+        const GroupPort& gp = group.group_inputs[i];
+        ParamSet p;
+        p.set("label", in_label(gp.inner_task, gp.inner_port));
+        home.add_task(group_name + ".in" + std::to_string(i), "Send", p);
+      });
+  return plan;
+}
+
+DistributionPlan ReplicatedPolicy::plan(const TaskGraph& g,
+                                        const std::string& group_name,
+                                        std::size_t workers,
+                                        const std::string& prefix) const {
+  const TaskDef& group = checked_group(g, group_name, workers);
+  if (workers < 2) {
+    throw std::invalid_argument("replicated policy needs >= 2 workers");
+  }
+  const std::size_t replicas = std::min(workers, VoteUnit::kMaxVoteInputs);
+
+  DistributionPlan plan;
+  // One full replica of the group per worker; each replica's outputs go to
+  // its own home channel so the Vote unit can compare them.
+  for (std::size_t w = 0; w < replicas; ++w) {
+    const std::string wp = prefix + "/w" + std::to_string(w);
+    TaskGraph frag = group.group->clone();
+    frag.set_name(g.name() + "/" + group_name + "!" + std::to_string(w));
+    for (std::size_t i = 0; i < group.group_inputs.size(); ++i) {
+      ParamSet p;
+      p.set("label", wp + "/in" + std::to_string(i));
+      frag.add_task("__recv" + std::to_string(i), "Receive", p);
+      frag.connect("__recv" + std::to_string(i), 0,
+                   group.group_inputs[i].inner_task,
+                   group.group_inputs[i].inner_port);
+    }
+    for (std::size_t j = 0; j < group.group_outputs.size(); ++j) {
+      ParamSet p;
+      p.set("label",
+            prefix + "/out" + std::to_string(j) + "/w" + std::to_string(w));
+      frag.add_task("__send" + std::to_string(j), "Send", p);
+      frag.connect(group.group_outputs[j].inner_task,
+                   group.group_outputs[j].inner_port,
+                   "__send" + std::to_string(j), 0);
+      plan.home_input_labels.push_back(
+          prefix + "/out" + std::to_string(j) + "/w" + std::to_string(w));
+    }
+    plan.fragments.push_back(std::move(frag));
+  }
+
+  // Home graph: Broadcast per input port, per-replica Receives feeding a
+  // Vote per output port. Outer connections from the group's output j are
+  // rewired to "<group>.out<j>" which is the Vote's majority port.
+  TaskGraph home(g.name());
+  for (const auto& t : g.tasks()) {
+    if (t.name == group.name) continue;
+    home.tasks().push_back(t.clone());
+  }
+  for (std::size_t i = 0; i < group.group_inputs.size(); ++i) {
+    std::string csv;
+    for (std::size_t w = 0; w < replicas; ++w) {
+      if (w) csv += ",";
+      csv += prefix + "/w" + std::to_string(w) + "/in" + std::to_string(i);
+    }
+    ParamSet p;
+    p.set("labels", csv);
+    home.add_task(group_name + ".in" + std::to_string(i), "Broadcast", p);
+  }
+  for (std::size_t j = 0; j < group.group_outputs.size(); ++j) {
+    const std::string vote = group_name + ".out" + std::to_string(j);
+    home.add_task(vote, "Vote");
+    for (std::size_t w = 0; w < replicas; ++w) {
+      ParamSet p;
+      p.set("label",
+            prefix + "/out" + std::to_string(j) + "/w" + std::to_string(w));
+      const std::string recv = vote + ".r" + std::to_string(w);
+      home.add_task(recv, "Receive", p);
+      home.connect(recv, 0, vote, w);
+    }
+  }
+  for (const auto& c : g.connections()) {
+    Connection r = c;
+    if (c.to_task == group.name) {
+      r.to_task = group.name + ".in" + std::to_string(c.to_port);
+      r.to_port = 0;
+    }
+    if (c.from_task == group.name) {
+      r.from_task = group.name + ".out" + std::to_string(c.from_port);
+      r.from_port = 0;  // Vote's majority output
+    }
+    home.connections().push_back(std::move(r));
+  }
+  plan.home_graph = std::move(home);
+  return plan;
+}
+
+std::unique_ptr<DistributionPolicy> make_policy(const std::string& name) {
+  if (name == "parallel") return std::make_unique<ParallelPolicy>();
+  if (name == "p2p") return std::make_unique<PipelinePolicy>();
+  if (name == "replicated") return std::make_unique<ReplicatedPolicy>();
+  throw std::invalid_argument("unknown distribution policy: " + name);
+}
+
+}  // namespace cg::core

@@ -1,0 +1,317 @@
+#include "core/engine/runtime.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+#include "core/graph/validate.hpp"
+#include "serial/reader.hpp"
+#include "serial/writer.hpp"
+
+namespace cg::core {
+
+GraphRuntime::GraphRuntime(const TaskGraph& graph,
+                           const UnitRegistry& registry,
+                           RuntimeOptions options)
+    : options_(options) {
+  TaskGraph flat = flatten(graph);
+  validate_or_throw(flat, registry);
+
+  // Instantiate and configure units.
+  nodes_.reserve(flat.tasks().size());
+  for (const auto& t : flat.tasks()) {
+    Node n;
+    n.name = t.name;
+    n.unit = registry.create(t.unit_type);
+    n.info = &registry.info(t.unit_type);
+    n.unit->configure(t.params);
+    // Per-task deterministic random stream.
+    n.rng = dsp::Rng(options_.rng_seed ^
+                     std::hash<std::string>{}(t.name));
+    n.pending.resize(n.info->inputs.size());
+    n.connected.assign(n.info->inputs.size(), false);
+    n.routes.resize(n.info->outputs.size());
+    n.is_send = (t.unit_type == "Send");
+    n.is_receive = (t.unit_type == "Receive");
+
+    const std::size_t idx = nodes_.size();
+    by_name_[n.name] = idx;
+    if (n.info->is_source) sources_.push_back(idx);
+    if (n.is_receive) {
+      const std::string label = t.params.get("label", "");
+      if (receive_by_label_.contains(label)) {
+        throw std::invalid_argument("duplicate Receive label: " + label);
+      }
+      receive_by_label_[label] = idx;
+    }
+    if (n.is_send || t.unit_type == "Scatter" || t.unit_type == "Broadcast") {
+      auto hook = [this](const std::string& label, DataItem item) {
+        ++stats_.external_sends;
+        stats_.bytes_sent_external += item.byte_size();
+        if (!external_sender_) {
+          throw std::logic_error(
+              "Send unit fired but no external sender is installed (label '" +
+              label + "')");
+        }
+        external_sender_(label, std::move(item));
+      };
+      if (auto* send = dynamic_cast<SendUnit*>(n.unit.get())) {
+        send->set_sender(hook);
+      } else if (auto* scatter = dynamic_cast<ScatterUnit*>(n.unit.get())) {
+        scatter->set_sender(hook);
+      } else if (auto* bcast = dynamic_cast<BroadcastUnit*>(n.unit.get())) {
+        bcast->set_sender(hook);
+      }
+    }
+    nodes_.push_back(std::move(n));
+  }
+
+  // Wire routes and connected-input flags.
+  for (const auto& c : flat.connections()) {
+    const std::size_t from = by_name_.at(c.from_task);
+    const std::size_t to = by_name_.at(c.to_task);
+    nodes_[from].routes[c.from_port].emplace_back(to, c.to_port);
+    nodes_[to].connected[c.to_port] = true;
+  }
+  queued_.assign(nodes_.size(), false);
+}
+
+void GraphRuntime::set_external_sender(SendUnit::Sender sender) {
+  external_sender_ = std::move(sender);
+}
+
+bool GraphRuntime::ready(const Node& n) const {
+  if (n.is_receive) return false;  // fed by deliver(), never fires
+  bool any_connected = false;
+  for (std::size_t p = 0; p < n.connected.size(); ++p) {
+    if (!n.connected[p]) continue;
+    any_connected = true;
+    if (n.pending[p].empty()) return false;
+  }
+  // A unit with no connected inputs only fires as a source (via tick).
+  return any_connected;
+}
+
+std::vector<std::pair<std::size_t, DataItem>> GraphRuntime::invoke(
+    std::size_t idx) {
+  Node& n = nodes_[idx];
+  std::vector<DataItem> inputs(n.pending.size());
+  for (std::size_t p = 0; p < n.pending.size(); ++p) {
+    if (!n.pending[p].empty()) {
+      inputs[p] = std::move(n.pending[p].front());
+      n.pending[p].pop_front();
+    }
+  }
+  ProcessContext ctx(std::move(inputs), iteration_, &n.rng, options_.sandbox);
+  n.unit->process(ctx);
+  ++n.firings;
+  for (auto& [port, item] : ctx.emissions()) {
+    if (port >= n.routes.size()) {
+      throw std::logic_error("unit '" + n.name + "' emitted on port " +
+                             std::to_string(port) + " which it never declared");
+    }
+    (void)item;
+  }
+  return std::move(ctx.emissions());
+}
+
+void GraphRuntime::fire(std::size_t idx) {
+  auto emissions = invoke(idx);
+  ++stats_.firings;
+  for (auto& [port, item] : emissions) {
+    route(idx, port, std::move(item));
+  }
+}
+
+void GraphRuntime::route(std::size_t from_idx, std::size_t port,
+                         DataItem item) {
+  const auto& targets = nodes_[from_idx].routes[port];
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    const auto [to, to_port] = targets[i];
+    // Copy for fan-out; move the last one.
+    DataItem payload = (i + 1 == targets.size()) ? std::move(item) : item;
+    nodes_[to].pending[to_port].push_back(std::move(payload));
+    ++stats_.items_routed;
+    if (!queued_[to]) {
+      queued_[to] = true;
+      worklist_.push_back(to);
+    }
+  }
+}
+
+void GraphRuntime::drain() {
+  while (!worklist_.empty()) {
+    const std::size_t idx = worklist_.front();
+    worklist_.pop_front();
+    queued_[idx] = false;
+    // Fire as long as it stays ready (several items may be queued).
+    while (ready(nodes_[idx])) fire(idx);
+  }
+}
+
+void GraphRuntime::tick() {
+  ++iteration_;
+  ++stats_.ticks;
+  for (std::size_t idx : sources_) fire(idx);
+  drain();
+}
+
+void GraphRuntime::run(std::uint64_t iterations) {
+  for (std::uint64_t i = 0; i < iterations; ++i) tick();
+}
+
+void GraphRuntime::tick_parallel(rm::ThreadPool& pool) {
+  ++iteration_;
+  ++stats_.ticks;
+
+  // Wave 0: the sources. Subsequent waves: every currently-ready node.
+  std::vector<std::size_t> wave = sources_;
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+
+  while (!wave.empty()) {
+    // Fire the whole wave concurrently; each invoke touches only its own
+    // node (queues were populated by earlier serial routing).
+    std::vector<std::vector<std::pair<std::size_t, DataItem>>> results(
+        wave.size());
+    std::atomic<std::size_t> remaining{wave.size()};
+    for (std::size_t w = 0; w < wave.size(); ++w) {
+      pool.post([this, &wave, &results, &remaining, &first_error, &error_mu,
+                 w] {
+        try {
+          results[w] = invoke(wave[w]);
+        } catch (...) {
+          std::lock_guard lock(error_mu);
+          if (!first_error) first_error = std::current_exception();
+        }
+        remaining.fetch_sub(1, std::memory_order_release);
+      });
+    }
+    while (remaining.load(std::memory_order_acquire) != 0) {
+      std::this_thread::yield();
+    }
+    if (first_error) std::rethrow_exception(first_error);
+
+    // Route serially in wave order: per-port FIFO matches the serial
+    // engine because each input port has a single producer.
+    stats_.firings += wave.size();
+    for (std::size_t w = 0; w < wave.size(); ++w) {
+      for (auto& [port, item] : results[w]) {
+        route(wave[w], port, std::move(item));
+      }
+    }
+    // route() fills worklist_; turn it into the next wave. A just-fired
+    // node with further backlogged items (possible after a checkpoint
+    // restore) re-enters the wave so nothing strands.
+    std::vector<std::size_t> next;
+    while (!worklist_.empty()) {
+      const std::size_t idx = worklist_.front();
+      worklist_.pop_front();
+      queued_[idx] = false;
+      if (ready(nodes_[idx])) next.push_back(idx);
+    }
+    for (std::size_t idx : wave) {
+      if (ready(nodes_[idx]) &&
+          std::find(next.begin(), next.end(), idx) == next.end()) {
+        next.push_back(idx);
+      }
+    }
+    wave = std::move(next);
+  }
+}
+
+void GraphRuntime::run_parallel(rm::ThreadPool& pool,
+                                std::uint64_t iterations) {
+  for (std::uint64_t i = 0; i < iterations; ++i) tick_parallel(pool);
+}
+
+bool GraphRuntime::deliver(const std::string& label, DataItem item) {
+  auto it = receive_by_label_.find(label);
+  if (it == receive_by_label_.end()) return false;
+  ++stats_.external_deliveries;
+  route(it->second, 0, std::move(item));
+  drain();
+  return true;
+}
+
+std::vector<std::string> GraphRuntime::receive_labels() const {
+  std::vector<std::string> out;
+  out.reserve(receive_by_label_.size());
+  for (const auto& [label, idx] : receive_by_label_) out.push_back(label);
+  return out;
+}
+
+Unit* GraphRuntime::unit(const std::string& task_name) {
+  auto it = by_name_.find(task_name);
+  return it == by_name_.end() ? nullptr : nodes_[it->second].unit.get();
+}
+
+std::uint64_t GraphRuntime::firings_of(const std::string& task_name) const {
+  auto it = by_name_.find(task_name);
+  return it == by_name_.end() ? 0 : nodes_[it->second].firings;
+}
+
+serial::Bytes GraphRuntime::save_checkpoint() const {
+  serial::Writer w;
+  w.u64(iteration_);
+  w.varint(nodes_.size());
+  for (const auto& n : nodes_) {
+    w.string(n.name);
+    w.blob(n.unit->save_state());
+    w.varint(n.pending.size());
+    for (const auto& q : n.pending) {
+      w.varint(q.size());
+      for (const auto& item : q) w.blob(encode_data_item(item));
+    }
+  }
+  return w.take();
+}
+
+void GraphRuntime::restore_checkpoint(const serial::Bytes& data) {
+  serial::Reader r(data);
+  iteration_ = r.u64();
+  const std::uint64_t count = r.varint();
+  if (count != nodes_.size()) {
+    throw std::invalid_argument("checkpoint task count mismatch");
+  }
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::string name = r.string();
+    auto it = by_name_.find(name);
+    if (it == by_name_.end()) {
+      throw std::invalid_argument("checkpoint names unknown task '" + name +
+                                  "'");
+    }
+    Node& n = nodes_[it->second];
+    const serial::Bytes state = r.blob();
+    n.unit->reset();
+    if (!state.empty()) n.unit->restore_state(state);
+    const std::uint64_t ports = r.varint();
+    if (ports != n.pending.size()) {
+      throw std::invalid_argument("checkpoint port count mismatch for '" +
+                                  name + "'");
+    }
+    for (auto& q : n.pending) {
+      q.clear();
+      const std::uint64_t items = r.varint();
+      for (std::uint64_t k = 0; k < items; ++k) {
+        q.push_back(decode_data_item(r.blob()));
+      }
+    }
+  }
+}
+
+void GraphRuntime::reset() {
+  iteration_ = 0;
+  stats_ = {};
+  worklist_.clear();
+  queued_.assign(nodes_.size(), false);
+  for (auto& n : nodes_) {
+    n.unit->reset();
+    n.firings = 0;
+    for (auto& q : n.pending) q.clear();
+  }
+}
+
+}  // namespace cg::core

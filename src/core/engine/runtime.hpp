@@ -1,0 +1,151 @@
+// ConGrid -- the data-flow engine.
+//
+// Executes one (flattened) task graph on the local peer: units fire when
+// every connected input port holds an item, sources fire once per tick()
+// (one streaming iteration -- AccumStat's "successive iterations" are
+// successive ticks), and Send/Receive proxy units bridge to other peers'
+// runtimes through external channels. The engine is deterministic: unit
+// RNG streams derive from the runtime seed and the task name, and firing
+// order is a fixed topological worklist.
+//
+// Checkpointing captures the iteration counter, every stateful unit's
+// serialised state and all queued in-flight items; restoring into a fresh
+// runtime of the same graph resumes exactly (the migration path of paper
+// 3.6.2's "check-pointing mechanism may also be employed to migrate
+// computation").
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/graph/taskgraph.hpp"
+#include "core/unit/proxy_units.hpp"
+#include "core/unit/registry.hpp"
+#include "rm/thread_pool.hpp"
+
+namespace cg::core {
+
+struct RuntimeOptions {
+  std::uint64_t rng_seed = 1;
+  /// When set, units' charge_cpu calls are enforced against this sandbox.
+  sandbox::Sandbox* sandbox = nullptr;
+};
+
+struct RuntimeStats {
+  std::uint64_t ticks = 0;
+  std::uint64_t firings = 0;
+  std::uint64_t items_routed = 0;
+  std::uint64_t external_sends = 0;
+  std::uint64_t external_deliveries = 0;
+  std::uint64_t bytes_sent_external = 0;
+};
+
+class GraphRuntime {
+ public:
+  /// Flattens, validates (throws std::invalid_argument on a bad graph),
+  /// instantiates and configures every unit.
+  GraphRuntime(const TaskGraph& graph, const UnitRegistry& registry,
+               RuntimeOptions options = {});
+
+  GraphRuntime(const GraphRuntime&) = delete;
+  GraphRuntime& operator=(const GraphRuntime&) = delete;
+
+  /// Install the egress hook for Send units (label, item). Without one,
+  /// firing a Send unit throws.
+  void set_external_sender(SendUnit::Sender sender);
+
+  /// One streaming iteration: every source fires once, then the graph
+  /// runs to quiescence.
+  void tick();
+
+  /// tick() `iterations` times.
+  void run(std::uint64_t iterations);
+
+  /// One streaming iteration with independent ready units fired
+  /// concurrently on `pool` (wave-parallel: fire a wave in parallel, route
+  /// its emissions serially in task order, repeat). Produces bit-identical
+  /// results to tick(): per-port arrival order is preserved because
+  /// validation allows one producer per input port. Requirements: units
+  /// must not share state (built-ins don't), and any external sender must
+  /// be thread-safe or absent (Send/Scatter/Broadcast may fire from pool
+  /// threads).
+  void tick_parallel(rm::ThreadPool& pool);
+
+  /// tick_parallel() `iterations` times.
+  void run_parallel(rm::ThreadPool& pool, std::uint64_t iterations);
+
+  /// Inject an item arriving on the external channel `label`; it flows out
+  /// of the matching Receive unit and the graph runs to quiescence.
+  /// Returns false (and drops the item) when no Receive has that label.
+  bool deliver(const std::string& label, DataItem item);
+
+  /// Labels of all Receive units (the input pipes a hosting service must
+  /// advertise).
+  std::vector<std::string> receive_labels() const;
+
+  /// Access a unit by task name (nullptr when absent). Downcast to read
+  /// sink results.
+  Unit* unit(const std::string& task_name);
+  template <typename U>
+  U* unit_as(const std::string& task_name) {
+    return dynamic_cast<U*>(unit(task_name));
+  }
+
+  std::uint64_t iteration() const { return iteration_; }
+  const RuntimeStats& stats() const { return stats_; }
+  /// Firing count per task (diagnostics / reports).
+  std::uint64_t firings_of(const std::string& task_name) const;
+
+  /// Serialise iteration counter + unit states + queued items.
+  serial::Bytes save_checkpoint() const;
+  /// Restore from a checkpoint of the *same* graph (matched by task
+  /// names); throws std::invalid_argument on mismatch.
+  void restore_checkpoint(const serial::Bytes& data);
+
+  /// Clear all unit state and queues; iteration back to zero.
+  void reset();
+
+  std::size_t task_count() const { return nodes_.size(); }
+
+ private:
+  struct Node {
+    std::string name;
+    std::unique_ptr<Unit> unit;
+    const UnitInfo* info = nullptr;
+    dsp::Rng rng{1};
+    std::uint64_t firings = 0;
+    /// Queued items per input port.
+    std::vector<std::deque<DataItem>> pending;
+    /// Which input ports have an inbound connection.
+    std::vector<bool> connected;
+    /// Out-routing: per output port, list of (target node, target port).
+    std::vector<std::vector<std::pair<std::size_t, std::size_t>>> routes;
+    bool is_send = false;
+    bool is_receive = false;
+  };
+
+  bool ready(const Node& n) const;
+  void fire(std::size_t idx);
+  /// Run the unit once, consuming queued inputs; returns its emissions
+  /// without routing them (the thread-safe part of a parallel wave).
+  std::vector<std::pair<std::size_t, DataItem>> invoke(std::size_t idx);
+  void route(std::size_t from_idx, std::size_t port, DataItem item);
+  void drain();
+
+  std::vector<Node> nodes_;
+  std::unordered_map<std::string, std::size_t> by_name_;
+  std::unordered_map<std::string, std::size_t> receive_by_label_;
+  std::vector<std::size_t> sources_;
+  std::deque<std::size_t> worklist_;
+  std::vector<bool> queued_;  ///< node already on the worklist
+
+  RuntimeOptions options_;
+  SendUnit::Sender external_sender_;
+  std::uint64_t iteration_ = 0;
+  RuntimeStats stats_;
+};
+
+}  // namespace cg::core

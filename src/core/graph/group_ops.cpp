@@ -1,0 +1,77 @@
+#include "core/graph/group_ops.hpp"
+
+#include <stdexcept>
+
+namespace cg::core {
+
+GroupExtraction extract_group(const TaskGraph& g,
+                              const std::string& group_name,
+                              const std::string& label_prefix) {
+  const TaskDef& group = g.require_task(group_name);
+  if (!group.is_group()) {
+    throw std::invalid_argument("task '" + group_name + "' is not a group");
+  }
+
+  GroupExtraction ex;
+
+  // ---- remote fragment: inner graph + boundary proxies -------------------
+  ex.remote_fragment = group.group->clone();
+  ex.remote_fragment.set_name(g.name() + "/" + group_name);
+  for (std::size_t i = 0; i < group.group_inputs.size(); ++i) {
+    const std::string label = label_prefix + "/in" + std::to_string(i);
+    ParamSet p;
+    p.set("label", label);
+    ex.remote_fragment.add_task("__recv" + std::to_string(i), "Receive", p);
+    ex.remote_fragment.connect("__recv" + std::to_string(i), 0,
+                               group.group_inputs[i].inner_task,
+                               group.group_inputs[i].inner_port);
+    ex.channels.push_back(BoundaryChannel{label, i, /*into_group=*/true});
+  }
+  for (std::size_t j = 0; j < group.group_outputs.size(); ++j) {
+    const std::string label = label_prefix + "/out" + std::to_string(j);
+    ParamSet p;
+    p.set("label", label);
+    ex.remote_fragment.add_task("__send" + std::to_string(j), "Send", p);
+    ex.remote_fragment.connect(group.group_outputs[j].inner_task,
+                               group.group_outputs[j].inner_port,
+                               "__send" + std::to_string(j), 0);
+    ex.channels.push_back(BoundaryChannel{label, j, /*into_group=*/false});
+  }
+
+  // ---- home graph: replace the group with Send/Receive proxies ------------
+  ex.home_graph = TaskGraph(g.name());
+  for (const auto& t : g.tasks()) {
+    if (t.name == group_name) continue;
+    ex.home_graph.tasks().push_back(t.clone());
+  }
+  // Proxies, one per boundary port actually used by outer connections --
+  // but create them for every port so labels stay index-aligned.
+  for (std::size_t i = 0; i < group.group_inputs.size(); ++i) {
+    ParamSet p;
+    p.set("label", label_prefix + "/in" + std::to_string(i));
+    ex.home_graph.add_task(group_name + ".in" + std::to_string(i), "Send", p);
+  }
+  for (std::size_t j = 0; j < group.group_outputs.size(); ++j) {
+    ParamSet p;
+    p.set("label", label_prefix + "/out" + std::to_string(j));
+    ex.home_graph.add_task(group_name + ".out" + std::to_string(j), "Receive",
+                           p);
+  }
+  for (const auto& c : g.connections()) {
+    Connection r = c;
+    if (c.to_task == group_name) {
+      r.to_task = group_name + ".in" + std::to_string(c.to_port);
+      r.to_port = 0;
+      r.label = label_prefix + "/in" + std::to_string(c.to_port);
+    }
+    if (c.from_task == group_name) {
+      r.from_task = group_name + ".out" + std::to_string(c.from_port);
+      r.from_port = 0;
+      r.label = label_prefix + "/out" + std::to_string(c.from_port);
+    }
+    ex.home_graph.connections().push_back(std::move(r));
+  }
+  return ex;
+}
+
+}  // namespace cg::core

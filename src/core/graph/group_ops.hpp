@@ -1,0 +1,43 @@
+// ConGrid -- group extraction and annotation.
+//
+// The distribution procedure of paper 3.4: "a workflow is annotated in two
+// ways: firstly, each group input and output connection is uniquely
+// labelled by the local service; and, secondly, the group being distributed
+// is extracted from the workflow and sent to the remote Triana service."
+// extract_group() performs exactly that split: the home graph keeps
+// Send/Receive proxies where the group used to be, and the remote fragment
+// is the group's inner graph fitted with matching Receive/Send proxies.
+// Labels are unique per extraction (prefix supplied by the caller), and
+// are the names the remote side advertises as input pipes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/graph/taskgraph.hpp"
+
+namespace cg::core {
+
+/// One cross-peer data channel created by an extraction.
+struct BoundaryChannel {
+  std::string label;        ///< globally unique pipe name
+  std::size_t group_port;   ///< which boundary port of the group
+  bool into_group;          ///< true: home -> remote; false: remote -> home
+  bool operator==(const BoundaryChannel&) const = default;
+};
+
+struct GroupExtraction {
+  TaskGraph home_graph;      ///< original graph, group replaced by proxies
+  TaskGraph remote_fragment; ///< inner graph plus boundary proxies
+  std::vector<BoundaryChannel> channels;
+};
+
+/// Split `g` around its group task `group_name`. `label_prefix` must be
+/// unique per deployment (the controller includes a nonce); channel labels
+/// are "<prefix>/in<i>" and "<prefix>/out<j>". Throws std::out_of_range if
+/// the task is missing, std::invalid_argument if it is not a group.
+GroupExtraction extract_group(const TaskGraph& g,
+                              const std::string& group_name,
+                              const std::string& label_prefix);
+
+}  // namespace cg::core

@@ -1,0 +1,183 @@
+#include "core/graph/taskgraph.hpp"
+
+#include <stdexcept>
+
+namespace cg::core {
+
+TaskDef TaskDef::clone() const {
+  TaskDef t;
+  t.name = name;
+  t.unit_type = unit_type;
+  t.params = params;
+  t.policy = policy;
+  t.group_inputs = group_inputs;
+  t.group_outputs = group_outputs;
+  if (group) t.group = std::make_unique<TaskGraph>(group->clone());
+  return t;
+}
+
+TaskDef& TaskGraph::add_task(const std::string& name,
+                             const std::string& unit_type, ParamSet params) {
+  if (task(name)) {
+    throw std::invalid_argument("duplicate task name: " + name);
+  }
+  TaskDef t;
+  t.name = name;
+  t.unit_type = unit_type;
+  t.params = std::move(params);
+  tasks_.push_back(std::move(t));
+  return tasks_.back();
+}
+
+TaskDef& TaskGraph::add_group(const std::string& name, TaskGraph inner,
+                              const std::string& policy) {
+  if (task(name)) {
+    throw std::invalid_argument("duplicate task name: " + name);
+  }
+  TaskDef t;
+  t.name = name;
+  t.group = std::make_unique<TaskGraph>(std::move(inner));
+  t.policy = policy;
+  tasks_.push_back(std::move(t));
+  return tasks_.back();
+}
+
+Connection& TaskGraph::connect(const std::string& from, std::size_t from_port,
+                               const std::string& to, std::size_t to_port) {
+  connections_.push_back(Connection{from, from_port, to, to_port, ""});
+  return connections_.back();
+}
+
+const TaskDef* TaskGraph::task(const std::string& name) const {
+  for (const auto& t : tasks_) {
+    if (t.name == name) return &t;
+  }
+  return nullptr;
+}
+
+TaskDef* TaskGraph::task(const std::string& name) {
+  for (auto& t : tasks_) {
+    if (t.name == name) return &t;
+  }
+  return nullptr;
+}
+
+const TaskDef& TaskGraph::require_task(const std::string& name) const {
+  const TaskDef* t = task(name);
+  if (!t) {
+    throw std::out_of_range("graph '" + name_ + "' has no task '" + name +
+                            "'");
+  }
+  return *t;
+}
+
+std::vector<const Connection*> TaskGraph::inputs_of(
+    const std::string& task) const {
+  std::vector<const Connection*> out;
+  for (const auto& c : connections_) {
+    if (c.to_task == task) out.push_back(&c);
+  }
+  return out;
+}
+
+std::vector<const Connection*> TaskGraph::outputs_of(
+    const std::string& task) const {
+  std::vector<const Connection*> out;
+  for (const auto& c : connections_) {
+    if (c.from_task == task) out.push_back(&c);
+  }
+  return out;
+}
+
+TaskGraph TaskGraph::clone() const {
+  TaskGraph g(name_);
+  for (const auto& t : tasks_) g.tasks_.push_back(t.clone());
+  g.connections_ = connections_;
+  return g;
+}
+
+std::size_t TaskGraph::total_task_count() const {
+  std::size_t n = 0;
+  for (const auto& t : tasks_) {
+    n += t.is_group() ? t.group->total_task_count() : 1;
+  }
+  return n;
+}
+
+namespace {
+
+/// Follow a group boundary port down to the unit task that actually owns
+/// it, across arbitrarily nested groups. Returns the flattened task path
+/// (relative to the group's inner graph) and the unit-level port.
+std::pair<std::string, std::size_t> resolve_boundary(const TaskGraph& inner,
+                                                     const GroupPort& gp,
+                                                     bool is_input) {
+  const TaskDef& t = inner.require_task(gp.inner_task);
+  if (!t.is_group()) return {gp.inner_task, gp.inner_port};
+  const auto& ports = is_input ? t.group_inputs : t.group_outputs;
+  if (gp.inner_port >= ports.size()) {
+    throw std::out_of_range("group '" + t.name + "' has no " +
+                            (is_input ? "input" : "output") + " port " +
+                            std::to_string(gp.inner_port));
+  }
+  auto nested = resolve_boundary(*t.group, ports[gp.inner_port], is_input);
+  return {t.name + "/" + nested.first, nested.second};
+}
+
+}  // namespace
+
+TaskGraph flatten(const TaskGraph& g) {
+  TaskGraph out(g.name());
+
+  // 1. Emit tasks: unit tasks verbatim, groups recursively flattened with
+  //    prefixed names.
+  for (const auto& t : g.tasks()) {
+    if (!t.is_group()) {
+      out.tasks().push_back(t.clone());
+      continue;
+    }
+    TaskGraph inner = flatten(*t.group);
+    for (auto& it : inner.tasks()) {
+      TaskDef moved = std::move(it);
+      moved.name = t.name + "/" + moved.name;
+      out.tasks().push_back(std::move(moved));
+    }
+    for (auto c : inner.connections()) {
+      c.from_task = t.name + "/" + c.from_task;
+      c.to_task = t.name + "/" + c.to_task;
+      out.connections().push_back(std::move(c));
+    }
+  }
+
+  // 2. Re-wire outer connections whose endpoints are groups through the
+  //    boundary port maps.
+  for (const auto& c : g.connections()) {
+    Connection r = c;
+    if (const TaskDef* from = g.task(c.from_task); from && from->is_group()) {
+      if (c.from_port >= from->group_outputs.size()) {
+        throw std::out_of_range("group '" + from->name +
+                                "' has no output port " +
+                                std::to_string(c.from_port));
+      }
+      auto [path, port] = resolve_boundary(
+          *from->group, from->group_outputs[c.from_port], /*is_input=*/false);
+      r.from_task = from->name + "/" + path;
+      r.from_port = port;
+    }
+    if (const TaskDef* to = g.task(c.to_task); to && to->is_group()) {
+      if (c.to_port >= to->group_inputs.size()) {
+        throw std::out_of_range("group '" + to->name +
+                                "' has no input port " +
+                                std::to_string(c.to_port));
+      }
+      auto [path, port] = resolve_boundary(
+          *to->group, to->group_inputs[c.to_port], /*is_input=*/true);
+      r.to_task = to->name + "/" + path;
+      r.to_port = port;
+    }
+    out.connections().push_back(std::move(r));
+  }
+  return out;
+}
+
+}  // namespace cg::core

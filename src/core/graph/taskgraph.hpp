@@ -1,0 +1,118 @@
+// ConGrid -- task graphs.
+//
+// The workflow document at the heart of Triana (paper 3.1-3.4 and Code
+// Segment 1): tasks (unit instances with parameters), data-flow
+// connections, and hierarchical *group* tasks. "Tools have to be grouped in
+// order to be distributed ... the unit of distribution is a group"; a group
+// carries its distribution policy and explicit port maps from the group's
+// boundary ports to inner task ports (Code Segment 1's node0 mapping).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/unit/unit.hpp"
+
+namespace cg::core {
+
+/// A data-flow edge: (from_task, from_port) -> (to_task, to_port). `label`
+/// is assigned during distribution annotation ("each group input and output
+/// connection is uniquely labelled by the local service", 3.4); empty for
+/// purely local connections.
+struct Connection {
+  std::string from_task;
+  std::size_t from_port = 0;
+  std::string to_task;
+  std::size_t to_port = 0;
+  std::string label;
+
+  bool operator==(const Connection&) const = default;
+};
+
+class TaskGraph;
+
+/// Maps one boundary port of a group to an inner task port.
+struct GroupPort {
+  std::string inner_task;
+  std::size_t inner_port = 0;
+  bool operator==(const GroupPort&) const = default;
+};
+
+/// One node of a task graph: either a unit instance or a nested group.
+struct TaskDef {
+  std::string name;
+  std::string unit_type;  ///< empty for groups
+  ParamSet params;
+
+  // Group-only fields.
+  std::unique_ptr<TaskGraph> group;  ///< nested graph when this is a group
+  std::string policy;                ///< distribution policy name
+  std::vector<GroupPort> group_inputs;   ///< boundary input -> inner port
+  std::vector<GroupPort> group_outputs;  ///< inner port -> boundary output
+
+  bool is_group() const { return group != nullptr; }
+
+  TaskDef clone() const;
+};
+
+/// A named workflow. Move-only (owns nested graphs); use clone() to copy.
+class TaskGraph {
+ public:
+  TaskGraph() = default;
+  explicit TaskGraph(std::string name) : name_(std::move(name)) {}
+
+  TaskGraph(TaskGraph&&) = default;
+  TaskGraph& operator=(TaskGraph&&) = default;
+  TaskGraph(const TaskGraph&) = delete;
+  TaskGraph& operator=(const TaskGraph&) = delete;
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string n) { name_ = std::move(n); }
+
+  /// Add a unit task. Throws std::invalid_argument on duplicate names.
+  TaskDef& add_task(const std::string& name, const std::string& unit_type,
+                    ParamSet params = {});
+
+  /// Add a group task wrapping `inner`, with a distribution policy name
+  /// ("", "parallel" or "p2p").
+  TaskDef& add_group(const std::string& name, TaskGraph inner,
+                     const std::string& policy = "");
+
+  /// Connect (from:port) -> (to:port).
+  Connection& connect(const std::string& from, std::size_t from_port,
+                      const std::string& to, std::size_t to_port);
+
+  const TaskDef* task(const std::string& name) const;
+  TaskDef* task(const std::string& name);
+  /// Task lookup that throws std::out_of_range with context.
+  const TaskDef& require_task(const std::string& name) const;
+
+  const std::vector<TaskDef>& tasks() const { return tasks_; }
+  std::vector<TaskDef>& tasks() { return tasks_; }
+  const std::vector<Connection>& connections() const { return connections_; }
+  std::vector<Connection>& connections() { return connections_; }
+
+  /// Connections into / out of a given task.
+  std::vector<const Connection*> inputs_of(const std::string& task) const;
+  std::vector<const Connection*> outputs_of(const std::string& task) const;
+
+  /// Deep copy.
+  TaskGraph clone() const;
+
+  /// Total number of tasks including those inside nested groups.
+  std::size_t total_task_count() const;
+
+ private:
+  std::string name_;
+  std::vector<TaskDef> tasks_;
+  std::vector<Connection> connections_;
+};
+
+/// Inline every group (recursively): inner tasks are renamed
+/// "<group>/<task>" and boundary connections re-wired through the port
+/// maps. The result contains only unit tasks.
+TaskGraph flatten(const TaskGraph& g);
+
+}  // namespace cg::core

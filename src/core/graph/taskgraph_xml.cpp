@@ -1,0 +1,96 @@
+#include "core/graph/taskgraph_xml.hpp"
+
+#include "xml/parse.hpp"
+#include "xml/write.hpp"
+
+namespace cg::core {
+
+xml::Node taskgraph_to_xml(const TaskGraph& g) {
+  xml::Node n("taskgraph");
+  n.set_attr("name", g.name());
+  for (const auto& t : g.tasks()) {
+    auto& tn = n.add_child("task");
+    tn.set_attr("name", t.name);
+    if (t.is_group()) {
+      if (!t.policy.empty()) tn.set_attr("policy", t.policy);
+      tn.add_child(taskgraph_to_xml(*t.group));
+      for (const auto& gp : t.group_inputs) {
+        auto& c = tn.add_child("groupinput");
+        c.set_attr("task", gp.inner_task);
+        c.set_attr_int("port", static_cast<long long>(gp.inner_port));
+      }
+      for (const auto& gp : t.group_outputs) {
+        auto& c = tn.add_child("groupoutput");
+        c.set_attr("task", gp.inner_task);
+        c.set_attr_int("port", static_cast<long long>(gp.inner_port));
+      }
+    } else {
+      tn.set_attr("type", t.unit_type);
+    }
+    for (const auto& [k, v] : t.params.raw()) {
+      auto& p = tn.add_child("param");
+      p.set_attr("key", k);
+      p.set_attr("value", v);
+    }
+  }
+  for (const auto& c : g.connections()) {
+    auto& cn = n.add_child("connection");
+    cn.set_attr("from", c.from_task);
+    cn.set_attr_int("fromport", static_cast<long long>(c.from_port));
+    cn.set_attr("to", c.to_task);
+    cn.set_attr_int("toport", static_cast<long long>(c.to_port));
+    if (!c.label.empty()) cn.set_attr("label", c.label);
+  }
+  return n;
+}
+
+TaskGraph taskgraph_from_xml(const xml::Node& n) {
+  if (n.name() != "taskgraph") {
+    throw xml::XmlError("expected <taskgraph>, got <" + n.name() + ">");
+  }
+  TaskGraph g(n.attr_or("name", ""));
+  for (const xml::Node* tn : n.children("task")) {
+    ParamSet params;
+    for (const xml::Node* p : tn->children("param")) {
+      params.set(p->require_attr("key"), p->require_attr("value"));
+    }
+    const std::string name = tn->require_attr("name");
+    if (const xml::Node* inner = tn->child("taskgraph")) {
+      TaskDef& t = g.add_group(name, taskgraph_from_xml(*inner),
+                               tn->attr_or("policy", ""));
+      t.params = std::move(params);
+      for (const xml::Node* gp : tn->children("groupinput")) {
+        t.group_inputs.push_back(GroupPort{
+            gp->require_attr("task"),
+            static_cast<std::size_t>(gp->attr_int("port", 0))});
+      }
+      for (const xml::Node* gp : tn->children("groupoutput")) {
+        t.group_outputs.push_back(GroupPort{
+            gp->require_attr("task"),
+            static_cast<std::size_t>(gp->attr_int("port", 0))});
+      }
+    } else {
+      g.add_task(name, tn->require_attr("type"), std::move(params));
+    }
+  }
+  for (const xml::Node* cn : n.children("connection")) {
+    Connection c;
+    c.from_task = cn->require_attr("from");
+    c.from_port = static_cast<std::size_t>(cn->attr_int("fromport", 0));
+    c.to_task = cn->require_attr("to");
+    c.to_port = static_cast<std::size_t>(cn->attr_int("toport", 0));
+    c.label = cn->attr_or("label", "");
+    g.connections().push_back(std::move(c));
+  }
+  return g;
+}
+
+std::string write_taskgraph(const TaskGraph& g, bool pretty) {
+  return xml::write(taskgraph_to_xml(g), pretty);
+}
+
+TaskGraph parse_taskgraph(const std::string& document) {
+  return taskgraph_from_xml(xml::parse(document));
+}
+
+}  // namespace cg::core

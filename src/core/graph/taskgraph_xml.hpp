@@ -1,0 +1,25 @@
+// ConGrid -- task-graph XML codec.
+//
+// The paper's workflows are XML documents (Code Segment 1); ConGrid's
+// format mirrors its structure: <task> elements with <param> children,
+// nested <taskgraph> for groups with <groupinput>/<groupoutput> port maps,
+// and <connection> elements. Everything the engine needs round-trips, so a
+// graph can be shipped to a remote Triana service as text ("the graph
+// itself is a text file that does not consume many resources", 3.3).
+#pragma once
+
+#include <string>
+
+#include "core/graph/taskgraph.hpp"
+#include "xml/node.hpp"
+
+namespace cg::core {
+
+xml::Node taskgraph_to_xml(const TaskGraph& g);
+TaskGraph taskgraph_from_xml(const xml::Node& n);
+
+/// Document-string convenience wrappers.
+std::string write_taskgraph(const TaskGraph& g, bool pretty = true);
+TaskGraph parse_taskgraph(const std::string& document);
+
+}  // namespace cg::core

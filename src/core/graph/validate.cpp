@@ -1,0 +1,160 @@
+#include "core/graph/validate.hpp"
+
+#include <map>
+#include <set>
+#include <stdexcept>
+
+namespace cg::core {
+namespace {
+
+std::string conn_desc(const Connection& c) {
+  return c.from_task + ":" + std::to_string(c.from_port) + "->" + c.to_task +
+         ":" + std::to_string(c.to_port);
+}
+
+/// (input count, output count) of a task, or nullopt when unknowable
+/// (unknown unit type -- already reported separately).
+struct PortCounts {
+  std::size_t in = 0;
+  std::size_t out = 0;
+};
+
+std::optional<PortCounts> port_counts(const TaskDef& t,
+                                      const UnitRegistry& registry) {
+  if (t.is_group()) {
+    return PortCounts{t.group_inputs.size(), t.group_outputs.size()};
+  }
+  if (!registry.has(t.unit_type)) return std::nullopt;
+  const UnitInfo& info = registry.info(t.unit_type);
+  return PortCounts{info.inputs.size(), info.outputs.size()};
+}
+
+void validate_into(const TaskGraph& g, const UnitRegistry& registry,
+                   const std::string& prefix,
+                   std::vector<ValidationIssue>& issues) {
+  auto report = [&](const std::string& where, const std::string& problem) {
+    issues.push_back(ValidationIssue{prefix + where, problem});
+  };
+
+  // -- tasks ---------------------------------------------------------------
+  for (const auto& t : g.tasks()) {
+    if (t.is_group()) {
+      // Port maps must reference existing inner tasks and valid ports.
+      auto check_map = [&](const std::vector<GroupPort>& ports,
+                           bool is_input) {
+        for (std::size_t i = 0; i < ports.size(); ++i) {
+          const TaskDef* inner = t.group->task(ports[i].inner_task);
+          if (!inner) {
+            report(t.name, std::string("group ") +
+                               (is_input ? "input" : "output") + " port " +
+                               std::to_string(i) +
+                               " maps to unknown inner task '" +
+                               ports[i].inner_task + "'");
+            continue;
+          }
+          auto counts = port_counts(*inner, registry);
+          if (!counts) continue;  // unknown type reported during recursion
+          const std::size_t limit = is_input ? counts->in : counts->out;
+          if (ports[i].inner_port >= limit) {
+            report(t.name, "group port map exceeds inner task's ports");
+          }
+        }
+      };
+      check_map(t.group_inputs, true);
+      check_map(t.group_outputs, false);
+      validate_into(*t.group, registry, prefix + t.name + "/", issues);
+      continue;
+    }
+    if (!registry.has(t.unit_type)) {
+      report(t.name, "unknown unit type '" + t.unit_type + "'");
+    }
+  }
+
+  // -- connections ------------------------------------------------------------
+  std::set<std::pair<std::string, std::size_t>> used_inputs;
+  for (const auto& c : g.connections()) {
+    const TaskDef* from = g.task(c.from_task);
+    const TaskDef* to = g.task(c.to_task);
+    if (!from) report(conn_desc(c), "unknown source task");
+    if (!to) report(conn_desc(c), "unknown destination task");
+    if (!from || !to) continue;
+
+    auto fc = port_counts(*from, registry);
+    auto tc = port_counts(*to, registry);
+    if (fc && c.from_port >= fc->out) {
+      report(conn_desc(c), "source port out of range");
+    }
+    if (tc && c.to_port >= tc->in) {
+      report(conn_desc(c), "destination port out of range");
+    }
+
+    if (!used_inputs.insert({c.to_task, c.to_port}).second) {
+      report(conn_desc(c), "destination input port already connected");
+    }
+
+    // Type compatibility, when both endpoints are unit tasks with known
+    // types. (Group boundaries are checked once flattened.)
+    if (!from->is_group() && !to->is_group() && fc && tc &&
+        c.from_port < fc->out && c.to_port < tc->in) {
+      const auto& out_spec = registry.info(from->unit_type).outputs[c.from_port];
+      const auto& in_spec = registry.info(to->unit_type).inputs[c.to_port];
+      if ((out_spec.accepts & in_spec.accepts) == 0) {
+        report(conn_desc(c), "incompatible port types");
+      }
+    }
+  }
+
+  // -- acyclicity (Kahn) ----------------------------------------------------
+  std::map<std::string, std::size_t> indegree;
+  for (const auto& t : g.tasks()) indegree[t.name] = 0;
+  for (const auto& c : g.connections()) {
+    if (indegree.contains(c.to_task) && g.task(c.from_task)) {
+      ++indegree[c.to_task];
+    }
+  }
+  std::vector<std::string> ready;
+  for (const auto& [name, deg] : indegree) {
+    if (deg == 0) ready.push_back(name);
+  }
+  std::size_t visited = 0;
+  while (!ready.empty()) {
+    const std::string t = ready.back();
+    ready.pop_back();
+    ++visited;
+    for (const auto& c : g.connections()) {
+      if (c.from_task != t) continue;
+      auto it = indegree.find(c.to_task);
+      if (it == indegree.end()) continue;
+      if (--it->second == 0) ready.push_back(c.to_task);
+    }
+  }
+  if (visited != indegree.size()) {
+    report("(graph)", "cycle detected");
+  }
+}
+
+}  // namespace
+
+std::string ValidationReport::to_string() const {
+  std::string out;
+  for (const auto& i : issues) {
+    out += i.where + ": " + i.problem + "\n";
+  }
+  return out;
+}
+
+ValidationReport validate(const TaskGraph& g, const UnitRegistry& registry) {
+  ValidationReport report;
+  validate_into(g, registry, "", report.issues);
+  return report;
+}
+
+void validate_or_throw(const TaskGraph& g, const UnitRegistry& registry) {
+  ValidationReport r = validate(g, registry);
+  if (!r.ok()) {
+    throw std::invalid_argument("invalid task graph '" + g.name() + "':\n" +
+                                r.to_string());
+  }
+}
+
+}  // namespace cg::core

@@ -1,0 +1,37 @@
+// ConGrid -- task-graph validation.
+//
+// Triana "undertake[s] type checking on their connectivity" (paper 3.1)
+// before anything is deployed. Validation resolves every task's unit type
+// against a registry, checks port indices, verifies the type masks of
+// connected ports overlap, checks group port maps, and rejects cycles (the
+// engine executes DAG data-flow). Problems are reported all at once rather
+// than fail-fast, so a GUI could show every red connection.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/graph/taskgraph.hpp"
+#include "core/unit/registry.hpp"
+
+namespace cg::core {
+
+struct ValidationIssue {
+  std::string where;    ///< task or "a:0->b:1" connection description
+  std::string problem;
+};
+
+struct ValidationReport {
+  std::vector<ValidationIssue> issues;
+  bool ok() const { return issues.empty(); }
+  /// All problems joined, one per line (for exception messages).
+  std::string to_string() const;
+};
+
+/// Validate `g` (recursing into groups) against `registry`.
+ValidationReport validate(const TaskGraph& g, const UnitRegistry& registry);
+
+/// validate() and throw std::invalid_argument when not ok.
+void validate_or_throw(const TaskGraph& g, const UnitRegistry& registry);
+
+}  // namespace cg::core

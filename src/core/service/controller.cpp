@@ -1,0 +1,200 @@
+#include "core/service/controller.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace cg::core {
+namespace {
+
+/// Receive labels of a fragment -- the channels other participants send
+/// into, which must be re-resolved after a migration.
+std::vector<std::string> fragment_input_labels(const TaskGraph& frag) {
+  std::vector<std::string> labels;
+  for (const auto& t : frag.tasks()) {
+    if (t.unit_type == "Receive") {
+      labels.push_back(t.params.get("label", ""));
+    }
+  }
+  return labels;
+}
+
+}  // namespace
+
+void TrianaController::discover_workers(
+    const p2p::Query& query, int ttl, std::size_t want, double timeout_s,
+    std::function<void(std::vector<net::Endpoint>)> done) {
+  struct Search {
+    std::vector<net::Endpoint> found;
+    bool finished = false;
+  };
+  auto state = std::make_shared<Search>();
+  auto& node = home_.node();
+  const net::Endpoint self = home_.endpoint();
+
+  auto on_response = [state, self, want](
+                         const std::vector<p2p::Advertisement>& adverts) {
+    if (state->finished) return;
+    for (const auto& a : adverts) {
+      if (a.provider == self) continue;
+      if (std::find(state->found.begin(), state->found.end(), a.provider) ==
+          state->found.end()) {
+        state->found.push_back(a.provider);
+        if (state->found.size() >= want) break;
+      }
+    }
+  };
+
+  const std::uint64_t qid =
+      ttl > 0 ? node.discover_flood(query, ttl, on_response)
+              : node.discover_rendezvous(query, on_response);
+
+  // One deadline: report whatever arrived by then.
+  // (Discovery responses keep no order guarantee; the deadline is the
+  // paper's practical answer to "how long do we wait for peers?")
+  // One deadline: report whatever arrived by then. We deliberately wait
+  // the full timeout even when `want` is reached early -- responses keep
+  // arriving and the deadline keeps the behaviour deterministic.
+  home_.scheduler()(timeout_s,
+                    [this, state, qid, done = std::move(done)]() {
+                      if (state->finished) return;
+                      state->finished = true;
+                      home_.node().cancel(qid);
+                      if (trust_) {
+                        // Rank best-first; drop quarantined peers.
+                        std::stable_sort(
+                            state->found.begin(), state->found.end(),
+                            [this](const net::Endpoint& a,
+                                   const net::Endpoint& b) {
+                              return trust_->score(a.value) >
+                                     trust_->score(b.value);
+                            });
+                        std::erase_if(state->found,
+                                      [this](const net::Endpoint& e) {
+                                        return trust_->quarantined(e.value);
+                                      });
+                      }
+                      done(std::move(state->found));
+                    });
+}
+
+std::shared_ptr<DistributedRun> TrianaController::distribute(
+    const TaskGraph& g, const std::string& group_name,
+    const std::vector<net::Endpoint>& workers) {
+  if (workers.empty()) {
+    throw std::invalid_argument("distribute: no workers");
+  }
+  const TaskDef& group = g.require_task(group_name);
+  const std::string policy_name =
+      group.policy.empty() ? "parallel" : group.policy;
+  auto policy = make_policy(policy_name);
+
+  auto run = std::make_shared<DistributedRun>();
+  run->group = group_name;
+  run->prefix = home_.id() + "/g" + std::to_string(next_run_++);
+
+  DistributionPlan plan =
+      policy->plan(g, group_name, workers.size(), run->prefix);
+
+  // Deploy fragments first so their input pipes are advertised by the time
+  // home-side sends start binding.
+  run->fragments.reserve(plan.fragments.size());
+  for (std::size_t i = 0; i < plan.fragments.size(); ++i) {
+    const net::Endpoint target = workers[i % workers.size()];
+    run->workers.push_back(target);
+    run->fragments.push_back(plan.fragments[i].clone());
+
+    auto run_weak = std::weak_ptr<DistributedRun>(run);
+    run->remote_jobs.push_back(home_.deploy_remote(
+        target, plan.fragments[i], /*iterations=*/0,
+        [this, run_weak, target](const DeployAckMsg& ack) {
+          auto r = run_weak.lock();
+          if (!r) return;
+          if (ack.ok) {
+            ++r->acks_ok;
+          } else {
+            ++r->acks_failed;
+            r->errors.push_back(ack.error);
+          }
+          if (trust_) {
+            trust_->record(target.value, ack.ok
+                                             ? sandbox::TrustEvent::kSuccess
+                                             : sandbox::TrustEvent::kFailure);
+          }
+        }));
+  }
+
+  run->home_job = home_.deploy_local(plan.home_graph, /*iterations=*/0);
+  return run;
+}
+
+void TrianaController::report_disagreement(const net::Endpoint& worker) {
+  if (trust_) {
+    trust_->record(worker.value, sandbox::TrustEvent::kDisagreement);
+  }
+}
+
+void TrianaController::tick(DistributedRun& run, std::uint64_t n) {
+  home_.tick_job(run.home_job, n);
+}
+
+GraphRuntime* TrianaController::home_runtime(DistributedRun& run) {
+  return home_.job_runtime(run.home_job);
+}
+
+void TrianaController::shutdown(DistributedRun& run) {
+  for (std::size_t i = 0; i < run.remote_jobs.size(); ++i) {
+    if (!run.remote_jobs[i].empty()) {
+      home_.cancel_remote(run.workers[i], run.remote_jobs[i]);
+    }
+  }
+  home_.cancel_local(run.home_job);
+}
+
+void TrianaController::migrate(std::shared_ptr<DistributedRun> run,
+                               std::size_t idx,
+                               const net::Endpoint& new_worker,
+                               std::function<void(bool)> done) {
+  if (idx >= run->fragments.size() || run->remote_jobs[idx].empty()) {
+    done(false);
+    return;
+  }
+  const net::Endpoint old_worker = run->workers[idx];
+  const std::string old_job = run->remote_jobs[idx];
+
+  home_.request_checkpoint(
+      old_worker, old_job,
+      [this, run, idx, new_worker, old_worker, old_job,
+       done = std::move(done)](const CheckpointDataMsg& ckpt) {
+        if (!ckpt.ok) {
+          done(false);
+          return;
+        }
+        home_.cancel_remote(old_worker, old_job);
+
+        home_.deploy_remote(
+            new_worker, run->fragments[idx], /*iterations=*/0,
+            [this, run, idx, new_worker, done](const DeployAckMsg& ack) {
+              if (!ack.ok) {
+                done(false);
+                return;
+              }
+              run->workers[idx] = new_worker;
+              run->remote_jobs[idx] = ack.job_id;
+
+              // Everyone sending into the moved fragment must re-resolve.
+              const auto labels = fragment_input_labels(run->fragments[idx]);
+              for (const auto& label : labels) {
+                home_.rebind_channel(label);
+                for (std::size_t j = 0; j < run->workers.size(); ++j) {
+                  if (j == idx) continue;
+                  home_.node().transport().send(run->workers[j],
+                                                encode(RebindMsg{label}));
+                }
+              }
+              done(true);
+            },
+            ckpt.state);
+      });
+}
+
+}  // namespace cg::core

@@ -1,0 +1,78 @@
+#include "core/service/describe.hpp"
+
+#include "xml/write.hpp"
+
+namespace cg::core {
+namespace {
+
+std::string accepts_names(std::uint32_t mask) {
+  if (mask == kAnyType) return "any";
+  std::string out;
+  for (std::uint8_t t = 0; t <= static_cast<std::uint8_t>(DataType::kTable);
+       ++t) {
+    if (mask & type_bit(static_cast<DataType>(t))) {
+      if (!out.empty()) out += "|";
+      out += data_type_name(static_cast<DataType>(t));
+    }
+  }
+  return out.empty() ? "none" : out;
+}
+
+}  // namespace
+
+xml::Node describe_unit_port_type(const UnitInfo& info) {
+  xml::Node pt("portType");
+  pt.set_attr("name", info.type_name);
+  pt.set_attr("package", info.package);
+  if (!info.description.empty()) {
+    pt.add_child("documentation").set_text(info.description);
+  }
+  auto& op = pt.add_child("operation");
+  op.set_attr("name", "process");
+  for (const auto& p : info.inputs) {
+    auto& in = op.add_child("input");
+    in.set_attr("name", p.name);
+    in.set_attr("type", accepts_names(p.accepts));
+  }
+  for (const auto& p : info.outputs) {
+    auto& out = op.add_child("output");
+    out.set_attr("name", p.name);
+    out.set_attr("type", accepts_names(p.accepts));
+  }
+  return pt;
+}
+
+xml::Node describe_service(const TrianaService& service) {
+  xml::Node def("definitions");
+  def.set_attr("name", service.id());
+
+  auto& svc = def.add_child("service");
+  svc.set_attr("name", service.id());
+  auto& port = svc.add_child("port");
+  port.set_attr("binding", "congrid-frames");
+  port.set_attr("location", service.endpoint().value);
+  for (const auto& [k, v] : service.config().capabilities) {
+    auto& cap = svc.add_child("capability");
+    cap.set_attr("key", k);
+    cap.set_attr("value", v);
+  }
+
+  // The command-process-server operations every Triana service answers.
+  auto& control = def.add_child("portType");
+  control.set_attr("name", "TrianaControl");
+  for (const char* op_name :
+       {"deploy", "cancel", "status", "checkpoint", "rebind"}) {
+    control.add_child("operation").set_attr("name", op_name);
+  }
+
+  for (const auto& type_name : service.registry().type_names()) {
+    def.add_child(describe_unit_port_type(service.registry().info(type_name)));
+  }
+  return def;
+}
+
+std::string service_description_document(const TrianaService& service) {
+  return xml::write(describe_service(service));
+}
+
+}  // namespace cg::core

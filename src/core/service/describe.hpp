@@ -1,0 +1,31 @@
+// ConGrid -- WSDL-style service descriptions.
+//
+// Paper (section 1): "We also hope to provide a Web Services Description
+// Language (WSDL) interface to these at a later time, through the
+// Java2WSDL interface from IBM." This module is that future work in
+// ConGrid's XML dialect: a <definitions> document describing a Triana
+// service -- its endpoint, capabilities, control operations, and one
+// <portType> per executable unit type with typed <input>/<output> message
+// parts. A client that has never met the peer can read what it offers and
+// how to connect, which is all WSDL buys the paper's users.
+#pragma once
+
+#include <string>
+
+#include "core/service/service.hpp"
+#include "xml/node.hpp"
+
+namespace cg::core {
+
+/// Unit type as a WSDL-style portType: one "process" operation whose
+/// message parts are the unit's ports with their accepted data types.
+xml::Node describe_unit_port_type(const UnitInfo& info);
+
+/// The whole service: endpoint, capability attributes, the control
+/// operations (deploy/status/cancel/checkpoint) and every unit portType.
+xml::Node describe_service(const TrianaService& service);
+
+/// describe_service rendered as a document string.
+std::string service_description_document(const TrianaService& service);
+
+}  // namespace cg::core

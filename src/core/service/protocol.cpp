@@ -1,0 +1,174 @@
+#include "core/service/protocol.hpp"
+
+#include "serial/reader.hpp"
+#include "serial/writer.hpp"
+#include "xml/parse.hpp"
+#include "xml/write.hpp"
+
+namespace cg::core {
+namespace {
+
+/// Control frame layout: string (XML header) + blob (binary body).
+serial::Frame pack(const xml::Node& header, const serial::Bytes& body = {}) {
+  serial::Writer w;
+  w.string(xml::write(header, /*pretty=*/false));
+  w.blob(body);
+  serial::Frame f;
+  f.type = serial::FrameType::kControl;
+  f.payload = w.take();
+  return f;
+}
+
+struct Unpacked {
+  xml::Node header;
+  serial::Bytes body;
+};
+
+Unpacked unpack(const serial::Frame& f) {
+  serial::Reader r(f.payload);
+  Unpacked u;
+  u.header = xml::parse(r.string());
+  u.body = r.blob();
+  return u;
+}
+
+ControlType type_from_name(const std::string& name) {
+  if (name == "deploy") return ControlType::kDeploy;
+  if (name == "deploy-ack") return ControlType::kDeployAck;
+  if (name == "cancel") return ControlType::kCancel;
+  if (name == "status-request") return ControlType::kStatusRequest;
+  if (name == "status") return ControlType::kStatus;
+  if (name == "checkpoint-request") return ControlType::kCheckpointRequest;
+  if (name == "checkpoint-data") return ControlType::kCheckpointData;
+  if (name == "rebind") return ControlType::kRebind;
+  throw serial::DecodeError("unknown control message <" + name + ">");
+}
+
+}  // namespace
+
+serial::Frame encode(const DeployMsg& m) {
+  xml::Node n("deploy");
+  n.set_attr("job", m.job_id);
+  n.set_attr("owner", m.owner);
+  n.set_attr("owner-endpoint", m.owner_endpoint.value);
+  n.set_attr_int("iterations", static_cast<long long>(m.iterations));
+  n.add_child("graph").set_text(m.graph_xml);
+  return pack(n, m.checkpoint);
+}
+
+serial::Frame encode(const DeployAckMsg& m) {
+  xml::Node n("deploy-ack");
+  n.set_attr("job", m.job_id);
+  n.set_attr("ok", m.ok ? "true" : "false");
+  if (!m.error.empty()) n.set_attr("error", m.error);
+  return pack(n);
+}
+
+serial::Frame encode(const CancelMsg& m) {
+  xml::Node n("cancel");
+  n.set_attr("job", m.job_id);
+  return pack(n);
+}
+
+serial::Frame encode(const StatusRequestMsg& m) {
+  xml::Node n("status-request");
+  n.set_attr("job", m.job_id);
+  return pack(n);
+}
+
+serial::Frame encode(const StatusMsg& m) {
+  xml::Node n("status");
+  n.set_attr("job", m.job_id);
+  n.set_attr("known", m.known ? "true" : "false");
+  n.set_attr("running", m.running ? "true" : "false");
+  n.set_attr("failed", m.failed ? "true" : "false");
+  if (!m.error.empty()) n.set_attr("error", m.error);
+  n.set_attr_int("iteration", static_cast<long long>(m.iteration));
+  n.set_attr_int("firings", static_cast<long long>(m.firings));
+  return pack(n);
+}
+
+serial::Frame encode(const CheckpointRequestMsg& m) {
+  xml::Node n("checkpoint-request");
+  n.set_attr("job", m.job_id);
+  return pack(n);
+}
+
+serial::Frame encode(const CheckpointDataMsg& m) {
+  xml::Node n("checkpoint-data");
+  n.set_attr("job", m.job_id);
+  n.set_attr("ok", m.ok ? "true" : "false");
+  return pack(n, m.state);
+}
+
+serial::Frame encode(const RebindMsg& m) {
+  xml::Node n("rebind");
+  n.set_attr("label", m.label);
+  return pack(n);
+}
+
+ControlType control_type(const serial::Frame& f) {
+  return type_from_name(unpack(f).header.name());
+}
+
+DeployMsg decode_deploy(const serial::Frame& f) {
+  Unpacked u = unpack(f);
+  DeployMsg m;
+  m.job_id = u.header.require_attr("job");
+  m.owner = u.header.attr_or("owner", "");
+  m.owner_endpoint = net::Endpoint{u.header.attr_or("owner-endpoint", "")};
+  m.iterations =
+      static_cast<std::uint64_t>(u.header.attr_int("iterations", 0));
+  m.graph_xml = u.header.require_child("graph").text();
+  m.checkpoint = std::move(u.body);
+  return m;
+}
+
+DeployAckMsg decode_deploy_ack(const serial::Frame& f) {
+  Unpacked u = unpack(f);
+  DeployAckMsg m;
+  m.job_id = u.header.require_attr("job");
+  m.ok = u.header.attr_or("ok", "false") == "true";
+  m.error = u.header.attr_or("error", "");
+  return m;
+}
+
+CancelMsg decode_cancel(const serial::Frame& f) {
+  return CancelMsg{unpack(f).header.require_attr("job")};
+}
+
+StatusRequestMsg decode_status_request(const serial::Frame& f) {
+  return StatusRequestMsg{unpack(f).header.require_attr("job")};
+}
+
+StatusMsg decode_status(const serial::Frame& f) {
+  Unpacked u = unpack(f);
+  StatusMsg m;
+  m.job_id = u.header.require_attr("job");
+  m.known = u.header.attr_or("known", "false") == "true";
+  m.running = u.header.attr_or("running", "false") == "true";
+  m.failed = u.header.attr_or("failed", "false") == "true";
+  m.error = u.header.attr_or("error", "");
+  m.iteration = static_cast<std::uint64_t>(u.header.attr_int("iteration", 0));
+  m.firings = static_cast<std::uint64_t>(u.header.attr_int("firings", 0));
+  return m;
+}
+
+CheckpointRequestMsg decode_checkpoint_request(const serial::Frame& f) {
+  return CheckpointRequestMsg{unpack(f).header.require_attr("job")};
+}
+
+RebindMsg decode_rebind(const serial::Frame& f) {
+  return RebindMsg{unpack(f).header.require_attr("label")};
+}
+
+CheckpointDataMsg decode_checkpoint_data(const serial::Frame& f) {
+  Unpacked u = unpack(f);
+  CheckpointDataMsg m;
+  m.job_id = u.header.require_attr("job");
+  m.ok = u.header.attr_or("ok", "false") == "true";
+  m.state = std::move(u.body);
+  return m;
+}
+
+}  // namespace cg::core

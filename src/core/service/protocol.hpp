@@ -1,0 +1,102 @@
+// ConGrid -- the Triana service control protocol.
+//
+// Controller <-> service traffic rides in kControl frames. Mirroring the
+// paper ("These requests are encoded as XML scripts", section 1), each
+// message is an XML document plus an optional binary body (task-graph
+// attachments are XML inside the XML; checkpoints are binary bodies).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "core/graph/taskgraph.hpp"
+#include "net/endpoint.hpp"
+#include "serial/frame.hpp"
+
+namespace cg::core {
+
+enum class ControlType {
+  kDeploy,          ///< controller -> service: run this graph fragment
+  kDeployAck,       ///< service -> controller: accepted / failed
+  kCancel,          ///< controller -> service: stop and discard a job
+  kStatusRequest,   ///< controller -> service
+  kStatus,          ///< service -> controller
+  kCheckpointRequest,  ///< controller -> service
+  kCheckpointData,  ///< service -> controller (binary body)
+  kRebind,          ///< controller -> service: channel moved, re-resolve
+};
+
+struct DeployMsg {
+  std::string job_id;
+  std::string owner;            ///< billing identity of the submitter
+  net::Endpoint owner_endpoint; ///< where module code can be fetched
+  std::uint64_t iterations = 0; ///< 0 = reactive (pipe-driven) job
+  std::string graph_xml;        ///< the fragment to execute
+  serial::Bytes checkpoint;     ///< optional state to restore (migration)
+};
+
+struct DeployAckMsg {
+  std::string job_id;
+  bool ok = false;
+  std::string error;
+};
+
+struct CancelMsg {
+  std::string job_id;
+};
+
+struct StatusRequestMsg {
+  std::string job_id;
+};
+
+struct StatusMsg {
+  std::string job_id;
+  bool known = false;
+  bool running = false;
+  bool failed = false;
+  std::string error;
+  std::uint64_t iteration = 0;
+  std::uint64_t firings = 0;
+};
+
+struct CheckpointRequestMsg {
+  std::string job_id;
+};
+
+struct CheckpointDataMsg {
+  std::string job_id;
+  bool ok = false;
+  serial::Bytes state;
+};
+
+/// "The provider of channel `label` has moved": drop cached bindings and
+/// stale pipe adverts so the next send re-resolves. Applies to every job
+/// on the receiving service (jobs ignore labels they don't use).
+struct RebindMsg {
+  std::string label;
+};
+
+serial::Frame encode(const DeployMsg& m);
+serial::Frame encode(const DeployAckMsg& m);
+serial::Frame encode(const CancelMsg& m);
+serial::Frame encode(const StatusRequestMsg& m);
+serial::Frame encode(const StatusMsg& m);
+serial::Frame encode(const CheckpointRequestMsg& m);
+serial::Frame encode(const CheckpointDataMsg& m);
+serial::Frame encode(const RebindMsg& m);
+
+/// Peek a control frame's message type; throws serial::DecodeError /
+/// xml::XmlError on malformed frames.
+ControlType control_type(const serial::Frame& f);
+
+DeployMsg decode_deploy(const serial::Frame& f);
+DeployAckMsg decode_deploy_ack(const serial::Frame& f);
+CancelMsg decode_cancel(const serial::Frame& f);
+StatusRequestMsg decode_status_request(const serial::Frame& f);
+StatusMsg decode_status(const serial::Frame& f);
+CheckpointRequestMsg decode_checkpoint_request(const serial::Frame& f);
+CheckpointDataMsg decode_checkpoint_data(const serial::Frame& f);
+RebindMsg decode_rebind(const serial::Frame& f);
+
+}  // namespace cg::core

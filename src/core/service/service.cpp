@@ -1,0 +1,555 @@
+#include "core/service/service.hpp"
+
+#include <set>
+
+#include "core/graph/taskgraph_xml.hpp"
+
+namespace cg::core {
+namespace {
+
+/// Unit types that are engine infrastructure, never fetched as modules.
+bool is_infrastructure(const std::string& unit_type) {
+  return unit_type == "Send" || unit_type == "Receive" ||
+         unit_type == "Scatter";
+}
+
+/// Distinct fetchable unit types in a graph (recursing into groups).
+std::set<std::string> module_types(const TaskGraph& g) {
+  std::set<std::string> out;
+  for (const auto& t : g.tasks()) {
+    if (t.is_group()) {
+      auto inner = module_types(*t.group);
+      out.insert(inner.begin(), inner.end());
+    } else if (!is_infrastructure(t.unit_type)) {
+      out.insert(t.unit_type);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+TrianaService::TrianaService(net::Transport& transport, net::Clock clock,
+                             net::Scheduler scheduler,
+                             const UnitRegistry& registry,
+                             ServiceConfig config)
+    : transport_(transport),
+      clock_(std::move(clock)),
+      scheduler_(std::move(scheduler)),
+      registry_(registry),
+      config_(std::move(config)),
+      node_(transport, clock_,
+            p2p::PeerConfig{.peer_id = config_.peer_id}),
+      pipes_(node_, scheduler_),
+      code_(transport),
+      module_cache_(config_.module_cache_bytes),
+      account_(config_.peer_id.empty() ? transport.local().value
+                                       : config_.peer_id,
+               config_.sandbox_policy, config_.certified_library) {
+  if (config_.peer_id.empty()) config_.peer_id = transport.local().value;
+  code_.serve_from(&local_repo_);
+  // Frame chain: PeerNode (discovery) -> PipeServe (data) -> CodeExchange
+  // (code) -> control messages.
+  pipes_.set_fallback_handler(
+      [this](const net::Endpoint& from, serial::Frame f) {
+        code_.on_frame(from, std::move(f));
+      });
+  code_.set_fallback_handler(
+      [this](const net::Endpoint& from, serial::Frame f) {
+        handle_control(from, std::move(f));
+      });
+}
+
+void TrianaService::announce() {
+  const auto advert = node_.make_peer_advert(config_.capabilities);
+  node_.publish_local(advert);
+  for (const auto& r : node_.rendezvous()) {
+    node_.publish_to(r, {advert});
+    break;
+  }
+}
+
+void TrianaService::publish_module(const std::string& unit_type,
+                                   const std::string& version,
+                                   std::size_t size_bytes) {
+  local_repo_.put(
+      repo::make_synthetic_artifact(unit_type, version, size_bytes));
+}
+
+void TrianaService::publish_graph_modules(const TaskGraph& g,
+                                          std::size_t size_bytes) {
+  for (const auto& type : module_types(g)) {
+    publish_module(type, "1.0", size_bytes);
+  }
+}
+
+std::string TrianaService::fresh_job_id() {
+  return config_.peer_id + "#" + std::to_string(next_job_++);
+}
+
+// ---------------------------------------------------------------- client
+
+std::string TrianaService::deploy_remote(const net::Endpoint& target,
+                                         const TaskGraph& fragment,
+                                         std::uint64_t iterations,
+                                         AckHandler on_ack,
+                                         serial::Bytes checkpoint) {
+  DeployMsg m;
+  m.job_id = fresh_job_id();
+  m.owner = config_.peer_id;
+  m.owner_endpoint = endpoint();
+  m.iterations = iterations;
+  m.graph_xml = write_taskgraph(fragment, /*pretty=*/false);
+  m.checkpoint = std::move(checkpoint);
+  ack_handlers_[m.job_id] = std::move(on_ack);
+  transport_.send(target, encode(m));
+  return m.job_id;
+}
+
+void TrianaService::request_status(const net::Endpoint& target,
+                                   const std::string& job_id,
+                                   StatusHandler on_status) {
+  status_handlers_[job_id] = std::move(on_status);
+  transport_.send(target, encode(StatusRequestMsg{job_id}));
+}
+
+void TrianaService::request_checkpoint(const net::Endpoint& target,
+                                       const std::string& job_id,
+                                       CheckpointHandler on_data) {
+  ckpt_handlers_[job_id] = std::move(on_data);
+  transport_.send(target, encode(CheckpointRequestMsg{job_id}));
+}
+
+void TrianaService::cancel_remote(const net::Endpoint& target,
+                                  const std::string& job_id) {
+  transport_.send(target, encode(CancelMsg{job_id}));
+}
+
+// ------------------------------------------------------------ local jobs
+
+std::string TrianaService::deploy_local(const TaskGraph& graph,
+                                        std::uint64_t iterations,
+                                        serial::Bytes checkpoint) {
+  DeployMsg m;
+  m.job_id = fresh_job_id();
+  m.owner = config_.peer_id;
+  m.owner_endpoint = endpoint();
+  m.iterations = iterations;
+  m.graph_xml = write_taskgraph(graph, /*pretty=*/false);
+  m.checkpoint = std::move(checkpoint);
+
+  PendingDeploy pending;
+  pending.msg = std::move(m);
+  // Local deploys never fetch: the owner trivially has its own code.
+  const std::string job_id = pending.msg.job_id;
+  if (auto error = start_job(std::move(pending))) {
+    throw std::invalid_argument("local deploy failed: " + *error);
+  }
+  return job_id;
+}
+
+void TrianaService::tick_job(const std::string& job_id,
+                             std::uint64_t iterations) {
+  auto it = jobs_.find(job_id);
+  if (it == jobs_.end() || it->second.failed) return;
+  run_iterations(it->second, iterations);
+}
+
+GraphRuntime* TrianaService::job_runtime(const std::string& job_id) {
+  auto it = jobs_.find(job_id);
+  return it == jobs_.end() ? nullptr : it->second.runtime.get();
+}
+
+bool TrianaService::job_failed(const std::string& job_id,
+                               std::string* error) const {
+  auto it = jobs_.find(job_id);
+  if (it == jobs_.end()) return false;
+  if (error) *error = it->second.error;
+  return it->second.failed;
+}
+
+bool TrianaService::cancel_local(const std::string& job_id) {
+  auto it = jobs_.find(job_id);
+  if (it == jobs_.end()) return false;
+  ++stats_.jobs_cancelled;
+  finish_job(it->second, /*violated=*/false);
+  teardown_job(it->second);
+  jobs_.erase(it);
+  return true;
+}
+
+// ---------------------------------------------------------------- server
+
+void TrianaService::handle_control(const net::Endpoint& from,
+                                   serial::Frame frame) {
+  if (frame.type != serial::FrameType::kControl) return;  // nothing else left
+  switch (control_type(frame)) {
+    case ControlType::kDeploy:
+      handle_deploy(from, decode_deploy(frame));
+      break;
+    case ControlType::kDeployAck: {
+      auto m = decode_deploy_ack(frame);
+      auto it = ack_handlers_.find(m.job_id);
+      if (it != ack_handlers_.end()) {
+        auto handler = std::move(it->second);
+        ack_handlers_.erase(it);
+        if (handler) handler(m);
+      }
+      break;
+    }
+    case ControlType::kCancel: {
+      auto m = decode_cancel(frame);
+      cancel_local(m.job_id);
+      break;
+    }
+    case ControlType::kStatusRequest: {
+      auto m = decode_status_request(frame);
+      StatusMsg s;
+      s.job_id = m.job_id;
+      auto it = jobs_.find(m.job_id);
+      if (it != jobs_.end()) {
+        s.known = true;
+        s.running = !it->second.failed;
+        s.failed = it->second.failed;
+        s.error = it->second.error;
+        if (it->second.runtime) {
+          s.iteration = it->second.runtime->iteration();
+          s.firings = it->second.runtime->stats().firings;
+        }
+      }
+      transport_.send(from, encode(s));
+      break;
+    }
+    case ControlType::kStatus: {
+      auto m = decode_status(frame);
+      auto it = status_handlers_.find(m.job_id);
+      if (it != status_handlers_.end()) {
+        auto handler = std::move(it->second);
+        status_handlers_.erase(it);
+        if (handler) handler(m);
+      }
+      break;
+    }
+    case ControlType::kCheckpointRequest: {
+      auto m = decode_checkpoint_request(frame);
+      CheckpointDataMsg d;
+      d.job_id = m.job_id;
+      auto it = jobs_.find(m.job_id);
+      if (it != jobs_.end() && it->second.runtime && !it->second.failed) {
+        d.ok = true;
+        d.state = it->second.runtime->save_checkpoint();
+      }
+      transport_.send(from, encode(d));
+      break;
+    }
+    case ControlType::kRebind: {
+      rebind_channel(decode_rebind(frame).label);
+      break;
+    }
+    case ControlType::kCheckpointData: {
+      auto m = decode_checkpoint_data(frame);
+      auto it = ckpt_handlers_.find(m.job_id);
+      if (it != ckpt_handlers_.end()) {
+        auto handler = std::move(it->second);
+        ckpt_handlers_.erase(it);
+        if (handler) handler(m);
+      }
+      break;
+    }
+  }
+}
+
+void TrianaService::send_ack(const net::Endpoint& to,
+                             const std::string& job_id, bool ok,
+                             const std::string& error) {
+  if (to.empty()) return;  // local deploy
+  DeployAckMsg m;
+  m.job_id = job_id;
+  m.ok = ok;
+  m.error = error;
+  transport_.send(to, encode(m));
+}
+
+void TrianaService::handle_deploy(const net::Endpoint& from, DeployMsg m) {
+  ++stats_.deploys_received;
+
+  // Parse early so we can enumerate the modules the fragment needs.
+  TaskGraph graph;
+  try {
+    graph = parse_taskgraph(m.graph_xml);
+  } catch (const std::exception& e) {
+    send_ack(from, m.job_id, false, std::string("bad graph: ") + e.what());
+    ++stats_.jobs_failed;
+    return;
+  }
+
+  PendingDeploy pending;
+  pending.msg = std::move(m);
+  pending.reply_to = from;
+
+  // On-demand code download: every module type not already cached is
+  // requested from the workflow's owner (paper 3.3).
+  std::vector<std::string> missing;
+  for (const auto& type : module_types(graph)) {
+    if (module_cache_.lookup(type).has_value()) continue;
+    if (local_repo_.latest(type)) {
+      // We own this module; stage it into the cache directly.
+      module_cache_.insert(*local_repo_.latest(type));
+      continue;
+    }
+    missing.push_back(type);
+  }
+
+  if (!missing.empty() && !config_.fetch_code_on_demand) {
+    send_ack(from, pending.msg.job_id, false,
+             "module not available and on-demand fetch is disabled: " +
+                 missing.front());
+    ++stats_.jobs_failed;
+    return;
+  }
+
+  const std::string job_id = pending.msg.job_id;
+  pending.fetches_outstanding = missing.size();
+  auto [it, inserted] = pending_.emplace(job_id, std::move(pending));
+  if (!inserted) {
+    send_ack(from, job_id, false, "duplicate job id");
+    return;
+  }
+
+  if (missing.empty()) {
+    maybe_start(job_id);
+    return;
+  }
+
+  const net::Endpoint owner = it->second.msg.owner_endpoint;
+  for (const auto& type : missing) {
+    code_.fetch(owner, type, "",
+                [this, job_id, type](std::optional<repo::ModuleArtifact> a) {
+                  auto pit = pending_.find(job_id);
+                  if (pit == pending_.end()) return;  // cancelled
+                  PendingDeploy& p = pit->second;
+                  --p.fetches_outstanding;
+                  if (!a) {
+                    p.failed = true;
+                    p.error = "owner has no module '" + type + "'";
+                  } else {
+                    ++stats_.modules_fetched;
+                    if (!module_cache_.insert(*a)) {
+                      p.failed = true;
+                      p.error = "module cache cannot hold '" + type + "'";
+                    } else {
+                      p.fetched_modules.push_back(type);
+                    }
+                  }
+                  maybe_start(job_id);
+                });
+  }
+}
+
+void TrianaService::maybe_start(const std::string& job_id) {
+  auto it = pending_.find(job_id);
+  if (it == pending_.end() || it->second.fetches_outstanding > 0) return;
+  PendingDeploy pending = std::move(it->second);
+  pending_.erase(it);
+  if (pending.failed) {
+    fail_deploy(pending, pending.error);
+    return;
+  }
+  start_job(std::move(pending));
+}
+
+void TrianaService::fail_deploy(PendingDeploy& pending,
+                                const std::string& error) {
+  ++stats_.jobs_failed;
+  send_ack(pending.reply_to, pending.msg.job_id, false, error);
+}
+
+std::optional<std::string> TrianaService::start_job(PendingDeploy pending) {
+  Job job;
+  job.job_id = pending.msg.job_id;
+  job.owner = pending.msg.owner.empty() ? "anonymous" : pending.msg.owner;
+  job.reply_to = pending.reply_to;
+  job.started_at = clock_();
+  job.pinned_modules = std::move(pending.fetched_modules);
+
+  TaskGraph graph;
+  try {
+    graph = parse_taskgraph(pending.msg.graph_xml);
+
+    // Admission control: certified-library policy checks every module
+    // hash we are about to execute (paper 3.5's certified software
+    // library proposal).
+    job.sb = std::make_unique<sandbox::Sandbox>(account_.open_sandbox());
+    for (const auto& type : module_types(graph)) {
+      auto cached = module_cache_.lookup(type);
+      if (!cached && local_repo_.latest(type)) cached = local_repo_.latest(type);
+      if (cached) {
+        job.sb->admit_module(type, cached->content_hash());
+      } else if (config_.certified_library ||
+                 config_.sandbox_policy.certified_modules_only) {
+        throw sandbox::SandboxViolation("module '" + type +
+                                        "' has no artifact to certify");
+      }
+    }
+
+    RuntimeOptions opt;
+    opt.rng_seed = config_.rng_seed ^
+                   std::hash<std::string>{}(job.job_id);
+    opt.sandbox = job.sb.get();
+    job.runtime = std::make_unique<GraphRuntime>(graph, registry_, opt);
+
+    if (!pending.msg.checkpoint.empty()) {
+      job.runtime->restore_checkpoint(pending.msg.checkpoint);
+    }
+  } catch (const std::exception& e) {
+    fail_deploy(pending, e.what());
+    return e.what();
+  }
+
+  // Pin fetched modules for the job's lifetime.
+  for (const auto& mname : job.pinned_modules) {
+    if (module_cache_.contains(mname)) module_cache_.pin(mname);
+  }
+
+  const std::string job_id = job.job_id;
+
+  // Boundary egress: Send/Scatter emissions go out through p2p pipes.
+  job.runtime->set_external_sender(
+      [this, job_id](const std::string& label, DataItem item) {
+        on_channel_send(job_id, label, std::move(item));
+      });
+
+  // Boundary ingress: advertise every Receive label as an input pipe.
+  job.input_labels = job.runtime->receive_labels();
+  auto [jit, _] = jobs_.emplace(job_id, std::move(job));
+  Job& stored = jit->second;
+  for (const auto& label : stored.input_labels) {
+    pipes_.advertise_input(
+        label, [this, job_id, label](const net::Endpoint&,
+                                     serial::Bytes payload) {
+          auto it = jobs_.find(job_id);
+          if (it == jobs_.end() || it->second.failed) return;
+          ++stats_.pipe_items_in;
+          try {
+            it->second.runtime->deliver(label, decode_data_item(payload));
+          } catch (const std::exception& e) {
+            it->second.failed = true;
+            it->second.error = e.what();
+            finish_job(it->second, /*violated=*/true);
+          }
+        });
+  }
+
+  ++stats_.jobs_started;
+  send_ack(stored.reply_to, job_id, true, "");
+
+  if (pending.msg.iterations > 0) {
+    run_iterations(stored, pending.msg.iterations);
+  }
+  return std::nullopt;
+}
+
+void TrianaService::run_iterations(Job& job, std::uint64_t iterations) {
+  try {
+    job.runtime->run(iterations);
+  } catch (const std::exception& e) {
+    const bool already_failed = job.failed;
+    job.failed = true;
+    if (job.error.empty()) job.error = e.what();
+    if (!already_failed) ++stats_.jobs_failed;
+    finish_job(job, /*violated=*/true);
+  }
+}
+
+void TrianaService::on_channel_send(const std::string& job_id,
+                                    const std::string& label, DataItem item) {
+  auto it = jobs_.find(job_id);
+  if (it == jobs_.end() || it->second.failed) return;
+  Job& job = it->second;
+
+  // Outbound traffic counts against the job's sandbox network budget
+  // (the owner pays for what their workflow ships off this host).
+  if (job.sb) {
+    try {
+      job.sb->charge_network(item.byte_size());
+    } catch (const sandbox::SandboxViolation&) {
+      job.failed = true;
+      ++stats_.jobs_failed;
+      finish_job(job, /*violated=*/true);
+      // Rethrow so the engine run that produced this item stops too; the
+      // caller (run_iterations or a pipe delivery) records the error.
+      throw;
+    }
+  }
+
+  auto pit = job.out_pipes.find(label);
+  if (pit != job.out_pipes.end() && pit->second.bound()) {
+    ++stats_.pipe_items_out;
+    pipes_.send(pit->second, encode_data_item(item));
+    return;
+  }
+
+  // Not bound yet: queue the item; start the bind on first use.
+  const bool bind_started = job.out_backlog.contains(label);
+  job.out_backlog[label].push_back(std::move(item));
+  if (bind_started) return;
+
+  pipes_.bind_output(label, [this, job_id, label](p2p::OutputPipe pipe) {
+    auto jit = jobs_.find(job_id);
+    if (jit == jobs_.end()) return;
+    Job& j = jit->second;
+    if (!pipe.bound()) {
+      j.failed = true;
+      j.error = "could not bind output channel '" + label + "'";
+      ++stats_.jobs_failed;
+      finish_job(j, /*violated=*/false);
+      return;
+    }
+    j.out_pipes[label] = pipe;
+    auto bit = j.out_backlog.find(label);
+    if (bit != j.out_backlog.end()) {
+      for (auto& queued : bit->second) {
+        ++stats_.pipe_items_out;
+        pipes_.send(pipe, encode_data_item(queued));
+      }
+      j.out_backlog.erase(bit);
+    }
+  });
+}
+
+void TrianaService::rebind_channel(const std::string& label) {
+  node_.cache().drop_name(p2p::AdvertKind::kPipe, label);
+  for (auto& [id, job] : jobs_) {
+    job.out_pipes.erase(label);
+  }
+}
+
+void TrianaService::finish_job(Job& job, bool violated) {
+  if (job.sb) {
+    account_.settle(job.owner, "job:" + job.job_id, job.started_at, *job.sb,
+                    violated);
+    job.sb.reset();
+  }
+}
+
+void TrianaService::teardown_job(Job& job) {
+  for (const auto& label : job.input_labels) {
+    // A replacement job may already serve this label (cancel and redeploy
+    // can arrive reordered); removing it would sever the new job's pipe.
+    bool owned_elsewhere = false;
+    for (const auto& [id, other] : jobs_) {
+      if (id == job.job_id) continue;
+      for (const auto& l : other.input_labels) {
+        if (l == label) {
+          owned_elsewhere = true;
+          break;
+        }
+      }
+      if (owned_elsewhere) break;
+    }
+    if (!owned_elsewhere) pipes_.remove_input(label);
+  }
+  for (const auto& mname : job.pinned_modules) module_cache_.unpin(mname);
+}
+
+}  // namespace cg::core

@@ -1,0 +1,218 @@
+// ConGrid -- the Triana service.
+//
+// "The Triana Service is comprised of three components: a client, a server
+// and a command process server" (paper 3.2). One TrianaService object is a
+// full peer daemon:
+//
+//   * the *server* accepts deploy requests (XML task-graph fragments),
+//     fetches any module code it is missing from the workflow's owner
+//     (on-demand download, cached and pinned for the job's duration),
+//     instantiates a GraphRuntime inside a sandbox billed to the owner's
+//     virtual account, and wires the fragment's boundary channels to p2p
+//     pipes;
+//   * the *client* deploys fragments to other services and tracks acks;
+//   * the *command process server* answers status / checkpoint / cancel.
+//
+// The service is transport-agnostic (sim, inproc or tcp) and single-
+// threaded per peer: all handlers run on whatever thread polls the
+// transport.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "core/engine/runtime.hpp"
+#include "core/service/protocol.hpp"
+#include "p2p/pipes.hpp"
+#include "repo/code_exchange.hpp"
+#include "repo/module_cache.hpp"
+#include "sandbox/account.hpp"
+
+namespace cg::core {
+
+struct ServiceConfig {
+  std::string peer_id;  ///< defaults to the transport endpoint
+  /// Capability attributes advertised in the peer advert (paper section 4:
+  /// "simple attributes -- such as CPU capability and available free
+  /// memory").
+  std::map<std::string, std::string> capabilities = {
+      {"cpu_mhz", "2000"}, {"free_mem_mb", "256"}};
+  sandbox::Policy sandbox_policy;
+  const sandbox::CertifiedLibrary* certified_library = nullptr;
+  std::size_t module_cache_bytes = 64u << 20;
+  /// When false, deploys only run if every unit type's module is already
+  /// cached or locally owned (no network fetch).
+  bool fetch_code_on_demand = true;
+  /// Per-job RNG seed base (deterministic runs).
+  std::uint64_t rng_seed = 1;
+};
+
+struct ServiceStats {
+  std::uint64_t deploys_received = 0;
+  std::uint64_t jobs_started = 0;
+  std::uint64_t jobs_failed = 0;
+  std::uint64_t jobs_cancelled = 0;
+  std::uint64_t modules_fetched = 0;
+  std::uint64_t pipe_items_in = 0;
+  std::uint64_t pipe_items_out = 0;
+};
+
+class TrianaService {
+ public:
+  /// Everything passed in must outlive the service. The service installs
+  /// itself at the end of the frame-handler chain
+  /// (PeerNode -> PipeServe -> CodeExchange -> control).
+  TrianaService(net::Transport& transport, net::Clock clock,
+                net::Scheduler scheduler, const UnitRegistry& registry,
+                ServiceConfig config = {});
+
+  TrianaService(const TrianaService&) = delete;
+  TrianaService& operator=(const TrianaService&) = delete;
+
+  const std::string& id() const { return config_.peer_id; }
+  net::Endpoint endpoint() const { return node_.endpoint(); }
+  /// Seconds on this service's ambient clock (virtual or wall).
+  double now() const { return clock_(); }
+
+  p2p::PeerNode& node() { return node_; }
+  const UnitRegistry& registry() const { return registry_; }
+  const ServiceConfig& config() const { return config_; }
+  p2p::PipeServe& pipes() { return pipes_; }
+  repo::CodeExchange& code() { return code_; }
+  repo::ModuleCache& module_cache() { return module_cache_; }
+  repo::ModuleRepository& local_repo() { return local_repo_; }
+  sandbox::VirtualAccount& account() { return account_; }
+  const ServiceStats& stats() const { return stats_; }
+
+  /// Publish this peer's advert (capabilities) into the local cache and to
+  /// the configured rendezvous, making the service discoverable.
+  void announce();
+
+  /// Publish a synthetic module artifact for `unit_type` into the local
+  /// repository (this peer becomes its owner/served source).
+  void publish_module(const std::string& unit_type,
+                      const std::string& version = "1.0",
+                      std::size_t size_bytes = 8192);
+
+  /// Publish artifacts for every unit type appearing in `g` (recursing
+  /// into groups). What workflow owners do before distributing.
+  void publish_graph_modules(const TaskGraph& g,
+                             std::size_t size_bytes = 8192);
+
+  // -- client side ------------------------------------------------------------
+  using AckHandler = std::function<void(const DeployAckMsg&)>;
+  using StatusHandler = std::function<void(const StatusMsg&)>;
+  using CheckpointHandler = std::function<void(const CheckpointDataMsg&)>;
+
+  /// Deploy a fragment to a remote service. Returns the job id assigned to
+  /// the deployment; the handler fires when the ack arrives (never
+  /// synchronously).
+  std::string deploy_remote(const net::Endpoint& target,
+                            const TaskGraph& fragment,
+                            std::uint64_t iterations, AckHandler on_ack,
+                            serial::Bytes checkpoint = {});
+
+  /// The scheduler this service runs timers on (exposed for the
+  /// controller's discovery deadlines).
+  const net::Scheduler& scheduler() const { return scheduler_; }
+
+  void request_status(const net::Endpoint& target, const std::string& job_id,
+                      StatusHandler on_status);
+  void request_checkpoint(const net::Endpoint& target,
+                          const std::string& job_id,
+                          CheckpointHandler on_data);
+  void cancel_remote(const net::Endpoint& target, const std::string& job_id);
+
+  // -- local jobs --------------------------------------------------------------
+  /// Run a graph as a local job owned by this peer (no code fetch). With
+  /// iterations > 0 the sources are ticked immediately; a reactive job
+  /// (iterations == 0) just sits wired to its pipes. Returns the job id.
+  /// Throws std::invalid_argument on a bad graph.
+  std::string deploy_local(const TaskGraph& graph, std::uint64_t iterations,
+                           serial::Bytes checkpoint = {});
+
+  /// Tick a local reactive/streaming job's sources (drives home graphs).
+  void tick_job(const std::string& job_id, std::uint64_t iterations = 1);
+
+  /// Runtime of a job hosted here (nullptr when unknown) -- used to read
+  /// sink units out of home graphs and by tests.
+  GraphRuntime* job_runtime(const std::string& job_id);
+
+  /// True when the job exists and has failed; error output parameter.
+  bool job_failed(const std::string& job_id, std::string* error = nullptr) const;
+
+  std::size_t job_count() const { return jobs_.size(); }
+
+  /// Cancel a job hosted here (settles billing, releases modules/pipes).
+  bool cancel_local(const std::string& job_id);
+
+  /// Drop every job's binding for `label` plus stale pipe adverts, so the
+  /// next item sent on it re-resolves (migration support). Also invoked by
+  /// inbound kRebind control messages.
+  void rebind_channel(const std::string& label);
+
+ private:
+  struct Job {
+    std::string job_id;
+    std::string owner;
+    net::Endpoint reply_to;  ///< who deployed (for acks); empty for local
+    std::unique_ptr<sandbox::Sandbox> sb;
+    std::unique_ptr<GraphRuntime> runtime;
+    bool failed = false;
+    std::string error;
+    double started_at = 0;
+    std::vector<std::string> pinned_modules;
+    std::vector<std::string> input_labels;  ///< advertised pipes to remove
+    std::map<std::string, p2p::OutputPipe> out_pipes;
+    std::map<std::string, std::vector<DataItem>> out_backlog;
+  };
+
+  /// A deploy waiting for module fetches.
+  struct PendingDeploy {
+    DeployMsg msg;
+    net::Endpoint reply_to;  ///< empty for local deploys
+    std::size_t fetches_outstanding = 0;
+    bool failed = false;
+    std::string error;
+    std::vector<std::string> fetched_modules;
+  };
+
+  void handle_control(const net::Endpoint& from, serial::Frame frame);
+  void handle_deploy(const net::Endpoint& from, DeployMsg m);
+  void maybe_start(const std::string& job_id);
+  /// Returns the error on failure (ack already sent), nullopt on success.
+  std::optional<std::string> start_job(PendingDeploy pending);
+  void fail_deploy(PendingDeploy& pending, const std::string& error);
+  void send_ack(const net::Endpoint& to, const std::string& job_id, bool ok,
+                const std::string& error);
+  void finish_job(Job& job, bool violated);
+  void teardown_job(Job& job);
+  void on_channel_send(const std::string& job_id, const std::string& label,
+                       DataItem item);
+  void run_iterations(Job& job, std::uint64_t iterations);
+  std::string fresh_job_id();
+
+  net::Transport& transport_;
+  net::Clock clock_;
+  net::Scheduler scheduler_;
+  const UnitRegistry& registry_;
+  ServiceConfig config_;
+
+  p2p::PeerNode node_;
+  p2p::PipeServe pipes_;
+  repo::CodeExchange code_;
+  repo::ModuleRepository local_repo_;
+  repo::ModuleCache module_cache_;
+  sandbox::VirtualAccount account_;
+
+  std::map<std::string, Job> jobs_;
+  std::map<std::string, PendingDeploy> pending_;
+  std::map<std::string, AckHandler> ack_handlers_;      // by job id
+  std::map<std::string, StatusHandler> status_handlers_;
+  std::map<std::string, CheckpointHandler> ckpt_handlers_;
+  std::uint64_t next_job_ = 1;
+  ServiceStats stats_;
+};
+
+}  // namespace cg::core

@@ -1,0 +1,130 @@
+#include "core/service/supervisor.hpp"
+
+namespace cg::core {
+namespace {
+
+std::vector<std::string> receive_labels_of(const TaskGraph& frag) {
+  std::vector<std::string> labels;
+  for (const auto& t : frag.tasks()) {
+    if (t.unit_type == "Receive") labels.push_back(t.params.get("label", ""));
+  }
+  return labels;
+}
+
+std::string fragment_key(std::size_t idx) {
+  return "fragment#" + std::to_string(idx);
+}
+
+}  // namespace
+
+RunSupervisor::RunSupervisor(TrianaController& controller,
+                             std::shared_ptr<DistributedRun> run,
+                             std::vector<net::Endpoint> spares,
+                             SupervisorOptions options)
+    : controller_(controller),
+      run_(std::move(run)),
+      spares_(std::move(spares)),
+      options_(options) {
+  missed_.assign(run_->remote_jobs.size(), 0);
+  recovering_.assign(run_->remote_jobs.size(), false);
+}
+
+void RunSupervisor::start() {
+  auto self = shared_from_this();
+  controller_.home().scheduler()(options_.checkpoint_period_s,
+                                 [self] { self->checkpoint_round(); });
+  controller_.home().scheduler()(options_.probe_period_s,
+                                 [self] { self->probe_round(); });
+}
+
+void RunSupervisor::checkpoint_round() {
+  if (stopped_) return;
+  auto self = shared_from_this();
+  for (std::size_t i = 0; i < run_->remote_jobs.size(); ++i) {
+    if (recovering_[i]) continue;
+    controller_.home().request_checkpoint(
+        run_->workers[i], run_->remote_jobs[i],
+        [self, i](const CheckpointDataMsg& m) {
+          if (self->stopped_ || !m.ok) return;
+          ++self->stats_.checkpoints_taken;
+          self->store_.put(fragment_key(i), m.state,
+                           self->controller_.home().now());
+        });
+  }
+  controller_.home().scheduler()(options_.checkpoint_period_s,
+                                 [self] { self->checkpoint_round(); });
+}
+
+void RunSupervisor::probe_round() {
+  if (stopped_) return;
+  auto self = shared_from_this();
+  for (std::size_t i = 0; i < run_->remote_jobs.size(); ++i) {
+    if (recovering_[i]) continue;
+    ++missed_[i];
+    if (missed_[i] > options_.max_missed) {
+      ++stats_.failures_detected;
+      recover(i);
+      continue;
+    }
+    ++stats_.probes_sent;
+    controller_.home().request_status(
+        run_->workers[i], run_->remote_jobs[i],
+        [self, i](const StatusMsg& m) {
+          if (self->stopped_) return;
+          if (m.known && !m.failed) {
+            self->missed_[i] = 0;
+            ++self->stats_.probes_answered;
+          }
+        });
+  }
+  controller_.home().scheduler()(options_.probe_period_s,
+                                 [self] { self->probe_round(); });
+}
+
+void RunSupervisor::recover(std::size_t idx) {
+  recovering_[idx] = true;
+  const net::Endpoint dead = run_->workers[idx];
+  if (auto* trust = controller_.trust_manager()) {
+    trust->record(dead.value, sandbox::TrustEvent::kFailure);
+  }
+
+  if (spares_.empty()) {
+    ++stats_.recoveries_failed;
+    return;  // stays recovering_: nothing left to probe or redeploy to
+  }
+  const net::Endpoint spare = spares_.back();
+  spares_.pop_back();
+
+  serial::Bytes state;
+  if (auto rec = store_.get(fragment_key(idx))) state = rec->state;
+
+  auto self = shared_from_this();
+  controller_.home().deploy_remote(
+      spare, run_->fragments[idx], /*iterations=*/0,
+      [self, idx, spare](const DeployAckMsg& ack) {
+        if (self->stopped_) return;
+        if (!ack.ok) {
+          ++self->stats_.recoveries_failed;
+          return;
+        }
+        self->run_->workers[idx] = spare;
+        self->run_->remote_jobs[idx] = ack.job_id;
+
+        // Every sender into the moved fragment must re-resolve.
+        for (const auto& label :
+             receive_labels_of(self->run_->fragments[idx])) {
+          self->controller_.home().rebind_channel(label);
+          for (std::size_t j = 0; j < self->run_->workers.size(); ++j) {
+            if (j == idx) continue;
+            self->controller_.home().node().transport().send(
+                self->run_->workers[j], encode(RebindMsg{label}));
+          }
+        }
+        self->missed_[idx] = 0;
+        self->recovering_[idx] = false;
+        ++self->stats_.recoveries;
+      },
+      std::move(state));
+}
+
+}  // namespace cg::core

@@ -1,0 +1,80 @@
+// ConGrid -- run supervision: failure detection and automatic recovery.
+//
+// The paper's Consumer Grid loses peers without notice ("connection lost,
+// user intervenes", 3.6.2) and proposes checkpointing "to migrate
+// computation if necessary". The RunSupervisor automates that loop for a
+// DistributedRun:
+//
+//   * every checkpoint_period it captures each fragment's state into a
+//     CheckpointStore (latest-wins);
+//   * every probe_period it sends a status probe to each fragment's host;
+//     a host that misses `max_missed` consecutive probes is declared dead;
+//   * a dead fragment is re-deployed to the next spare worker, restored
+//     from its last stored checkpoint, and every participant is told to
+//     re-resolve the moved channels;
+//   * failures and recoveries feed the controller's TrustManager when one
+//     is installed.
+//
+// The supervisor is driven entirely by the home service's scheduler, so it
+// works identically in simulated and wall-clock time.
+#pragma once
+
+#include <memory>
+
+#include "core/checkpoint/checkpoint.hpp"
+#include "core/service/controller.hpp"
+
+namespace cg::core {
+
+struct SupervisorOptions {
+  double checkpoint_period_s = 30.0;
+  double probe_period_s = 10.0;
+  /// Probes with no reply before a host is declared dead.
+  int max_missed = 3;
+};
+
+struct SupervisorStats {
+  std::uint64_t checkpoints_taken = 0;
+  std::uint64_t probes_sent = 0;
+  std::uint64_t probes_answered = 0;
+  std::uint64_t failures_detected = 0;
+  std::uint64_t recoveries = 0;
+  std::uint64_t recoveries_failed = 0;  ///< no spare or redeploy nacked
+};
+
+class RunSupervisor : public std::enable_shared_from_this<RunSupervisor> {
+ public:
+  /// `spares` are workers not currently part of the run; each recovery
+  /// consumes one. The controller and run must outlive the supervisor.
+  RunSupervisor(TrianaController& controller,
+                std::shared_ptr<DistributedRun> run,
+                std::vector<net::Endpoint> spares,
+                SupervisorOptions options = {});
+
+  /// Begin the periodic loops. Call once.
+  void start();
+
+  /// Stop scheduling further work (in-flight callbacks become no-ops).
+  void stop() { stopped_ = true; }
+
+  const SupervisorStats& stats() const { return stats_; }
+  const CheckpointStore& checkpoints() const { return store_; }
+  std::size_t spares_left() const { return spares_.size(); }
+
+ private:
+  void checkpoint_round();
+  void probe_round();
+  void recover(std::size_t idx);
+
+  TrianaController& controller_;
+  std::shared_ptr<DistributedRun> run_;
+  std::vector<net::Endpoint> spares_;
+  SupervisorOptions options_;
+  CheckpointStore store_;
+  std::vector<int> missed_;       ///< consecutive unanswered probes
+  std::vector<bool> recovering_;  ///< guards double recovery per fragment
+  bool stopped_ = false;
+  SupervisorStats stats_;
+};
+
+}  // namespace cg::core

@@ -1,0 +1,74 @@
+#include "core/unit/builtin.hpp"
+
+namespace cg::core {
+
+UnitInfo GrapherUnit::make_info() {
+  UnitInfo i;
+  i.type_name = "Grapher";
+  i.package = "display";
+  i.description = "Records every received item for inspection";
+  i.inputs = {PortSpec{"in", kAnyType}};
+  return i;
+}
+
+const UnitInfo& GrapherUnit::info() const {
+  static const UnitInfo i = make_info();
+  return i;
+}
+
+void GrapherUnit::process(ProcessContext& ctx) {
+  items_.push_back(ctx.input(0));
+}
+
+UnitInfo StatSinkUnit::make_info() {
+  UnitInfo i;
+  i.type_name = "StatSink";
+  i.package = "display";
+  i.description = "Welford statistics over scalar inputs";
+  i.inputs = {PortSpec{"in", type_bit(DataType::kScalar) |
+                             type_bit(DataType::kInteger)}};
+  return i;
+}
+
+const UnitInfo& StatSinkUnit::info() const {
+  static const UnitInfo i = make_info();
+  return i;
+}
+
+void StatSinkUnit::process(ProcessContext& ctx) {
+  const DataItem& in = ctx.input(0);
+  if (in.type() == DataType::kScalar) {
+    stats_.add(in.scalar());
+  } else if (in.type() == DataType::kInteger) {
+    stats_.add(static_cast<double>(in.integer()));
+  } else {
+    throw std::invalid_argument("StatSink: expected a scalar or integer");
+  }
+}
+
+UnitInfo NullSinkUnit::make_info() {
+  UnitInfo i;
+  i.type_name = "NullSink";
+  i.package = "display";
+  i.description = "Discards input (load sink)";
+  i.inputs = {PortSpec{"in", kAnyType}};
+  return i;
+}
+
+const UnitInfo& NullSinkUnit::info() const {
+  static const UnitInfo i = make_info();
+  return i;
+}
+
+void NullSinkUnit::process(ProcessContext& ctx) {
+  (void)ctx;
+  ++received_;
+}
+
+void register_builtin_sinks(UnitRegistry& r) {
+  r.add<GrapherUnit>();
+  r.add<StatSinkUnit>();
+  r.add<NullSinkUnit>();
+}
+
+}  // namespace cg::core

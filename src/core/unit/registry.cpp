@@ -1,0 +1,44 @@
+#include "core/unit/registry.hpp"
+
+#include <stdexcept>
+
+namespace cg::core {
+
+void UnitRegistry::add(UnitInfo info, Factory factory) {
+  const std::string name = info.type_name;
+  entries_[name] = Entry{std::move(info), std::move(factory)};
+}
+
+const UnitInfo& UnitRegistry::info(const std::string& type_name) const {
+  auto it = entries_.find(type_name);
+  if (it == entries_.end()) {
+    throw std::out_of_range("unknown unit type: " + type_name);
+  }
+  return it->second.info;
+}
+
+std::unique_ptr<Unit> UnitRegistry::create(const std::string& type_name) const {
+  auto it = entries_.find(type_name);
+  if (it == entries_.end()) {
+    throw std::out_of_range("unknown unit type: " + type_name);
+  }
+  return it->second.factory();
+}
+
+std::vector<std::string> UnitRegistry::type_names() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, e] : entries_) out.push_back(name);
+  return out;
+}
+
+UnitRegistry UnitRegistry::with_builtins() {
+  UnitRegistry r;
+  register_builtin_sources(r);
+  register_builtin_transforms(r);
+  register_builtin_sinks(r);
+  register_proxy_units(r);
+  return r;
+}
+
+}  // namespace cg::core

@@ -1,0 +1,67 @@
+// ConGrid -- unit registry.
+//
+// The executing peer's catalogue of unit types it can instantiate. In the
+// paper the "code" for a unit is a Java class downloaded on demand; in
+// ConGrid the behaviour is compiled in, and the on-demand path transfers
+// the module *artifact* (repo/) whose presence gates instantiation -- the
+// registry is the JVM analogue, the artifact cache the classloader's disk.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/unit/unit.hpp"
+
+namespace cg::core {
+
+class UnitRegistry {
+ public:
+  using Factory = std::function<std::unique_ptr<Unit>()>;
+
+  /// Register a unit type; replaces an existing registration of the same
+  /// type name (latest code wins, matching the owner-version rule).
+  void add(UnitInfo info, Factory factory);
+
+  /// Convenience: register a default-constructible unit class exposing a
+  /// static UnitInfo make_info().
+  template <typename U>
+  void add() {
+    add(U::make_info(), [] { return std::make_unique<U>(); });
+  }
+
+  bool has(const std::string& type_name) const {
+    return entries_.contains(type_name);
+  }
+
+  /// Port/source metadata for validation; throws std::out_of_range for an
+  /// unknown type.
+  const UnitInfo& info(const std::string& type_name) const;
+
+  /// Instantiate; throws std::out_of_range for an unknown type.
+  std::unique_ptr<Unit> create(const std::string& type_name) const;
+
+  std::vector<std::string> type_names() const;
+  std::size_t size() const { return entries_.size(); }
+
+  /// A registry pre-loaded with every built-in unit (sources, transforms,
+  /// sinks and the distribution proxy units).
+  static UnitRegistry with_builtins();
+
+ private:
+  struct Entry {
+    UnitInfo info;
+    Factory factory;
+  };
+  std::map<std::string, Entry> entries_;
+};
+
+/// Registration hooks implemented by the builtin_* translation units.
+void register_builtin_sources(UnitRegistry& r);
+void register_builtin_transforms(UnitRegistry& r);
+void register_builtin_sinks(UnitRegistry& r);
+void register_proxy_units(UnitRegistry& r);
+
+}  // namespace cg::core

@@ -1,0 +1,137 @@
+// ConGrid -- the unit (tool) abstraction.
+//
+// Triana programs are networks of units: "There are several hundred units
+// (i.e. programs) and networks of units can be created by graphical
+// connections" (paper 3.1). A ConGrid unit declares its ports (with
+// accepted data types, for connection type checking), is configured from
+// the task's key/value parameters, and implements process(): consume one
+// DataItem per connected input port, emit items on output ports. Stateful
+// units (AccumStat) additionally expose save/restore for checkpointing and
+// migration.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/types/data_item.hpp"
+#include "dsp/rng.hpp"
+#include "sandbox/sandbox.hpp"
+#include "xml/node.hpp"
+
+namespace cg::core {
+
+/// One input or output port: a name plus the set of data types it accepts
+/// (a bitmask of type_bit(DataType)).
+struct PortSpec {
+  std::string name;
+  std::uint32_t accepts = kAnyType;
+};
+
+/// Static description of a unit type -- the CCA-style component metadata
+/// the paper encodes in XML ("The description of a Triana unit is also
+/// encoded in XML, and based on the CCA", section 3.2).
+struct UnitInfo {
+  std::string type_name;   ///< e.g. "Wave", "Gaussian", "FFT"
+  std::string package;     ///< e.g. "signalproc"
+  std::string description;
+  std::vector<PortSpec> inputs;
+  std::vector<PortSpec> outputs;
+  bool is_source = false;  ///< fires every iteration without inputs
+
+  xml::Node to_xml() const;
+  static UnitInfo from_xml(const xml::Node& n);
+};
+
+/// Typed access over a task's string parameters.
+class ParamSet {
+ public:
+  ParamSet() = default;
+  explicit ParamSet(std::map<std::string, std::string> kv)
+      : kv_(std::move(kv)) {}
+
+  void set(const std::string& key, std::string value) {
+    kv_[key] = std::move(value);
+  }
+  void set_double(const std::string& key, double v);
+  void set_int(const std::string& key, long long v);
+
+  bool has(const std::string& key) const { return kv_.contains(key); }
+  std::string get(const std::string& key, const std::string& fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  long long get_int(const std::string& key, long long fallback) const;
+  bool get_bool(const std::string& key, bool fallback) const;
+
+  const std::map<std::string, std::string>& raw() const { return kv_; }
+  bool operator==(const ParamSet&) const = default;
+
+ private:
+  std::map<std::string, std::string> kv_;
+};
+
+/// Everything a unit sees during one firing.
+class ProcessContext {
+ public:
+  ProcessContext(std::vector<DataItem> inputs, std::uint64_t iteration,
+                 dsp::Rng* rng, sandbox::Sandbox* sb)
+      : inputs_(std::move(inputs)), iteration_(iteration), rng_(rng),
+        sandbox_(sb) {}
+
+  /// The item consumed on `port` this firing (empty when unconnected).
+  const DataItem& input(std::size_t port) const;
+  bool has_input(std::size_t port) const;
+  std::size_t input_count() const { return inputs_.size(); }
+
+  /// Produce an item on an output port; the runtime routes it.
+  void emit(std::size_t port, DataItem item);
+
+  /// Which streaming iteration this firing belongs to (sources increment).
+  std::uint64_t iteration() const { return iteration_; }
+
+  /// Deterministic per-task random stream.
+  dsp::Rng& rng() { return *rng_; }
+
+  /// Account estimated CPU cost against the host's sandbox (no-op when the
+  /// host runs the unit untrusted-free). Throws SandboxViolation on budget
+  /// exhaustion, which fails the job, not the host.
+  void charge_cpu(double seconds);
+
+  /// Collected emissions, consumed by the runtime after process().
+  std::vector<std::pair<std::size_t, DataItem>>& emissions() {
+    return emissions_;
+  }
+
+ private:
+  std::vector<DataItem> inputs_;
+  std::vector<std::pair<std::size_t, DataItem>> emissions_;
+  std::uint64_t iteration_;
+  dsp::Rng* rng_;
+  sandbox::Sandbox* sandbox_;
+};
+
+/// Base class of every unit.
+class Unit {
+ public:
+  virtual ~Unit() = default;
+
+  virtual const UnitInfo& info() const = 0;
+
+  /// Called once before the first firing, with the task's parameters.
+  virtual void configure(const ParamSet& params) { (void)params; }
+
+  /// One firing: consume inputs, emit outputs.
+  virtual void process(ProcessContext& ctx) = 0;
+
+  /// Stateful units serialise their state here (checkpoint/migration);
+  /// stateless units return empty.
+  virtual serial::Bytes save_state() const { return {}; }
+  virtual void restore_state(const serial::Bytes& state) { (void)state; }
+
+  /// Forget accumulated state (fresh run).
+  virtual void reset() {}
+};
+
+}  // namespace cg::core

@@ -1,0 +1,67 @@
+#include "dsp/correlate.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "dsp/fft.hpp"
+
+namespace cg::dsp {
+
+std::vector<double> fast_correlate(const std::vector<double>& data,
+                                   const std::vector<double>& tmpl) {
+  if (data.empty() || tmpl.empty()) {
+    throw std::invalid_argument("fast_correlate: empty input");
+  }
+  const std::size_t n = next_pow2(data.size() + tmpl.size() - 1);
+
+  std::vector<Complex> a(n, Complex(0, 0)), b(n, Complex(0, 0));
+  for (std::size_t i = 0; i < data.size(); ++i) a[i] = data[i];
+  for (std::size_t i = 0; i < tmpl.size(); ++i) b[i] = tmpl[i];
+  fft(a);
+  fft(b);
+  // Correlation theorem: corr = ifft(fft(data) * conj(fft(tmpl))).
+  for (std::size_t i = 0; i < n; ++i) a[i] *= std::conj(b[i]);
+  ifft(a);
+
+  std::vector<double> out(data.size());
+  for (std::size_t i = 0; i < data.size(); ++i) out[i] = a[i].real();
+  return out;
+}
+
+std::vector<double> direct_correlate(const std::vector<double>& data,
+                                     const std::vector<double>& tmpl) {
+  if (data.empty() || tmpl.empty()) {
+    throw std::invalid_argument("direct_correlate: empty input");
+  }
+  std::vector<double> out(data.size(), 0.0);
+  for (std::size_t lag = 0; lag < data.size(); ++lag) {
+    double acc = 0.0;
+    const std::size_t m = std::min(tmpl.size(), data.size() - lag);
+    for (std::size_t j = 0; j < m; ++j) acc += data[lag + j] * tmpl[j];
+    out[lag] = acc;
+  }
+  return out;
+}
+
+MatchResult matched_filter(const std::vector<double>& data,
+                           const std::vector<double>& tmpl) {
+  double energy = 0.0;
+  for (double t : tmpl) energy += t * t;
+  if (energy <= 0.0) {
+    throw std::invalid_argument("matched_filter: zero-energy template");
+  }
+  const double norm = 1.0 / std::sqrt(energy);
+
+  const auto corr = fast_correlate(data, tmpl);
+  MatchResult r;
+  for (std::size_t i = 0; i < corr.size(); ++i) {
+    const double v = std::abs(corr[i]) * norm;
+    if (v > r.peak) {
+      r.peak = v;
+      r.offset = i;
+    }
+  }
+  return r;
+}
+
+}  // namespace cg::dsp

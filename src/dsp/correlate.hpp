@@ -1,0 +1,37 @@
+// ConGrid -- FFT-based correlation / matched filtering.
+//
+// Implements the "fast correlation on the data set with each template"
+// operation at the heart of the inspiral-search scenario (paper 3.6.2).
+// The direct O(N*M) correlation is also provided as a cross-check and for
+// the M1 micro-benchmark comparing the two.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace cg::dsp {
+
+/// Result of scanning a data stretch with one template.
+struct MatchResult {
+  double peak = 0.0;        ///< maximum normalised correlation value
+  std::size_t offset = 0;   ///< sample offset of the maximum
+};
+
+/// Circular cross-correlation of `data` with `tmpl` computed via FFT.
+/// Both inputs are zero-padded to the next power of two that fits
+/// data.size() + tmpl.size() - 1, so the result is effectively linear
+/// correlation; the returned series has data.size() valid lags.
+std::vector<double> fast_correlate(const std::vector<double>& data,
+                                   const std::vector<double>& tmpl);
+
+/// Direct (time-domain) linear correlation -- O(N*M) reference.
+std::vector<double> direct_correlate(const std::vector<double>& data,
+                                     const std::vector<double>& tmpl);
+
+/// Normalised matched filter: correlate `data` against a unit-energy copy
+/// of `tmpl` and report the best match. The normalisation divides by
+/// sqrt(template energy) so peaks are comparable across templates.
+MatchResult matched_filter(const std::vector<double>& data,
+                           const std::vector<double>& tmpl);
+
+}  // namespace cg::dsp

@@ -1,0 +1,85 @@
+#include "dsp/fft.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace cg::dsp {
+namespace {
+
+void transform(std::vector<Complex>& a, bool inverse) {
+  const std::size_t n = a.size();
+  if (!is_pow2(n)) {
+    throw std::invalid_argument("fft size must be a power of two, got " +
+                                std::to_string(n));
+  }
+
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(a[i], a[j]);
+  }
+
+  // Butterfly passes. Twiddle factors are recomputed per stage with a
+  // recurrence; accuracy is re-anchored by calling std::polar per stage.
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double ang = (inverse ? 2.0 : -2.0) * M_PI /
+                       static_cast<double>(len);
+    const Complex wlen = std::polar(1.0, ang);
+    for (std::size_t i = 0; i < n; i += len) {
+      Complex w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        Complex u = a[i + k];
+        Complex v = a[i + k + len / 2] * w;
+        a[i + k] = u + v;
+        a[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+
+  if (inverse) {
+    const double inv = 1.0 / static_cast<double>(n);
+    for (auto& x : a) x *= inv;
+  }
+}
+
+}  // namespace
+
+std::size_t next_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+bool is_pow2(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+void fft(std::vector<Complex>& data) { transform(data, /*inverse=*/false); }
+void ifft(std::vector<Complex>& data) { transform(data, /*inverse=*/true); }
+
+std::vector<Complex> rfft(const std::vector<double>& signal) {
+  const std::size_t n = next_pow2(signal.size());
+  std::vector<Complex> a(n, Complex(0.0, 0.0));
+  for (std::size_t i = 0; i < signal.size(); ++i) a[i] = signal[i];
+  fft(a);
+  a.resize(n / 2 + 1);
+  return a;
+}
+
+std::vector<double> irfft(const std::vector<Complex>& half, std::size_t n) {
+  if (!is_pow2(n) || half.size() != n / 2 + 1) {
+    throw std::invalid_argument("irfft: half spectrum size mismatch");
+  }
+  std::vector<Complex> full(n);
+  for (std::size_t i = 0; i <= n / 2; ++i) full[i] = half[i];
+  for (std::size_t i = n / 2 + 1; i < n; ++i) {
+    full[i] = std::conj(half[n - i]);
+  }
+  ifft(full);
+  std::vector<double> out(n);
+  for (std::size_t i = 0; i < n; ++i) out[i] = full[i].real();
+  return out;
+}
+
+}  // namespace cg::dsp

@@ -1,0 +1,53 @@
+#include "dsp/spectrum.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "dsp/fft.hpp"
+
+namespace cg::dsp {
+
+Spectrum power_spectrum(const std::vector<double>& signal, double sample_rate,
+                        WindowKind window) {
+  if (signal.empty()) {
+    throw std::invalid_argument("power_spectrum: empty signal");
+  }
+  std::vector<double> windowed = signal;
+  const auto w = make_window(window, signal.size());
+  apply_window(windowed, w);
+
+  const auto half = rfft(windowed);
+  const std::size_t padded = next_pow2(signal.size());
+
+  Spectrum s;
+  s.sample_rate = sample_rate;
+  s.bin_width = sample_rate / static_cast<double>(padded);
+  s.power.resize(half.size());
+  const double norm = 1.0 / window_power(w);
+  for (std::size_t i = 0; i < half.size(); ++i) {
+    s.power[i] = std::norm(half[i]) * norm;
+  }
+  return s;
+}
+
+std::size_t peak_bin(const Spectrum& s) {
+  if (s.power.empty()) throw std::invalid_argument("peak_bin: empty spectrum");
+  return static_cast<std::size_t>(
+      std::max_element(s.power.begin(), s.power.end()) - s.power.begin());
+}
+
+double peak_frequency(const Spectrum& s) {
+  return static_cast<double>(peak_bin(s)) * s.bin_width;
+}
+
+double peak_to_median_ratio(const Spectrum& s) {
+  if (s.power.size() < 3) return 1.0;
+  std::vector<double> sorted = s.power;
+  std::nth_element(sorted.begin(), sorted.begin() + sorted.size() / 2,
+                   sorted.end());
+  const double median = sorted[sorted.size() / 2];
+  if (median <= 0.0) return 1.0;
+  return s.power[peak_bin(s)] / median;
+}
+
+}  // namespace cg::dsp

@@ -1,0 +1,38 @@
+// ConGrid -- power spectra.
+//
+// The Figure 1 reference network ends in a power spectrum averaged over
+// iterations by the AccumStat unit; this module supplies the spectrum
+// computation the PowerSpectrum unit wraps.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "dsp/window.hpp"
+
+namespace cg::dsp {
+
+/// One-sided power spectrum of a real signal.
+struct Spectrum {
+  double sample_rate = 1.0;       ///< Hz of the originating signal
+  double bin_width = 1.0;         ///< Hz between adjacent bins
+  std::vector<double> power;      ///< one-sided power, DC .. Nyquist
+};
+
+/// Compute the one-sided periodogram of `signal` (zero-padded to a power of
+/// two). Power is normalised by the window energy so different windows give
+/// comparable levels.
+Spectrum power_spectrum(const std::vector<double>& signal, double sample_rate,
+                        WindowKind window = WindowKind::kRectangular);
+
+/// Index of the strongest bin.
+std::size_t peak_bin(const Spectrum& s);
+
+/// Frequency (Hz) of the strongest bin.
+double peak_frequency(const Spectrum& s);
+
+/// Ratio of the peak bin's power to the median bin power: a simple
+/// spectral-domain SNR proxy used by E1 to show the Figure 2 effect.
+double peak_to_median_ratio(const Spectrum& s);
+
+}  // namespace cg::dsp

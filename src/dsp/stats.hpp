@@ -1,0 +1,41 @@
+// ConGrid -- small statistics toolkit.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace cg::dsp {
+
+double mean(const std::vector<double>& v);
+double variance(const std::vector<double>& v);   ///< population variance
+double stddev(const std::vector<double>& v);
+double rms(const std::vector<double>& v);
+double max_abs(const std::vector<double>& v);
+std::size_t argmax(const std::vector<double>& v);
+/// p in [0,1]; linear interpolation between order statistics.
+double percentile(std::vector<double> v, double p);
+
+/// Welford's online mean/variance accumulator; numerically stable across
+/// millions of samples (used by the AccumStat unit and the bench reports).
+class RunningStats {
+ public:
+  void add(double x);
+  /// Merge another accumulator (parallel reduction).
+  void merge(const RunningStats& other);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return mean_; }
+  double variance() const;  ///< population variance; 0 when count < 2
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace cg::dsp

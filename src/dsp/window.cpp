@@ -1,0 +1,65 @@
+#include "dsp/window.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace cg::dsp {
+
+std::vector<double> make_window(WindowKind kind, std::size_t n) {
+  std::vector<double> w(n, 1.0);
+  if (n < 2) return w;
+  const double denom = static_cast<double>(n - 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = static_cast<double>(i) / denom;
+    switch (kind) {
+      case WindowKind::kRectangular:
+        w[i] = 1.0;
+        break;
+      case WindowKind::kHann:
+        w[i] = 0.5 - 0.5 * std::cos(2.0 * M_PI * x);
+        break;
+      case WindowKind::kHamming:
+        w[i] = 0.54 - 0.46 * std::cos(2.0 * M_PI * x);
+        break;
+      case WindowKind::kBlackman:
+        w[i] = 0.42 - 0.5 * std::cos(2.0 * M_PI * x) +
+               0.08 * std::cos(4.0 * M_PI * x);
+        break;
+    }
+  }
+  return w;
+}
+
+void apply_window(std::vector<double>& signal,
+                  const std::vector<double>& window) {
+  if (signal.size() != window.size()) {
+    throw std::invalid_argument("apply_window: size mismatch");
+  }
+  for (std::size_t i = 0; i < signal.size(); ++i) signal[i] *= window[i];
+}
+
+double window_power(const std::vector<double>& window) {
+  double s = 0.0;
+  for (double w : window) s += w * w;
+  return s;
+}
+
+WindowKind window_from_name(const std::string& name) {
+  if (name == "rect" || name == "rectangular") return WindowKind::kRectangular;
+  if (name == "hann") return WindowKind::kHann;
+  if (name == "hamming") return WindowKind::kHamming;
+  if (name == "blackman") return WindowKind::kBlackman;
+  throw std::invalid_argument("unknown window: " + name);
+}
+
+std::string window_name(WindowKind kind) {
+  switch (kind) {
+    case WindowKind::kRectangular: return "rect";
+    case WindowKind::kHann: return "hann";
+    case WindowKind::kHamming: return "hamming";
+    case WindowKind::kBlackman: return "blackman";
+  }
+  return "rect";
+}
+
+}  // namespace cg::dsp

@@ -1,0 +1,33 @@
+// ConGrid -- window functions for spectral analysis.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace cg::dsp {
+
+enum class WindowKind {
+  kRectangular,
+  kHann,
+  kHamming,
+  kBlackman,
+};
+
+/// Window coefficients of length n for the given kind.
+std::vector<double> make_window(WindowKind kind, std::size_t n);
+
+/// Multiply a signal by a window in place; sizes must match.
+void apply_window(std::vector<double>& signal,
+                  const std::vector<double>& window);
+
+/// Sum of squared coefficients; used to normalise power spectra so the
+/// reported PSD level is window-independent.
+double window_power(const std::vector<double>& window);
+
+/// Parse a window name ("rect", "hann", "hamming", "blackman"); throws
+/// std::invalid_argument on anything else.
+WindowKind window_from_name(const std::string& name);
+std::string window_name(WindowKind kind);
+
+}  // namespace cg::dsp

@@ -1,0 +1,82 @@
+#include "net/inproc.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+namespace cg::net {
+
+InprocTransport::~InprocTransport() {
+  if (hub_) hub_->unregister(name_);
+}
+
+void InprocTransport::send(const Endpoint& to, serial::Frame frame) {
+  hub_->route(local(), to, std::move(frame));
+}
+
+void InprocTransport::set_handler(FrameHandler handler) {
+  std::lock_guard lock(mu_);
+  handler_ = std::move(handler);
+}
+
+void InprocTransport::deliver(Endpoint from, serial::Frame frame) {
+  std::lock_guard lock(mu_);
+  inbox_.emplace_back(std::move(from), std::move(frame));
+}
+
+std::size_t InprocTransport::poll() {
+  // Drain under the lock, dispatch outside it so handlers can send()
+  // (which may route straight back to this mailbox).
+  std::deque<std::pair<Endpoint, serial::Frame>> batch;
+  FrameHandler handler;
+  {
+    std::lock_guard lock(mu_);
+    batch.swap(inbox_);
+    handler = handler_;
+  }
+  if (!handler) return 0;
+  for (auto& [from, frame] : batch) {
+    handler(from, std::move(frame));
+  }
+  return batch.size();
+}
+
+std::unique_ptr<InprocTransport> InprocHub::create(const std::string& name) {
+  std::lock_guard lock(mu_);
+  auto t = std::unique_ptr<InprocTransport>(new InprocTransport(this, name));
+  auto [it, inserted] = boxes_.emplace(name, t.get());
+  if (!inserted) {
+    t->hub_ = nullptr;  // avoid unregistering the existing entry on destroy
+    throw std::invalid_argument("inproc name already registered: " + name);
+  }
+  (void)it;
+  return t;
+}
+
+std::size_t InprocHub::size() const {
+  std::lock_guard lock(mu_);
+  return boxes_.size();
+}
+
+void InprocHub::route(const Endpoint& from, const Endpoint& to,
+                      serial::Frame frame) {
+  InprocTransport* dst = nullptr;
+  {
+    std::lock_guard lock(mu_);
+    if (to.value.rfind("inproc:", 0) != 0) {
+      throw std::invalid_argument(
+          "InprocTransport can only address inproc: endpoints, got " +
+          to.value);
+    }
+    auto it = boxes_.find(to.value.substr(7));
+    if (it == boxes_.end()) return;  // receiver gone: best-effort drop
+    dst = it->second;
+  }
+  dst->deliver(from, std::move(frame));
+}
+
+void InprocHub::unregister(const std::string& name) {
+  std::lock_guard lock(mu_);
+  boxes_.erase(name);
+}
+
+}  // namespace cg::net

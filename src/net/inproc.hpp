@@ -1,0 +1,65 @@
+// ConGrid -- in-process transport.
+//
+// A thread-safe mailbox hub for running several peers inside one process
+// with real (wall-clock) concurrency -- the integration tests use it to run
+// a controller and several services on different threads without sockets.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "net/transport.hpp"
+
+namespace cg::net {
+
+class InprocHub;
+
+/// A registered mailbox on an InprocHub. Thread-safe: any thread may send;
+/// the owning thread polls.
+class InprocTransport final : public Transport {
+ public:
+  ~InprocTransport() override;
+
+  Endpoint local() const override { return inproc_endpoint(name_); }
+  void send(const Endpoint& to, serial::Frame frame) override;
+  void set_handler(FrameHandler handler) override;
+  std::size_t poll() override;
+
+ private:
+  friend class InprocHub;
+  InprocTransport(InprocHub* hub, std::string name)
+      : hub_(hub), name_(std::move(name)) {}
+
+  void deliver(Endpoint from, serial::Frame frame);
+
+  InprocHub* hub_;
+  std::string name_;
+  std::mutex mu_;
+  FrameHandler handler_;
+  std::deque<std::pair<Endpoint, serial::Frame>> inbox_;
+};
+
+/// The registry mapping inproc names to mailboxes. Must outlive all the
+/// transports it creates.
+class InprocHub {
+ public:
+  /// Register a mailbox under `name`; throws std::invalid_argument if the
+  /// name is taken.
+  std::unique_ptr<InprocTransport> create(const std::string& name);
+
+  /// Number of live registrations.
+  std::size_t size() const;
+
+ private:
+  friend class InprocTransport;
+  void route(const Endpoint& from, const Endpoint& to, serial::Frame frame);
+  void unregister(const std::string& name);
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, InprocTransport*> boxes_;
+};
+
+}  // namespace cg::net

@@ -1,0 +1,111 @@
+#include "net/sim_network.hpp"
+
+#include <stdexcept>
+
+namespace cg::net {
+
+void SimTransport::send(const Endpoint& to, serial::Frame frame) {
+  net_->submit(id_, to, std::move(frame));
+}
+
+SimNetwork::SimNetwork(LinkParams params, std::uint64_t seed)
+    : params_(params), rng_(seed) {}
+
+SimNetwork::~SimNetwork() = default;
+
+SimTransport& SimNetwork::add_node() {
+  const auto id = static_cast<std::uint32_t>(nodes_.size());
+  nodes_.emplace_back(std::unique_ptr<SimTransport>(new SimTransport(this, id)));
+  up_.push_back(true);
+  return *nodes_.back();
+}
+
+void SimNetwork::set_up(std::uint32_t id, bool up) { up_.at(id) = up; }
+
+void SimNetwork::schedule(double delay_s, std::function<void()> fn) {
+  if (delay_s < 0.0) throw std::invalid_argument("schedule: negative delay");
+  push_event(now_ + delay_s, std::move(fn));
+}
+
+void SimNetwork::push_event(double time, std::function<void()> fn) {
+  queue_.push(Event{time, next_seq_++, std::move(fn)});
+}
+
+void SimNetwork::submit(std::uint32_t from, const Endpoint& to,
+                        serial::Frame frame) {
+  // Parse the "sim:<id>" target.
+  if (to.value.rfind("sim:", 0) != 0) {
+    throw std::invalid_argument("SimTransport can only address sim: endpoints, got " +
+                                to.value);
+  }
+  const std::uint32_t dst =
+      static_cast<std::uint32_t>(std::stoul(to.value.substr(4)));
+  if (dst >= nodes_.size()) {
+    throw std::out_of_range("sim endpoint refers to unknown node " + to.value);
+  }
+
+  ++stats_.messages_sent;
+  const std::size_t wire_bytes = serial::kFrameHeaderSize +
+                                 frame.payload.size() +
+                                 serial::kFrameTrailerSize;
+  stats_.bytes_sent += wire_bytes;
+
+  // A sender that is itself down cannot transmit.
+  if (!up_.at(from)) {
+    ++stats_.messages_to_down_node;
+    return;
+  }
+
+  if (params_.loss_probability > 0.0 && rng_.chance(params_.loss_probability)) {
+    ++stats_.messages_dropped;
+    return;
+  }
+
+  double latency = latency_fn_ ? latency_fn_(from, dst)
+                               : params_.base_latency_s +
+                                     rng_.uniform() * params_.jitter_s;
+  if (wire_bytes > params_.small_frame_bytes && params_.bandwidth_Bps > 0.0) {
+    latency += static_cast<double>(wire_bytes) / params_.bandwidth_Bps;
+  }
+
+  push_event(now_ + latency,
+             [this, from, dst, f = std::move(frame)]() mutable {
+               if (!up_.at(dst)) {
+                 ++stats_.messages_to_down_node;
+                 return;
+               }
+               ++stats_.messages_delivered;
+               auto& node = *nodes_.at(dst);
+               if (node.handler_) {
+                 node.handler_(sim_endpoint(from), std::move(f));
+               }
+             });
+}
+
+bool SimNetwork::step() {
+  if (queue_.empty()) return false;
+  // Move the event out before running it: the callback may push new events.
+  Event ev = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  now_ = ev.time;
+  ev.fn();
+  return true;
+}
+
+std::size_t SimNetwork::run_until(double t) {
+  std::size_t n = 0;
+  while (!queue_.empty() && queue_.top().time <= t) {
+    step();
+    ++n;
+  }
+  now_ = std::max(now_, t);
+  return n;
+}
+
+std::size_t SimNetwork::run_all(std::size_t max_events) {
+  std::size_t n = 0;
+  while (n < max_events && step()) ++n;
+  return n;
+}
+
+}  // namespace cg::net

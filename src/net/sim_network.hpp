@@ -1,0 +1,153 @@
+// ConGrid -- deterministic discrete-event network simulator.
+//
+// The paper's Consumer Grid targets thousands of DSL/cable hosts; we cannot
+// run those for real, so benches run peers over this simulator instead
+// (the substitution table in DESIGN.md). It models, per message:
+//
+//   delivery_time = now + base_latency + jitter + bytes / bandwidth
+//
+// with an optional loss probability, and supports node up/down state so the
+// churn module can model volunteer availability. Time is virtual (seconds
+// as double); the whole simulation is single-threaded and, given a seed,
+// bit-for-bit reproducible.
+//
+// Higher layers may also schedule plain callbacks (schedule()) to model
+// computation time on a node -- e.g. "this peer spends 3.2 s filtering a
+// chunk" -- so end-to-end experiments account for compute and communication
+// in the same clock.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "dsp/rng.hpp"
+#include "net/transport.hpp"
+
+namespace cg::net {
+
+/// Link model parameters. Defaults approximate a 2003-era consumer DSL
+/// population: tens of milliseconds of latency, ~1 Mbit/s usable upstream.
+struct LinkParams {
+  double base_latency_s = 0.040;    ///< fixed one-way latency
+  double jitter_s = 0.010;          ///< uniform extra latency in [0, jitter]
+  double bandwidth_Bps = 128e3;     ///< serialisation rate, bytes/second
+  double loss_probability = 0.0;    ///< independent per-message drop chance
+  /// Frames below this size (control traffic) skip the bandwidth term --
+  /// they fit in one MTU and their cost is latency-dominated.
+  std::size_t small_frame_bytes = 1200;
+};
+
+/// Aggregate traffic counters, readable at any time.
+struct SimStats {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_delivered = 0;
+  std::uint64_t messages_dropped = 0;     ///< loss model
+  std::uint64_t messages_to_down_node = 0;
+  std::uint64_t bytes_sent = 0;
+};
+
+class SimNetwork;
+
+/// Transport endpoint living inside a SimNetwork. Created by
+/// SimNetwork::add_node(); owned by the network.
+class SimTransport final : public Transport {
+ public:
+  Endpoint local() const override { return sim_endpoint(id_); }
+  void send(const Endpoint& to, serial::Frame frame) override;
+  void set_handler(FrameHandler handler) override { handler_ = std::move(handler); }
+  /// Delivery is driven by the SimNetwork event loop; poll is a no-op.
+  std::size_t poll() override { return 0; }
+
+  std::uint32_t id() const { return id_; }
+
+ private:
+  friend class SimNetwork;
+  SimTransport(SimNetwork* net, std::uint32_t id) : net_(net), id_(id) {}
+
+  SimNetwork* net_;
+  std::uint32_t id_;
+  FrameHandler handler_;
+};
+
+/// The event loop + virtual clock shared by all SimTransports.
+class SimNetwork {
+ public:
+  explicit SimNetwork(LinkParams params = {}, std::uint64_t seed = 1);
+  ~SimNetwork();
+
+  SimNetwork(const SimNetwork&) = delete;
+  SimNetwork& operator=(const SimNetwork&) = delete;
+
+  /// Create a new node; the returned transport is owned by the network and
+  /// valid for its lifetime.
+  SimTransport& add_node();
+
+  std::size_t node_count() const { return nodes_.size(); }
+  SimTransport& node(std::uint32_t id) { return *nodes_.at(id); }
+
+  /// Current virtual time in seconds.
+  double now() const { return now_; }
+
+  /// Mark a node up or down. Frames addressed to a down node are counted
+  /// and discarded at delivery time (the sender cannot tell -- as with a
+  /// consumer host whose DSL dropped).
+  void set_up(std::uint32_t id, bool up);
+  bool is_up(std::uint32_t id) const { return up_.at(id); }
+
+  /// Schedule an arbitrary callback at now + delay (delay >= 0). Used to
+  /// model computation time and timers.
+  void schedule(double delay_s, std::function<void()> fn);
+
+  /// Process the next event. Returns false when the queue is empty.
+  bool step();
+
+  /// Run until the virtual clock reaches `t` (events at exactly t are
+  /// processed). Returns the number of events processed.
+  std::size_t run_until(double t);
+
+  /// Drain the event queue (bounded by max_events as a runaway guard).
+  /// Returns the number of events processed.
+  std::size_t run_all(std::size_t max_events = 50'000'000);
+
+  const SimStats& stats() const { return stats_; }
+  const LinkParams& params() const { return params_; }
+
+  /// Per-message latency override hook: when set, replaces the base+jitter
+  /// part of the delay (bandwidth still applies). Lets experiments model
+  /// heterogeneous link quality.
+  using LatencyFn = std::function<double(std::uint32_t from, std::uint32_t to)>;
+  void set_latency_fn(LatencyFn fn) { latency_fn_ = std::move(fn); }
+
+ private:
+  friend class SimTransport;
+
+  struct Event {
+    double time;
+    std::uint64_t seq;  ///< tie-breaker: FIFO among simultaneous events
+    std::function<void()> fn;
+  };
+  struct EventOrder {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  void submit(std::uint32_t from, const Endpoint& to, serial::Frame frame);
+  void push_event(double time, std::function<void()> fn);
+
+  LinkParams params_;
+  dsp::Rng rng_;
+  double now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
+  std::vector<std::unique_ptr<SimTransport>> nodes_;
+  std::vector<bool> up_;
+  SimStats stats_;
+  LatencyFn latency_fn_;
+};
+
+}  // namespace cg::net

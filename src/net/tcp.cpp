@@ -1,0 +1,324 @@
+#include "net/tcp.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+#include "serial/reader.hpp"
+
+namespace cg::net {
+
+struct TcpTransport::Conn {
+  int fd = -1;
+  bool connecting = false;      ///< non-blocking connect still in flight
+  bool hello_seen = false;      ///< first inbound HELLO consumed
+  Endpoint peer;                ///< who the frames are "from"
+  serial::FrameDecoder decoder;
+  serial::Bytes outbuf;
+  std::size_t out_pos = 0;      ///< bytes of outbuf already written
+  bool want_write = false;      ///< EPOLLOUT currently requested
+};
+
+namespace {
+
+[[noreturn]] void sys_fail(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+void set_nonblocking(int fd) {
+  int flags = fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    sys_fail("fcntl O_NONBLOCK");
+  }
+}
+
+/// Parse "tcp:<host>:<port>"; only dotted-quad IPv4 and "localhost".
+sockaddr_in parse_tcp(const Endpoint& e) {
+  if (e.value.rfind("tcp:", 0) != 0) {
+    throw std::invalid_argument("TcpTransport can only address tcp: endpoints, got " +
+                                e.value);
+  }
+  const std::string rest = e.value.substr(4);
+  const auto colon = rest.rfind(':');
+  if (colon == std::string::npos) {
+    throw std::invalid_argument("malformed tcp endpoint: " + e.value);
+  }
+  std::string host = rest.substr(0, colon);
+  if (host == "localhost") host = "127.0.0.1";
+  const int port = std::stoi(rest.substr(colon + 1));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    throw std::invalid_argument("unresolvable host in endpoint: " + e.value);
+  }
+  return addr;
+}
+
+}  // namespace
+
+TcpTransport::TcpTransport(std::uint16_t port) {
+  epoll_fd_ = epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) sys_fail("epoll_create1");
+
+  listen_fd_ = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) sys_fail("socket");
+  int one = 1;
+  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    sys_fail("bind");
+  }
+  if (listen(listen_fd_, 64) < 0) sys_fail("listen");
+
+  socklen_t len = sizeof(addr);
+  if (getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    sys_fail("getsockname");
+  }
+  port_ = ntohs(addr.sin_port);
+
+  set_nonblocking(listen_fd_);
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = listen_fd_;
+  if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev) < 0) {
+    sys_fail("epoll_ctl listen");
+  }
+}
+
+TcpTransport::~TcpTransport() {
+  for (auto& [fd, c] : conns_) {
+    (void)c;
+    ::close(fd);
+  }
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+}
+
+Endpoint TcpTransport::local() const { return tcp_endpoint("127.0.0.1", port_); }
+
+void TcpTransport::queue_frame(Conn& c, const serial::Frame& f) {
+  const auto wire = serial::encode_frame(f);
+  c.outbuf.insert(c.outbuf.end(), wire.begin(), wire.end());
+  if (!c.want_write) {
+    c.want_write = true;
+    update_epoll(c);
+  }
+}
+
+void TcpTransport::update_epoll(Conn& c) {
+  epoll_event ev{};
+  ev.events = EPOLLIN | (c.want_write ? EPOLLOUT : 0u);
+  ev.data.fd = c.fd;
+  epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, c.fd, &ev);
+}
+
+TcpTransport::Conn& TcpTransport::connect_to(const Endpoint& to) {
+  const sockaddr_in addr = parse_tcp(to);
+
+  int fd = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) sys_fail("socket");
+  set_nonblocking(fd);
+  int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  int rc = connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+  if (rc < 0 && errno != EINPROGRESS) {
+    ::close(fd);
+    sys_fail("connect");
+  }
+
+  Conn c;
+  c.fd = fd;
+  c.connecting = (rc < 0);
+  c.peer = to;  // we dialed, so we already know who this is
+
+  epoll_event ev{};
+  ev.events = EPOLLIN | EPOLLOUT;  // EPOLLOUT signals connect completion
+  ev.data.fd = fd;
+  if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) < 0) {
+    ::close(fd);
+    sys_fail("epoll_ctl add");
+  }
+  c.want_write = true;
+
+  auto [it, _] = conns_.emplace(fd, std::move(c));
+  by_peer_[to.value] = fd;
+
+  // Introduce ourselves so the peer can label our frames.
+  serial::Frame hello;
+  hello.type = serial::FrameType::kHeartbeat;
+  hello.payload = serial::to_bytes(local().value);
+  queue_frame(it->second, hello);
+  return it->second;
+}
+
+void TcpTransport::send(const Endpoint& to, serial::Frame frame) {
+  Conn* c = nullptr;
+  if (auto it = by_peer_.find(to.value); it != by_peer_.end()) {
+    auto cit = conns_.find(it->second);
+    if (cit != conns_.end()) c = &cit->second;
+  }
+  if (!c) c = &connect_to(to);
+  queue_frame(*c, frame);
+}
+
+void TcpTransport::accept_ready() {
+  for (;;) {
+    int fd = accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      return;  // transient accept errors: keep serving
+    }
+    int one = 1;
+    setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+    Conn c;
+    c.fd = fd;
+
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) < 0) {
+      ::close(fd);
+      continue;
+    }
+    auto [it, _] = conns_.emplace(fd, std::move(c));
+
+    // Send our HELLO so the dialer can label inbound frames too.
+    serial::Frame hello;
+    hello.type = serial::FrameType::kHeartbeat;
+    hello.payload = serial::to_bytes(local().value);
+    queue_frame(it->second, hello);
+  }
+}
+
+void TcpTransport::conn_readable(int fd) {
+  auto it = conns_.find(fd);
+  if (it == conns_.end()) return;
+  Conn& c = it->second;
+
+  std::uint8_t buf[16384];
+  for (;;) {
+    ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n > 0) {
+      try {
+        c.decoder.feed(buf, static_cast<std::size_t>(n));
+      } catch (const serial::DecodeError&) {
+        close_conn(fd);
+        return;
+      }
+      continue;
+    }
+    if (n == 0) {  // orderly shutdown
+      close_conn(fd);
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    close_conn(fd);
+    return;
+  }
+
+  // Dispatch complete frames. A HELLO (first heartbeat) is consumed to
+  // learn the peer's listening endpoint.
+  for (;;) {
+    std::optional<serial::Frame> f;
+    try {
+      f = c.decoder.next();
+    } catch (const serial::DecodeError&) {
+      close_conn(fd);
+      return;
+    }
+    if (!f) break;
+    if (f->type == serial::FrameType::kHeartbeat && !c.hello_seen) {
+      // Both sides open with a HELLO; consume it. On accepted connections
+      // it also tells us the dialer's listening endpoint.
+      c.hello_seen = true;
+      if (c.peer.empty()) {
+        c.peer = Endpoint{serial::to_string(f->payload)};
+        by_peer_[c.peer.value] = fd;
+      }
+      continue;
+    }
+    if (handler_) {
+      ++delivered_in_poll_;
+      handler_(c.peer, std::move(*f));
+      // The handler may have closed this connection (indirectly); re-check.
+      if (conns_.find(fd) == conns_.end()) return;
+    }
+  }
+}
+
+void TcpTransport::conn_writable(int fd) {
+  auto it = conns_.find(fd);
+  if (it == conns_.end()) return;
+  Conn& c = it->second;
+  c.connecting = false;
+
+  while (c.out_pos < c.outbuf.size()) {
+    ssize_t n = ::write(fd, c.outbuf.data() + c.out_pos,
+                        c.outbuf.size() - c.out_pos);
+    if (n > 0) {
+      c.out_pos += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+    close_conn(fd);
+    return;
+  }
+  c.outbuf.clear();
+  c.out_pos = 0;
+  c.want_write = false;
+  update_epoll(c);
+}
+
+void TcpTransport::close_conn(int fd) {
+  auto it = conns_.find(fd);
+  if (it == conns_.end()) return;
+  if (!it->second.peer.empty()) {
+    auto pit = by_peer_.find(it->second.peer.value);
+    if (pit != by_peer_.end() && pit->second == fd) by_peer_.erase(pit);
+  }
+  epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  ::close(fd);
+  conns_.erase(it);
+}
+
+std::size_t TcpTransport::poll_wait(int timeout_ms) {
+  delivered_in_poll_ = 0;
+  epoll_event events[64];
+  int n = epoll_wait(epoll_fd_, events, 64, timeout_ms);
+  for (int i = 0; i < n; ++i) {
+    const int fd = events[i].data.fd;
+    const std::uint32_t ev = events[i].events;
+    if (fd == listen_fd_) {
+      accept_ready();
+      continue;
+    }
+    if (ev & (EPOLLERR | EPOLLHUP)) {
+      // For an in-flight connect this is connection-refused; either way the
+      // connection is unusable.
+      close_conn(fd);
+      continue;
+    }
+    if (ev & EPOLLOUT) conn_writable(fd);
+    if (ev & EPOLLIN) conn_readable(fd);
+  }
+  return delivered_in_poll_;
+}
+
+}  // namespace cg::net

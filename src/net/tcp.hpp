@@ -1,0 +1,70 @@
+// ConGrid -- TCP transport (epoll reactor).
+//
+// A from-scratch asio substitute sized for what ConGrid needs: one
+// non-blocking listener plus on-demand outbound connections, driven by a
+// single-threaded epoll loop that the owner pumps via poll(). Frames are
+// delimited with the serial framing layer, so a Frame sent here is
+// byte-identical to one sent over the simulator.
+//
+// Identity: a freshly accepted connection only reveals the peer's ephemeral
+// port, not the endpoint other nodes dial. Each side therefore opens every
+// connection with a HELLO frame (type kHeartbeat, payload = its listening
+// endpoint string); the transport consumes HELLOs internally and labels all
+// subsequent frames on that connection with the advertised endpoint.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "net/transport.hpp"
+
+namespace cg::net {
+
+/// Polled TCP transport bound to 127.0.0.1. Not thread-safe: construct,
+/// send and poll from one thread (run one per peer thread).
+class TcpTransport final : public Transport {
+ public:
+  /// Bind and listen on the given port; 0 picks an ephemeral port (read it
+  /// back from local()). Throws std::runtime_error on socket errors.
+  explicit TcpTransport(std::uint16_t port = 0);
+  ~TcpTransport() override;
+
+  TcpTransport(const TcpTransport&) = delete;
+  TcpTransport& operator=(const TcpTransport&) = delete;
+
+  Endpoint local() const override;
+  void send(const Endpoint& to, serial::Frame frame) override;
+  void set_handler(FrameHandler handler) override { handler_ = std::move(handler); }
+
+  /// Non-blocking: process whatever I/O is ready now.
+  std::size_t poll() override { return poll_wait(0); }
+
+  /// Block up to timeout_ms for I/O, then process it. Returns frames
+  /// delivered to the handler.
+  std::size_t poll_wait(int timeout_ms);
+
+  /// Open connections (diagnostic).
+  std::size_t connection_count() const { return conns_.size(); }
+
+ private:
+  struct Conn;
+
+  void accept_ready();
+  void conn_readable(int fd);
+  void conn_writable(int fd);
+  void close_conn(int fd);
+  Conn& connect_to(const Endpoint& to);
+  void queue_frame(Conn& c, const serial::Frame& f);
+  void update_epoll(Conn& c);
+
+  int epoll_fd_ = -1;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  FrameHandler handler_;
+  std::unordered_map<int, Conn> conns_;          // by fd
+  std::unordered_map<std::string, int> by_peer_; // endpoint value -> fd
+  std::size_t delivered_in_poll_ = 0;
+};
+
+}  // namespace cg::net

@@ -1,0 +1,31 @@
+// ConGrid -- time and deferred-execution function types.
+//
+// Shared by every layer that must run both in simulated time (SimNetwork's
+// virtual clock) and in real time (steady_clock + a timer loop): bind Clock
+// and Scheduler to the environment once, and the layer above doesn't care
+// which world it lives in.
+#pragma once
+
+#include <chrono>
+#include <functional>
+
+namespace cg::net {
+
+/// Seconds on the ambient clock (virtual or wall).
+using Clock = std::function<double()>;
+
+/// Run `fn` after `delay_s` seconds on the ambient clock.
+using Scheduler = std::function<void(double delay_s, std::function<void()> fn)>;
+
+/// A wall-clock Clock based on steady_clock, starting near zero at first
+/// call site construction.
+inline Clock steady_clock_seconds() {
+  const auto epoch = std::chrono::steady_clock::now();
+  return [epoch] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         epoch)
+        .count();
+  };
+}
+
+}  // namespace cg::net

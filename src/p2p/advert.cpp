@@ -1,0 +1,136 @@
+#include "p2p/advert.hpp"
+
+#include <cstdlib>
+
+namespace cg::p2p {
+
+std::string advert_kind_name(AdvertKind k) {
+  switch (k) {
+    case AdvertKind::kPeer: return "peer";
+    case AdvertKind::kPipe: return "pipe";
+    case AdvertKind::kModule: return "module";
+  }
+  return "peer";
+}
+
+AdvertKind advert_kind_from_name(const std::string& s) {
+  if (s == "peer") return AdvertKind::kPeer;
+  if (s == "pipe") return AdvertKind::kPipe;
+  if (s == "module") return AdvertKind::kModule;
+  throw xml::XmlError("unknown advertisement kind: " + s);
+}
+
+std::optional<double> Advertisement::numeric_attr(
+    const std::string& key) const {
+  auto it = attrs.find(key);
+  if (it == attrs.end()) return std::nullopt;
+  char* end = nullptr;
+  double v = std::strtod(it->second.c_str(), &end);
+  if (end == it->second.c_str() || *end != '\0') return std::nullopt;
+  return v;
+}
+
+xml::Node Advertisement::to_xml() const {
+  xml::Node n("advert");
+  n.set_attr("kind", advert_kind_name(kind));
+  n.set_attr("id", id);
+  n.set_attr("name", name);
+  n.set_attr("provider", provider.value);
+  n.set_attr_double("expires", expires_at);
+  for (const auto& [k, v] : attrs) {
+    auto& a = n.add_child("attr");
+    a.set_attr("key", k);
+    a.set_attr("value", v);
+  }
+  return n;
+}
+
+Advertisement Advertisement::from_xml(const xml::Node& n) {
+  if (n.name() != "advert") {
+    throw xml::XmlError("expected <advert>, got <" + n.name() + ">");
+  }
+  Advertisement a;
+  a.kind = advert_kind_from_name(n.require_attr("kind"));
+  a.id = n.require_attr("id");
+  a.name = n.attr_or("name", "");
+  a.provider = net::Endpoint{n.require_attr("provider")};
+  a.expires_at = n.attr_double("expires", 0.0);
+  for (const xml::Node* c : n.children("attr")) {
+    a.attrs[c->require_attr("key")] = c->require_attr("value");
+  }
+  return a;
+}
+
+bool csv_contains(const std::string& csv, const std::string& group) {
+  std::size_t start = 0;
+  while (start <= csv.size()) {
+    const std::size_t comma = csv.find(',', start);
+    const std::size_t end = comma == std::string::npos ? csv.size() : comma;
+    if (csv.compare(start, end - start, group) == 0) return true;
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return false;
+}
+
+bool Query::matches(const Advertisement& a) const {
+  if (a.kind != kind) return false;
+  if (!name.empty() && a.name != name) return false;
+  if (!require_groups.empty()) {
+    auto it = a.attrs.find(kGroupsAttr);
+    if (it == a.attrs.end()) return false;
+    for (const auto& g : require_groups) {
+      if (!csv_contains(it->second, g)) return false;
+    }
+  }
+  for (const auto& [k, v] : require_equal) {
+    auto it = a.attrs.find(k);
+    if (it == a.attrs.end() || it->second != v) return false;
+  }
+  for (const auto& [k, min] : require_min) {
+    auto v = a.numeric_attr(k);
+    if (!v || *v < min) return false;
+  }
+  return true;
+}
+
+xml::Node Query::to_xml() const {
+  xml::Node n("query");
+  n.set_attr("kind", advert_kind_name(kind));
+  if (!name.empty()) n.set_attr("name", name);
+  for (const auto& [k, v] : require_equal) {
+    auto& c = n.add_child("equal");
+    c.set_attr("key", k);
+    c.set_attr("value", v);
+  }
+  for (const auto& [k, v] : require_min) {
+    auto& c = n.add_child("min");
+    c.set_attr("key", k);
+    c.set_attr_double("value", v);
+  }
+  for (const auto& g : require_groups) {
+    n.add_child("group").set_attr("name", g);
+  }
+  return n;
+}
+
+Query Query::from_xml(const xml::Node& n) {
+  if (n.name() != "query") {
+    throw xml::XmlError("expected <query>, got <" + n.name() + ">");
+  }
+  Query q;
+  q.kind = advert_kind_from_name(n.require_attr("kind"));
+  q.name = n.attr_or("name", "");
+  for (const xml::Node* c : n.children("equal")) {
+    q.require_equal[c->require_attr("key")] = c->require_attr("value");
+  }
+  for (const xml::Node* c : n.children("min")) {
+    q.require_min[c->require_attr("key")] = c->attr_double("value", 0.0);
+  }
+  for (const xml::Node* c : n.children("group")) {
+    q.require_groups.push_back(c->require_attr("name"));
+  }
+  return q;
+}
+
+}  // namespace cg::p2p

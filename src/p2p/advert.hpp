@@ -1,0 +1,80 @@
+// ConGrid -- advertisements.
+//
+// JXTA (which the paper's Triana implementation builds on, section 3.4)
+// describes every discoverable entity with an XML advertisement. ConGrid
+// keeps that model: peers, pipes and code modules are advertised as XML
+// documents with a lifetime, cached by whoever sees them, and matched
+// against attribute queries ("CPU capability and available free memory" --
+// section 4).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/endpoint.hpp"
+#include "xml/node.hpp"
+
+namespace cg::p2p {
+
+/// What kind of entity an advertisement describes.
+enum class AdvertKind : std::uint8_t {
+  kPeer = 1,    ///< a peer and its capabilities (cpu_mhz, free_mem_mb, ...)
+  kPipe = 2,    ///< a named input pipe bound to a peer endpoint
+  kModule = 3,  ///< an executable module a peer can serve
+};
+
+std::string advert_kind_name(AdvertKind k);
+AdvertKind advert_kind_from_name(const std::string& s);
+
+/// An advertisement: identity, provider endpoint, free-form attributes and
+/// an absolute expiry time (seconds on the publishing network's clock).
+struct Advertisement {
+  AdvertKind kind = AdvertKind::kPeer;
+  std::string id;        ///< unique id of the advertised entity
+  std::string name;      ///< human-meaningful name (pipe name, module name)
+  net::Endpoint provider;///< where the entity is reachable
+  std::map<std::string, std::string> attrs;
+  double expires_at = 0; ///< absolute time; <= now means stale
+
+  /// Numeric attribute accessor; nullopt when missing or non-numeric.
+  std::optional<double> numeric_attr(const std::string& key) const;
+
+  /// Serialise to the on-the-wire XML element (paper: adverts are XML).
+  xml::Node to_xml() const;
+  /// Parse an advertisement; throws xml::XmlError on malformed input.
+  static Advertisement from_xml(const xml::Node& n);
+
+  bool operator==(const Advertisement&) const = default;
+};
+
+/// Virtual peer groups (paper section 4: "the ability to group peers with
+/// common capability into virtual peer groups"): membership is the
+/// comma-separated "groups" attribute on a peer advert.
+constexpr const char* kGroupsAttr = "groups";
+
+/// True when `csv` ("a,b,c") contains the exact token `group`.
+bool csv_contains(const std::string& csv, const std::string& group);
+
+/// A discovery query: kind, optional exact name, exact-match attributes,
+/// numeric minimums ("cpu_mhz >= 1000") and virtual-group membership.
+struct Query {
+  AdvertKind kind = AdvertKind::kPeer;
+  std::string name;  ///< empty = any name
+  std::map<std::string, std::string> require_equal;
+  std::map<std::string, double> require_min;
+  /// The advert's "groups" attribute must contain each of these tokens.
+  std::vector<std::string> require_groups;
+
+  /// True when `a` satisfies every constraint in this query.
+  bool matches(const Advertisement& a) const;
+
+  xml::Node to_xml() const;
+  static Query from_xml(const xml::Node& n);
+
+  bool operator==(const Query&) const = default;
+};
+
+}  // namespace cg::p2p

@@ -1,0 +1,97 @@
+#include "p2p/cache.hpp"
+
+#include <algorithm>
+
+namespace cg::p2p {
+
+bool AdvertisementCache::put(const Advertisement& a, double now) {
+  // Reclaim stale space before considering eviction.
+  if (entries_.size() >= capacity_) purge(now);
+  auto it = entries_.find(a.id);
+  if (it != entries_.end()) {
+    it->second = a;
+    return false;
+  }
+  if (entries_.size() >= capacity_) evict_one();
+  entries_.emplace(a.id, a);
+  return true;
+}
+
+std::vector<Advertisement> AdvertisementCache::find(const Query& q, double now,
+                                                    std::size_t limit) {
+  std::vector<Advertisement> out;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->second.expires_at <= now) {
+      it = entries_.erase(it);
+      continue;
+    }
+    if (q.matches(it->second)) {
+      out.push_back(it->second);
+      if (out.size() >= limit) break;
+    }
+    ++it;
+  }
+  return out;
+}
+
+const Advertisement* AdvertisementCache::get(const std::string& id,
+                                             double now) {
+  auto it = entries_.find(id);
+  if (it == entries_.end()) return nullptr;
+  if (it->second.expires_at <= now) {
+    entries_.erase(it);
+    return nullptr;
+  }
+  return &it->second;
+}
+
+std::size_t AdvertisementCache::purge(double now) {
+  std::size_t removed = 0;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->second.expires_at <= now) {
+      it = entries_.erase(it);
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}
+
+std::size_t AdvertisementCache::drop_provider(const net::Endpoint& provider) {
+  std::size_t removed = 0;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->second.provider == provider) {
+      it = entries_.erase(it);
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}
+
+std::size_t AdvertisementCache::drop_name(AdvertKind kind,
+                                          const std::string& name) {
+  std::size_t removed = 0;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->second.kind == kind && it->second.name == name) {
+      it = entries_.erase(it);
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}
+
+void AdvertisementCache::evict_one() {
+  if (entries_.empty()) return;
+  auto victim = std::min_element(
+      entries_.begin(), entries_.end(), [](const auto& a, const auto& b) {
+        return a.second.expires_at < b.second.expires_at;
+      });
+  entries_.erase(victim);
+}
+
+}  // namespace cg::p2p

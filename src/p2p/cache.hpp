@@ -1,0 +1,60 @@
+// ConGrid -- advertisement cache.
+//
+// Every peer keeps the advertisements it has seen (its own, and those that
+// arrived in discovery traffic); entries expire by advertisement lifetime.
+// Rendezvous super-peers are just peers whose cache receives many publishes.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "p2p/advert.hpp"
+
+namespace cg::p2p {
+
+class AdvertisementCache {
+ public:
+  /// `capacity` bounds the number of live entries; when full, inserting
+  /// evicts the entry closest to expiry (stale-first).
+  explicit AdvertisementCache(std::size_t capacity = 4096)
+      : capacity_(capacity) {}
+
+  /// Insert or refresh (same id => replace). Returns true when the entry
+  /// was new, false when it refreshed an existing one.
+  bool put(const Advertisement& a, double now);
+
+  /// All live adverts matching the query (stale entries are skipped and
+  /// lazily removed).
+  std::vector<Advertisement> find(const Query& q, double now,
+                                  std::size_t limit = SIZE_MAX);
+
+  /// Lookup by advert id; nullptr when absent or stale.
+  const Advertisement* get(const std::string& id, double now);
+
+  /// Remove adverts whose expiry has passed. Returns how many were removed.
+  std::size_t purge(double now);
+
+  /// Remove one advert by id; returns true when it was present.
+  bool remove(const std::string& id) { return entries_.erase(id) > 0; }
+
+  /// Drop every advert published by `provider` (used when a peer is
+  /// observed dead).
+  std::size_t drop_provider(const net::Endpoint& provider);
+
+  /// Drop every advert of `kind` named `name` regardless of provider
+  /// (used when a migrated pipe must not resolve to its old host).
+  std::size_t drop_name(AdvertKind kind, const std::string& name);
+
+  std::size_t size() const { return entries_.size(); }
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  void evict_one();
+
+  std::size_t capacity_;
+  std::unordered_map<std::string, Advertisement> entries_;  // by id
+};
+
+}  // namespace cg::p2p

@@ -1,0 +1,66 @@
+#include "p2p/discovery.hpp"
+
+#include <algorithm>
+
+namespace cg::p2p {
+
+ExpandingRingSearch::ExpandingRingSearch(PeerNode& node, Scheduler scheduler,
+                                         Query query,
+                                         ExpandingRingOptions options)
+    : node_(node),
+      scheduler_(std::move(scheduler)),
+      query_(std::move(query)),
+      options_(options) {}
+
+void ExpandingRingSearch::start(Done done) {
+  done_ = std::move(done);
+  issue_ring(options_.initial_ttl);
+}
+
+void ExpandingRingSearch::issue_ring(int ttl) {
+  ++result_.rings_issued;
+  auto self = shared_from_this();
+  active_query_ = node_.discover_flood(
+      query_, ttl, [self, ttl](const std::vector<Advertisement>& adverts) {
+        if (self->finished_) return;
+        for (const auto& a : adverts) {
+          // Dedup across rings and responders.
+          if (std::find(self->seen_ids_.begin(), self->seen_ids_.end(),
+                        a.id) != self->seen_ids_.end()) {
+            continue;
+          }
+          self->seen_ids_.push_back(a.id);
+          self->result_.adverts.push_back(a);
+        }
+        if (self->result_.adverts.size() >= self->options_.min_results) {
+          self->finish(ttl);
+        }
+      });
+  scheduler_(options_.ring_timeout_s, [self, ttl] {
+    self->on_ring_deadline(ttl);
+  });
+}
+
+void ExpandingRingSearch::on_ring_deadline(int ttl) {
+  if (finished_) return;
+  node_.cancel(active_query_);
+  if (result_.adverts.size() >= options_.min_results) {
+    finish(ttl);
+    return;
+  }
+  if (ttl >= options_.max_ttl) {
+    finish(0);  // gave up
+    return;
+  }
+  issue_ring(std::min(ttl * 2, options_.max_ttl));
+}
+
+void ExpandingRingSearch::finish(int success_ttl) {
+  if (finished_) return;
+  finished_ = true;
+  node_.cancel(active_query_);
+  result_.succeeded_at_ttl = success_ttl;
+  done_(std::move(result_));
+}
+
+}  // namespace cg::p2p

@@ -1,0 +1,65 @@
+// ConGrid -- expanding-ring search.
+//
+// Flooding with a large TTL reaches everyone but costs O(edges) messages
+// per query; a small TTL is cheap but may miss. The expanding ring starts
+// with a small TTL and, if too few results arrive within a ring timeout,
+// doubles it and retries -- the classic Gnutella-era mitigation referenced
+// by the paper's scalability discussion (section 4, [7]). Compared head to
+// head with plain flooding and rendezvous in experiment E4.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "p2p/peer_node.hpp"
+
+namespace cg::p2p {
+
+struct ExpandingRingOptions {
+  int initial_ttl = 1;
+  int max_ttl = 8;
+  double ring_timeout_s = 0.5;  ///< wait per ring before widening
+  std::size_t min_results = 1;  ///< stop as soon as this many adverts arrive
+};
+
+/// Outcome of a search: the (deduplicated, by id) adverts found, how many
+/// rings were issued, and the TTL that finally satisfied the query (0 when
+/// the search failed even at max_ttl).
+struct SearchResult {
+  std::vector<Advertisement> adverts;
+  int rings_issued = 0;
+  int succeeded_at_ttl = 0;
+};
+
+/// One-shot search object. Create with make_shared, call start() once; the
+/// completion handler fires exactly once, on the scheduler's thread/time.
+class ExpandingRingSearch
+    : public std::enable_shared_from_this<ExpandingRingSearch> {
+ public:
+  using Done = std::function<void(SearchResult)>;
+
+  ExpandingRingSearch(PeerNode& node, Scheduler scheduler, Query query,
+                      ExpandingRingOptions options = {});
+
+  /// Begin the first ring. Requires the node and scheduler to outlive the
+  /// search's completion.
+  void start(Done done);
+
+ private:
+  void issue_ring(int ttl);
+  void on_ring_deadline(int ttl);
+  void finish(int success_ttl);
+
+  PeerNode& node_;
+  Scheduler scheduler_;
+  Query query_;
+  ExpandingRingOptions options_;
+  Done done_;
+  SearchResult result_;
+  std::uint64_t active_query_ = 0;
+  bool finished_ = false;
+  std::vector<std::string> seen_ids_;
+};
+
+}  // namespace cg::p2p

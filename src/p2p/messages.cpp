@@ -1,0 +1,103 @@
+#include "p2p/messages.hpp"
+
+#include "serial/reader.hpp"
+#include "serial/writer.hpp"
+#include "xml/parse.hpp"
+#include "xml/write.hpp"
+
+namespace cg::p2p {
+namespace {
+
+serial::Frame finish(serial::Writer& w) {
+  serial::Frame f;
+  f.type = serial::FrameType::kDiscovery;
+  f.payload = w.take();
+  return f;
+}
+
+void write_adverts(serial::Writer& w,
+                   const std::vector<Advertisement>& adverts) {
+  w.varint(adverts.size());
+  for (const auto& a : adverts) {
+    w.string(xml::write(a.to_xml(), /*pretty=*/false));
+  }
+}
+
+std::vector<Advertisement> read_adverts(serial::Reader& r) {
+  const std::uint64_t n = r.varint();
+  std::vector<Advertisement> out;
+  out.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    out.push_back(Advertisement::from_xml(xml::parse(r.string())));
+  }
+  return out;
+}
+
+void expect_type(serial::Reader& r, DiscoveryMsgType want) {
+  const auto got = static_cast<DiscoveryMsgType>(r.u8());
+  if (got != want) {
+    throw serial::DecodeError("discovery message type mismatch");
+  }
+}
+
+}  // namespace
+
+serial::Frame encode(const QueryMsg& m) {
+  serial::Writer w;
+  w.u8(static_cast<std::uint8_t>(DiscoveryMsgType::kQuery));
+  w.u64(m.query_id);
+  w.string(m.origin.value);
+  w.u8(m.ttl);
+  w.string(xml::write(m.query.to_xml(), /*pretty=*/false));
+  return finish(w);
+}
+
+serial::Frame encode(const ResponseMsg& m) {
+  serial::Writer w;
+  w.u8(static_cast<std::uint8_t>(DiscoveryMsgType::kResponse));
+  w.u64(m.query_id);
+  write_adverts(w, m.adverts);
+  return finish(w);
+}
+
+serial::Frame encode(const PublishMsg& m) {
+  serial::Writer w;
+  w.u8(static_cast<std::uint8_t>(DiscoveryMsgType::kPublish));
+  write_adverts(w, m.adverts);
+  return finish(w);
+}
+
+DiscoveryMsgType discovery_type(const serial::Frame& f) {
+  serial::Reader r(f.payload);
+  return static_cast<DiscoveryMsgType>(r.u8());
+}
+
+QueryMsg decode_query(const serial::Frame& f) {
+  serial::Reader r(f.payload);
+  expect_type(r, DiscoveryMsgType::kQuery);
+  QueryMsg m;
+  m.query_id = r.u64();
+  m.origin = net::Endpoint{r.string()};
+  m.ttl = r.u8();
+  m.query = Query::from_xml(xml::parse(r.string()));
+  return m;
+}
+
+ResponseMsg decode_response(const serial::Frame& f) {
+  serial::Reader r(f.payload);
+  expect_type(r, DiscoveryMsgType::kResponse);
+  ResponseMsg m;
+  m.query_id = r.u64();
+  m.adverts = read_adverts(r);
+  return m;
+}
+
+PublishMsg decode_publish(const serial::Frame& f) {
+  serial::Reader r(f.payload);
+  expect_type(r, DiscoveryMsgType::kPublish);
+  PublishMsg m;
+  m.adverts = read_adverts(r);
+  return m;
+}
+
+}  // namespace cg::p2p

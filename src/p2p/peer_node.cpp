@@ -1,0 +1,240 @@
+#include "p2p/peer_node.hpp"
+
+#include <algorithm>
+
+namespace cg::p2p {
+
+PeerNode::PeerNode(net::Transport& transport, Clock clock, PeerConfig config)
+    : transport_(transport),
+      clock_(std::move(clock)),
+      config_(std::move(config)),
+      cache_(config_.cache_capacity) {
+  if (config_.peer_id.empty()) config_.peer_id = transport_.local().value;
+  transport_.set_handler([this](const net::Endpoint& from, serial::Frame f) {
+    on_frame(from, std::move(f));
+  });
+}
+
+void PeerNode::add_neighbor(const net::Endpoint& e) {
+  if (e == endpoint()) return;  // no self-loops
+  if (std::find(neighbors_.begin(), neighbors_.end(), e) == neighbors_.end()) {
+    neighbors_.push_back(e);
+  }
+}
+
+void PeerNode::join_group(const std::string& group) {
+  if (std::find(groups_.begin(), groups_.end(), group) == groups_.end()) {
+    groups_.push_back(group);
+  }
+}
+
+void PeerNode::leave_group(const std::string& group) {
+  groups_.erase(std::remove(groups_.begin(), groups_.end(), group),
+                groups_.end());
+}
+
+Advertisement PeerNode::make_peer_advert(
+    std::map<std::string, std::string> attrs) const {
+  Advertisement a;
+  a.kind = AdvertKind::kPeer;
+  a.id = "peer:" + config_.peer_id;
+  a.name = config_.peer_id;
+  a.provider = transport_.local();
+  a.attrs = std::move(attrs);
+  if (!groups_.empty()) {
+    std::string csv;
+    for (const auto& g : groups_) {
+      if (!csv.empty()) csv += ",";
+      csv += g;
+    }
+    a.attrs[kGroupsAttr] = csv;
+  }
+  a.expires_at = clock_() + config_.advert_lifetime_s;
+  return a;
+}
+
+Advertisement PeerNode::make_pipe_advert(const std::string& pipe_name) const {
+  Advertisement a;
+  a.kind = AdvertKind::kPipe;
+  a.id = "pipe:" + config_.peer_id + ":" + pipe_name;
+  a.name = pipe_name;
+  a.provider = transport_.local();
+  a.expires_at = clock_() + config_.advert_lifetime_s;
+  return a;
+}
+
+Advertisement PeerNode::make_module_advert(const std::string& module_name,
+                                           const std::string& version) const {
+  Advertisement a;
+  a.kind = AdvertKind::kModule;
+  a.id = "module:" + config_.peer_id + ":" + module_name + "@" + version;
+  a.name = module_name;
+  a.provider = transport_.local();
+  a.attrs["version"] = version;
+  a.expires_at = clock_() + config_.advert_lifetime_s;
+  return a;
+}
+
+void PeerNode::publish_local(const Advertisement& a) {
+  cache_.put(a, clock_());
+}
+
+void PeerNode::publish_to(const net::Endpoint& target,
+                          const std::vector<Advertisement>& adverts) {
+  PublishMsg m;
+  m.adverts = adverts;
+  transport_.send(target, encode(m));
+  stats_.adverts_published += adverts.size();
+}
+
+std::uint64_t PeerNode::fresh_query_id() {
+  // Mix the peer id hash in so ids from different peers don't collide in
+  // seen-sets even though each node counts from 1.
+  return (std::hash<std::string>{}(config_.peer_id) << 20) ^ next_query_++;
+}
+
+std::uint64_t PeerNode::discover_flood(const Query& q, int ttl,
+                                       ResponseHandler on) {
+  const std::uint64_t id = fresh_query_id();
+  ++stats_.queries_initiated;
+
+  // Mark our own copy as seen so a neighbour echoing it back is dropped.
+  seen_before(endpoint().value + "#" + std::to_string(id));
+
+  // Local cache may already answer.
+  auto local = find_local(q, config_.max_response_adverts);
+  pending_[id] = std::move(on);
+  if (!local.empty()) pending_[id](local);
+
+  if (ttl > 0) {
+    QueryMsg m;
+    m.query_id = id;
+    m.origin = endpoint();
+    m.ttl = static_cast<std::uint8_t>(std::min(ttl, 255));
+    m.query = q;
+    for (const auto& n : neighbors_) {
+      transport_.send(n, encode(m));
+      ++stats_.queries_forwarded;
+    }
+  }
+  return id;
+}
+
+std::uint64_t PeerNode::discover_rendezvous(const Query& q,
+                                            ResponseHandler on) {
+  const std::uint64_t id = fresh_query_id();
+  ++stats_.queries_initiated;
+  seen_before(endpoint().value + "#" + std::to_string(id));
+
+  auto local = find_local(q, config_.max_response_adverts);
+  pending_[id] = std::move(on);
+  if (!local.empty()) pending_[id](local);
+
+  if (!rendezvous_.empty()) {
+    QueryMsg m;
+    m.query_id = id;
+    m.origin = endpoint();
+    m.ttl = 2;  // rendezvous may fan out one more hop to its fellows
+    m.query = q;
+    transport_.send(rendezvous_.front(), encode(m));
+    ++stats_.queries_forwarded;
+  }
+  return id;
+}
+
+void PeerNode::cancel(std::uint64_t query_id) { pending_.erase(query_id); }
+
+std::vector<Advertisement> PeerNode::find_local(const Query& q,
+                                                std::size_t limit) {
+  return cache_.find(q, clock_(), limit);
+}
+
+bool PeerNode::seen_before(const std::string& key) {
+  if (seen_.contains(key)) return true;
+  seen_.insert(key);
+  seen_fifo_.push_back(key);
+  while (seen_fifo_.size() > config_.seen_query_capacity) {
+    seen_.erase(seen_fifo_.front());
+    seen_fifo_.pop_front();
+  }
+  return false;
+}
+
+void PeerNode::on_frame(const net::Endpoint& from, serial::Frame frame) {
+  if (frame.type != serial::FrameType::kDiscovery) {
+    if (fallback_) fallback_(from, std::move(frame));
+    return;
+  }
+  switch (discovery_type(frame)) {
+    case DiscoveryMsgType::kQuery:
+      handle_query(from, decode_query(frame));
+      break;
+    case DiscoveryMsgType::kResponse:
+      handle_response(decode_response(frame));
+      break;
+    case DiscoveryMsgType::kPublish:
+      handle_publish(decode_publish(frame));
+      break;
+  }
+}
+
+void PeerNode::handle_query(const net::Endpoint& from, QueryMsg m) {
+  const std::string key = m.origin.value + "#" + std::to_string(m.query_id);
+  if (seen_before(key)) {
+    ++stats_.duplicate_queries;
+    return;
+  }
+  ++stats_.queries_received;
+
+  // Answer what we can, straight back to the origin.
+  auto matches = find_local(m.query, config_.max_response_adverts);
+  if (!matches.empty()) {
+    ResponseMsg r;
+    r.query_id = m.query_id;
+    r.adverts = std::move(matches);
+    transport_.send(m.origin, encode(r));
+    ++stats_.responses_sent;
+  }
+
+  // Propagate. Plain peers flood to neighbours; rendezvous fan out to the
+  // other rendezvous instead (one extra hop at most).
+  if (m.ttl <= 1) return;
+  QueryMsg fwd = m;
+  fwd.ttl = static_cast<std::uint8_t>(m.ttl - 1);
+  if (is_rendezvous_) {
+    fwd.ttl = 1;  // fellow rendezvous answer but do not propagate further
+    for (const auto& r : rendezvous_) {
+      if (r == endpoint() || r == from) continue;
+      transport_.send(r, encode(fwd));
+      ++stats_.queries_forwarded;
+    }
+  } else {
+    for (const auto& n : neighbors_) {
+      if (n == from) continue;
+      transport_.send(n, encode(fwd));
+      ++stats_.queries_forwarded;
+    }
+  }
+}
+
+void PeerNode::handle_response(ResponseMsg m) {
+  ++stats_.responses_received;
+  // Remember what we learned -- answered queries warm the whole path's
+  // cache in JXTA; here the origin's cache.
+  const double t = clock_();
+  for (const auto& a : m.adverts) cache_.put(a, t);
+
+  auto it = pending_.find(m.query_id);
+  if (it == pending_.end()) return;  // cancelled or unknown: ignore
+  it->second(m.adverts);
+}
+
+void PeerNode::handle_publish(PublishMsg m) {
+  const double t = clock_();
+  for (const auto& a : m.adverts) {
+    cache_.put(a, t);
+    ++stats_.publishes_received;
+  }
+}
+
+}  // namespace cg::p2p

@@ -1,0 +1,176 @@
+// ConGrid -- peer node: overlay membership, advertisement cache, discovery.
+//
+// A PeerNode is the P2P personality of a Consumer Grid host. It owns the
+// advertisement cache, knows its overlay neighbours, and implements the
+// discovery protocols compared in experiment E4:
+//
+//   * flooding  -- forward the query to all neighbours with a TTL, answer
+//     from the local cache, respond directly to the origin. This is the
+//     "flooding mechanism ... [that] severely restricts scalability" the
+//     paper's section 4 discusses;
+//   * rendezvous -- peers publish their adverts to super-peers; queries go
+//     to a rendezvous, which answers from its cache and (once) fans the
+//     query out to fellow rendezvous. This is the JXTA-style mitigation;
+//   * expanding ring -- retried flooding with growing TTL (discovery.hpp).
+//
+// PeerNode installs itself as the transport's frame handler and consumes
+// kDiscovery frames; everything else is passed to the fallback handler, so
+// pipes (pipes.hpp) and the Triana service protocol chain behind it.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "net/time.hpp"
+#include "net/transport.hpp"
+#include "p2p/cache.hpp"
+#include "p2p/messages.hpp"
+
+namespace cg::p2p {
+
+/// Time source, in seconds. Bind to SimNetwork::now for simulated peers or
+/// to a steady_clock lambda for real ones. Advertisement expiry, cache
+/// purging and search timeouts all read this clock.
+using Clock = net::Clock;
+
+/// Deferred execution: run `fn` after `delay_s`. Bind to
+/// SimNetwork::schedule (simulated) or a local timer wheel (real).
+using Scheduler = net::Scheduler;
+
+struct PeerConfig {
+  std::string peer_id;                 ///< defaults to the endpoint value
+  double advert_lifetime_s = 300.0;    ///< lifetime stamped on own adverts
+  std::size_t cache_capacity = 4096;
+  std::size_t seen_query_capacity = 8192;
+  std::size_t max_response_adverts = 16;  ///< cap per response message
+};
+
+struct PeerNodeStats {
+  std::uint64_t queries_initiated = 0;
+  std::uint64_t queries_received = 0;   ///< excluding duplicates
+  std::uint64_t duplicate_queries = 0;
+  std::uint64_t queries_forwarded = 0;  ///< messages sent onward
+  std::uint64_t responses_sent = 0;
+  std::uint64_t responses_received = 0;
+  std::uint64_t adverts_published = 0;
+  std::uint64_t publishes_received = 0;
+};
+
+class PeerNode {
+ public:
+  /// The transport must outlive the node. The node takes over the
+  /// transport's frame handler.
+  PeerNode(net::Transport& transport, Clock clock, PeerConfig config = {});
+
+  PeerNode(const PeerNode&) = delete;
+  PeerNode& operator=(const PeerNode&) = delete;
+
+  const std::string& id() const { return config_.peer_id; }
+  net::Endpoint endpoint() const { return transport_.local(); }
+  net::Transport& transport() { return transport_; }
+  double now() const { return clock_(); }
+
+  // -- overlay -----------------------------------------------------------
+  void add_neighbor(const net::Endpoint& e);
+  const std::vector<net::Endpoint>& neighbors() const { return neighbors_; }
+
+  // -- virtual peer groups (paper section 4) --------------------------------
+  /// Join/leave a named virtual peer group; membership is folded into the
+  /// "groups" attribute of subsequently built peer adverts.
+  void join_group(const std::string& group);
+  void leave_group(const std::string& group);
+  const std::vector<std::string>& groups() const { return groups_; }
+
+  // -- advertisements ------------------------------------------------------
+  /// Build a peer advert describing this node with the given capability
+  /// attributes (e.g. {"cpu_mhz","2000"},{"free_mem_mb","256"}). Virtual
+  /// group memberships are added as the "groups" attribute.
+  Advertisement make_peer_advert(
+      std::map<std::string, std::string> attrs) const;
+
+  /// Build a pipe advert for an input pipe hosted here.
+  Advertisement make_pipe_advert(const std::string& pipe_name) const;
+
+  /// Build a module advert for code served from here.
+  Advertisement make_module_advert(const std::string& module_name,
+                                   const std::string& version) const;
+
+  /// Insert into the local cache (it will answer matching queries).
+  void publish_local(const Advertisement& a);
+
+  /// Push adverts to a remote cache -- the peer->rendezvous publish path.
+  void publish_to(const net::Endpoint& target,
+                  const std::vector<Advertisement>& adverts);
+
+  AdvertisementCache& cache() { return cache_; }
+
+  // -- rendezvous role ------------------------------------------------------
+  /// A rendezvous node answers queries from its cache and forwards
+  /// unanswered ones (once) to fellow rendezvous.
+  void set_rendezvous_role(bool on) { is_rendezvous_ = on; }
+  bool is_rendezvous() const { return is_rendezvous_; }
+  /// Known rendezvous peers: the publish/query target for edge peers, the
+  /// fan-out set for rendezvous themselves.
+  void add_rendezvous(const net::Endpoint& e) { rendezvous_.push_back(e); }
+  const std::vector<net::Endpoint>& rendezvous() const { return rendezvous_; }
+
+  // -- discovery -------------------------------------------------------------
+  /// Called once per response message for a query this node initiated.
+  using ResponseHandler =
+      std::function<void(const std::vector<Advertisement>&)>;
+
+  /// Flood `q` to all neighbours with the given TTL. Also checks the local
+  /// cache synchronously. Returns the query id (use cancel() when done).
+  std::uint64_t discover_flood(const Query& q, int ttl, ResponseHandler on);
+
+  /// Ask this node's first known rendezvous.
+  std::uint64_t discover_rendezvous(const Query& q, ResponseHandler on);
+
+  /// Stop routing responses for a query id (handlers may be called again
+  /// otherwise, as stragglers arrive).
+  void cancel(std::uint64_t query_id);
+
+  /// Query only the local cache.
+  std::vector<Advertisement> find_local(const Query& q,
+                                        std::size_t limit = SIZE_MAX);
+
+  // -- frame plumbing ---------------------------------------------------------
+  /// Receives every non-discovery frame (pipes, service protocol).
+  void set_fallback_handler(net::FrameHandler h) { fallback_ = std::move(h); }
+
+  const PeerNodeStats& stats() const { return stats_; }
+
+ private:
+  void on_frame(const net::Endpoint& from, serial::Frame frame);
+  void handle_query(const net::Endpoint& from, QueryMsg m);
+  void handle_response(ResponseMsg m);
+  void handle_publish(PublishMsg m);
+  bool seen_before(const std::string& key);
+  std::uint64_t fresh_query_id();
+
+  net::Transport& transport_;
+  Clock clock_;
+  PeerConfig config_;
+  AdvertisementCache cache_;
+  std::vector<net::Endpoint> neighbors_;
+  std::vector<std::string> groups_;
+  std::vector<net::Endpoint> rendezvous_;
+  bool is_rendezvous_ = false;
+
+  std::unordered_set<std::string> seen_;
+  std::deque<std::string> seen_fifo_;
+
+  std::unordered_map<std::uint64_t, ResponseHandler> pending_;
+  std::uint64_t next_query_ = 1;
+
+  net::FrameHandler fallback_;
+  PeerNodeStats stats_;
+};
+
+}  // namespace cg::p2p

@@ -1,0 +1,128 @@
+#include "p2p/pipes.hpp"
+
+#include <stdexcept>
+
+#include "serial/reader.hpp"
+#include "serial/writer.hpp"
+
+namespace cg::p2p {
+
+PipeServe::PipeServe(PeerNode& node, Scheduler scheduler)
+    : node_(node), scheduler_(std::move(scheduler)) {
+  node_.set_fallback_handler(
+      [this](const net::Endpoint& from, serial::Frame f) {
+        on_frame(from, std::move(f));
+      });
+}
+
+void PipeServe::advertise_input(const std::string& pipe_name,
+                                PipeHandler handler) {
+  inputs_[pipe_name] = std::move(handler);
+  const Advertisement advert = node_.make_pipe_advert(pipe_name);
+  node_.publish_local(advert);
+  for (const auto& r : node_.rendezvous()) {
+    node_.publish_to(r, {advert});
+    break;  // one rendezvous is responsible for this peer's adverts
+  }
+}
+
+void PipeServe::remove_input(const std::string& pipe_name) {
+  inputs_.erase(pipe_name);
+  // Withdraw our advert too: a dead pipe must not keep answering
+  // discovery (it would capture rebinding senders after a migration).
+  node_.cache().remove(node_.make_pipe_advert(pipe_name).id);
+}
+
+void PipeServe::bind_output(const std::string& pipe_name, BindHandler on_bound,
+                            ExpandingRingOptions ring) {
+  Query q;
+  q.kind = AdvertKind::kPipe;
+  q.name = pipe_name;
+
+  // 1. Local cache (free).
+  auto local = node_.find_local(q, 1);
+  if (!local.empty()) {
+    on_bound(OutputPipe{pipe_name, local.front().provider});
+    return;
+  }
+
+  // 2. Rendezvous (one round trip) -- fall through to flooding on timeout.
+  if (!node_.rendezvous().empty()) {
+    auto done = std::make_shared<bool>(false);
+    auto handler_copy = on_bound;
+    const std::uint64_t qid = node_.discover_rendezvous(
+        q, [this, pipe_name, done, handler_copy](
+               const std::vector<Advertisement>& adverts) {
+          if (*done || adverts.empty()) return;
+          *done = true;
+          handler_copy(OutputPipe{pipe_name, adverts.front().provider});
+        });
+    scheduler_(ring.ring_timeout_s, [this, qid, done, pipe_name,
+                                     on_bound = std::move(on_bound), ring] {
+      if (*done) return;
+      node_.cancel(qid);
+      *done = true;
+      // 3. Expanding-ring flood as the fallback.
+      Query fallback_query;
+      fallback_query.kind = AdvertKind::kPipe;
+      fallback_query.name = pipe_name;
+      auto search = std::make_shared<ExpandingRingSearch>(
+          node_, scheduler_, std::move(fallback_query), ring);
+      search->start([pipe_name, on_bound](SearchResult r) {
+        if (r.adverts.empty()) {
+          on_bound(OutputPipe{pipe_name, net::Endpoint{}});
+        } else {
+          on_bound(OutputPipe{pipe_name, r.adverts.front().provider});
+        }
+      });
+    });
+    return;
+  }
+
+  // No rendezvous configured: straight to expanding ring.
+  auto search = std::make_shared<ExpandingRingSearch>(
+      node_, scheduler_, q, ring);
+  search->start([pipe_name, on_bound = std::move(on_bound)](SearchResult r) {
+    if (r.adverts.empty()) {
+      on_bound(OutputPipe{pipe_name, net::Endpoint{}});
+    } else {
+      on_bound(OutputPipe{pipe_name, r.adverts.front().provider});
+    }
+  });
+}
+
+void PipeServe::send(const OutputPipe& pipe, serial::Bytes payload) {
+  if (!pipe.bound()) {
+    throw std::logic_error("send on unbound pipe '" + pipe.name + "'");
+  }
+  serial::Writer w(pipe.name.size() + payload.size() + 16);
+  w.string(pipe.name);
+  w.blob(payload);
+
+  serial::Frame f;
+  f.type = serial::FrameType::kData;
+  f.payload = w.take();
+  stats_.bytes_sent += f.payload.size();
+  ++stats_.payloads_sent;
+  node_.transport().send(pipe.target, std::move(f));
+}
+
+void PipeServe::on_frame(const net::Endpoint& from, serial::Frame frame) {
+  if (frame.type != serial::FrameType::kData) {
+    if (fallback_) fallback_(from, std::move(frame));
+    return;
+  }
+  serial::Reader r(frame.payload);
+  const std::string pipe_name = r.string();
+  serial::Bytes payload = r.blob();
+
+  auto it = inputs_.find(pipe_name);
+  if (it == inputs_.end()) {
+    ++stats_.payloads_for_unknown_pipe;
+    return;
+  }
+  ++stats_.payloads_received;
+  it->second(from, std::move(payload));
+}
+
+}  // namespace cg::p2p

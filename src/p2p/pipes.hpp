@@ -1,0 +1,96 @@
+// ConGrid -- named pipes (the JXTAServe analogue).
+//
+// The paper, section 3.4: "for each input connection, the remote service
+// advertises an input pipe with that connection's unique name. Since the
+// local service knows the connection's unique name it locates the pipe with
+// that name and binds to it". PipeServe is ConGrid's version of JXTAServe:
+// a stable facade that hides the discovery/advertisement machinery from the
+// layers above (the Triana service protocol uses only this interface, so
+// swapping the discovery substrate never touches the engine -- the paper's
+// motivation for JXTAServe).
+//
+// Input side:  advertise_input(name, handler)  -> pipe advert + dispatch
+// Output side: bind_output(name, ...)          -> discovery -> OutputPipe
+//              send(pipe, bytes)               -> kData frame to the binding
+#pragma once
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+
+#include "p2p/discovery.hpp"
+#include "p2p/peer_node.hpp"
+
+namespace cg::p2p {
+
+/// A bound output pipe: where payloads for `name` should be sent.
+struct OutputPipe {
+  std::string name;
+  net::Endpoint target;
+  bool bound() const { return !target.empty(); }
+};
+
+struct PipeServeStats {
+  std::uint64_t payloads_sent = 0;
+  std::uint64_t payloads_received = 0;
+  std::uint64_t payloads_for_unknown_pipe = 0;
+  std::uint64_t bytes_sent = 0;
+};
+
+class PipeServe {
+ public:
+  /// Payload handler for an input pipe; `from` is the sending transport
+  /// endpoint.
+  using PipeHandler =
+      std::function<void(const net::Endpoint& from, serial::Bytes payload)>;
+  using BindHandler = std::function<void(OutputPipe)>;
+
+  /// The node and scheduler must outlive the PipeServe. PipeServe installs
+  /// itself as the node's fallback handler and consumes kData frames.
+  PipeServe(PeerNode& node, Scheduler scheduler);
+
+  PipeServe(const PipeServe&) = delete;
+  PipeServe& operator=(const PipeServe&) = delete;
+
+  // -- input pipes -----------------------------------------------------------
+  /// Register a handler and advertise the pipe: always in the local cache,
+  /// and pushed to this node's rendezvous when it has one.
+  void advertise_input(const std::string& pipe_name, PipeHandler handler);
+
+  /// Stop serving an input pipe (payloads for it become "unknown").
+  void remove_input(const std::string& pipe_name);
+
+  bool has_input(const std::string& pipe_name) const {
+    return inputs_.contains(pipe_name);
+  }
+
+  // -- output pipes -----------------------------------------------------------
+  /// Resolve `pipe_name` to a provider. Checks the local cache, then the
+  /// rendezvous when configured, then expanding-ring floods. Calls
+  /// `on_bound` exactly once -- with an unbound OutputPipe on failure.
+  void bind_output(const std::string& pipe_name, BindHandler on_bound,
+                   ExpandingRingOptions ring = {});
+
+  /// Fire-and-forget payload delivery over a bound pipe. Throws
+  /// std::logic_error if the pipe is unbound.
+  void send(const OutputPipe& pipe, serial::Bytes payload);
+
+  // -- plumbing ----------------------------------------------------------------
+  /// Frames that are neither discovery (PeerNode) nor pipe data end up
+  /// here -- the Triana service protocol chains on this.
+  void set_fallback_handler(net::FrameHandler h) { fallback_ = std::move(h); }
+
+  const PipeServeStats& stats() const { return stats_; }
+  PeerNode& node() { return node_; }
+
+ private:
+  void on_frame(const net::Endpoint& from, serial::Frame frame);
+
+  PeerNode& node_;
+  Scheduler scheduler_;
+  std::unordered_map<std::string, PipeHandler> inputs_;
+  net::FrameHandler fallback_;
+  PipeServeStats stats_;
+};
+
+}  // namespace cg::p2p

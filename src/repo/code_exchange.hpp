@@ -1,0 +1,63 @@
+// ConGrid -- code transfer protocol.
+//
+// The wire half of on-demand code download: an executing peer fetches a
+// module artifact from its owner; the owner answers from its
+// ModuleRepository. Rides in kCode frames so it composes with the same
+// frame-handler chain as discovery and pipes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+
+#include "net/transport.hpp"
+#include "repo/repository.hpp"
+
+namespace cg::repo {
+
+struct CodeExchangeStats {
+  std::uint64_t requests_sent = 0;
+  std::uint64_t requests_served = 0;
+  std::uint64_t requests_not_found = 0;
+  std::uint64_t artifacts_received = 0;
+  std::uint64_t bytes_served = 0;
+};
+
+/// One per peer. Chain it behind PipeServe:
+///   pipes.set_fallback_handler([&](auto& f, auto fr){ code.on_frame(f, fr); });
+class CodeExchange {
+ public:
+  using FetchHandler = std::function<void(std::optional<ModuleArtifact>)>;
+
+  /// `transport` is used for sending; inbound frames must be fed to
+  /// on_frame by whoever owns the handler chain.
+  explicit CodeExchange(net::Transport& transport) : transport_(transport) {}
+
+  /// Serve requests from this repository (nullptr = serve nothing).
+  void serve_from(const ModuleRepository* repo) { repo_ = repo; }
+
+  /// Request `name` (at `version`, or the owner's latest when empty) from
+  /// `owner`. The handler fires once, with nullopt when the owner does not
+  /// have the module.
+  std::uint64_t fetch(const net::Endpoint& owner, const std::string& name,
+                      const std::string& version, FetchHandler on_done);
+
+  /// Feed a frame from the handler chain. Consumes kCode frames; passes
+  /// everything else to the fallback.
+  void on_frame(const net::Endpoint& from, serial::Frame frame);
+
+  void set_fallback_handler(net::FrameHandler h) { fallback_ = std::move(h); }
+
+  const CodeExchangeStats& stats() const { return stats_; }
+
+ private:
+  net::Transport& transport_;
+  const ModuleRepository* repo_ = nullptr;
+  std::unordered_map<std::uint64_t, FetchHandler> pending_;
+  std::uint64_t next_req_ = 1;
+  net::FrameHandler fallback_;
+  CodeExchangeStats stats_;
+};
+
+}  // namespace cg::repo

@@ -1,0 +1,119 @@
+#include "repo/module_cache.hpp"
+
+#include <stdexcept>
+
+namespace cg::repo {
+
+std::optional<ModuleArtifact> ModuleCache::lookup(const std::string& name) {
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  ++stats_.hits;
+  touch(it->second, name);
+  return it->second.artifact;
+}
+
+void ModuleCache::touch(Entry& e, const std::string& name) {
+  lru_.erase(e.lru_it);
+  lru_.push_front(name);
+  e.lru_it = lru_.begin();
+}
+
+bool ModuleCache::insert(const ModuleArtifact& a) {
+  // Replace any resident version of the same name first.
+  if (auto it = entries_.find(a.name); it != entries_.end()) {
+    if (it->second.pin_count > 0) {
+      // In use: swapping the code underneath a running job is never safe.
+      // The new version lands on the next insert after the job unpins.
+      ++stats_.rejected_pinned;
+      return false;
+    }
+    if (a.size_bytes() > budget_bytes_) {
+      // Would never fit; keep the old version rather than losing both.
+      ++stats_.rejected_too_large;
+      return false;
+    }
+    resident_bytes_ -= it->second.artifact.size_bytes();
+    lru_.erase(it->second.lru_it);
+    entries_.erase(it);
+    if (!make_room(a.size_bytes())) {
+      ++stats_.rejected_too_large;
+      return false;
+    }
+    lru_.push_front(a.name);
+    Entry e{a, 0, lru_.begin()};
+    resident_bytes_ += a.size_bytes();
+    entries_.emplace(a.name, std::move(e));
+    ++stats_.insertions;
+    stats_.bytes_fetched += a.size_bytes();
+    return true;
+  }
+
+  if (!make_room(a.size_bytes())) {
+    ++stats_.rejected_too_large;
+    return false;
+  }
+  lru_.push_front(a.name);
+  Entry e{a, 0, lru_.begin()};
+  resident_bytes_ += a.size_bytes();
+  entries_.emplace(a.name, std::move(e));
+  ++stats_.insertions;
+  stats_.bytes_fetched += a.size_bytes();
+  return true;
+}
+
+bool ModuleCache::make_room(std::size_t need) {
+  if (need > budget_bytes_) return false;
+  while (resident_bytes_ + need > budget_bytes_) {
+    // Evict the least-recently-used unpinned entry.
+    auto victim = lru_.end();
+    for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+      if (entries_.at(*it).pin_count == 0) {
+        victim = std::next(it).base();
+        break;
+      }
+    }
+    if (victim == lru_.end()) return false;  // everything pinned
+    ++stats_.evictions;
+    erase_entry(*victim);
+  }
+  return true;
+}
+
+void ModuleCache::erase_entry(const std::string& name) {
+  auto it = entries_.find(name);
+  if (it == entries_.end()) return;
+  resident_bytes_ -= it->second.artifact.size_bytes();
+  lru_.erase(it->second.lru_it);
+  entries_.erase(it);
+}
+
+void ModuleCache::pin(const std::string& name) {
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    throw std::out_of_range("pin of non-resident module: " + name);
+  }
+  ++it->second.pin_count;
+}
+
+void ModuleCache::unpin(const std::string& name) {
+  auto it = entries_.find(name);
+  if (it == entries_.end()) return;
+  if (it->second.pin_count > 0) --it->second.pin_count;
+}
+
+bool ModuleCache::is_pinned(const std::string& name) const {
+  auto it = entries_.find(name);
+  return it != entries_.end() && it->second.pin_count > 0;
+}
+
+bool ModuleCache::release(const std::string& name) {
+  auto it = entries_.find(name);
+  if (it == entries_.end() || it->second.pin_count > 0) return false;
+  erase_entry(name);
+  return true;
+}
+
+}  // namespace cg::repo

@@ -1,0 +1,65 @@
+#include "repo/repository.hpp"
+
+#include <set>
+#include <stdexcept>
+
+namespace cg::repo {
+
+void ModuleRepository::put(ModuleArtifact a) {
+  store_[a.key()] = std::move(a);
+}
+
+std::optional<ModuleArtifact> ModuleRepository::get(
+    const std::string& name, const std::string& version) const {
+  auto it = store_.find(name + "@" + version);
+  if (it == store_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<ModuleArtifact> ModuleRepository::latest(
+    const std::string& name) const {
+  std::optional<ModuleArtifact> best;
+  for (const auto& [key, a] : store_) {
+    if (a.name != name) continue;
+    if (!best || a.version > best->version) best = a;
+  }
+  return best;
+}
+
+std::vector<std::string> ModuleRepository::module_names() const {
+  std::set<std::string> names;
+  for (const auto& [key, a] : store_) names.insert(a.name);
+  return {names.begin(), names.end()};
+}
+
+std::vector<ModuleArtifact> ModuleRepository::closure(
+    const std::string& name, const std::string& version) const {
+  std::vector<ModuleArtifact> out;
+  std::set<std::string> visited;
+
+  // Depth-first, dependencies before dependents.
+  auto visit = [&](auto&& self, const std::string& n,
+                   const std::string& v) -> void {
+    const std::string key = v.empty() ? n : n + "@" + v;
+    if (visited.contains(key)) return;
+    visited.insert(key);
+
+    std::optional<ModuleArtifact> a =
+        v.empty() ? latest(n) : get(n, v);
+    if (!a) {
+      throw std::out_of_range("module not in repository: " + key);
+    }
+    for (const auto& d : a->deps) self(self, d, "");
+    out.push_back(std::move(*a));
+  };
+  visit(visit, name, version);
+  return out;
+}
+
+std::size_t ModuleRepository::total_bytes() const {
+  std::size_t n = 0;
+  for (const auto& [key, a] : store_) n += a.size_bytes();
+  return n;
+}
+
+}  // namespace cg::repo

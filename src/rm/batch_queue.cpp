@@ -1,0 +1,48 @@
+#include "rm/batch_queue.hpp"
+
+#include <algorithm>
+
+namespace cg::rm {
+
+SimBatchQueue::SimBatchQueue(net::Scheduler scheduler, net::Clock clock,
+                             BatchQueueOptions options, std::uint64_t seed)
+    : scheduler_(std::move(scheduler)),
+      clock_(std::move(clock)),
+      options_(options),
+      rng_(seed) {}
+
+void SimBatchQueue::submit(double duration_s,
+                           std::function<void()> on_complete) {
+  ++stats_.submitted;
+  // Every submission pays the scheduler's decision latency before it can
+  // even join the run queue (GRAM's job-manager overhead).
+  const double overhead =
+      options_.mean_queue_overhead_s > 0
+          ? rng_.exponential(options_.mean_queue_overhead_s)
+          : 0.0;
+  scheduler_(overhead, [this, duration_s,
+                        on_complete = std::move(on_complete)]() mutable {
+    waiting_.push_back(Pending{duration_s, std::move(on_complete)});
+    stats_.max_queue_length = std::max(stats_.max_queue_length,
+                                       waiting_.size());
+    try_start();
+  });
+}
+
+void SimBatchQueue::try_start() {
+  while (busy_ < options_.slots && !waiting_.empty()) {
+    Pending p = std::move(waiting_.front());
+    waiting_.pop_front();
+    ++busy_;
+    ++stats_.started;
+    stats_.busy_seconds += p.duration_s;
+    scheduler_(p.duration_s, [this, done = std::move(p.on_complete)]() mutable {
+      --busy_;
+      ++stats_.completed;
+      if (done) done();
+      try_start();
+    });
+  }
+}
+
+}  // namespace cg::rm

@@ -1,0 +1,43 @@
+#include "rm/manager.hpp"
+
+namespace cg::rm {
+namespace {
+
+void run_one(Job& job, ManagerStats& stats, std::mutex* mu) {
+  bool ok = true;
+  std::string error;
+  try {
+    if (job.work) job.work();
+  } catch (const std::exception& e) {
+    ok = false;
+    error = e.what();
+  } catch (...) {
+    ok = false;
+    error = "unknown error";
+  }
+  {
+    std::unique_lock<std::mutex> lock;
+    if (mu) lock = std::unique_lock<std::mutex>(*mu);
+    ok ? ++stats.succeeded : ++stats.failed;
+  }
+  if (job.on_done) job.on_done(ok, error);
+}
+
+}  // namespace
+
+void InlineManager::launch(Job job) {
+  ++stats_.launched;
+  run_one(job, stats_, nullptr);
+}
+
+void ThreadPoolManager::launch(Job job) {
+  {
+    std::lock_guard lock(mu_);
+    ++stats_.launched;
+  }
+  pool_.post([this, job = std::move(job)]() mutable {
+    run_one(job, stats_, &mu_);
+  });
+}
+
+}  // namespace cg::rm

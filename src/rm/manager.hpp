@@ -1,0 +1,74 @@
+// ConGrid -- local resource managers.
+//
+// Paper, section 3.1: "The server component within each peer can interact
+// with Globus GRAM to launch jobs locally on the node ... In the case where
+// no local resource manager is available, the Triana server component can
+// itself be used to launch the application." A Triana service therefore
+// launches work through this interface, and the deployment decides whether
+// that means "run it right here", "hand it to the local worker pool", or
+// "submit it to the cluster's batch system".
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "rm/thread_pool.hpp"
+
+namespace cg::rm {
+
+/// A unit of launched work plus its completion callback. `work` runs to
+/// completion on whatever execution resource the manager owns; `on_done`
+/// fires afterwards with success/failure (work() throwing == failure).
+struct Job {
+  std::string id;
+  std::function<void()> work;
+  std::function<void(bool ok, const std::string& error)> on_done;
+};
+
+struct ManagerStats {
+  std::uint64_t launched = 0;
+  std::uint64_t succeeded = 0;
+  std::uint64_t failed = 0;
+};
+
+/// Abstract launch gateway (the GRAM-or-self decision point).
+class ResourceManager {
+ public:
+  virtual ~ResourceManager() = default;
+  virtual void launch(Job job) = 0;
+  virtual const ManagerStats& stats() const = 0;
+  /// Human-readable kind, e.g. "inline", "thread-pool".
+  virtual std::string kind() const = 0;
+};
+
+/// Runs the job synchronously on the caller's thread -- the "no local
+/// resource manager" case where the Triana server itself executes.
+class InlineManager final : public ResourceManager {
+ public:
+  void launch(Job job) override;
+  const ManagerStats& stats() const override { return stats_; }
+  std::string kind() const override { return "inline"; }
+
+ private:
+  ManagerStats stats_;
+};
+
+/// Dispatches jobs onto a shared worker pool -- a workstation with spare
+/// cores. Completion callbacks run on pool threads.
+class ThreadPoolManager final : public ResourceManager {
+ public:
+  /// The pool must outlive the manager.
+  explicit ThreadPoolManager(ThreadPool& pool) : pool_(pool) {}
+
+  void launch(Job job) override;
+  const ManagerStats& stats() const override { return stats_; }
+  std::string kind() const override { return "thread-pool"; }
+
+ private:
+  ThreadPool& pool_;
+  ManagerStats stats_;
+  std::mutex mu_;
+};
+
+}  // namespace cg::rm

@@ -1,0 +1,58 @@
+// ConGrid -- thread pool.
+//
+// The real-execution substrate behind the data-flow engine and the
+// ThreadPoolManager: a fixed set of workers draining a task queue.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cg::rm {
+
+class ThreadPool {
+ public:
+  /// `threads` == 0 selects hardware_concurrency (min 1).
+  explicit ThreadPool(unsigned threads = 0);
+  /// Drains nothing: pending tasks are discarded, running tasks joined.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a task. Throws std::runtime_error after shutdown began.
+  void post(std::function<void()> task);
+
+  /// Enqueue a task and get a future for its result.
+  template <typename F>
+  auto submit(F&& f) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    auto fut = task->get_future();
+    post([task] { (*task)(); });
+    return fut;
+  }
+
+  /// Block until the queue is empty and all workers are idle.
+  void wait_idle();
+
+  unsigned thread_count() const { return static_cast<unsigned>(workers_.size()); }
+  std::size_t pending() const;
+
+ private:
+  void worker_loop();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;        ///< wakes workers
+  std::condition_variable idle_cv_;   ///< wakes wait_idle
+  std::deque<std::function<void()>> queue_;
+  unsigned active_ = 0;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace cg::rm

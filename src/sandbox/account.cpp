@@ -1,0 +1,48 @@
+#include "sandbox/account.hpp"
+
+namespace cg::sandbox {
+
+void BillingLedger::bill(const std::string& owner, const std::string& module,
+                         double started_at, const Usage& usage,
+                         bool violated) {
+  BillingRecord r;
+  r.owner = owner;
+  r.module = module;
+  r.started_at = started_at;
+  r.cpu_seconds = usage.cpu_seconds;
+  r.peak_memory_bytes = usage.peak_memory_bytes;
+  r.network_bytes = usage.network_bytes;
+  r.violated = violated;
+  records_.push_back(std::move(r));
+}
+
+OwnerTotals BillingLedger::totals_for(const std::string& owner) const {
+  OwnerTotals t;
+  for (const auto& r : records_) {
+    if (r.owner != owner) continue;
+    ++t.executions;
+    t.violations += r.violated ? 1 : 0;
+    t.cpu_seconds += r.cpu_seconds;
+    t.network_bytes += r.network_bytes;
+  }
+  return t;
+}
+
+std::map<std::string, OwnerTotals> BillingLedger::totals() const {
+  std::map<std::string, OwnerTotals> out;
+  for (const auto& r : records_) {
+    auto& t = out[r.owner];
+    ++t.executions;
+    t.violations += r.violated ? 1 : 0;
+    t.cpu_seconds += r.cpu_seconds;
+    t.network_bytes += r.network_bytes;
+  }
+  return out;
+}
+
+double BillingLedger::amount_owed(const std::string& owner,
+                                  double price_per_cpu_second) const {
+  return totals_for(owner).cpu_seconds * price_per_cpu_second;
+}
+
+}  // namespace cg::sandbox

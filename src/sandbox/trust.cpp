@@ -1,0 +1,58 @@
+#include "sandbox/trust.hpp"
+
+#include <algorithm>
+
+namespace cg::sandbox {
+
+void TrustManager::record(const std::string& peer, TrustEvent event) {
+  auto [it, inserted] = entries_.emplace(peer, Entry{params_.initial, 0});
+  Entry& e = it->second;
+
+  // Forgetting: drift towards the prior before applying new evidence.
+  e.score += (params_.initial - e.score) * params_.forgetting;
+
+  switch (event) {
+    case TrustEvent::kSuccess:
+      e.score += (1.0 - e.score) * params_.success_gain;
+      break;
+    case TrustEvent::kFailure:
+      e.score -= e.score * params_.failure_loss;
+      break;
+    case TrustEvent::kViolation:
+      e.score -= e.score * params_.violation_loss;
+      break;
+    case TrustEvent::kDisagreement:
+      e.score -= e.score * params_.disagreement_loss;
+      break;
+  }
+  e.score = std::clamp(e.score, 0.0, 1.0);
+  ++e.observations;
+}
+
+double TrustManager::score(const std::string& peer) const {
+  auto it = entries_.find(peer);
+  return it == entries_.end() ? params_.initial : it->second.score;
+}
+
+std::uint64_t TrustManager::observations(const std::string& peer) const {
+  auto it = entries_.find(peer);
+  return it == entries_.end() ? 0 : it->second.observations;
+}
+
+std::vector<std::string> TrustManager::ranked(
+    std::vector<std::string> peers) const {
+  std::stable_sort(peers.begin(), peers.end(),
+                   [this](const std::string& a, const std::string& b) {
+                     return score(a) > score(b);
+                   });
+  return peers;
+}
+
+void TrustManager::ingest_ledger(const BillingLedger& ledger) {
+  for (const auto& r : ledger.records()) {
+    record(r.owner,
+           r.violated ? TrustEvent::kViolation : TrustEvent::kSuccess);
+  }
+}
+
+}  // namespace cg::sandbox

@@ -1,0 +1,86 @@
+// ConGrid -- trust and reputation (the paper's future work, realised).
+//
+// Paper (3.5): "we hope to investigate the development of more complex
+// trust models (and security policies) in the future"; section 2 notes the
+// Grid's assumption that "participating users are trusted ... may not
+// hold" for consumer peers. This module scores counterparties from
+// observed behaviour:
+//
+//   * a host scores *submitters* from its billing ledger (violations);
+//   * a controller scores *workers* from deployment outcomes (acks,
+//     failures, successful completions, result disagreements flagged by
+//     the Vote unit).
+//
+// Scores live in [0, 1] with asymmetric updates -- trust builds slowly and
+// collapses quickly -- and exponential forgetting so peers can redeem
+// themselves. TrianaController consults an optional TrustManager to rank
+// discovered workers and to quarantine peers below threshold.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sandbox/account.hpp"
+
+namespace cg::sandbox {
+
+struct TrustParams {
+  double initial = 0.5;            ///< score for a peer never seen before
+  double success_gain = 0.05;      ///< move towards 1 on good behaviour
+  double failure_loss = 0.10;      ///< move towards 0 on benign failure
+  double violation_loss = 0.50;    ///< move towards 0 on a sandbox breach
+  double disagreement_loss = 0.35; ///< move towards 0 on a bad result
+  double quarantine_threshold = 0.25;
+  /// Per observation, older evidence decays towards `initial` by this
+  /// factor before the update applies (redemption path).
+  double forgetting = 0.02;
+};
+
+enum class TrustEvent {
+  kSuccess,       ///< job completed / results returned and agreed
+  kFailure,       ///< benign failure (crash, timeout, churn)
+  kViolation,     ///< sandbox policy breach
+  kDisagreement,  ///< returned results contradicted the replica majority
+};
+
+class TrustManager {
+ public:
+  explicit TrustManager(TrustParams params = {}) : params_(params) {}
+
+  /// Record one observation about `peer`.
+  void record(const std::string& peer, TrustEvent event);
+
+  /// Current score; `initial` for unknown peers.
+  double score(const std::string& peer) const;
+
+  /// Below the quarantine threshold?
+  bool quarantined(const std::string& peer) const {
+    return score(peer) < params_.quarantine_threshold;
+  }
+
+  /// Total observations recorded about a peer.
+  std::uint64_t observations(const std::string& peer) const;
+
+  /// Order peer names best-first (stable for ties).
+  std::vector<std::string> ranked(std::vector<std::string> peers) const;
+
+  /// Fold a host's billing ledger in: every billed execution counts as a
+  /// success, every violation as a violation. This is how a long-running
+  /// host bootstraps submitter trust from its own records.
+  void ingest_ledger(const BillingLedger& ledger);
+
+  const TrustParams& params() const { return params_; }
+
+ private:
+  struct Entry {
+    double score;
+    std::uint64_t observations = 0;
+  };
+
+  TrustParams params_;
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace cg::sandbox

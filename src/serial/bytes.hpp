@@ -1,0 +1,27 @@
+// ConGrid -- byte-buffer primitives shared by the serialization layer.
+//
+// Pipe payloads, task-graph attachments and module artifacts all travel as
+// flat byte vectors; this header pins down the one representation everything
+// agrees on so module boundaries never disagree about ownership or layout.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cg::serial {
+
+/// Owning, contiguous byte buffer. All ConGrid wire payloads use this type.
+using Bytes = std::vector<std::uint8_t>;
+
+/// Convert a string to a byte buffer (no terminator is appended).
+inline Bytes to_bytes(const std::string& s) {
+  return Bytes(s.begin(), s.end());
+}
+
+/// Convert a byte buffer back to a string (bytes are taken verbatim).
+inline std::string to_string(const Bytes& b) {
+  return std::string(b.begin(), b.end());
+}
+
+}  // namespace cg::serial

@@ -1,0 +1,58 @@
+#include "serial/frame.hpp"
+
+#include <cstring>
+
+#include "serial/crc32.hpp"
+#include "serial/reader.hpp"
+#include "serial/writer.hpp"
+
+namespace cg::serial {
+namespace {
+// "CGF1" little-endian: ConGrid Frame version 1.
+constexpr std::uint32_t kMagic = 0x31464743u;
+}  // namespace
+
+Bytes encode_frame(const Frame& f) {
+  Writer w(kFrameHeaderSize + f.payload.size() + kFrameTrailerSize);
+  w.u32(kMagic);
+  w.u8(static_cast<std::uint8_t>(f.type));
+  w.u32(static_cast<std::uint32_t>(f.payload.size()));
+  w.raw(f.payload);
+  w.u32(crc32(f.payload));
+  return w.take();
+}
+
+void FrameDecoder::feed(const std::uint8_t* data, std::size_t len) {
+  buf_.insert(buf_.end(), data, data + len);
+}
+
+std::optional<Frame> FrameDecoder::next() {
+  if (buf_.size() < kFrameHeaderSize) return std::nullopt;
+
+  Reader header(std::span<const std::uint8_t>(buf_.data(), kFrameHeaderSize));
+  std::uint32_t magic = header.u32();
+  if (magic != kMagic) throw DecodeError("bad frame magic");
+  auto type = static_cast<FrameType>(header.u8());
+  std::uint32_t len = header.u32();
+  if (len > kMaxFramePayload) throw DecodeError("frame payload too large");
+
+  const std::size_t total = kFrameHeaderSize + len + kFrameTrailerSize;
+  if (buf_.size() < total) return std::nullopt;
+
+  Frame f;
+  f.type = type;
+  f.payload.assign(
+      buf_.begin() + static_cast<std::ptrdiff_t>(kFrameHeaderSize),
+      buf_.begin() + static_cast<std::ptrdiff_t>(kFrameHeaderSize + len));
+
+  Reader trailer(std::span<const std::uint8_t>(
+      buf_.data() + kFrameHeaderSize + len, kFrameTrailerSize));
+  if (trailer.u32() != crc32(f.payload)) {
+    throw DecodeError("frame CRC mismatch");
+  }
+
+  buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(total));
+  return f;
+}
+
+}  // namespace cg::serial

@@ -1,0 +1,66 @@
+// ConGrid -- message framing.
+//
+// A Frame is the unit exchanged over every transport: a small fixed header
+// (magic, type, payload length) followed by the payload and a CRC-32 of the
+// payload. The stream decoder is incremental so it can sit directly on a TCP
+// byte stream: feed arbitrary chunks, pull out complete frames.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+#include "serial/bytes.hpp"
+
+namespace cg::serial {
+
+/// Frame type tags. The framing layer does not interpret these beyond
+/// carrying them; higher layers (pipes, service protocol) dispatch on them.
+enum class FrameType : std::uint8_t {
+  kControl = 1,   ///< service/controller control message (XML body)
+  kData = 2,      ///< pipe data payload (binary-encoded DataItem)
+  kCode = 3,      ///< module artifact transfer
+  kDiscovery = 4, ///< advertisement / discovery query
+  kHeartbeat = 5, ///< liveness probe
+};
+
+/// A decoded frame: a type tag plus an owning payload.
+struct Frame {
+  FrameType type = FrameType::kControl;
+  Bytes payload;
+};
+
+/// Encode a frame into its on-the-wire representation:
+///   u32 magic | u8 type | u32 payload_len | payload | u32 crc32(payload)
+Bytes encode_frame(const Frame& f);
+
+/// Size in bytes of the fixed part that precedes the payload.
+constexpr std::size_t kFrameHeaderSize = 4 + 1 + 4;
+/// Trailer size (the CRC).
+constexpr std::size_t kFrameTrailerSize = 4;
+/// Frames larger than this are rejected as malformed (guards a corrupt or
+/// hostile length field from forcing a giant allocation).
+constexpr std::size_t kMaxFramePayload = 64u * 1024u * 1024u;
+
+/// Incremental frame decoder for byte streams.
+///
+/// Usage: call feed() with each received chunk, then next() until it returns
+/// nullopt. Corrupt input (bad magic, bad CRC, oversized length) throws
+/// DecodeError; the connection should then be dropped.
+class FrameDecoder {
+ public:
+  /// Append raw received bytes to the internal buffer.
+  void feed(const std::uint8_t* data, std::size_t len);
+  void feed(const Bytes& data) { feed(data.data(), data.size()); }
+
+  /// Extract the next complete frame, or nullopt if more bytes are needed.
+  std::optional<Frame> next();
+
+  /// Bytes buffered but not yet consumed by a complete frame.
+  std::size_t buffered() const { return buf_.size(); }
+
+ private:
+  Bytes buf_;
+};
+
+}  // namespace cg::serial

@@ -1,0 +1,64 @@
+// ConGrid -- bounds-checked binary reader, the inverse of serial::Writer.
+//
+// Readers view (do not own) the input buffer; every accessor throws
+// DecodeError on truncated or malformed input, so decoding a message from an
+// untrusted peer can never read out of bounds.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "serial/bytes.hpp"
+
+namespace cg::serial {
+
+/// Thrown when decoding runs past the end of the buffer or meets an
+/// impossible value (e.g. an over-long varint).
+class DecodeError : public std::runtime_error {
+ public:
+  explicit DecodeError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Sequential decoder over a borrowed byte range.
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> data) : data_(data) {}
+  explicit Reader(const Bytes& data) : data_(data.data(), data.size()) {}
+
+  std::uint8_t u8();
+  std::uint16_t u16();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::int32_t i32();
+  std::int64_t i64();
+  double f64();
+  bool boolean();
+
+  std::uint64_t varint();
+  std::int64_t svarint();
+
+  std::string string();
+  Bytes blob();
+  std::vector<double> f64_vector();
+
+  /// Read exactly `n` raw bytes.
+  Bytes raw(std::size_t n);
+
+  /// Bytes not yet consumed.
+  std::size_t remaining() const { return data_.size() - pos_; }
+
+  /// True when the whole buffer has been consumed (use to assert that a
+  /// message had no trailing garbage).
+  bool at_end() const { return pos_ == data_.size(); }
+
+ private:
+  void need(std::size_t n) const;
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace cg::serial

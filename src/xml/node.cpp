@@ -1,0 +1,124 @@
+#include "xml/node.hpp"
+
+#include <cstdlib>
+
+namespace cg::xml {
+
+std::optional<std::string> Node::attr(std::string_view key) const {
+  for (const auto& [k, v] : attrs_) {
+    if (k == key) return v;
+  }
+  return std::nullopt;
+}
+
+std::string Node::attr_or(std::string_view key, std::string fallback) const {
+  auto v = attr(key);
+  return v ? *v : std::move(fallback);
+}
+
+const std::string& Node::require_attr(std::string_view key) const {
+  for (const auto& [k, v] : attrs_) {
+    if (k == key) return v;
+  }
+  throw XmlError("element <" + name_ + "> missing required attribute '" +
+                 std::string(key) + "'");
+}
+
+void Node::set_attr(std::string key, std::string value) {
+  for (auto& [k, v] : attrs_) {
+    if (k == key) {
+      v = std::move(value);
+      return;
+    }
+  }
+  attrs_.emplace_back(std::move(key), std::move(value));
+}
+
+long long Node::attr_int(std::string_view key, long long fallback) const {
+  auto v = attr(key);
+  if (!v) return fallback;
+  char* end = nullptr;
+  long long r = std::strtoll(v->c_str(), &end, 10);
+  if (end == v->c_str() || *end != '\0') {
+    throw XmlError("attribute '" + std::string(key) + "' is not an integer: " +
+                   *v);
+  }
+  return r;
+}
+
+double Node::attr_double(std::string_view key, double fallback) const {
+  auto v = attr(key);
+  if (!v) return fallback;
+  char* end = nullptr;
+  double r = std::strtod(v->c_str(), &end);
+  if (end == v->c_str() || *end != '\0') {
+    throw XmlError("attribute '" + std::string(key) + "' is not a number: " +
+                   *v);
+  }
+  return r;
+}
+
+void Node::set_attr_int(std::string key, long long value) {
+  set_attr(std::move(key), std::to_string(value));
+}
+
+void Node::set_attr_double(std::string key, double value) {
+  // Round-trippable formatting: 17 significant digits.
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  set_attr(std::move(key), buf);
+}
+
+Node& Node::add_child(std::string name) {
+  children_.emplace_back(std::move(name));
+  return children_.back();
+}
+
+Node& Node::add_child(Node n) {
+  children_.push_back(std::move(n));
+  return children_.back();
+}
+
+const Node* Node::child(std::string_view name) const {
+  for (const auto& c : children_) {
+    if (c.name() == name) return &c;
+  }
+  return nullptr;
+}
+
+Node* Node::child(std::string_view name) {
+  for (auto& c : children_) {
+    if (c.name() == name) return &c;
+  }
+  return nullptr;
+}
+
+const Node& Node::require_child(std::string_view name) const {
+  const Node* c = child(name);
+  if (!c) {
+    throw XmlError("element <" + name_ + "> missing required child <" +
+                   std::string(name) + ">");
+  }
+  return *c;
+}
+
+std::vector<const Node*> Node::children(std::string_view name) const {
+  std::vector<const Node*> out;
+  for (const auto& c : children_) {
+    if (c.name() == name) out.push_back(&c);
+  }
+  return out;
+}
+
+std::size_t Node::subtree_size() const {
+  std::size_t n = 1;
+  for (const auto& c : children_) n += c.subtree_size();
+  return n;
+}
+
+bool Node::operator==(const Node& other) const {
+  return name_ == other.name_ && text_ == other.text_ &&
+         attrs_ == other.attrs_ && children_ == other.children_;
+}
+
+}  // namespace cg::xml

@@ -1,0 +1,94 @@
+// ConGrid -- minimal XML document model.
+//
+// Triana encodes task graphs, unit descriptions and advertisements as XML
+// (the paper, section 1 and 3.1). ConGrid follows suit; this module is the
+// self-contained XML substrate: an element tree with attributes and text,
+// a recursive-descent parser and a pretty-printing writer. It supports the
+// subset of XML that the formats need -- elements, attributes, character
+// data, comments, declarations and the five standard entities -- and
+// nothing more (no namespaces, DTDs or processing beyond skipping).
+#pragma once
+
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace cg::xml {
+
+/// Thrown on malformed documents (parse) or invalid names (write).
+class XmlError : public std::runtime_error {
+ public:
+  explicit XmlError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// One XML element: a name, ordered attributes, child elements and any
+/// character data (concatenated across interleaved children).
+class Node {
+ public:
+  Node() = default;
+  explicit Node(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string n) { name_ = std::move(n); }
+
+  /// Concatenated character data directly inside this element.
+  const std::string& text() const { return text_; }
+  void set_text(std::string t) { text_ = std::move(t); }
+
+  // -- attributes ----------------------------------------------------------
+  /// Attribute value, or nullopt when absent.
+  std::optional<std::string> attr(std::string_view key) const;
+  /// Attribute value, or `fallback` when absent.
+  std::string attr_or(std::string_view key, std::string fallback) const;
+  /// Attribute value; throws XmlError when absent (for required fields).
+  const std::string& require_attr(std::string_view key) const;
+  /// Set (or replace) an attribute.
+  void set_attr(std::string key, std::string value);
+  bool has_attr(std::string_view key) const { return attr(key).has_value(); }
+
+  const std::vector<std::pair<std::string, std::string>>& attrs() const {
+    return attrs_;
+  }
+
+  // -- typed attribute helpers ----------------------------------------------
+  /// Parse an attribute as a signed integer; throws XmlError on garbage,
+  /// returns `fallback` when absent.
+  long long attr_int(std::string_view key, long long fallback) const;
+  /// Parse an attribute as a double; throws XmlError on garbage.
+  double attr_double(std::string_view key, double fallback) const;
+  void set_attr_int(std::string key, long long value);
+  void set_attr_double(std::string key, double value);
+
+  // -- children --------------------------------------------------------------
+  /// Append a child element and return a reference to it (stable only until
+  /// the next structural mutation, as with vector elements).
+  Node& add_child(std::string name);
+  Node& add_child(Node n);
+
+  /// First child with the given name, or nullptr.
+  const Node* child(std::string_view name) const;
+  Node* child(std::string_view name);
+  /// First child with the given name; throws XmlError when absent.
+  const Node& require_child(std::string_view name) const;
+  /// All children with the given name, in document order.
+  std::vector<const Node*> children(std::string_view name) const;
+
+  const std::vector<Node>& all_children() const { return children_; }
+  std::vector<Node>& all_children() { return children_; }
+
+  /// Total number of elements in this subtree, including this node.
+  std::size_t subtree_size() const;
+
+  bool operator==(const Node& other) const;
+
+ private:
+  std::string name_;
+  std::string text_;
+  std::vector<std::pair<std::string, std::string>> attrs_;
+  std::vector<Node> children_;
+};
+
+}  // namespace cg::xml

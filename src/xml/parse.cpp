@@ -1,0 +1,237 @@
+#include "xml/parse.hpp"
+
+#include <cctype>
+
+namespace cg::xml {
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view doc) : doc_(doc) {}
+
+  Node parse_document() {
+    skip_prolog();
+    Node root = parse_element();
+    skip_misc();
+    if (!at_end()) fail("content after document root");
+    return root;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& msg) const {
+    throw XmlError("XML parse error at " + std::to_string(line_) + ":" +
+                   std::to_string(col_) + ": " + msg);
+  }
+
+  bool at_end() const { return pos_ >= doc_.size(); }
+
+  char peek() const {
+    if (at_end()) fail("unexpected end of document");
+    return doc_[pos_];
+  }
+
+  bool peek_is(std::string_view s) const {
+    return doc_.substr(pos_, s.size()) == s;
+  }
+
+  char advance() {
+    char c = peek();
+    ++pos_;
+    if (c == '\n') {
+      ++line_;
+      col_ = 1;
+    } else {
+      ++col_;
+    }
+    return c;
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "', found '" +
+                          peek() + "'");
+    advance();
+  }
+
+  void expect(std::string_view s) {
+    for (char c : s) expect(c);
+  }
+
+  void skip_ws() {
+    while (!at_end() && std::isspace(static_cast<unsigned char>(doc_[pos_]))) {
+      advance();
+    }
+  }
+
+  void skip_comment() {
+    expect("<!--");
+    while (!peek_is("-->")) advance();
+    expect("-->");
+  }
+
+  void skip_declaration() {
+    expect("<?");
+    while (!peek_is("?>")) advance();
+    expect("?>");
+  }
+
+  /// Skip whitespace, comments and declarations before/after the root.
+  void skip_misc() {
+    for (;;) {
+      skip_ws();
+      if (peek_is("<!--")) {
+        skip_comment();
+      } else if (peek_is("<?")) {
+        skip_declaration();
+      } else {
+        return;
+      }
+    }
+  }
+
+  void skip_prolog() { skip_misc(); }
+
+  static bool is_name_start(char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+  }
+  static bool is_name_char(char c) {
+    return is_name_start(c) || std::isdigit(static_cast<unsigned char>(c)) ||
+           c == '-' || c == '.';
+  }
+
+  std::string parse_name() {
+    if (!is_name_start(peek())) fail("expected a name");
+    std::string name;
+    while (!at_end() && is_name_char(doc_[pos_])) name.push_back(advance());
+    return name;
+  }
+
+  std::string decode_entity() {
+    expect('&');
+    std::string ent;
+    while (peek() != ';') ent.push_back(advance());
+    expect(';');
+    if (ent == "lt") return "<";
+    if (ent == "gt") return ">";
+    if (ent == "amp") return "&";
+    if (ent == "quot") return "\"";
+    if (ent == "apos") return "'";
+    if (!ent.empty() && ent[0] == '#') {
+      // Numeric character reference; we only handle the ASCII range, which
+      // is all the ConGrid formats ever emit.
+      long code = (ent.size() > 1 && (ent[1] == 'x' || ent[1] == 'X'))
+                      ? std::strtol(ent.c_str() + 2, nullptr, 16)
+                      : std::strtol(ent.c_str() + 1, nullptr, 10);
+      if (code <= 0 || code > 127) fail("unsupported character reference &" +
+                                        ent + ";");
+      return std::string(1, static_cast<char>(code));
+    }
+    fail("unknown entity &" + ent + ";");
+  }
+
+  std::string parse_attr_value() {
+    char quote = peek();
+    if (quote != '"' && quote != '\'') fail("expected quoted attribute value");
+    advance();
+    std::string value;
+    while (peek() != quote) {
+      if (peek() == '&') {
+        value += decode_entity();
+      } else if (peek() == '<') {
+        fail("'<' in attribute value");
+      } else {
+        value.push_back(advance());
+      }
+    }
+    advance();  // closing quote
+    return value;
+  }
+
+  Node parse_element() {
+    // Untrusted documents must not overflow the stack by nesting.
+    if (++depth_ > kMaxDepth) fail("element nesting exceeds limit");
+    struct DepthGuard {
+      std::size_t& d;
+      ~DepthGuard() { --d; }
+    } guard{depth_};
+
+    expect('<');
+    Node node(parse_name());
+    for (;;) {
+      skip_ws();
+      if (peek() == '/') {
+        expect("/>");
+        return node;
+      }
+      if (peek() == '>') {
+        advance();
+        parse_content(node);
+        return node;
+      }
+      std::string key = parse_name();
+      skip_ws();
+      expect('=');
+      skip_ws();
+      node.set_attr(std::move(key), parse_attr_value());
+    }
+  }
+
+  void parse_content(Node& node) {
+    std::string text;
+    for (;;) {
+      if (peek() != '<') {
+        if (peek() == '&') {
+          text += decode_entity();
+        } else {
+          text.push_back(advance());
+        }
+        continue;
+      }
+      if (peek_is("<!--")) {
+        skip_comment();
+        continue;
+      }
+      if (peek_is("<![CDATA[")) {
+        for (std::size_t i = 0; i < 9; ++i) advance();
+        while (!peek_is("]]>")) text.push_back(advance());
+        expect("]]>");
+        continue;
+      }
+      if (peek_is("</")) {
+        expect("</");
+        std::string close = parse_name();
+        if (close != node.name()) {
+          fail("mismatched close tag </" + close + "> for <" + node.name() +
+               ">");
+        }
+        skip_ws();
+        expect('>');
+        node.set_text(trim(text));
+        return;
+      }
+      node.add_child(parse_element());
+    }
+  }
+
+  static std::string trim(const std::string& s) {
+    std::size_t b = 0, e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+    return s.substr(b, e - b);
+  }
+
+  static constexpr std::size_t kMaxDepth = 256;
+
+  std::string_view doc_;
+  std::size_t pos_ = 0;
+  std::size_t line_ = 1;
+  std::size_t col_ = 1;
+  std::size_t depth_ = 0;
+};
+
+}  // namespace
+
+Node parse(std::string_view document) {
+  return Parser(document).parse_document();
+}
+
+}  // namespace cg::xml

@@ -1,0 +1,15 @@
+// ConGrid -- XML parser (see node.hpp for scope).
+#pragma once
+
+#include <string_view>
+
+#include "xml/node.hpp"
+
+namespace cg::xml {
+
+/// Parse a document and return its root element. Leading XML declarations
+/// (`<?xml ...?>`) and comments are skipped. Throws XmlError with a
+/// line:column position on malformed input.
+Node parse(std::string_view document);
+
+}  // namespace cg::xml

@@ -1,0 +1,73 @@
+#include "xml/write.hpp"
+
+namespace cg::xml {
+namespace {
+
+void write_node(const Node& n, std::string& out, bool pretty, int depth) {
+  auto indent = [&](int d) {
+    if (pretty) out.append(static_cast<std::size_t>(d) * 2, ' ');
+  };
+  auto newline = [&] {
+    if (pretty) out.push_back('\n');
+  };
+
+  indent(depth);
+  out.push_back('<');
+  out += n.name();
+  for (const auto& [k, v] : n.attrs()) {
+    out.push_back(' ');
+    out += k;
+    out += "=\"";
+    out += escape(v);
+    out.push_back('"');
+  }
+
+  const bool empty = n.text().empty() && n.all_children().empty();
+  if (empty) {
+    out += "/>";
+    newline();
+    return;
+  }
+
+  out.push_back('>');
+  if (!n.text().empty()) {
+    out += escape(n.text());
+  }
+  if (!n.all_children().empty()) {
+    newline();
+    for (const auto& c : n.all_children()) {
+      write_node(c, out, pretty, depth + 1);
+    }
+    indent(depth);
+  }
+  out += "</";
+  out += n.name();
+  out.push_back('>');
+  newline();
+}
+
+}  // namespace
+
+std::string escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '&': out += "&amp;"; break;
+      case '"': out += "&quot;"; break;
+      case '\'': out += "&apos;"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string write(const Node& root, bool pretty) {
+  std::string out;
+  write_node(root, out, pretty, 0);
+  return out;
+}
+
+}  // namespace cg::xml

@@ -1,0 +1,19 @@
+// ConGrid -- XML writer (see node.hpp for scope).
+#pragma once
+
+#include <string>
+
+#include "xml/node.hpp"
+
+namespace cg::xml {
+
+/// Serialize an element tree. With `pretty` set, children are indented two
+/// spaces per level and elements are separated by newlines; otherwise the
+/// output is a single line (useful when counting wire bytes). Attribute
+/// values and text are entity-escaped, so write(parse(x)) round-trips.
+std::string write(const Node& root, bool pretty = true);
+
+/// Escape the five standard XML entities in `s`.
+std::string escape(std::string_view s);
+
+}  // namespace cg::xml

@@ -1,0 +1,526 @@
+// Integration tests: TrianaService + TrianaController over the simulated
+// network -- deploy with on-demand code download, pipe-wired distributed
+// execution (farm and pipeline), billing, certification, discovery-driven
+// worker selection, status, cancellation, checkpoint and migration.
+#include <gtest/gtest.h>
+
+#include "core/service/controller.hpp"
+#include "core/unit/builtin.hpp"
+#include "net/sim_network.hpp"
+
+namespace cg::core {
+namespace {
+
+UnitRegistry& reg() {
+  static UnitRegistry r = UnitRegistry::with_builtins();
+  return r;
+}
+
+/// A simulated consumer grid: one controller peer + N worker services,
+/// fully meshed as overlay neighbours.
+struct Grid {
+  explicit Grid(std::size_t n_workers, ServiceConfig worker_cfg = {},
+                net::LinkParams lp = {})
+      : net(lp, 1) {
+    auto clock = [this] { return net.now(); };
+    auto sched = [this](double d, std::function<void()> fn) {
+      net.schedule(d, std::move(fn));
+    };
+    ServiceConfig home_cfg;
+    home_cfg.peer_id = "home";
+    home =
+        std::make_unique<TrianaService>(net.add_node(), clock, sched, reg(),
+                                        home_cfg);
+    for (std::size_t i = 0; i < n_workers; ++i) {
+      ServiceConfig cfg = worker_cfg;
+      cfg.peer_id = "worker-" + std::to_string(i);
+      workers.push_back(std::make_unique<TrianaService>(
+          net.add_node(), clock, sched, reg(), cfg));
+    }
+    // Full mesh overlay.
+    auto all = [&]() {
+      std::vector<TrianaService*> v{home.get()};
+      for (auto& w : workers) v.push_back(w.get());
+      return v;
+    }();
+    for (auto* a : all) {
+      for (auto* b : all) {
+        if (a != b) a->node().add_neighbor(b->endpoint());
+      }
+      a->announce();
+    }
+  }
+
+  std::vector<net::Endpoint> worker_endpoints() const {
+    std::vector<net::Endpoint> out;
+    for (const auto& w : workers) out.push_back(w->endpoint());
+    return out;
+  }
+
+  net::SimNetwork net;
+  std::unique_ptr<TrianaService> home;
+  std::vector<std::unique_ptr<TrianaService>> workers;
+};
+
+/// Wave -> [Gaussian -> FFT] -> AccumStat -> Grapher with the middle
+/// grouped for distribution.
+TaskGraph grouped_figure1(const std::string& policy) {
+  TaskGraph inner("inner");
+  ParamSet gp;
+  gp.set_double("stddev", 1.0);
+  inner.add_task("Gaussian", "Gaussian", gp);
+  inner.add_task("FFT", "FFT");
+  inner.connect("Gaussian", 0, "FFT", 0);
+
+  TaskGraph g("fig1");
+  ParamSet wp;
+  wp.set_double("amplitude", 0.3);
+  g.add_task("Wave", "Wave", wp);
+  TaskDef& grp = g.add_group("G", std::move(inner), policy);
+  grp.group_inputs = {GroupPort{"Gaussian", 0}};
+  grp.group_outputs = {GroupPort{"FFT", 0}};
+  g.add_task("AccumStat", "AccumStat");
+  g.add_task("Grapher", "Grapher");
+  g.connect("Wave", 0, "G", 0);
+  g.connect("G", 0, "AccumStat", 0);
+  g.connect("AccumStat", 0, "Grapher", 0);
+  return g;
+}
+
+TEST(Service, LocalDeployRunsWholeGraph) {
+  Grid grid(0);
+  TaskGraph g = grouped_figure1("parallel");  // groups flatten locally
+  const std::string job = grid.home->deploy_local(g, 5);
+  auto* rt = grid.home->job_runtime(job);
+  ASSERT_NE(rt, nullptr);
+  EXPECT_EQ(rt->unit_as<GrapherUnit>("Grapher")->items().size(), 5u);
+  EXPECT_FALSE(grid.home->job_failed(job));
+}
+
+TEST(Service, LocalDeployBadGraphThrows) {
+  Grid grid(0);
+  TaskGraph g("bad");
+  g.add_task("X", "NoSuchUnit");
+  EXPECT_THROW(grid.home->deploy_local(g, 1), std::invalid_argument);
+  EXPECT_EQ(grid.home->job_count(), 0u);
+}
+
+TEST(Service, RemoteDeployFetchesCodeOnDemand) {
+  Grid grid(1);
+
+  TaskGraph simple("remote");
+  simple.add_task("Wave", "Wave");
+  simple.add_task("Sink", "NullSink");
+  simple.connect("Wave", 0, "Sink", 0);
+  grid.home->publish_graph_modules(simple, 4096);
+
+  bool acked = false;
+  DeployAckMsg got;
+  grid.home->deploy_remote(grid.workers[0]->endpoint(), simple, 3,
+                           [&](const DeployAckMsg& a) {
+                             acked = true;
+                             got = a;
+                           });
+  grid.net.run_all();
+  ASSERT_TRUE(acked);
+  EXPECT_TRUE(got.ok) << got.error;
+  // Worker fetched Wave and NullSink artifacts from home.
+  EXPECT_EQ(grid.workers[0]->stats().modules_fetched, 2u);
+  EXPECT_TRUE(grid.workers[0]->module_cache().contains("Wave"));
+  EXPECT_TRUE(grid.workers[0]->module_cache().is_pinned("Wave"));
+  EXPECT_EQ(grid.home->code().stats().requests_served, 2u);
+  // The job ran its 3 iterations on the worker.
+  auto* rt = grid.workers[0]->job_runtime(got.job_id);
+  ASSERT_NE(rt, nullptr);
+  EXPECT_EQ(rt->iteration(), 3u);
+}
+
+TEST(Service, DeployFailsWhenOwnerLacksModule) {
+  Grid grid(1);
+  TaskGraph simple("remote");
+  simple.add_task("Wave", "Wave");
+  simple.add_task("Sink", "NullSink");
+  simple.connect("Wave", 0, "Sink", 0);
+  // Home never published modules.
+  DeployAckMsg got;
+  grid.home->deploy_remote(grid.workers[0]->endpoint(), simple, 1,
+                           [&](const DeployAckMsg& a) { got = a; });
+  grid.net.run_all();
+  EXPECT_FALSE(got.ok);
+  EXPECT_NE(got.error.find("no module"), std::string::npos);
+}
+
+TEST(Service, DeployFailsWhenFetchDisabled) {
+  ServiceConfig cfg;
+  cfg.fetch_code_on_demand = false;
+  Grid grid(1, cfg);
+  TaskGraph simple("remote");
+  simple.add_task("Wave", "Wave");
+  simple.add_task("Sink", "NullSink");
+  simple.connect("Wave", 0, "Sink", 0);
+  grid.home->publish_graph_modules(simple);
+  DeployAckMsg got;
+  grid.home->deploy_remote(grid.workers[0]->endpoint(), simple, 1,
+                           [&](const DeployAckMsg& a) { got = a; });
+  grid.net.run_all();
+  EXPECT_FALSE(got.ok);
+  EXPECT_NE(got.error.find("on-demand fetch is disabled"), std::string::npos);
+}
+
+TEST(Service, CertifiedLibraryGatesExecution) {
+  // Worker policy: certified modules only; library empty -> reject.
+  static sandbox::CertifiedLibrary library;
+  ServiceConfig cfg;
+  cfg.sandbox_policy.certified_modules_only = true;
+  cfg.certified_library = &library;
+  Grid grid(1, cfg);
+
+  TaskGraph simple("remote");
+  simple.add_task("Wave", "Wave");
+  simple.add_task("Sink", "NullSink");
+  simple.connect("Wave", 0, "Sink", 0);
+  grid.home->publish_graph_modules(simple);
+
+  DeployAckMsg got;
+  grid.home->deploy_remote(grid.workers[0]->endpoint(), simple, 1,
+                           [&](const DeployAckMsg& a) { got = a; });
+  grid.net.run_all();
+  EXPECT_FALSE(got.ok);
+  EXPECT_NE(got.error.find("certified"), std::string::npos);
+
+  // Certify exactly those modules -> accepted.
+  library.certify(
+      repo::make_synthetic_artifact("Wave", "1.0", 8192).content_hash());
+  library.certify(
+      repo::make_synthetic_artifact("NullSink", "1.0", 8192).content_hash());
+  DeployAckMsg got2;
+  grid.home->deploy_remote(grid.workers[0]->endpoint(), simple, 1,
+                           [&](const DeployAckMsg& a) { got2 = a; });
+  grid.net.run_all();
+  EXPECT_TRUE(got2.ok) << got2.error;
+}
+
+TEST(Service, BillingSettlesOnCancel) {
+  Grid grid(1);
+  TaskGraph simple("remote");
+  simple.add_task("Wave", "Wave");
+  simple.add_task("FFT", "FFT");
+  simple.add_task("Sink", "NullSink");
+  simple.connect("Wave", 0, "FFT", 0);
+  simple.connect("FFT", 0, "Sink", 0);
+  grid.home->publish_graph_modules(simple);
+
+  DeployAckMsg got;
+  grid.home->deploy_remote(grid.workers[0]->endpoint(), simple, 10,
+                           [&](const DeployAckMsg& a) { got = a; });
+  grid.net.run_all();
+  ASSERT_TRUE(got.ok);
+
+  grid.home->cancel_remote(grid.workers[0]->endpoint(), got.job_id);
+  grid.net.run_all();
+  EXPECT_EQ(grid.workers[0]->job_count(), 0u);
+  const auto totals = grid.workers[0]->account().ledger().totals_for("home");
+  EXPECT_EQ(totals.executions, 1u);
+  EXPECT_GT(totals.cpu_seconds, 0.0);  // FFT charged its cost model
+  // Pinned modules were released on cancel.
+  EXPECT_FALSE(grid.workers[0]->module_cache().is_pinned("FFT"));
+}
+
+TEST(Service, StatusReporting) {
+  Grid grid(1);
+  TaskGraph simple("remote");
+  simple.add_task("Wave", "Wave");
+  simple.add_task("Sink", "NullSink");
+  simple.connect("Wave", 0, "Sink", 0);
+  grid.home->publish_graph_modules(simple);
+  DeployAckMsg got;
+  grid.home->deploy_remote(grid.workers[0]->endpoint(), simple, 7,
+                           [&](const DeployAckMsg& a) { got = a; });
+  grid.net.run_all();
+  ASSERT_TRUE(got.ok);
+
+  StatusMsg status;
+  grid.home->request_status(grid.workers[0]->endpoint(), got.job_id,
+                            [&](const StatusMsg& s) { status = s; });
+  grid.net.run_all();
+  EXPECT_TRUE(status.known);
+  EXPECT_TRUE(status.running);
+  EXPECT_EQ(status.iteration, 7u);
+
+  StatusMsg missing;
+  grid.home->request_status(grid.workers[0]->endpoint(), "nope",
+                            [&](const StatusMsg& s) { missing = s; });
+  grid.net.run_all();
+  EXPECT_FALSE(missing.known);
+}
+
+TEST(Controller, ParallelFarmOverSimNetwork) {
+  Grid grid(3);
+  TaskGraph g = grouped_figure1("parallel");
+  grid.home->publish_graph_modules(g);
+
+  TrianaController ctl(*grid.home);
+  auto run = ctl.distribute(g, "G", grid.worker_endpoints());
+  grid.net.run_all();
+  ASSERT_TRUE(run->all_acked());
+  EXPECT_TRUE(run->deployed_ok()) << (run->errors.empty() ? "" : run->errors[0]);
+
+  const int kIters = 12;
+  ctl.tick(*run, kIters);
+  grid.net.run_all();
+
+  GraphRuntime* home_rt = ctl.home_runtime(*run);
+  ASSERT_NE(home_rt, nullptr);
+  auto* grapher = home_rt->unit_as<GrapherUnit>("Grapher");
+  ASSERT_EQ(grapher->items().size(), static_cast<std::size_t>(kIters));
+
+  // Farm really spread: each worker's job fired Gaussian 4 times.
+  for (std::size_t i = 0; i < grid.workers.size(); ++i) {
+    EXPECT_EQ(run->remote_jobs[i].empty(), false);
+    auto* wrt = grid.workers[i]->job_runtime(run->remote_jobs[i]);
+    ASSERT_NE(wrt, nullptr) << i;
+    EXPECT_EQ(wrt->firings_of("Gaussian"), 4u) << i;
+  }
+
+  // The distributed result still shows the Figure-2 effect.
+  const auto& first = grapher->items().front().spectrum().power;
+  const auto& last = grapher->items().back().spectrum().power;
+  (void)first;
+  (void)last;
+  EXPECT_EQ(grapher->items().back().type(), DataType::kSpectrum);
+
+  ctl.shutdown(*run);
+  grid.net.run_all();
+  for (auto& w : grid.workers) EXPECT_EQ(w->job_count(), 0u);
+}
+
+TEST(Controller, PipelineOverSimNetwork) {
+  Grid grid(2);
+  TaskGraph g = grouped_figure1("p2p");
+  grid.home->publish_graph_modules(g);
+
+  TrianaController ctl(*grid.home);
+  auto run = ctl.distribute(g, "G", grid.worker_endpoints());
+  grid.net.run_all();
+  ASSERT_TRUE(run->deployed_ok())
+      << (run->errors.empty() ? "" : run->errors[0]);
+
+  ctl.tick(*run, 6);
+  grid.net.run_all();
+
+  auto* grapher = ctl.home_runtime(*run)->unit_as<GrapherUnit>("Grapher");
+  ASSERT_EQ(grapher->items().size(), 6u);
+
+  // Stage 0 ran Gaussian only, stage 1 FFT only.
+  auto* rt0 = grid.workers[0]->job_runtime(run->remote_jobs[0]);
+  auto* rt1 = grid.workers[1]->job_runtime(run->remote_jobs[1]);
+  ASSERT_NE(rt0, nullptr);
+  ASSERT_NE(rt1, nullptr);
+  EXPECT_EQ(rt0->firings_of("Gaussian"), 6u);
+  EXPECT_EQ(rt1->firings_of("FFT"), 6u);
+}
+
+TEST(Controller, DiscoveryFindsCapableWorkers) {
+  Grid grid(4);
+  // Give two workers beefier adverts.
+  // (Adverts were announced in the fixture with default cpu_mhz=2000.)
+  p2p::Query q;
+  q.kind = p2p::AdvertKind::kPeer;
+  q.require_min["cpu_mhz"] = 1000.0;
+
+  TrianaController ctl(*grid.home);
+  std::vector<net::Endpoint> found;
+  ctl.discover_workers(q, /*ttl=*/2, /*want=*/8, /*timeout_s=*/5.0,
+                       [&](std::vector<net::Endpoint> eps) {
+                         found = std::move(eps);
+                       });
+  grid.net.run_all();
+  EXPECT_EQ(found.size(), 4u);  // all workers, self excluded
+  for (const auto& e : found) EXPECT_NE(e, grid.home->endpoint());
+}
+
+TEST(Controller, DiscoveryRespectsConstraints) {
+  Grid grid(2);
+  p2p::Query q;
+  q.kind = p2p::AdvertKind::kPeer;
+  q.require_min["cpu_mhz"] = 999999.0;  // nobody qualifies
+  TrianaController ctl(*grid.home);
+  std::vector<net::Endpoint> found{net::Endpoint{"sentinel"}};
+  ctl.discover_workers(q, 2, 8, 5.0, [&](std::vector<net::Endpoint> eps) {
+    found = std::move(eps);
+  });
+  grid.net.run_all();
+  EXPECT_TRUE(found.empty());
+}
+
+TEST(Controller, CheckpointAndMigrateFragment) {
+  Grid grid(3);
+  TaskGraph g = grouped_figure1("parallel");
+  grid.home->publish_graph_modules(g);
+
+  TrianaController ctl(*grid.home);
+  // Use only workers 0 and 1 initially.
+  auto run = ctl.distribute(
+      g, "G", {grid.workers[0]->endpoint(), grid.workers[1]->endpoint()});
+  grid.net.run_all();
+  ASSERT_TRUE(run->deployed_ok());
+
+  ctl.tick(*run, 4);
+  grid.net.run_all();
+
+  // Migrate fragment 0 from worker 0 to worker 2.
+  bool migrated = false;
+  ctl.migrate(run, 0, grid.workers[2]->endpoint(),
+              [&](bool ok) { migrated = ok; });
+  grid.net.run_all();
+  ASSERT_TRUE(migrated);
+  EXPECT_EQ(grid.workers[0]->job_count(), 0u);
+  EXPECT_EQ(grid.workers[2]->job_count(), 1u);
+
+  // Keep streaming: results continue to arrive at the home graph.
+  auto* grapher = ctl.home_runtime(*run)->unit_as<GrapherUnit>("Grapher");
+  const std::size_t before = grapher->items().size();
+  ctl.tick(*run, 4);
+  grid.net.run_all();
+  EXPECT_EQ(grapher->items().size(), before + 4);
+  // The migrated replica processes its round-robin share on worker 2.
+  auto* rt2 = grid.workers[2]->job_runtime(run->remote_jobs[0]);
+  ASSERT_NE(rt2, nullptr);
+  EXPECT_EQ(rt2->firings_of("Gaussian"), 2u);
+}
+
+TEST(Controller, DistributeValidatesInput) {
+  Grid grid(1);
+  TaskGraph g = grouped_figure1("parallel");
+  TrianaController ctl(*grid.home);
+  EXPECT_THROW(ctl.distribute(g, "G", {}), std::invalid_argument);
+  EXPECT_THROW(ctl.distribute(g, "Wave", grid.worker_endpoints()),
+               std::invalid_argument);
+}
+
+TEST(Service, SandboxCpuViolationFailsJobAndBillsIt) {
+  // Tight CPU budget on the worker: the FFT's cost model trips it.
+  ServiceConfig cfg;
+  cfg.sandbox_policy.max_cpu_seconds = 1e-12;
+  Grid grid(1, cfg);
+  TaskGraph g("heavy");
+  ParamSet wp;
+  wp.set_int("samples", 4096);
+  g.add_task("Wave", "Wave", wp);
+  g.add_task("FFT", "FFT");
+  g.add_task("Sink", "NullSink");
+  g.connect("Wave", 0, "FFT", 0);
+  g.connect("FFT", 0, "Sink", 0);
+  grid.home->publish_graph_modules(g);
+
+  DeployAckMsg ack;
+  grid.home->deploy_remote(grid.workers[0]->endpoint(), g, 5,
+                           [&](const DeployAckMsg& a) { ack = a; });
+  grid.net.run_all();
+  ASSERT_TRUE(ack.ok);  // deploy succeeds; the job fails at runtime
+  std::string error;
+  EXPECT_TRUE(grid.workers[0]->job_failed(ack.job_id, &error));
+  EXPECT_NE(error.find("CPU budget"), std::string::npos);
+  EXPECT_EQ(grid.workers[0]->account().ledger().totals_for("home").violations,
+            1u);
+}
+
+TEST(Service, SandboxNetworkBudgetStopsChattyJob) {
+  // Worker grants almost no uplink: the fragment's Send trips the budget
+  // after the first item.
+  ServiceConfig cfg;
+  cfg.sandbox_policy.max_network_bytes = 3000;
+  Grid grid(1, cfg);
+
+  TaskGraph frag("chatty");
+  ParamSet wp;
+  wp.set_int("samples", 256);  // ~2 kB per item
+  frag.add_task("Wave", "Wave", wp);
+  ParamSet sp;
+  sp.set("label", "uplink");
+  frag.add_task("Out", "Send", sp);
+  frag.connect("Wave", 0, "Out", 0);
+  grid.home->publish_graph_modules(frag);
+
+  // Home hosts the receiving pipe.
+  int got = 0;
+  grid.home->pipes().advertise_input(
+      "uplink", [&](const net::Endpoint&, serial::Bytes) { ++got; });
+
+  DeployAckMsg ack;
+  grid.home->deploy_remote(grid.workers[0]->endpoint(), frag, 5,
+                           [&](const DeployAckMsg& a) { ack = a; });
+  grid.net.run_all();
+  ASSERT_TRUE(ack.ok);
+  std::string error;
+  EXPECT_TRUE(grid.workers[0]->job_failed(ack.job_id, &error));
+  EXPECT_NE(error.find("network"), std::string::npos);
+  EXPECT_LE(got, 2);  // budget allowed at most one ~2 kB item out
+}
+
+TEST(Service, CancelAfterReplacementKeepsSharedLabelAlive) {
+  // Cancel and redeploy can arrive reordered (link jitter): if the
+  // replacement job registered the same channel label first, tearing down
+  // the old job must not sever it.
+  Grid grid(1);
+  TaskGraph frag("frag");
+  ParamSet rp;
+  rp.set("label", "shared-label");
+  frag.add_task("In", "Receive", rp);
+  frag.add_task("Sink", "NullSink");
+  frag.connect("In", 0, "Sink", 0);
+  grid.home->publish_graph_modules(frag);
+
+  DeployAckMsg a1, a2;
+  grid.home->deploy_remote(grid.workers[0]->endpoint(), frag, 0,
+                           [&](const DeployAckMsg& a) { a1 = a; });
+  grid.net.run_all();
+  // Replacement lands first...
+  grid.home->deploy_remote(grid.workers[0]->endpoint(), frag, 0,
+                           [&](const DeployAckMsg& a) { a2 = a; });
+  grid.net.run_all();
+  ASSERT_TRUE(a1.ok);
+  ASSERT_TRUE(a2.ok);
+  // ...then the stale cancel arrives.
+  grid.home->cancel_remote(grid.workers[0]->endpoint(), a1.job_id);
+  grid.net.run_all();
+  EXPECT_EQ(grid.workers[0]->job_count(), 1u);
+
+  // The channel still delivers into the replacement job.
+  EXPECT_TRUE(grid.workers[0]->pipes().has_input("shared-label"));
+  auto* rt = grid.workers[0]->job_runtime(a2.job_id);
+  ASSERT_NE(rt, nullptr);
+  // Send a payload from home over the pipe machinery.
+  bool bound = false;
+  p2p::OutputPipe pipe;
+  grid.home->pipes().bind_output("shared-label", [&](p2p::OutputPipe p) {
+    bound = true;
+    pipe = std::move(p);
+  });
+  grid.net.run_all();
+  ASSERT_TRUE(bound);
+  ASSERT_TRUE(pipe.bound());
+  grid.home->pipes().send(pipe, encode_data_item(DataItem(1.0)));
+  grid.net.run_all();
+  auto* sink = rt->unit_as<NullSinkUnit>("Sink");
+  ASSERT_NE(sink, nullptr);
+  EXPECT_EQ(sink->received(), 1u);
+}
+
+TEST(Service, PipeItemCountsAreTracked) {
+  Grid grid(1);
+  TaskGraph g = grouped_figure1("parallel");
+  grid.home->publish_graph_modules(g);
+  TrianaController ctl(*grid.home);
+  auto run = ctl.distribute(g, "G", grid.worker_endpoints());
+  grid.net.run_all();
+  ctl.tick(*run, 5);
+  grid.net.run_all();
+  EXPECT_EQ(grid.home->stats().pipe_items_out, 5u);   // scatter -> worker
+  EXPECT_EQ(grid.home->stats().pipe_items_in, 5u);    // results back
+  EXPECT_EQ(grid.workers[0]->stats().pipe_items_in, 5u);
+  EXPECT_EQ(grid.workers[0]->stats().pipe_items_out, 5u);
+}
+
+}  // namespace
+}  // namespace cg::core

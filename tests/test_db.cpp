@@ -1,0 +1,240 @@
+// Tests for the database workload: the table store and operators, the
+// synthetic datasets, and the four-service Case 3 pipeline as a workflow.
+#include <gtest/gtest.h>
+
+#include "apps/db/units.hpp"
+#include "core/engine/runtime.hpp"
+#include "core/unit/builtin.hpp"
+
+namespace cg::db {
+namespace {
+
+Table people() {
+  Table t;
+  t.columns = {"name", "age", "city"};
+  t.rows = {{"ada", "36", "london"},
+            {"bob", "25", "cardiff"},
+            {"cyd", "41", "cardiff"},
+            {"dee", "30", "bristol"}};
+  return t;
+}
+
+TEST(Store, CreateInsertSelect) {
+  TableStore store;
+  store.create("people", {"name", "age"});
+  store.insert("people", {"ada", "36"});
+  store.insert("people", {"bob", "25"});
+  EXPECT_TRUE(store.has("people"));
+  EXPECT_EQ(store.row_count("people"), 2u);
+  EXPECT_EQ(store.table_names(), std::vector<std::string>{"people"});
+
+  auto young = store.select("people", {{"age", Op::kLt, "30"}});
+  ASSERT_EQ(young.rows.size(), 1u);
+  EXPECT_EQ(young.rows[0][0], "bob");
+}
+
+TEST(Store, ErrorsAreTyped) {
+  TableStore store;
+  EXPECT_THROW(store.insert("ghost", {"x"}), std::invalid_argument);
+  EXPECT_THROW(store.table("ghost"), std::out_of_range);
+  store.create("t", {"a", "b"});
+  EXPECT_THROW(store.insert("t", {"only-one"}), std::invalid_argument);
+}
+
+TEST(Predicates, NumericVsStringComparison) {
+  Predicate num{"x", Op::kLt, "9"};
+  EXPECT_TRUE(num.matches("7"));    // numeric: 7 < 9
+  EXPECT_FALSE(num.matches("70"));  // numeric: 70 > 9 (not string compare!)
+  Predicate str{"x", Op::kLt, "b"};
+  EXPECT_TRUE(str.matches("a"));
+  EXPECT_FALSE(str.matches("c"));
+  Predicate has{"x", Op::kContains, "ard"};
+  EXPECT_TRUE(has.matches("cardiff"));
+  EXPECT_FALSE(has.matches("london"));
+}
+
+TEST(Predicates, OpNamesRoundTrip) {
+  for (Op op : {Op::kEq, Op::kNe, Op::kLt, Op::kLe, Op::kGt, Op::kGe,
+                Op::kContains}) {
+    EXPECT_EQ(op_from_name(op_name(op)), op);
+  }
+  EXPECT_THROW(op_from_name("~"), std::invalid_argument);
+}
+
+TEST(Operators, ProjectOrderFilterAggregate) {
+  Table t = people();
+
+  Table proj = project(t, {"city", "name"});
+  EXPECT_EQ(proj.columns, (std::vector<std::string>{"city", "name"}));
+  EXPECT_EQ(proj.rows[0], (std::vector<std::string>{"london", "ada"}));
+  EXPECT_THROW(project(t, {"nope"}), std::out_of_range);
+
+  Table sorted = order_by(t, "age", /*ascending=*/true);
+  EXPECT_EQ(sorted.rows.front()[0], "bob");
+  EXPECT_EQ(sorted.rows.back()[0], "cyd");
+  Table reversed = order_by(t, "age", /*ascending=*/false);
+  EXPECT_EQ(reversed.rows.front()[0], "cyd");
+
+  Table cardiff = filter(t, {{"city", Op::kEq, "cardiff"}});
+  EXPECT_EQ(cardiff.rows.size(), 2u);
+  Table both = filter(t, {{"city", Op::kEq, "cardiff"},
+                          {"age", Op::kGt, "30"}});
+  ASSERT_EQ(both.rows.size(), 1u);
+  EXPECT_EQ(both.rows[0][0], "cyd");
+
+  Aggregate agg = aggregate(t, "age");
+  EXPECT_EQ(agg.count, 4u);
+  EXPECT_DOUBLE_EQ(agg.sum, 132.0);
+  EXPECT_DOUBLE_EQ(agg.mean, 33.0);
+  EXPECT_DOUBLE_EQ(agg.min, 25.0);
+  EXPECT_DOUBLE_EQ(agg.max, 41.0);
+}
+
+TEST(Operators, AggregateSkipsNonNumeric) {
+  Table t = people();
+  Aggregate agg = aggregate(t, "city");
+  EXPECT_EQ(agg.count, 0u);
+  EXPECT_DOUBLE_EQ(agg.mean, 0.0);
+}
+
+TEST(Datasets, DeterministicAndShaped) {
+  Table a = make_dataset("stars", 50, 7);
+  Table b = make_dataset("stars", 50, 7);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.rows.size(), 50u);
+  EXPECT_EQ(a.columns.size(), 5u);
+  Table s = make_dataset("sensors", 10, 7);
+  EXPECT_EQ(s.columns.size(), 4u);
+  EXPECT_THROW(make_dataset("nope", 1, 1), std::invalid_argument);
+}
+
+TEST(Pipeline, AccessManipulateVisualiseVerify) {
+  core::UnitRegistry reg = core::UnitRegistry::with_builtins();
+  register_db_units(reg);
+
+  // The paper's 4-stage pipeline over the stars dataset: select bright
+  // stars, order by magnitude, summarise, verify.
+  core::TaskGraph g("dbflow");
+  core::ParamSet ap;
+  ap.set("dataset", "stars");
+  ap.set_int("rows", 300);
+  g.add_task("Access", "DataAccess", ap);
+
+  core::ParamSet mp;
+  mp.set("op", "filter");
+  mp.set("column", "magnitude");
+  mp.set("where_op", "<");
+  mp.set("value", "12");
+  g.add_task("Manipulate", "DataManipulate", mp);
+
+  core::ParamSet vp;
+  vp.set("column", "magnitude");
+  vp.set_int("bins", 8);
+  g.add_task("Visualise", "DataVisualise", vp);
+
+  core::ParamSet fp;
+  fp.set_int("min_rows", 10);
+  fp.set("numeric_column", "magnitude");
+  fp.set_double("max_value", 12.0);
+  g.add_task("Verify", "DataVerify", fp);
+
+  g.add_task("Summary", "Grapher");
+  g.add_task("Ok", "StatSink");
+  g.connect("Access", 0, "Manipulate", 0);
+  g.connect("Manipulate", 0, "Visualise", 0);
+  g.connect("Manipulate", 0, "Verify", 0);
+  g.connect("Visualise", 0, "Summary", 0);
+  g.connect("Verify", 0, "Ok", 0);
+
+  core::GraphRuntime rt(g, reg, {});
+  rt.tick();
+
+  auto* summary = rt.unit_as<core::GrapherUnit>("Summary");
+  ASSERT_EQ(summary->items().size(), 1u);
+  EXPECT_NE(summary->items()[0].text().find("magnitude"), std::string::npos);
+  EXPECT_DOUBLE_EQ(rt.unit_as<core::StatSinkUnit>("Ok")->stats().mean(), 1.0);
+}
+
+TEST(Pipeline, VerifyFlagsBadData) {
+  core::UnitRegistry reg = core::UnitRegistry::with_builtins();
+  register_db_units(reg);
+  auto unit = reg.create("DataVerify");
+  core::ParamSet p;
+  p.set_int("min_rows", 100);  // dataset will be smaller
+  unit->configure(p);
+  dsp::Rng rng(1);
+  core::ProcessContext ctx({core::DataItem(people())}, 1, &rng, nullptr);
+  unit->process(ctx);
+  EXPECT_EQ(ctx.emissions()[0].second.integer(), 0);
+  EXPECT_NE(ctx.emissions()[1].second.text().find("too few rows"),
+            std::string::npos);
+}
+
+TEST(Pipeline, VerifyBoundsCheck) {
+  core::UnitRegistry reg = core::UnitRegistry::with_builtins();
+  register_db_units(reg);
+  auto unit = reg.create("DataVerify");
+  core::ParamSet p;
+  p.set("numeric_column", "age");
+  p.set_double("min_value", 26.0);
+  unit->configure(p);
+  dsp::Rng rng(1);
+  core::ProcessContext ctx({core::DataItem(people())}, 1, &rng, nullptr);
+  unit->process(ctx);
+  EXPECT_EQ(ctx.emissions()[0].second.integer(), 0);  // bob is 25
+}
+
+TEST(Pipeline, ManipulateOps) {
+  core::UnitRegistry reg = core::UnitRegistry::with_builtins();
+  register_db_units(reg);
+  dsp::Rng rng(1);
+
+  auto run = [&](const core::ParamSet& p) {
+    auto unit = reg.create("DataManipulate");
+    unit->configure(p);
+    core::ProcessContext ctx({core::DataItem(people())}, 1, &rng, nullptr);
+    unit->process(ctx);
+    return ctx.emissions()[0].second.table();
+  };
+
+  core::ParamSet proj;
+  proj.set("op", "project");
+  proj.set("columns", "name,age");
+  EXPECT_EQ(run(proj).columns.size(), 2u);
+
+  core::ParamSet lim;
+  lim.set("op", "limit");
+  lim.set_int("n", 2);
+  EXPECT_EQ(run(lim).rows.size(), 2u);
+
+  core::ParamSet ord;
+  ord.set("op", "orderby");
+  ord.set("column", "name");
+  ord.set("ascending", "false");
+  EXPECT_EQ(run(ord).rows.front()[0], "dee");
+
+  core::ParamSet bad;
+  bad.set("op", "upsert");
+  auto unit = reg.create("DataManipulate");
+  EXPECT_THROW(unit->configure(bad), std::invalid_argument);
+}
+
+TEST(Pipeline, VisualiseHistogramCountsRows) {
+  core::UnitRegistry reg = core::UnitRegistry::with_builtins();
+  register_db_units(reg);
+  auto unit = reg.create("DataVisualise");
+  core::ParamSet p;
+  p.set("column", "age");
+  p.set_int("bins", 4);
+  unit->configure(p);
+  dsp::Rng rng(1);
+  core::ProcessContext ctx({core::DataItem(people())}, 1, &rng, nullptr);
+  unit->process(ctx);
+  const auto& hist = ctx.emissions()[1].second.image();
+  double total = 0;
+  for (double v : hist.pixels) total += v;
+  EXPECT_DOUBLE_EQ(total, 4.0);
+}
+
+}  // namespace
+}  // namespace cg::db

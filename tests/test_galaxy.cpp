@@ -1,0 +1,192 @@
+// Tests for the galaxy workload: snapshot determinism and evolution, SPH
+// projection properties (mass conservation, view sensitivity), and the
+// frame-farm units.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/galaxy/units.hpp"
+#include "core/engine/runtime.hpp"
+#include "core/unit/builtin.hpp"
+
+namespace cg::galaxy {
+namespace {
+
+SimulationSpec small_spec() {
+  SimulationSpec s;
+  s.n_particles = 300;
+  s.n_frames = 10;
+  return s;
+}
+
+TEST(Snapshot, DeterministicForSpecAndFrame) {
+  const auto spec = small_spec();
+  const Snapshot a = snapshot_at(spec, 4);
+  const Snapshot b = snapshot_at(spec, 4);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].x, b[i].x);
+    EXPECT_DOUBLE_EQ(a[i].y, b[i].y);
+    EXPECT_DOUBLE_EQ(a[i].z, b[i].z);
+  }
+}
+
+TEST(Snapshot, DifferentSeedsDiffer) {
+  SimulationSpec a = small_spec(), b = small_spec();
+  b.seed = 43;
+  EXPECT_NE(snapshot_at(a, 0)[0].x, snapshot_at(b, 0)[0].x);
+}
+
+TEST(Snapshot, TotalMassIsUnity) {
+  const auto snap = initial_snapshot(small_spec());
+  double mass = 0;
+  for (const auto& p : snap) mass += p.mass;
+  EXPECT_NEAR(mass, 1.0, 1e-9);
+}
+
+TEST(Snapshot, CollapseShrinksRadii) {
+  const auto spec = small_spec();
+  auto rms_radius = [](const Snapshot& s) {
+    double sum = 0;
+    for (const auto& p : s) sum += p.x * p.x + p.y * p.y + p.z * p.z;
+    return std::sqrt(sum / static_cast<double>(s.size()));
+  };
+  const double r0 = rms_radius(snapshot_at(spec, 0));
+  const double r9 = rms_radius(snapshot_at(spec, 9));
+  EXPECT_NEAR(r9 / r0, spec.collapse_factor, 1e-9);
+}
+
+TEST(Snapshot, RotationPreservesRadii) {
+  SimulationSpec spec = small_spec();
+  spec.collapse_factor = 1.0;  // rotation only
+  const auto s0 = snapshot_at(spec, 0);
+  const auto s5 = snapshot_at(spec, 5);
+  for (std::size_t i = 0; i < s0.size(); ++i) {
+    const double r0 = std::hypot(s0[i].x, s0[i].y);
+    const double r5 = std::hypot(s5[i].x, s5[i].y);
+    EXPECT_NEAR(r0, r5, 1e-9);
+    EXPECT_NEAR(s0[i].z, s5[i].z, 1e-9);
+  }
+}
+
+TEST(Sph, KernelShape) {
+  EXPECT_GT(sph_kernel_2d(0.0), sph_kernel_2d(0.5));
+  EXPECT_GT(sph_kernel_2d(0.5), sph_kernel_2d(1.5));
+  EXPECT_DOUBLE_EQ(sph_kernel_2d(2.0), 0.0);
+  EXPECT_DOUBLE_EQ(sph_kernel_2d(5.0), 0.0);
+}
+
+TEST(Sph, ProjectionConservesMassApproximately) {
+  const auto snap = initial_snapshot(small_spec());
+  View view;
+  view.grid = 96;
+  view.half_extent = 4.0;  // wide enough to catch nearly everything
+  const auto img = project_column_density(snap, view);
+  EXPECT_EQ(img.width, 96u);
+  EXPECT_EQ(img.pixels.size(), 96u * 96u);
+  // Plummer tails extend to infinity; expect most of the mass on-image.
+  EXPECT_NEAR(image_mass(img, view), 1.0, 0.15);
+}
+
+TEST(Sph, CentreIsBrightest) {
+  const auto snap = initial_snapshot(small_spec());
+  View view;
+  view.grid = 64;
+  const auto img = project_column_density(snap, view);
+  // The brightest pixel lies near the image centre for a Plummer sphere.
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < img.pixels.size(); ++i) {
+    if (img.pixels[i] > img.pixels[best]) best = i;
+  }
+  const double cx = static_cast<double>(best % img.width);
+  const double cy = static_cast<double>(best / img.width);
+  EXPECT_NEAR(cx, 32.0, 8.0);
+  EXPECT_NEAR(cy, 32.0, 8.0);
+}
+
+TEST(Sph, ViewChangesTheImage) {
+  const auto snap = snapshot_at(small_spec(), 3);
+  View a, b;
+  a.grid = b.grid = 48;
+  b.azimuth_rad = 1.0;
+  b.elevation_rad = 0.7;
+  const auto ia = project_column_density(snap, a);
+  const auto ib = project_column_density(snap, b);
+  EXPECT_NE(ia.pixels, ib.pixels);
+}
+
+TEST(Units, FrameSourceStopsAtFrameCount) {
+  core::UnitRegistry reg = core::UnitRegistry::with_builtins();
+  register_galaxy_units(reg);
+
+  core::TaskGraph g("frames");
+  core::ParamSet fp;
+  fp.set_int("frames", 3);
+  g.add_task("Frames", "FrameSource", fp);
+  g.add_task("Sink", "StatSink");
+  g.connect("Frames", 0, "Sink", 0);
+  core::GraphRuntime rt(g, reg, {});
+  rt.run(10);  // more ticks than frames
+  EXPECT_EQ(rt.unit_as<core::StatSinkUnit>("Sink")->stats().count(), 3u);
+}
+
+TEST(Units, RenderFarmAssemblesCompleteAnimation) {
+  core::UnitRegistry reg = core::UnitRegistry::with_builtins();
+  register_galaxy_units(reg);
+
+  const int kFrames = 6;
+  core::TaskGraph g("anim");
+  core::ParamSet fp;
+  fp.set_int("frames", kFrames);
+  g.add_task("Frames", "FrameSource", fp);
+  core::ParamSet rp;
+  rp.set_int("particles", 200);
+  rp.set_int("frames", kFrames);
+  rp.set_int("grid", 32);
+  g.add_task("Render", "RenderFrame", rp);
+  g.add_task("Anim", "AnimationSink");
+  g.connect("Frames", 0, "Render", 0);
+  g.connect("Render", 0, "Anim", 0);
+  g.connect("Render", 1, "Anim", 1);
+
+  core::GraphRuntime rt(g, reg, {});
+  rt.run(kFrames);
+  auto* anim = rt.unit_as<AnimationSinkUnit>("Anim");
+  ASSERT_NE(anim, nullptr);
+  EXPECT_TRUE(anim->complete(kFrames));
+  // Consecutive frames differ (the cloud collapses/rotates).
+  EXPECT_NE(anim->frames().at(0).pixels, anim->frames().at(5).pixels);
+}
+
+TEST(Units, FrameSourceStateSurvivesCheckpoint) {
+  core::UnitRegistry reg = core::UnitRegistry::with_builtins();
+  register_galaxy_units(reg);
+  core::TaskGraph g("frames");
+  core::ParamSet fp;
+  fp.set_int("frames", 10);
+  g.add_task("Frames", "FrameSource", fp);
+  g.add_task("Sink", "StatSink");
+  g.connect("Frames", 0, "Sink", 0);
+
+  core::GraphRuntime a(g, reg, {});
+  a.run(4);
+  core::GraphRuntime b(g, reg, {});
+  b.restore_checkpoint(a.save_checkpoint());
+  b.run(1);
+  // b continues from frame 4 (values 0..3 consumed in a).
+  EXPECT_DOUBLE_EQ(b.unit_as<core::StatSinkUnit>("Sink")->stats().max(), 4.0);
+}
+
+TEST(Units, RenderRejectsWrongInput) {
+  core::UnitRegistry reg = core::UnitRegistry::with_builtins();
+  register_galaxy_units(reg);
+  auto unit = reg.create("RenderFrame");
+  unit->configure(core::ParamSet{});
+  dsp::Rng rng(1);
+  core::ProcessContext ctx({core::DataItem(std::string("x"))}, 1, &rng,
+                           nullptr);
+  EXPECT_THROW(unit->process(ctx), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cg::galaxy

@@ -1,0 +1,440 @@
+// Tests for the cg_net substrate: the discrete-event simulator's clock,
+// link model, determinism and churn behaviour; the in-process hub; and the
+// real TCP transport on loopback.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "net/inproc.hpp"
+#include "net/sim_network.hpp"
+#include "net/tcp.hpp"
+
+namespace cg::net {
+namespace {
+
+serial::Frame text_frame(const std::string& s,
+                         serial::FrameType t = serial::FrameType::kControl) {
+  serial::Frame f;
+  f.type = t;
+  f.payload = serial::to_bytes(s);
+  return f;
+}
+
+// ---------------------------------------------------------------- simulator
+
+TEST(Sim, DeliversWithLatency) {
+  LinkParams p;
+  p.base_latency_s = 0.050;
+  p.jitter_s = 0.0;
+  SimNetwork net(p, 1);
+  auto& a = net.add_node();
+  auto& b = net.add_node();
+
+  std::string got;
+  double at = -1.0;
+  b.set_handler([&](const Endpoint& from, serial::Frame f) {
+    got = serial::to_string(f.payload);
+    at = net.now();
+    EXPECT_EQ(from, a.local());
+  });
+
+  a.send(b.local(), text_frame("ping"));
+  net.run_all();
+  EXPECT_EQ(got, "ping");
+  EXPECT_NEAR(at, 0.050, 1e-12);
+}
+
+TEST(Sim, BandwidthTermAppliesToLargeFrames) {
+  LinkParams p;
+  p.base_latency_s = 0.010;
+  p.jitter_s = 0.0;
+  p.bandwidth_Bps = 100000.0;
+  SimNetwork net(p, 1);
+  auto& a = net.add_node();
+  auto& b = net.add_node();
+
+  double at = -1.0;
+  b.set_handler([&](const Endpoint&, serial::Frame) { at = net.now(); });
+
+  serial::Frame big;
+  big.type = serial::FrameType::kData;
+  big.payload.assign(100000, 0xAB);
+  a.send(b.local(), std::move(big));
+  net.run_all();
+  // ~0.01 latency + ~1.0 s serialisation of 100 kB at 100 kB/s.
+  EXPECT_NEAR(at, 0.010 + 1.00013, 0.01);
+}
+
+TEST(Sim, SmallFramesSkipBandwidthTerm) {
+  LinkParams p;
+  p.base_latency_s = 0.010;
+  p.jitter_s = 0.0;
+  p.bandwidth_Bps = 10.0;  // absurdly slow: would take forever if charged
+  SimNetwork net(p, 1);
+  auto& a = net.add_node();
+  auto& b = net.add_node();
+  double at = -1.0;
+  b.set_handler([&](const Endpoint&, serial::Frame) { at = net.now(); });
+  a.send(b.local(), text_frame("x"));
+  net.run_all();
+  EXPECT_NEAR(at, 0.010, 1e-9);
+}
+
+TEST(Sim, FifoAmongSimultaneousEvents) {
+  LinkParams p;
+  p.base_latency_s = 0.010;
+  p.jitter_s = 0.0;
+  SimNetwork net(p, 1);
+  auto& a = net.add_node();
+  auto& b = net.add_node();
+  std::vector<std::string> order;
+  b.set_handler([&](const Endpoint&, serial::Frame f) {
+    order.push_back(serial::to_string(f.payload));
+  });
+  a.send(b.local(), text_frame("first"));
+  a.send(b.local(), text_frame("second"));
+  a.send(b.local(), text_frame("third"));
+  net.run_all();
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], "first");
+  EXPECT_EQ(order[1], "second");
+  EXPECT_EQ(order[2], "third");
+}
+
+TEST(Sim, DeterministicGivenSeed) {
+  auto run = [](std::uint64_t seed) {
+    LinkParams p;
+    p.jitter_s = 0.020;
+    SimNetwork net(p, seed);
+    auto& a = net.add_node();
+    auto& b = net.add_node();
+    std::vector<double> times;
+    b.set_handler([&](const Endpoint&, serial::Frame) {
+      times.push_back(net.now());
+    });
+    for (int i = 0; i < 20; ++i) a.send(b.local(), text_frame("m"));
+    net.run_all();
+    return times;
+  };
+  EXPECT_EQ(run(42), run(42));
+  EXPECT_NE(run(42), run(43));
+}
+
+TEST(Sim, DownNodeDropsInbound) {
+  SimNetwork net({}, 1);
+  auto& a = net.add_node();
+  auto& b = net.add_node();
+  int got = 0;
+  b.set_handler([&](const Endpoint&, serial::Frame) { ++got; });
+
+  net.set_up(b.id(), false);
+  a.send(b.local(), text_frame("lost"));
+  net.run_all();
+  EXPECT_EQ(got, 0);
+  EXPECT_EQ(net.stats().messages_to_down_node, 1u);
+
+  net.set_up(b.id(), true);
+  a.send(b.local(), text_frame("ok"));
+  net.run_all();
+  EXPECT_EQ(got, 1);
+}
+
+TEST(Sim, DownSenderCannotTransmit) {
+  SimNetwork net({}, 1);
+  auto& a = net.add_node();
+  auto& b = net.add_node();
+  int got = 0;
+  b.set_handler([&](const Endpoint&, serial::Frame) { ++got; });
+  net.set_up(a.id(), false);
+  a.send(b.local(), text_frame("x"));
+  net.run_all();
+  EXPECT_EQ(got, 0);
+}
+
+TEST(Sim, LossModelDropsApproximatelyTheConfiguredFraction) {
+  LinkParams p;
+  p.loss_probability = 0.3;
+  SimNetwork net(p, 7);
+  auto& a = net.add_node();
+  auto& b = net.add_node();
+  int got = 0;
+  b.set_handler([&](const Endpoint&, serial::Frame) { ++got; });
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) a.send(b.local(), text_frame("m"));
+  net.run_all();
+  EXPECT_NEAR(static_cast<double>(got) / n, 0.7, 0.03);
+  EXPECT_EQ(net.stats().messages_dropped + net.stats().messages_delivered,
+            static_cast<std::uint64_t>(n));
+}
+
+TEST(Sim, ScheduleRunsCallbacksInTimeOrder) {
+  SimNetwork net({}, 1);
+  std::vector<int> order;
+  net.schedule(0.3, [&] { order.push_back(3); });
+  net.schedule(0.1, [&] { order.push_back(1); });
+  net.schedule(0.2, [&] { order.push_back(2); });
+  net.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_NEAR(net.now(), 0.3, 1e-12);
+}
+
+TEST(Sim, RunUntilStopsAtBoundaryAndAdvancesClock) {
+  SimNetwork net({}, 1);
+  int fired = 0;
+  net.schedule(1.0, [&] { ++fired; });
+  net.schedule(2.0, [&] { ++fired; });
+  net.run_until(1.5);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(net.now(), 1.5);
+  net.run_until(2.5);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Sim, NegativeDelayThrows) {
+  SimNetwork net({}, 1);
+  EXPECT_THROW(net.schedule(-0.1, [] {}), std::invalid_argument);
+}
+
+TEST(Sim, HandlerMaySendMoreMessages) {
+  LinkParams p;
+  p.jitter_s = 0.0;
+  SimNetwork net(p, 1);
+  auto& a = net.add_node();
+  auto& b = net.add_node();
+  int a_got = 0;
+  a.set_handler([&](const Endpoint&, serial::Frame) { ++a_got; });
+  b.set_handler([&](const Endpoint& from, serial::Frame f) {
+    b.send(from, std::move(f));  // echo
+  });
+  a.send(b.local(), text_frame("ping"));
+  net.run_all();
+  EXPECT_EQ(a_got, 1);
+}
+
+TEST(Sim, UnknownNodeThrows) {
+  SimNetwork net({}, 1);
+  auto& a = net.add_node();
+  EXPECT_THROW(a.send(sim_endpoint(99), text_frame("x")), std::out_of_range);
+  EXPECT_THROW(a.send(Endpoint{"tcp:127.0.0.1:1"}, text_frame("x")),
+               std::invalid_argument);
+}
+
+TEST(Sim, LatencyFnOverridesLinkModel) {
+  SimNetwork net({}, 1);
+  auto& a = net.add_node();
+  auto& b = net.add_node();
+  net.set_latency_fn([](std::uint32_t, std::uint32_t) { return 7.0; });
+  double at = -1;
+  b.set_handler([&](const Endpoint&, serial::Frame) { at = net.now(); });
+  a.send(b.local(), text_frame("x"));
+  net.run_all();
+  EXPECT_NEAR(at, 7.0, 1e-12);
+}
+
+TEST(Sim, StatsCountBytes) {
+  SimNetwork net({}, 1);
+  auto& a = net.add_node();
+  auto& b = net.add_node();
+  b.set_handler([](const Endpoint&, serial::Frame) {});
+  a.send(b.local(), text_frame("hello"));
+  net.run_all();
+  EXPECT_EQ(net.stats().messages_sent, 1u);
+  EXPECT_EQ(net.stats().bytes_sent,
+            serial::kFrameHeaderSize + 5 + serial::kFrameTrailerSize);
+}
+
+TEST(Sim, RunAllBoundsRunawayEventLoops) {
+  SimNetwork net({}, 1);
+  // A self-rescheduling event never terminates; run_all's cap must.
+  std::function<void()> loop = [&] { net.schedule(0.001, loop); };
+  net.schedule(0.0, loop);
+  EXPECT_EQ(net.run_all(1000), 1000u);
+}
+
+// ------------------------------------------------------------------ inproc
+
+TEST(Inproc, RouteBetweenMailboxes) {
+  InprocHub hub;
+  auto a = hub.create("a");
+  auto b = hub.create("b");
+  std::string got;
+  b->set_handler([&](const Endpoint& from, serial::Frame f) {
+    EXPECT_EQ(from, a->local());
+    got = serial::to_string(f.payload);
+  });
+  a->send(b->local(), text_frame("hi"));
+  EXPECT_EQ(got, "");  // not delivered until polled
+  EXPECT_EQ(b->poll(), 1u);
+  EXPECT_EQ(got, "hi");
+}
+
+TEST(Inproc, DuplicateNameThrows) {
+  InprocHub hub;
+  auto a = hub.create("same");
+  EXPECT_THROW(hub.create("same"), std::invalid_argument);
+  EXPECT_EQ(hub.size(), 1u);
+}
+
+TEST(Inproc, UnregisterOnDestroy) {
+  InprocHub hub;
+  {
+    auto a = hub.create("temp");
+    EXPECT_EQ(hub.size(), 1u);
+  }
+  EXPECT_EQ(hub.size(), 0u);
+  auto again = hub.create("temp");  // name is reusable
+  EXPECT_EQ(hub.size(), 1u);
+}
+
+TEST(Inproc, SendToMissingReceiverIsDropped) {
+  InprocHub hub;
+  auto a = hub.create("a");
+  a->send(inproc_endpoint("ghost"), text_frame("x"));  // no throw
+}
+
+TEST(Inproc, HandlerMaySendDuringPoll) {
+  InprocHub hub;
+  auto a = hub.create("a");
+  auto b = hub.create("b");
+  int a_got = 0;
+  a->set_handler([&](const Endpoint&, serial::Frame) { ++a_got; });
+  b->set_handler([&](const Endpoint& from, serial::Frame f) {
+    b->send(from, std::move(f));
+  });
+  a->send(b->local(), text_frame("ping"));
+  b->poll();
+  a->poll();
+  EXPECT_EQ(a_got, 1);
+}
+
+TEST(Inproc, CrossThreadDelivery) {
+  InprocHub hub;
+  auto a = hub.create("a");
+  auto b = hub.create("b");
+  int got = 0;
+  b->set_handler([&](const Endpoint&, serial::Frame) { ++got; });
+
+  std::thread sender([&] {
+    for (int i = 0; i < 1000; ++i) a->send(b->local(), text_frame("m"));
+  });
+  int polled = 0;
+  while (polled < 1000) {
+    polled += static_cast<int>(b->poll());
+  }
+  sender.join();
+  EXPECT_EQ(got, 1000);
+}
+
+// --------------------------------------------------------------------- tcp
+
+void pump(TcpTransport& a, TcpTransport& b, int target, int& counter) {
+  // Drive both reactors until `counter` reaches target or we give up.
+  for (int spins = 0; spins < 20000 && counter < target; ++spins) {
+    a.poll_wait(1);
+    b.poll_wait(1);
+  }
+}
+
+TEST(Tcp, LoopbackRoundTrip) {
+  TcpTransport a(0), b(0);
+  int got = 0;
+  std::string body;
+  Endpoint from_seen;
+  b.set_handler([&](const Endpoint& from, serial::Frame f) {
+    ++got;
+    body = serial::to_string(f.payload);
+    from_seen = from;
+  });
+  a.send(b.local(), text_frame("over tcp"));
+  pump(a, b, 1, got);
+  ASSERT_EQ(got, 1);
+  EXPECT_EQ(body, "over tcp");
+  // The HELLO protocol labels the frame with a's listening endpoint.
+  EXPECT_EQ(from_seen, a.local());
+}
+
+TEST(Tcp, ReplyUsesLearnedEndpoint) {
+  TcpTransport a(0), b(0);
+  int a_got = 0;
+  a.set_handler([&](const Endpoint&, serial::Frame) { ++a_got; });
+  b.set_handler([&](const Endpoint& from, serial::Frame f) {
+    b.send(from, std::move(f));  // echo back over a fresh connection
+  });
+  a.send(b.local(), text_frame("ping"));
+  pump(a, b, 1, a_got);
+  EXPECT_EQ(a_got, 1);
+}
+
+TEST(Tcp, ManyFramesInOrder) {
+  TcpTransport a(0), b(0);
+  std::vector<int> seen;
+  int got = 0;
+  b.set_handler([&](const Endpoint&, serial::Frame f) {
+    seen.push_back(static_cast<int>(f.payload[0]));
+    ++got;
+  });
+  for (int i = 0; i < 200; ++i) {
+    serial::Frame f;
+    f.type = serial::FrameType::kData;
+    f.payload = {static_cast<std::uint8_t>(i)};
+    a.send(b.local(), std::move(f));
+  }
+  pump(a, b, 200, got);
+  ASSERT_EQ(got, 200);
+  for (int i = 0; i < 200; ++i) EXPECT_EQ(seen[i], i % 256);
+}
+
+TEST(Tcp, LargePayloadCrossesIntact) {
+  TcpTransport a(0), b(0);
+  serial::Frame f;
+  f.type = serial::FrameType::kData;
+  f.payload.resize(1 << 20);
+  for (std::size_t i = 0; i < f.payload.size(); ++i) {
+    f.payload[i] = static_cast<std::uint8_t>(i * 2654435761u >> 24);
+  }
+  auto expected = f.payload;
+  int got = 0;
+  serial::Bytes received;
+  b.set_handler([&](const Endpoint&, serial::Frame fr) {
+    received = std::move(fr.payload);
+    ++got;
+  });
+  a.send(b.local(), std::move(f));
+  pump(a, b, 1, got);
+  ASSERT_EQ(got, 1);
+  EXPECT_EQ(received, expected);
+}
+
+TEST(Tcp, EphemeralPortIsReported) {
+  TcpTransport t(0);
+  EXPECT_NE(t.local().value.find("tcp:127.0.0.1:"), std::string::npos);
+  EXPECT_NE(t.local().value, "tcp:127.0.0.1:0");
+}
+
+TEST(Tcp, SendToDeadPortDoesNotCrash) {
+  TcpTransport a(0);
+  // Nothing listens on this endpoint; connect will fail asynchronously.
+  a.send(tcp_endpoint("127.0.0.1", 1), text_frame("x"));
+  for (int i = 0; i < 50; ++i) a.poll_wait(1);
+  SUCCEED();
+}
+
+TEST(Tcp, BidirectionalTrafficOnIndependentConnections) {
+  TcpTransport a(0), b(0);
+  int a_got = 0, b_got = 0;
+  a.set_handler([&](const Endpoint&, serial::Frame) { ++a_got; });
+  b.set_handler([&](const Endpoint&, serial::Frame) { ++b_got; });
+  for (int i = 0; i < 50; ++i) {
+    a.send(b.local(), text_frame("a->b"));
+    b.send(a.local(), text_frame("b->a"));
+  }
+  for (int spins = 0; spins < 20000 && (a_got < 50 || b_got < 50); ++spins) {
+    a.poll_wait(1);
+    b.poll_wait(1);
+  }
+  EXPECT_EQ(a_got, 50);
+  EXPECT_EQ(b_got, 50);
+}
+
+}  // namespace
+}  // namespace cg::net

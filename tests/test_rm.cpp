@@ -1,0 +1,163 @@
+// Tests for cg_rm: the thread pool, the launch managers, and the simulated
+// batch queue's slot/queueing behaviour in virtual time.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "net/sim_network.hpp"
+#include "rm/batch_queue.hpp"
+#include "rm/manager.hpp"
+#include "rm/thread_pool.hpp"
+
+namespace cg::rm {
+namespace {
+
+TEST(ThreadPool, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.post([&] { ++count; });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, SubmitReturnsValue) {
+  ThreadPool pool(2);
+  auto f = pool.submit([] { return 6 * 7; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPool, SubmitPropagatesException) {
+  ThreadPool pool(1);
+  auto f = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelSpeedupIsObservable) {
+  // Not a timing assertion -- just checks that tasks really run on
+  // multiple threads by observing distinct thread ids.
+  ThreadPool pool(4);
+  std::mutex mu;
+  std::set<std::thread::id> ids;
+  std::atomic<int> barrier{0};
+  for (int i = 0; i < 4; ++i) {
+    pool.post([&] {
+      ++barrier;
+      while (barrier.load() < 4) std::this_thread::yield();
+      std::lock_guard lock(mu);
+      ids.insert(std::this_thread::get_id());
+    });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(ids.size(), 4u);
+}
+
+TEST(ThreadPool, WaitIdleOnEmptyPoolReturns) {
+  ThreadPool pool(2);
+  pool.wait_idle();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPool, ZeroMeansHardwareConcurrency) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.thread_count(), 1u);
+}
+
+TEST(InlineManager, RunsSynchronouslyAndReportsSuccess) {
+  InlineManager mgr;
+  bool ran = false, done_ok = false;
+  mgr.launch(Job{"j1", [&] { ran = true; },
+                 [&](bool ok, const std::string&) { done_ok = ok; }});
+  EXPECT_TRUE(ran);
+  EXPECT_TRUE(done_ok);
+  EXPECT_EQ(mgr.stats().launched, 1u);
+  EXPECT_EQ(mgr.stats().succeeded, 1u);
+  EXPECT_EQ(mgr.kind(), "inline");
+}
+
+TEST(InlineManager, CapturesFailure) {
+  InlineManager mgr;
+  std::string error;
+  mgr.launch(Job{"j1", [] { throw std::runtime_error("module crashed"); },
+                 [&](bool ok, const std::string& e) {
+                   EXPECT_FALSE(ok);
+                   error = e;
+                 }});
+  EXPECT_EQ(error, "module crashed");
+  EXPECT_EQ(mgr.stats().failed, 1u);
+}
+
+TEST(ThreadPoolManager, RunsJobsOnPool) {
+  ThreadPool pool(2);
+  ThreadPoolManager mgr(pool);
+  std::atomic<int> ok_count{0};
+  for (int i = 0; i < 20; ++i) {
+    mgr.launch(Job{"j", [] {},
+                   [&](bool ok, const std::string&) { ok_count += ok; }});
+  }
+  pool.wait_idle();
+  EXPECT_EQ(ok_count.load(), 20);
+  EXPECT_EQ(mgr.stats().launched, 20u);
+  EXPECT_EQ(mgr.stats().succeeded, 20u);
+  EXPECT_EQ(mgr.kind(), "thread-pool");
+}
+
+TEST(BatchQueue, RespectsSlotLimit) {
+  net::SimNetwork net({}, 1);
+  BatchQueueOptions opt;
+  opt.slots = 2;
+  opt.mean_queue_overhead_s = 0.0;
+  SimBatchQueue q([&](double d, std::function<void()> fn) {
+    net.schedule(d, std::move(fn));
+  }, [&] { return net.now(); }, opt, 1);
+
+  std::vector<double> completions;
+  for (int i = 0; i < 4; ++i) {
+    q.submit(10.0, [&] { completions.push_back(net.now()); });
+  }
+  net.run_all();
+  ASSERT_EQ(completions.size(), 4u);
+  // 2 slots: first two finish at 10, next two at 20.
+  EXPECT_NEAR(completions[0], 10.0, 1e-9);
+  EXPECT_NEAR(completions[1], 10.0, 1e-9);
+  EXPECT_NEAR(completions[2], 20.0, 1e-9);
+  EXPECT_NEAR(completions[3], 20.0, 1e-9);
+  EXPECT_EQ(q.stats().completed, 4u);
+  EXPECT_GE(q.stats().max_queue_length, 2u);
+  EXPECT_NEAR(q.stats().busy_seconds, 40.0, 1e-9);
+}
+
+TEST(BatchQueue, QueueOverheadDelaysStart) {
+  net::SimNetwork net({}, 1);
+  BatchQueueOptions opt;
+  opt.slots = 8;
+  opt.mean_queue_overhead_s = 100.0;
+  SimBatchQueue q([&](double d, std::function<void()> fn) {
+    net.schedule(d, std::move(fn));
+  }, [&] { return net.now(); }, opt, 7);
+
+  double done_at = -1.0;
+  q.submit(1.0, [&] { done_at = net.now(); });
+  net.run_all();
+  EXPECT_GT(done_at, 1.0);  // paid some scheduling overhead
+}
+
+TEST(BatchQueue, ManyJobsAllComplete) {
+  net::SimNetwork net({}, 1);
+  BatchQueueOptions opt;
+  opt.slots = 3;
+  opt.mean_queue_overhead_s = 5.0;
+  SimBatchQueue q([&](double d, std::function<void()> fn) {
+    net.schedule(d, std::move(fn));
+  }, [&] { return net.now(); }, opt, 3);
+  int done = 0;
+  for (int i = 0; i < 50; ++i) q.submit(2.0, [&] { ++done; });
+  net.run_all();
+  EXPECT_EQ(done, 50);
+  EXPECT_EQ(q.busy_slots(), 0u);
+  EXPECT_EQ(q.queued(), 0u);
+}
+
+}  // namespace
+}  // namespace cg::rm

@@ -1,0 +1,295 @@
+// Tests for the cg_serial substrate: writer/reader round-trips, varint edge
+// cases, CRC-32 known answers, frame encode/decode and stream reassembly.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "serial/crc32.hpp"
+#include "serial/frame.hpp"
+#include "serial/reader.hpp"
+#include "serial/writer.hpp"
+
+namespace cg::serial {
+namespace {
+
+TEST(Writer, FixedWidthLittleEndian) {
+  Writer w;
+  w.u16(0x1234);
+  w.u32(0xAABBCCDD);
+  const Bytes& b = w.bytes();
+  ASSERT_EQ(b.size(), 6u);
+  EXPECT_EQ(b[0], 0x34);
+  EXPECT_EQ(b[1], 0x12);
+  EXPECT_EQ(b[2], 0xDD);
+  EXPECT_EQ(b[3], 0xCC);
+  EXPECT_EQ(b[4], 0xBB);
+  EXPECT_EQ(b[5], 0xAA);
+}
+
+TEST(Writer, RoundTripPrimitives) {
+  Writer w;
+  w.u8(200);
+  w.u16(65535);
+  w.u32(4000000000u);
+  w.u64(0xDEADBEEFCAFEBABEull);
+  w.i32(-123456);
+  w.i64(-9876543210);
+  w.f64(3.141592653589793);
+  w.boolean(true);
+  w.boolean(false);
+
+  Reader r(w.bytes());
+  EXPECT_EQ(r.u8(), 200);
+  EXPECT_EQ(r.u16(), 65535);
+  EXPECT_EQ(r.u32(), 4000000000u);
+  EXPECT_EQ(r.u64(), 0xDEADBEEFCAFEBABEull);
+  EXPECT_EQ(r.i32(), -123456);
+  EXPECT_EQ(r.i64(), -9876543210);
+  EXPECT_DOUBLE_EQ(r.f64(), 3.141592653589793);
+  EXPECT_TRUE(r.boolean());
+  EXPECT_FALSE(r.boolean());
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(Writer, F64PreservesSpecialValues) {
+  Writer w;
+  w.f64(std::numeric_limits<double>::infinity());
+  w.f64(-0.0);
+  w.f64(std::numeric_limits<double>::denorm_min());
+  Reader r(w.bytes());
+  EXPECT_EQ(r.f64(), std::numeric_limits<double>::infinity());
+  double nz = r.f64();
+  EXPECT_EQ(nz, 0.0);
+  EXPECT_TRUE(std::signbit(nz));
+  EXPECT_EQ(r.f64(), std::numeric_limits<double>::denorm_min());
+}
+
+class VarintRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(VarintRoundTrip, Unsigned) {
+  Writer w;
+  w.varint(GetParam());
+  Reader r(w.bytes());
+  EXPECT_EQ(r.varint(), GetParam());
+  EXPECT_TRUE(r.at_end());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Boundaries, VarintRoundTrip,
+    ::testing::Values(0ull, 1ull, 127ull, 128ull, 129ull, 16383ull, 16384ull,
+                      (1ull << 32) - 1, 1ull << 32, (1ull << 56) + 12345,
+                      std::numeric_limits<std::uint64_t>::max()));
+
+TEST(Varint, SmallValuesAreOneByte) {
+  for (std::uint64_t v = 0; v < 128; ++v) {
+    Writer w;
+    w.varint(v);
+    EXPECT_EQ(w.size(), 1u) << v;
+  }
+}
+
+class SvarintRoundTrip : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(SvarintRoundTrip, Signed) {
+  Writer w;
+  w.svarint(GetParam());
+  Reader r(w.bytes());
+  EXPECT_EQ(r.svarint(), GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Boundaries, SvarintRoundTrip,
+    ::testing::Values(0ll, 1ll, -1ll, 63ll, -64ll, 64ll, -65ll, 1234567ll,
+                      -1234567ll, std::numeric_limits<std::int64_t>::max(),
+                      std::numeric_limits<std::int64_t>::min()));
+
+TEST(Svarint, ZigZagKeepsSmallNegativesShort) {
+  Writer w;
+  w.svarint(-1);
+  EXPECT_EQ(w.size(), 1u);
+}
+
+TEST(StringBlob, RoundTrip) {
+  Writer w;
+  w.string("hello consumer grid");
+  w.string("");
+  Bytes payload = {0, 1, 2, 254, 255};
+  w.blob(payload);
+  std::vector<double> xs = {1.5, -2.5, 0.0};
+  w.f64_vector(xs);
+
+  Reader r(w.bytes());
+  EXPECT_EQ(r.string(), "hello consumer grid");
+  EXPECT_EQ(r.string(), "");
+  EXPECT_EQ(r.blob(), payload);
+  EXPECT_EQ(r.f64_vector(), xs);
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(StringBlob, EmbeddedNulSurvives) {
+  Writer w;
+  std::string s("a\0b", 3);
+  w.string(s);
+  Reader r(w.bytes());
+  EXPECT_EQ(r.string(), s);
+}
+
+TEST(Reader, TruncatedInputThrows) {
+  Writer w;
+  w.u32(42);
+  Bytes b = w.take();
+  b.pop_back();
+  Reader r(b);
+  EXPECT_THROW(r.u32(), DecodeError);
+}
+
+TEST(Reader, TruncatedStringThrows) {
+  Writer w;
+  w.varint(100);  // claims 100 bytes follow; none do
+  Reader r(w.bytes());
+  EXPECT_THROW(r.string(), DecodeError);
+}
+
+TEST(Reader, OverlongVarintThrows) {
+  Bytes b(11, 0x80);  // 11 continuation bytes, never terminates
+  Reader r(b);
+  EXPECT_THROW(r.varint(), DecodeError);
+}
+
+TEST(Reader, HugeF64VectorCountThrows) {
+  Writer w;
+  w.varint(1ull << 40);  // absurd element count, no data
+  Reader r(w.bytes());
+  EXPECT_THROW(r.f64_vector(), DecodeError);
+}
+
+TEST(Reader, RemainingTracksConsumption) {
+  Writer w;
+  w.u32(1);
+  w.u32(2);
+  Reader r(w.bytes());
+  EXPECT_EQ(r.remaining(), 8u);
+  r.u32();
+  EXPECT_EQ(r.remaining(), 4u);
+  r.u32();
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(Crc32, KnownAnswers) {
+  // Standard check value for "123456789".
+  const std::string check = "123456789";
+  EXPECT_EQ(crc32(reinterpret_cast<const std::uint8_t*>(check.data()),
+                  check.size()),
+            0xCBF43926u);
+  EXPECT_EQ(crc32(nullptr, 0), 0u);
+}
+
+TEST(Crc32, IncrementalMatchesOneShot) {
+  Bytes data;
+  for (int i = 0; i < 1000; ++i) data.push_back(static_cast<std::uint8_t>(i));
+  const std::uint32_t oneshot = crc32(data);
+  std::uint32_t running = 0;
+  running = crc32(data.data(), 400, running);
+  running = crc32(data.data() + 400, 600, running);
+  EXPECT_EQ(running, oneshot);
+}
+
+TEST(Frame, EncodeDecodeRoundTrip) {
+  Frame f;
+  f.type = FrameType::kData;
+  f.payload = {1, 2, 3, 4, 5};
+  Bytes wire = encode_frame(f);
+  EXPECT_EQ(wire.size(),
+            kFrameHeaderSize + f.payload.size() + kFrameTrailerSize);
+
+  FrameDecoder d;
+  d.feed(wire);
+  auto out = d.next();
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->type, FrameType::kData);
+  EXPECT_EQ(out->payload, f.payload);
+  EXPECT_FALSE(d.next().has_value());
+  EXPECT_EQ(d.buffered(), 0u);
+}
+
+TEST(Frame, EmptyPayload) {
+  Frame f;
+  f.type = FrameType::kHeartbeat;
+  FrameDecoder d;
+  d.feed(encode_frame(f));
+  auto out = d.next();
+  ASSERT_TRUE(out.has_value());
+  EXPECT_TRUE(out->payload.empty());
+}
+
+TEST(Frame, ByteAtATimeReassembly) {
+  Frame f;
+  f.type = FrameType::kControl;
+  f.payload = serial::to_bytes("<msg kind='ping'/>");
+  Bytes wire = encode_frame(f);
+
+  FrameDecoder d;
+  std::optional<Frame> out;
+  for (std::size_t i = 0; i < wire.size(); ++i) {
+    d.feed(&wire[i], 1);
+    out = d.next();
+    if (i + 1 < wire.size()) {
+      EXPECT_FALSE(out.has_value()) << "frame completed early at byte " << i;
+    }
+  }
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(serial::to_string(out->payload), "<msg kind='ping'/>");
+}
+
+TEST(Frame, MultipleFramesInOneChunk) {
+  Bytes wire;
+  for (int i = 0; i < 5; ++i) {
+    Frame f;
+    f.type = FrameType::kData;
+    f.payload = {static_cast<std::uint8_t>(i)};
+    Bytes one = encode_frame(f);
+    wire.insert(wire.end(), one.begin(), one.end());
+  }
+  FrameDecoder d;
+  d.feed(wire);
+  for (int i = 0; i < 5; ++i) {
+    auto f = d.next();
+    ASSERT_TRUE(f.has_value()) << i;
+    EXPECT_EQ(f->payload[0], i);
+  }
+  EXPECT_FALSE(d.next().has_value());
+}
+
+TEST(Frame, BadMagicThrows) {
+  Frame f;
+  f.payload = {9, 9, 9};
+  Bytes wire = encode_frame(f);
+  wire[0] ^= 0xFF;
+  FrameDecoder d;
+  d.feed(wire);
+  EXPECT_THROW(d.next(), DecodeError);
+}
+
+TEST(Frame, CorruptPayloadFailsCrc) {
+  Frame f;
+  f.payload = {9, 9, 9};
+  Bytes wire = encode_frame(f);
+  wire[kFrameHeaderSize] ^= 0x01;  // flip a payload bit
+  FrameDecoder d;
+  d.feed(wire);
+  EXPECT_THROW(d.next(), DecodeError);
+}
+
+TEST(Frame, OversizedLengthRejected) {
+  Writer w;
+  w.u32(0x31464743u);  // magic
+  w.u8(1);
+  w.u32(static_cast<std::uint32_t>(kMaxFramePayload + 1));
+  FrameDecoder d;
+  d.feed(w.bytes());
+  EXPECT_THROW(d.next(), DecodeError);
+}
+
+}  // namespace
+}  // namespace cg::serial

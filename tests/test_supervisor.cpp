@@ -1,0 +1,208 @@
+// Tests for the checkpoint store and the run supervisor: periodic
+// checkpointing, failure detection via missed probes, and automatic
+// recovery of a fragment onto a spare worker with state restored.
+#include <gtest/gtest.h>
+
+#include "core/service/supervisor.hpp"
+#include "core/unit/builtin.hpp"
+#include "net/sim_network.hpp"
+
+namespace cg::core {
+namespace {
+
+UnitRegistry& reg() {
+  static UnitRegistry r = UnitRegistry::with_builtins();
+  return r;
+}
+
+// ---------------------------------------------------------- checkpoint store
+
+TEST(CheckpointStore, LatestWinsAndStaleRejected) {
+  CheckpointStore store;
+  EXPECT_FALSE(store.get("a").has_value());
+  EXPECT_TRUE(store.put("a", {1, 2, 3}, 10.0));
+  EXPECT_TRUE(store.put("a", {4, 5}, 20.0));
+  EXPECT_FALSE(store.put("a", {9}, 15.0));  // out-of-order arrival
+
+  auto rec = store.get("a");
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_EQ(rec->state, (serial::Bytes{4, 5}));
+  EXPECT_DOUBLE_EQ(rec->taken_at, 20.0);
+  EXPECT_EQ(rec->sequence, 2u);
+}
+
+TEST(CheckpointStore, EraseAndTotals) {
+  CheckpointStore store;
+  store.put("a", serial::Bytes(100, 1), 1.0);
+  store.put("b", serial::Bytes(50, 2), 1.0);
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_EQ(store.total_bytes(), 150u);
+  EXPECT_TRUE(store.erase("a"));
+  EXPECT_FALSE(store.erase("a"));
+  EXPECT_EQ(store.total_bytes(), 50u);
+}
+
+TEST(CheckpointStore, SerialiseRoundTrip) {
+  CheckpointStore store;
+  store.put("x", {1, 2, 3}, 5.0);
+  store.put("y", {}, 7.0);
+  CheckpointStore back = CheckpointStore::deserialise(store.serialise());
+  EXPECT_EQ(back.size(), 2u);
+  EXPECT_EQ(back.get("x")->state, (serial::Bytes{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(back.get("y")->taken_at, 7.0);
+}
+
+// ----------------------------------------------------------------- supervisor
+
+struct SupGrid {
+  SupGrid() : net({}, 1) {
+    auto clock = [this] { return net.now(); };
+    auto sched = [this](double d, std::function<void()> fn) {
+      net.schedule(d, std::move(fn));
+    };
+    ServiceConfig hc;
+    hc.peer_id = "home";
+    home = std::make_unique<TrianaService>(net.add_node(), clock, sched,
+                                           reg(), hc);
+    for (int i = 0; i < 3; ++i) {
+      ServiceConfig cfg;
+      cfg.peer_id = "w" + std::to_string(i);
+      workers.push_back(std::make_unique<TrianaService>(net.add_node(), clock,
+                                                        sched, reg(), cfg));
+      home->node().add_neighbor(workers.back()->endpoint());
+      workers.back()->node().add_neighbor(home->endpoint());
+    }
+  }
+
+  net::SimNetwork net;
+  std::unique_ptr<TrianaService> home;
+  std::vector<std::unique_ptr<TrianaService>> workers;
+};
+
+TaskGraph accum_farm_graph() {
+  TaskGraph inner("inner");
+  ParamSet np;
+  np.set_double("stddev", 1.0);
+  inner.add_task("Gaussian", "Gaussian", np);
+  inner.add_task("AccumStat", "AccumStat");
+  inner.connect("Gaussian", 0, "AccumStat", 0);
+
+  TaskGraph g("sup");
+  ParamSet wp;
+  wp.set_int("samples", 64);
+  g.add_task("Wave", "Wave", wp);
+  TaskDef& grp = g.add_group("G", std::move(inner), "parallel");
+  grp.group_inputs = {GroupPort{"Gaussian", 0}};
+  grp.group_outputs = {GroupPort{"AccumStat", 0}};
+  g.add_task("Sink", "Grapher");
+  g.connect("Wave", 0, "G", 0);
+  g.connect("G", 0, "Sink", 0);
+  return g;
+}
+
+TEST(Supervisor, CheckpointsPeriodically) {
+  SupGrid grid;
+  TaskGraph g = accum_farm_graph();
+  grid.home->publish_graph_modules(g);
+  TrianaController ctl(*grid.home);
+  auto run = ctl.distribute(g, "G", {grid.workers[0]->endpoint()});
+  grid.net.run_all();
+  ASSERT_TRUE(run->deployed_ok());
+
+  SupervisorOptions opt;
+  opt.checkpoint_period_s = 5.0;
+  opt.probe_period_s = 2.0;
+  auto sup = std::make_shared<RunSupervisor>(
+      ctl, run, std::vector<net::Endpoint>{}, opt);
+  sup->start();
+
+  ctl.tick(*run, 4);
+  grid.net.run_until(21.0);
+  EXPECT_GE(sup->stats().checkpoints_taken, 3u);
+  EXPECT_GE(sup->stats().probes_answered, 8u);
+  EXPECT_EQ(sup->stats().failures_detected, 0u);
+  EXPECT_TRUE(sup->checkpoints().get("fragment#0").has_value());
+  sup->stop();
+}
+
+TEST(Supervisor, DetectsDeadWorkerAndRecoversToSpare) {
+  SupGrid grid;
+  TaskGraph g = accum_farm_graph();
+  grid.home->publish_graph_modules(g);
+
+  sandbox::TrustManager trust;
+  TrianaController ctl(*grid.home);
+  ctl.set_trust_manager(&trust);
+
+  // Workers 0 runs the fragment; worker 2 is the spare.
+  auto run = ctl.distribute(g, "G", {grid.workers[0]->endpoint()});
+  grid.net.run_all();
+  ASSERT_TRUE(run->deployed_ok());
+
+  SupervisorOptions opt;
+  opt.checkpoint_period_s = 4.0;
+  opt.probe_period_s = 2.0;
+  opt.max_missed = 2;
+  auto sup = std::make_shared<RunSupervisor>(
+      ctl, run, std::vector<net::Endpoint>{grid.workers[2]->endpoint()}, opt);
+  sup->start();
+
+  // Stream some work, let checkpoints accumulate.
+  ctl.tick(*run, 6);
+  grid.net.run_until(13.0);
+  auto* sink = ctl.home_runtime(*run)->unit_as<GrapherUnit>("Sink");
+  ASSERT_EQ(sink->items().size(), 6u);
+
+  // Volunteer 0's DSL drops (sim node ids: home=0, w0=1, w1=2, w2=3).
+  grid.net.set_up(1, false);
+
+  // Probes start missing; the supervisor recovers onto the spare.
+  grid.net.run_until(40.0);
+  EXPECT_EQ(sup->stats().failures_detected, 1u);
+  EXPECT_EQ(sup->stats().recoveries, 1u);
+  EXPECT_EQ(sup->spares_left(), 0u);
+  EXPECT_EQ(run->workers[0], grid.workers[2]->endpoint());
+  EXPECT_LT(trust.score(grid.workers[0]->endpoint().value), 0.5);
+
+  // The fragment resumed from its checkpoint: the recovered AccumStat
+  // continues from the pre-failure count.
+  auto* rt = grid.workers[2]->job_runtime(run->remote_jobs[0]);
+  ASSERT_NE(rt, nullptr);
+  auto* acc = dynamic_cast<AccumStatUnit*>(rt->unit("AccumStat"));
+  ASSERT_NE(acc, nullptr);
+  EXPECT_GE(acc->count(), 6u);  // restored state, not a fresh unit
+
+  // And the stream keeps flowing end to end.
+  ctl.tick(*run, 4);
+  grid.net.run_until(60.0);
+  EXPECT_EQ(sink->items().size(), 10u);
+  EXPECT_GE(acc->count(), 10u);
+  sup->stop();
+}
+
+TEST(Supervisor, NoSpareMeansRecoveryFails) {
+  SupGrid grid;
+  TaskGraph g = accum_farm_graph();
+  grid.home->publish_graph_modules(g);
+  TrianaController ctl(*grid.home);
+  auto run = ctl.distribute(g, "G", {grid.workers[0]->endpoint()});
+  grid.net.run_all();
+  ASSERT_TRUE(run->deployed_ok());
+
+  SupervisorOptions opt;
+  opt.probe_period_s = 2.0;
+  opt.max_missed = 2;
+  auto sup = std::make_shared<RunSupervisor>(
+      ctl, run, std::vector<net::Endpoint>{}, opt);
+  sup->start();
+
+  grid.net.set_up(1, false);  // w0 is sim node 1
+  grid.net.run_until(30.0);
+  EXPECT_EQ(sup->stats().failures_detected, 1u);
+  EXPECT_EQ(sup->stats().recoveries, 0u);
+  EXPECT_EQ(sup->stats().recoveries_failed, 1u);
+  sup->stop();
+}
+
+}  // namespace
+}  // namespace cg::core

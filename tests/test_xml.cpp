@@ -1,0 +1,190 @@
+// Tests for the cg_xml substrate: parsing, escaping, typed attributes,
+// round-trips, and the malformed-document error paths.
+#include <gtest/gtest.h>
+
+#include "xml/node.hpp"
+#include "xml/parse.hpp"
+#include "xml/write.hpp"
+
+namespace cg::xml {
+namespace {
+
+TEST(Parse, SimpleElement) {
+  Node n = parse("<tool/>");
+  EXPECT_EQ(n.name(), "tool");
+  EXPECT_TRUE(n.all_children().empty());
+  EXPECT_TRUE(n.text().empty());
+}
+
+TEST(Parse, Attributes) {
+  Node n = parse(R"(<task name="Wave" package="signalproc" nodes='2'/>)");
+  EXPECT_EQ(n.require_attr("name"), "Wave");
+  EXPECT_EQ(n.require_attr("package"), "signalproc");
+  EXPECT_EQ(n.attr_int("nodes", -1), 2);
+  EXPECT_FALSE(n.attr("missing").has_value());
+  EXPECT_EQ(n.attr_or("missing", "dflt"), "dflt");
+}
+
+TEST(Parse, NestedChildrenInOrder) {
+  Node n = parse("<graph><task name='a'/><task name='b'/><link/></graph>");
+  ASSERT_EQ(n.all_children().size(), 3u);
+  auto tasks = n.children("task");
+  ASSERT_EQ(tasks.size(), 2u);
+  EXPECT_EQ(tasks[0]->require_attr("name"), "a");
+  EXPECT_EQ(tasks[1]->require_attr("name"), "b");
+  EXPECT_NE(n.child("link"), nullptr);
+  EXPECT_EQ(n.child("nothere"), nullptr);
+}
+
+TEST(Parse, TextContent) {
+  Node n = parse("<desc>  hello world  </desc>");
+  EXPECT_EQ(n.text(), "hello world");  // trimmed
+}
+
+TEST(Parse, EntitiesDecoded) {
+  Node n = parse("<v a=\"&lt;x&gt; &amp; &quot;y&quot;\">&apos;t&apos;</v>");
+  EXPECT_EQ(n.require_attr("a"), "<x> & \"y\"");
+  EXPECT_EQ(n.text(), "'t'");
+}
+
+TEST(Parse, NumericCharacterReference) {
+  Node n = parse("<v>&#65;&#x42;</v>");
+  EXPECT_EQ(n.text(), "AB");
+}
+
+TEST(Parse, CommentsAndDeclarationSkipped) {
+  Node n = parse(
+      "<?xml version=\"1.0\"?>\n"
+      "<!-- a task graph -->\n"
+      "<graph><!-- inner --><task/></graph>\n"
+      "<!-- trailing -->");
+  EXPECT_EQ(n.name(), "graph");
+  EXPECT_EQ(n.all_children().size(), 1u);
+}
+
+TEST(Parse, Cdata) {
+  Node n = parse("<code><![CDATA[ if (a < b && c > d) {} ]]></code>");
+  EXPECT_EQ(n.text(), "if (a < b && c > d) {}");
+}
+
+TEST(Parse, MismatchedCloseTagThrows) {
+  EXPECT_THROW(parse("<a><b></a></b>"), XmlError);
+}
+
+TEST(Parse, TruncatedDocumentThrows) {
+  EXPECT_THROW(parse("<a><b>"), XmlError);
+  EXPECT_THROW(parse("<a attr="), XmlError);
+}
+
+TEST(Parse, GarbageAfterRootThrows) {
+  EXPECT_THROW(parse("<a/><b/>"), XmlError);
+}
+
+TEST(Parse, UnknownEntityThrows) {
+  EXPECT_THROW(parse("<a>&bogus;</a>"), XmlError);
+}
+
+TEST(Parse, UnquotedAttributeThrows) {
+  EXPECT_THROW(parse("<a k=v/>"), XmlError);
+}
+
+TEST(Parse, ErrorMessageCarriesPosition) {
+  try {
+    parse("<a>\n  <b>\n</a>");
+    FAIL() << "expected XmlError";
+  } catch (const XmlError& e) {
+    EXPECT_NE(std::string(e.what()).find("3:"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Write, EscapesSpecialCharacters) {
+  Node n("v");
+  n.set_attr("a", "<&>\"'");
+  n.set_text("1 < 2");
+  std::string s = write(n, /*pretty=*/false);
+  EXPECT_EQ(s, "<v a=\"&lt;&amp;&gt;&quot;&apos;\">1 &lt; 2</v>");
+}
+
+TEST(Write, PrettyIndentsChildren) {
+  Node g("graph");
+  g.add_child("task").set_attr("name", "Wave");
+  std::string s = write(g, /*pretty=*/true);
+  EXPECT_NE(s.find("<graph>\n  <task name=\"Wave\"/>\n</graph>"),
+            std::string::npos);
+}
+
+TEST(RoundTrip, ParseWriteParseIsIdentity) {
+  const char* doc = R"(<taskgraph version="1">
+  <task name="Wave" package="signal">
+    <param key="freq" value="50"/>
+    <param key="amp" value="1.5"/>
+  </task>
+  <task name="Grapher"/>
+  <connection from="Wave:0" to="Grapher:0"/>
+</taskgraph>)";
+  Node first = parse(doc);
+  Node second = parse(write(first));
+  EXPECT_EQ(first, second);
+  Node third = parse(write(first, /*pretty=*/false));
+  EXPECT_EQ(first, third);
+}
+
+TEST(Node, TypedAttributeErrors) {
+  Node n("v");
+  n.set_attr("k", "12abc");
+  EXPECT_THROW(n.attr_int("k", 0), XmlError);
+  EXPECT_THROW(n.attr_double("k", 0.0), XmlError);
+  n.set_attr("k", "12");
+  EXPECT_EQ(n.attr_int("k", 0), 12);
+}
+
+TEST(Node, DoubleAttrRoundTrips) {
+  Node n("v");
+  n.set_attr_double("x", 0.1234567890123456789);
+  EXPECT_DOUBLE_EQ(n.attr_double("x", 0.0), 0.1234567890123456789);
+}
+
+TEST(Node, RequireChildThrowsWithContext) {
+  Node n("graph");
+  try {
+    n.require_child("task");
+    FAIL();
+  } catch (const XmlError& e) {
+    EXPECT_NE(std::string(e.what()).find("graph"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("task"), std::string::npos);
+  }
+}
+
+TEST(Node, SubtreeSize) {
+  Node g("g");
+  g.add_child("a").add_child("b");
+  g.add_child("c");
+  EXPECT_EQ(g.subtree_size(), 4u);
+}
+
+TEST(Parse, ModerateNestingAccepted) {
+  std::string doc;
+  for (int i = 0; i < 200; ++i) doc += "<a>";
+  for (int i = 0; i < 200; ++i) doc += "</a>";
+  Node n = parse(doc);
+  EXPECT_EQ(n.subtree_size(), 200u);
+}
+
+TEST(Parse, PathologicalNestingRejectedNotCrashed) {
+  std::string doc;
+  for (int i = 0; i < 100000; ++i) doc += "<a>";
+  for (int i = 0; i < 100000; ++i) doc += "</a>";
+  EXPECT_THROW(parse(doc), XmlError);
+}
+
+TEST(Node, SetAttrReplaces) {
+  Node n("v");
+  n.set_attr("k", "1");
+  n.set_attr("k", "2");
+  EXPECT_EQ(n.attrs().size(), 1u);
+  EXPECT_EQ(n.require_attr("k"), "2");
+}
+
+}  // namespace
+}  // namespace cg::xml
