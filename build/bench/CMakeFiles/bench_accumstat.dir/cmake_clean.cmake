@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_accumstat.dir/bench_accumstat.cpp.o"
+  "CMakeFiles/bench_accumstat.dir/bench_accumstat.cpp.o.d"
+  "bench_accumstat"
+  "bench_accumstat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_accumstat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_codecache.cpp" "bench/CMakeFiles/bench_codecache.dir/bench_codecache.cpp.o" "gcc" "bench/CMakeFiles/bench_codecache.dir/bench_codecache.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/repo/CMakeFiles/cg_repo.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/cg_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/cg_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/serial/CMakeFiles/cg_serial.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

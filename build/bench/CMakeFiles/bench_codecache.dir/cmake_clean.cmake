@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_codecache.dir/bench_codecache.cpp.o"
+  "CMakeFiles/bench_codecache.dir/bench_codecache.cpp.o.d"
+  "bench_codecache"
+  "bench_codecache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_codecache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_galaxy.dir/bench_galaxy.cpp.o"
+  "CMakeFiles/bench_galaxy.dir/bench_galaxy.cpp.o.d"
+  "bench_galaxy"
+  "bench_galaxy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_galaxy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

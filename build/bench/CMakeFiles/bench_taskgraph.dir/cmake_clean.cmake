@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_taskgraph.dir/bench_taskgraph.cpp.o"
+  "CMakeFiles/bench_taskgraph.dir/bench_taskgraph.cpp.o.d"
+  "bench_taskgraph"
+  "bench_taskgraph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_taskgraph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

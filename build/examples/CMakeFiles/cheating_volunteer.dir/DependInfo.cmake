@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/cheating_volunteer.cpp" "examples/CMakeFiles/cheating_volunteer.dir/cheating_volunteer.cpp.o" "gcc" "examples/CMakeFiles/cheating_volunteer.dir/cheating_volunteer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/cg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/p2p/CMakeFiles/cg_p2p.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/cg_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/sandbox/CMakeFiles/cg_sandbox.dir/DependInfo.cmake"
+  "/root/repo/build/src/repo/CMakeFiles/cg_repo.dir/DependInfo.cmake"
+  "/root/repo/build/src/rm/CMakeFiles/cg_rm.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/cg_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/serial/CMakeFiles/cg_serial.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/cg_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cheating_volunteer.dir/cheating_volunteer.cpp.o"
+  "CMakeFiles/cheating_volunteer.dir/cheating_volunteer.cpp.o.d"
+  "cheating_volunteer"
+  "cheating_volunteer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cheating_volunteer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for cheating_volunteer.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/db_pipeline.dir/db_pipeline.cpp.o"
+  "CMakeFiles/db_pipeline.dir/db_pipeline.cpp.o.d"
+  "db_pipeline"
+  "db_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/db_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/galaxy_animation.dir/galaxy_animation.cpp.o"
+  "CMakeFiles/galaxy_animation.dir/galaxy_animation.cpp.o.d"
+  "galaxy_animation"
+  "galaxy_animation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/galaxy_animation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

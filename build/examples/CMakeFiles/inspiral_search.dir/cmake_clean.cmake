@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inspiral_search.dir/inspiral_search.cpp.o"
+  "CMakeFiles/inspiral_search.dir/inspiral_search.cpp.o.d"
+  "inspiral_search"
+  "inspiral_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inspiral_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2p_discovery.dir/p2p_discovery.cpp.o"
+  "CMakeFiles/p2p_discovery.dir/p2p_discovery.cpp.o.d"
+  "p2p_discovery"
+  "p2p_discovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2p_discovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

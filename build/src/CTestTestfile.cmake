@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("serial")
+subdirs("xml")
+subdirs("dsp")
+subdirs("net")
+subdirs("p2p")
+subdirs("sandbox")
+subdirs("repo")
+subdirs("rm")
+subdirs("churn")
+subdirs("core")
+subdirs("apps/gw")
+subdirs("apps/galaxy")
+subdirs("apps/db")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cg_db.dir/store.cpp.o"
+  "CMakeFiles/cg_db.dir/store.cpp.o.d"
+  "CMakeFiles/cg_db.dir/units.cpp.o"
+  "CMakeFiles/cg_db.dir/units.cpp.o.d"
+  "libcg_db.a"
+  "libcg_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cg_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cg_galaxy.dir/snapshot.cpp.o"
+  "CMakeFiles/cg_galaxy.dir/snapshot.cpp.o.d"
+  "CMakeFiles/cg_galaxy.dir/sph.cpp.o"
+  "CMakeFiles/cg_galaxy.dir/sph.cpp.o.d"
+  "CMakeFiles/cg_galaxy.dir/units.cpp.o"
+  "CMakeFiles/cg_galaxy.dir/units.cpp.o.d"
+  "libcg_galaxy.a"
+  "libcg_galaxy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cg_galaxy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cg_gw.dir/chirp.cpp.o"
+  "CMakeFiles/cg_gw.dir/chirp.cpp.o.d"
+  "CMakeFiles/cg_gw.dir/search.cpp.o"
+  "CMakeFiles/cg_gw.dir/search.cpp.o.d"
+  "CMakeFiles/cg_gw.dir/template_bank.cpp.o"
+  "CMakeFiles/cg_gw.dir/template_bank.cpp.o.d"
+  "CMakeFiles/cg_gw.dir/units.cpp.o"
+  "CMakeFiles/cg_gw.dir/units.cpp.o.d"
+  "libcg_gw.a"
+  "libcg_gw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cg_gw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

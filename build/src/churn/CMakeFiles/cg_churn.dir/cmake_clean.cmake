@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cg_churn.dir/availability.cpp.o"
+  "CMakeFiles/cg_churn.dir/availability.cpp.o.d"
+  "CMakeFiles/cg_churn.dir/driver.cpp.o"
+  "CMakeFiles/cg_churn.dir/driver.cpp.o.d"
+  "libcg_churn.a"
+  "libcg_churn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cg_churn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,45 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/checkpoint/checkpoint.cpp" "src/core/CMakeFiles/cg_core.dir/checkpoint/checkpoint.cpp.o" "gcc" "src/core/CMakeFiles/cg_core.dir/checkpoint/checkpoint.cpp.o.d"
+  "/root/repo/src/core/dist/policy.cpp" "src/core/CMakeFiles/cg_core.dir/dist/policy.cpp.o" "gcc" "src/core/CMakeFiles/cg_core.dir/dist/policy.cpp.o.d"
+  "/root/repo/src/core/engine/runtime.cpp" "src/core/CMakeFiles/cg_core.dir/engine/runtime.cpp.o" "gcc" "src/core/CMakeFiles/cg_core.dir/engine/runtime.cpp.o.d"
+  "/root/repo/src/core/graph/group_ops.cpp" "src/core/CMakeFiles/cg_core.dir/graph/group_ops.cpp.o" "gcc" "src/core/CMakeFiles/cg_core.dir/graph/group_ops.cpp.o.d"
+  "/root/repo/src/core/graph/taskgraph.cpp" "src/core/CMakeFiles/cg_core.dir/graph/taskgraph.cpp.o" "gcc" "src/core/CMakeFiles/cg_core.dir/graph/taskgraph.cpp.o.d"
+  "/root/repo/src/core/graph/taskgraph_xml.cpp" "src/core/CMakeFiles/cg_core.dir/graph/taskgraph_xml.cpp.o" "gcc" "src/core/CMakeFiles/cg_core.dir/graph/taskgraph_xml.cpp.o.d"
+  "/root/repo/src/core/graph/validate.cpp" "src/core/CMakeFiles/cg_core.dir/graph/validate.cpp.o" "gcc" "src/core/CMakeFiles/cg_core.dir/graph/validate.cpp.o.d"
+  "/root/repo/src/core/service/controller.cpp" "src/core/CMakeFiles/cg_core.dir/service/controller.cpp.o" "gcc" "src/core/CMakeFiles/cg_core.dir/service/controller.cpp.o.d"
+  "/root/repo/src/core/service/describe.cpp" "src/core/CMakeFiles/cg_core.dir/service/describe.cpp.o" "gcc" "src/core/CMakeFiles/cg_core.dir/service/describe.cpp.o.d"
+  "/root/repo/src/core/service/protocol.cpp" "src/core/CMakeFiles/cg_core.dir/service/protocol.cpp.o" "gcc" "src/core/CMakeFiles/cg_core.dir/service/protocol.cpp.o.d"
+  "/root/repo/src/core/service/service.cpp" "src/core/CMakeFiles/cg_core.dir/service/service.cpp.o" "gcc" "src/core/CMakeFiles/cg_core.dir/service/service.cpp.o.d"
+  "/root/repo/src/core/service/supervisor.cpp" "src/core/CMakeFiles/cg_core.dir/service/supervisor.cpp.o" "gcc" "src/core/CMakeFiles/cg_core.dir/service/supervisor.cpp.o.d"
+  "/root/repo/src/core/types/data_item.cpp" "src/core/CMakeFiles/cg_core.dir/types/data_item.cpp.o" "gcc" "src/core/CMakeFiles/cg_core.dir/types/data_item.cpp.o.d"
+  "/root/repo/src/core/unit/builtin_sinks.cpp" "src/core/CMakeFiles/cg_core.dir/unit/builtin_sinks.cpp.o" "gcc" "src/core/CMakeFiles/cg_core.dir/unit/builtin_sinks.cpp.o.d"
+  "/root/repo/src/core/unit/builtin_sources.cpp" "src/core/CMakeFiles/cg_core.dir/unit/builtin_sources.cpp.o" "gcc" "src/core/CMakeFiles/cg_core.dir/unit/builtin_sources.cpp.o.d"
+  "/root/repo/src/core/unit/builtin_transforms.cpp" "src/core/CMakeFiles/cg_core.dir/unit/builtin_transforms.cpp.o" "gcc" "src/core/CMakeFiles/cg_core.dir/unit/builtin_transforms.cpp.o.d"
+  "/root/repo/src/core/unit/proxy_units.cpp" "src/core/CMakeFiles/cg_core.dir/unit/proxy_units.cpp.o" "gcc" "src/core/CMakeFiles/cg_core.dir/unit/proxy_units.cpp.o.d"
+  "/root/repo/src/core/unit/registry.cpp" "src/core/CMakeFiles/cg_core.dir/unit/registry.cpp.o" "gcc" "src/core/CMakeFiles/cg_core.dir/unit/registry.cpp.o.d"
+  "/root/repo/src/core/unit/unit.cpp" "src/core/CMakeFiles/cg_core.dir/unit/unit.cpp.o" "gcc" "src/core/CMakeFiles/cg_core.dir/unit/unit.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/serial/CMakeFiles/cg_serial.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/cg_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/cg_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/cg_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/p2p/CMakeFiles/cg_p2p.dir/DependInfo.cmake"
+  "/root/repo/build/src/sandbox/CMakeFiles/cg_sandbox.dir/DependInfo.cmake"
+  "/root/repo/build/src/repo/CMakeFiles/cg_repo.dir/DependInfo.cmake"
+  "/root/repo/build/src/rm/CMakeFiles/cg_rm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cg_dsp.dir/correlate.cpp.o"
+  "CMakeFiles/cg_dsp.dir/correlate.cpp.o.d"
+  "CMakeFiles/cg_dsp.dir/fft.cpp.o"
+  "CMakeFiles/cg_dsp.dir/fft.cpp.o.d"
+  "CMakeFiles/cg_dsp.dir/spectrum.cpp.o"
+  "CMakeFiles/cg_dsp.dir/spectrum.cpp.o.d"
+  "CMakeFiles/cg_dsp.dir/stats.cpp.o"
+  "CMakeFiles/cg_dsp.dir/stats.cpp.o.d"
+  "CMakeFiles/cg_dsp.dir/window.cpp.o"
+  "CMakeFiles/cg_dsp.dir/window.cpp.o.d"
+  "libcg_dsp.a"
+  "libcg_dsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cg_dsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

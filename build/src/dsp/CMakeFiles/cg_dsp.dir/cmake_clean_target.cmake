@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcg_dsp.a"
+)

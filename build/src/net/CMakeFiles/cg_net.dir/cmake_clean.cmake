@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cg_net.dir/inproc.cpp.o"
+  "CMakeFiles/cg_net.dir/inproc.cpp.o.d"
+  "CMakeFiles/cg_net.dir/sim_network.cpp.o"
+  "CMakeFiles/cg_net.dir/sim_network.cpp.o.d"
+  "CMakeFiles/cg_net.dir/tcp.cpp.o"
+  "CMakeFiles/cg_net.dir/tcp.cpp.o.d"
+  "libcg_net.a"
+  "libcg_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cg_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/p2p/advert.cpp" "src/p2p/CMakeFiles/cg_p2p.dir/advert.cpp.o" "gcc" "src/p2p/CMakeFiles/cg_p2p.dir/advert.cpp.o.d"
+  "/root/repo/src/p2p/cache.cpp" "src/p2p/CMakeFiles/cg_p2p.dir/cache.cpp.o" "gcc" "src/p2p/CMakeFiles/cg_p2p.dir/cache.cpp.o.d"
+  "/root/repo/src/p2p/discovery.cpp" "src/p2p/CMakeFiles/cg_p2p.dir/discovery.cpp.o" "gcc" "src/p2p/CMakeFiles/cg_p2p.dir/discovery.cpp.o.d"
+  "/root/repo/src/p2p/messages.cpp" "src/p2p/CMakeFiles/cg_p2p.dir/messages.cpp.o" "gcc" "src/p2p/CMakeFiles/cg_p2p.dir/messages.cpp.o.d"
+  "/root/repo/src/p2p/peer_node.cpp" "src/p2p/CMakeFiles/cg_p2p.dir/peer_node.cpp.o" "gcc" "src/p2p/CMakeFiles/cg_p2p.dir/peer_node.cpp.o.d"
+  "/root/repo/src/p2p/pipes.cpp" "src/p2p/CMakeFiles/cg_p2p.dir/pipes.cpp.o" "gcc" "src/p2p/CMakeFiles/cg_p2p.dir/pipes.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/cg_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/cg_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/serial/CMakeFiles/cg_serial.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/cg_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cg_p2p.dir/advert.cpp.o"
+  "CMakeFiles/cg_p2p.dir/advert.cpp.o.d"
+  "CMakeFiles/cg_p2p.dir/cache.cpp.o"
+  "CMakeFiles/cg_p2p.dir/cache.cpp.o.d"
+  "CMakeFiles/cg_p2p.dir/discovery.cpp.o"
+  "CMakeFiles/cg_p2p.dir/discovery.cpp.o.d"
+  "CMakeFiles/cg_p2p.dir/messages.cpp.o"
+  "CMakeFiles/cg_p2p.dir/messages.cpp.o.d"
+  "CMakeFiles/cg_p2p.dir/peer_node.cpp.o"
+  "CMakeFiles/cg_p2p.dir/peer_node.cpp.o.d"
+  "CMakeFiles/cg_p2p.dir/pipes.cpp.o"
+  "CMakeFiles/cg_p2p.dir/pipes.cpp.o.d"
+  "libcg_p2p.a"
+  "libcg_p2p.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cg_p2p.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/repo/artifact.cpp" "src/repo/CMakeFiles/cg_repo.dir/artifact.cpp.o" "gcc" "src/repo/CMakeFiles/cg_repo.dir/artifact.cpp.o.d"
+  "/root/repo/src/repo/code_exchange.cpp" "src/repo/CMakeFiles/cg_repo.dir/code_exchange.cpp.o" "gcc" "src/repo/CMakeFiles/cg_repo.dir/code_exchange.cpp.o.d"
+  "/root/repo/src/repo/module_cache.cpp" "src/repo/CMakeFiles/cg_repo.dir/module_cache.cpp.o" "gcc" "src/repo/CMakeFiles/cg_repo.dir/module_cache.cpp.o.d"
+  "/root/repo/src/repo/repository.cpp" "src/repo/CMakeFiles/cg_repo.dir/repository.cpp.o" "gcc" "src/repo/CMakeFiles/cg_repo.dir/repository.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/serial/CMakeFiles/cg_serial.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/cg_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/cg_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

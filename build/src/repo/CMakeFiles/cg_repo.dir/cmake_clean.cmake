@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cg_repo.dir/artifact.cpp.o"
+  "CMakeFiles/cg_repo.dir/artifact.cpp.o.d"
+  "CMakeFiles/cg_repo.dir/code_exchange.cpp.o"
+  "CMakeFiles/cg_repo.dir/code_exchange.cpp.o.d"
+  "CMakeFiles/cg_repo.dir/module_cache.cpp.o"
+  "CMakeFiles/cg_repo.dir/module_cache.cpp.o.d"
+  "CMakeFiles/cg_repo.dir/repository.cpp.o"
+  "CMakeFiles/cg_repo.dir/repository.cpp.o.d"
+  "libcg_repo.a"
+  "libcg_repo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cg_repo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

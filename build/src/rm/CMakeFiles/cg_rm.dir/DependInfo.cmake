@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rm/batch_queue.cpp" "src/rm/CMakeFiles/cg_rm.dir/batch_queue.cpp.o" "gcc" "src/rm/CMakeFiles/cg_rm.dir/batch_queue.cpp.o.d"
+  "/root/repo/src/rm/manager.cpp" "src/rm/CMakeFiles/cg_rm.dir/manager.cpp.o" "gcc" "src/rm/CMakeFiles/cg_rm.dir/manager.cpp.o.d"
+  "/root/repo/src/rm/thread_pool.cpp" "src/rm/CMakeFiles/cg_rm.dir/thread_pool.cpp.o" "gcc" "src/rm/CMakeFiles/cg_rm.dir/thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/cg_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/cg_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/serial/CMakeFiles/cg_serial.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

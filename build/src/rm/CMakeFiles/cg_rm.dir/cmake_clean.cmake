@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cg_rm.dir/batch_queue.cpp.o"
+  "CMakeFiles/cg_rm.dir/batch_queue.cpp.o.d"
+  "CMakeFiles/cg_rm.dir/manager.cpp.o"
+  "CMakeFiles/cg_rm.dir/manager.cpp.o.d"
+  "CMakeFiles/cg_rm.dir/thread_pool.cpp.o"
+  "CMakeFiles/cg_rm.dir/thread_pool.cpp.o.d"
+  "libcg_rm.a"
+  "libcg_rm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cg_rm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

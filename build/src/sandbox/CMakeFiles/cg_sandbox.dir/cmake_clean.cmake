@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cg_sandbox.dir/account.cpp.o"
+  "CMakeFiles/cg_sandbox.dir/account.cpp.o.d"
+  "CMakeFiles/cg_sandbox.dir/sandbox.cpp.o"
+  "CMakeFiles/cg_sandbox.dir/sandbox.cpp.o.d"
+  "CMakeFiles/cg_sandbox.dir/trust.cpp.o"
+  "CMakeFiles/cg_sandbox.dir/trust.cpp.o.d"
+  "libcg_sandbox.a"
+  "libcg_sandbox.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cg_sandbox.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

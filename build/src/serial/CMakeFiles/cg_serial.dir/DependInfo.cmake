@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/serial/crc32.cpp" "src/serial/CMakeFiles/cg_serial.dir/crc32.cpp.o" "gcc" "src/serial/CMakeFiles/cg_serial.dir/crc32.cpp.o.d"
+  "/root/repo/src/serial/frame.cpp" "src/serial/CMakeFiles/cg_serial.dir/frame.cpp.o" "gcc" "src/serial/CMakeFiles/cg_serial.dir/frame.cpp.o.d"
+  "/root/repo/src/serial/reader.cpp" "src/serial/CMakeFiles/cg_serial.dir/reader.cpp.o" "gcc" "src/serial/CMakeFiles/cg_serial.dir/reader.cpp.o.d"
+  "/root/repo/src/serial/writer.cpp" "src/serial/CMakeFiles/cg_serial.dir/writer.cpp.o" "gcc" "src/serial/CMakeFiles/cg_serial.dir/writer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cg_serial.dir/crc32.cpp.o"
+  "CMakeFiles/cg_serial.dir/crc32.cpp.o.d"
+  "CMakeFiles/cg_serial.dir/frame.cpp.o"
+  "CMakeFiles/cg_serial.dir/frame.cpp.o.d"
+  "CMakeFiles/cg_serial.dir/reader.cpp.o"
+  "CMakeFiles/cg_serial.dir/reader.cpp.o.d"
+  "CMakeFiles/cg_serial.dir/writer.cpp.o"
+  "CMakeFiles/cg_serial.dir/writer.cpp.o.d"
+  "libcg_serial.a"
+  "libcg_serial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cg_serial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cg_xml.dir/node.cpp.o"
+  "CMakeFiles/cg_xml.dir/node.cpp.o.d"
+  "CMakeFiles/cg_xml.dir/parse.cpp.o"
+  "CMakeFiles/cg_xml.dir/parse.cpp.o.d"
+  "CMakeFiles/cg_xml.dir/write.cpp.o"
+  "CMakeFiles/cg_xml.dir/write.cpp.o.d"
+  "libcg_xml.a"
+  "libcg_xml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cg_xml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_churn.cpp" "tests/CMakeFiles/test_churn.dir/test_churn.cpp.o" "gcc" "tests/CMakeFiles/test_churn.dir/test_churn.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/churn/CMakeFiles/cg_churn.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/cg_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/cg_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/serial/CMakeFiles/cg_serial.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_dist.dir/test_core_dist.cpp.o"
+  "CMakeFiles/test_core_dist.dir/test_core_dist.cpp.o.d"
+  "test_core_dist"
+  "test_core_dist.pdb"
+  "test_core_dist[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_graph.dir/test_core_graph.cpp.o"
+  "CMakeFiles/test_core_graph.dir/test_core_graph.cpp.o.d"
+  "test_core_graph"
+  "test_core_graph.pdb"
+  "test_core_graph[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

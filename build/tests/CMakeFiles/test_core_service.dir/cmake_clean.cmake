@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_service.dir/test_core_service.cpp.o"
+  "CMakeFiles/test_core_service.dir/test_core_service.cpp.o.d"
+  "test_core_service"
+  "test_core_service.pdb"
+  "test_core_service[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

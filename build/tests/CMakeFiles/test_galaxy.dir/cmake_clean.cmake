@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_galaxy.dir/test_galaxy.cpp.o"
+  "CMakeFiles/test_galaxy.dir/test_galaxy.cpp.o.d"
+  "test_galaxy"
+  "test_galaxy.pdb"
+  "test_galaxy[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_galaxy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gw.dir/test_gw.cpp.o"
+  "CMakeFiles/test_gw.dir/test_gw.cpp.o.d"
+  "test_gw"
+  "test_gw.pdb"
+  "test_gw[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

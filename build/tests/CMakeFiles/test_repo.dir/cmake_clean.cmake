@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_repo.dir/test_repo.cpp.o"
+  "CMakeFiles/test_repo.dir/test_repo.cpp.o.d"
+  "test_repo"
+  "test_repo.pdb"
+  "test_repo[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_repo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rm.dir/test_rm.cpp.o"
+  "CMakeFiles/test_rm.dir/test_rm.cpp.o.d"
+  "test_rm"
+  "test_rm.pdb"
+  "test_rm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_serial[1]_include.cmake")
+include("/root/repo/build/tests/test_xml[1]_include.cmake")
+include("/root/repo/build/tests/test_dsp[1]_include.cmake")
+include("/root/repo/build/tests/test_net[1]_include.cmake")
+include("/root/repo/build/tests/test_p2p[1]_include.cmake")
+include("/root/repo/build/tests/test_sandbox[1]_include.cmake")
+include("/root/repo/build/tests/test_repo[1]_include.cmake")
+include("/root/repo/build/tests/test_rm[1]_include.cmake")
+include("/root/repo/build/tests/test_churn[1]_include.cmake")
+include("/root/repo/build/tests/test_core_types[1]_include.cmake")
+include("/root/repo/build/tests/test_core_graph[1]_include.cmake")
+include("/root/repo/build/tests/test_core_runtime[1]_include.cmake")
+include("/root/repo/build/tests/test_core_dist[1]_include.cmake")
+include("/root/repo/build/tests/test_core_service[1]_include.cmake")
+include("/root/repo/build/tests/test_gw[1]_include.cmake")
+include("/root/repo/build/tests/test_galaxy[1]_include.cmake")
+include("/root/repo/build/tests/test_db[1]_include.cmake")
+include("/root/repo/build/tests/test_extensions[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_supervisor[1]_include.cmake")
