@@ -1,0 +1,143 @@
+// E10 -- reliable control plane under lossy consumer links.
+//
+// Paper (3.6.2): volunteer peers sit behind consumer DSL/cable links and
+// "may become unavailable without notice". A fire-and-forget control plane
+// loses deploys, acks and cancels in proportion to the frame loss rate;
+// ReliableTransport buys effectively-once delivery with retransmissions.
+//
+// Setup: two peers on a simulated DSL link; a FaultInjector imposes a swept
+// frame-loss probability (applied independently to data, envelopes and
+// acks). The sender pushes kMessages control frames, paced so retry storms
+// from one message do not starve the next. Reported per loss point: raw
+// (unreliable) delivery rate for the same fault stream, reliable delivery
+// rate, retransmissions per message, duplicate envelopes suppressed at the
+// receiver, expiries, and mean delivery latency.
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "net/fault.hpp"
+#include "net/reliable.hpp"
+#include "net/sim_network.hpp"
+
+using namespace cg;
+
+namespace {
+
+constexpr int kMessages = 200;
+constexpr double kPaceS = 0.25;  ///< gap between sends (virtual seconds)
+
+serial::Frame indexed_frame(int i) {
+  serial::Frame f;
+  f.type = serial::FrameType::kControl;
+  f.payload = {static_cast<std::uint8_t>(i & 0xff),
+               static_cast<std::uint8_t>((i >> 8) & 0xff)};
+  return f;
+}
+
+int frame_index(const serial::Frame& f) {
+  return static_cast<int>(f.payload[0]) | (static_cast<int>(f.payload[1]) << 8);
+}
+
+struct Row {
+  double loss = 0;
+  double raw_delivered = 0;       ///< fraction, fire-and-forget baseline
+  double reliable_delivered = 0;  ///< fraction
+  double retx_per_msg = 0;
+  std::uint64_t dup_suppressed = 0;
+  std::uint64_t expired = 0;
+  double mean_latency_ms = 0;  ///< send -> unique delivery, successes only
+};
+
+/// Fire-and-forget baseline: same link, same fault plan, plain transports.
+double run_raw(double loss, std::uint64_t seed) {
+  net::SimNetwork net({}, seed);
+  auto& a = net.add_node();
+  auto& b = net.add_node();
+
+  net::FaultPlan plan;
+  plan.default_link.drop = loss;
+  net::FaultInjector inj(net, plan, seed);
+  inj.arm();
+
+  int got = 0;
+  b.set_handler([&](const net::Endpoint&, serial::Frame) { ++got; });
+  for (int i = 0; i < kMessages; ++i) {
+    net.schedule(i * kPaceS, [&, i] { a.send(b.local(), indexed_frame(i)); });
+  }
+  net.run_all();
+  return static_cast<double>(got) / kMessages;
+}
+
+Row run_reliable(double loss, std::uint64_t seed) {
+  net::SimNetwork net({}, seed);
+  auto& ta = net.add_node();
+  auto& tb = net.add_node();
+  auto clock = [&net] { return net.now(); };
+  auto sched = [&net](double d, std::function<void()> fn) {
+    net.schedule(d, std::move(fn));
+  };
+
+  net::ReliableConfig cfg;
+  cfg.seed = seed;
+  net::ReliableTransport a(ta, clock, sched, cfg);
+  net::ReliableTransport b(tb, clock, sched, cfg);
+
+  net::FaultPlan plan;
+  plan.default_link.drop = loss;
+  net::FaultInjector inj(net, plan, seed);
+  inj.arm();
+
+  std::vector<double> sent_at(kMessages, 0.0);
+  int got = 0;
+  double latency_sum = 0;
+  b.set_handler([&](const net::Endpoint&, serial::Frame f) {
+    ++got;
+    latency_sum += net.now() - sent_at[frame_index(f)];
+  });
+  for (int i = 0; i < kMessages; ++i) {
+    net.schedule(i * kPaceS, [&, i] {
+      sent_at[i] = net.now();
+      a.send(b.local(), indexed_frame(i));
+    });
+  }
+  net.run_all();
+
+  Row r;
+  r.loss = loss;
+  r.reliable_delivered = static_cast<double>(got) / kMessages;
+  r.retx_per_msg =
+      static_cast<double>(a.stats().retransmits) / kMessages;
+  r.dup_suppressed = b.stats().duplicates_suppressed;
+  r.expired = a.stats().expired;
+  r.mean_latency_ms = got ? latency_sum / got * 1000.0 : 0.0;
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E10: reliable delivery vs frame loss (paper section 3.6.2)\n");
+  std::printf("DSL link, %d control messages, loss applied to every frame "
+              "(envelopes and acks alike)\n\n",
+              kMessages);
+  std::printf("%-8s %-10s %-10s %-10s %-10s %-9s %-12s\n", "loss", "raw",
+              "reliable", "retx/msg", "dup-supp", "expired", "latency ms");
+
+  for (double loss : {0.0, 0.05, 0.10, 0.20, 0.30}) {
+    Row r = run_reliable(loss, 7);
+    r.raw_delivered = run_raw(loss, 7);
+    std::printf("%-8.2f %-10.3f %-10.3f %-10.2f %-10llu %-9llu %-12.1f\n",
+                r.loss, r.raw_delivered, r.reliable_delivered, r.retx_per_msg,
+                static_cast<unsigned long long>(r.dup_suppressed),
+                static_cast<unsigned long long>(r.expired), r.mean_latency_ms);
+  }
+  std::printf(
+      "\nShape check: raw delivery decays linearly with loss while the "
+      "reliable rate stays at 1.0 (until loss overwhelms the retry budget); "
+      "the price is retransmissions growing roughly 1/(1-loss)^2 -- both "
+      "the envelope and its ack must survive -- plus tail latency from "
+      "exponential backoff. Duplicates suppressed > 0 proves lost acks were "
+      "retried without re-delivery.\n");
+  return 0;
+}

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# ConGrid tier-1 gate: full build + test suite, then a sanitizer pass over
+# the reliability/chaos tests (the code most exposed to lifetime bugs --
+# retransmit timers and fault hooks firing into torn-down objects).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: build + ctest =="
+cmake -B build -S . >/dev/null
+cmake --build build -j
+ctest --test-dir build --output-on-failure -j "$(nproc)"
+
+echo "== tier-1: ASan/UBSan chaos pass =="
+cmake -B build-asan -S . -DCONGRID_SANITIZE=address,undefined >/dev/null
+cmake --build build-asan -j --target test_reliable test_chaos test_net
+for t in test_reliable test_chaos test_net; do
+  ./build-asan/tests/"$t"
+done
+
+echo "tier-1: OK"

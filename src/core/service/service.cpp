@@ -33,15 +33,15 @@ TrianaService::TrianaService(net::Transport& transport, net::Clock clock,
                              net::Scheduler scheduler,
                              const UnitRegistry& registry,
                              ServiceConfig config)
-    : transport_(transport),
-      clock_(std::move(clock)),
+    : clock_(std::move(clock)),
       scheduler_(std::move(scheduler)),
       registry_(registry),
       config_(std::move(config)),
-      node_(transport, clock_,
+      transport_(transport, clock_, scheduler_, config_.reliable),
+      node_(transport_, clock_,
             p2p::PeerConfig{.peer_id = config_.peer_id}),
       pipes_(node_, scheduler_),
-      code_(transport),
+      code_(transport_),
       module_cache_(config_.module_cache_bytes),
       account_(config_.peer_id.empty() ? transport.local().value
                                        : config_.peer_id,
@@ -273,6 +273,20 @@ void TrianaService::send_ack(const net::Endpoint& to,
 void TrianaService::handle_deploy(const net::Endpoint& from, DeployMsg m) {
   ++stats_.deploys_received;
 
+  // Idempotence guard behind the reliable layer's dedup window: a retried
+  // deploy for a job this service already hosts is acknowledged again but
+  // never executed twice. A retry for a deploy still fetching modules is
+  // dropped -- the in-flight deploy acks when it settles.
+  if (jobs_.contains(m.job_id)) {
+    ++stats_.duplicate_deploys;
+    send_ack(from, m.job_id, true, "");
+    return;
+  }
+  if (pending_.contains(m.job_id)) {
+    ++stats_.duplicate_deploys;
+    return;
+  }
+
   // Parse early so we can enumerate the modules the fragment needs.
   TaskGraph graph;
   try {
@@ -310,11 +324,7 @@ void TrianaService::handle_deploy(const net::Endpoint& from, DeployMsg m) {
 
   const std::string job_id = pending.msg.job_id;
   pending.fetches_outstanding = missing.size();
-  auto [it, inserted] = pending_.emplace(job_id, std::move(pending));
-  if (!inserted) {
-    send_ack(from, job_id, false, "duplicate job id");
-    return;
-  }
+  auto it = pending_.emplace(job_id, std::move(pending)).first;
 
   if (missing.empty()) {
     maybe_start(job_id);

@@ -24,6 +24,7 @@
 
 #include "core/engine/runtime.hpp"
 #include "core/service/protocol.hpp"
+#include "net/reliable.hpp"
 #include "p2p/pipes.hpp"
 #include "repo/code_exchange.hpp"
 #include "repo/module_cache.hpp"
@@ -46,6 +47,8 @@ struct ServiceConfig {
   bool fetch_code_on_demand = true;
   /// Per-job RNG seed base (deterministic runs).
   std::uint64_t rng_seed = 1;
+  /// Retry/dedup tuning for the reliable control plane (net/reliable.hpp).
+  net::ReliableConfig reliable;
 };
 
 struct ServiceStats {
@@ -56,12 +59,18 @@ struct ServiceStats {
   std::uint64_t modules_fetched = 0;
   std::uint64_t pipe_items_in = 0;
   std::uint64_t pipe_items_out = 0;
+  /// Deploys for a job this service already hosts (a retransmitted deploy
+  /// that slipped past the reliable layer's dedup window): re-acked, never
+  /// re-executed.
+  std::uint64_t duplicate_deploys = 0;
 };
 
 class TrianaService {
  public:
-  /// Everything passed in must outlive the service. The service installs
-  /// itself at the end of the frame-handler chain
+  /// Everything passed in must outlive the service. The service wraps the
+  /// raw transport in a ReliableTransport (controller protocol, code
+  /// exchange and discovery all ride it) and installs itself at the end of
+  /// the frame-handler chain
   /// (PeerNode -> PipeServe -> CodeExchange -> control).
   TrianaService(net::Transport& transport, net::Clock clock,
                 net::Scheduler scheduler, const UnitRegistry& registry,
@@ -84,6 +93,11 @@ class TrianaService {
   repo::ModuleRepository& local_repo() { return local_repo_; }
   sandbox::VirtualAccount& account() { return account_; }
   const ServiceStats& stats() const { return stats_; }
+  /// The reliable layer every control/code/discovery frame rides; exposes
+  /// retry/timeout/dedup counters (ReliableStats) to the supervisor and
+  /// benches.
+  net::ReliableTransport& reliable() { return transport_; }
+  const net::ReliableTransport& reliable() const { return transport_; }
 
   /// Publish this peer's advert (capabilities) into the local cache and to
   /// the configured rendezvous, making the service discoverable.
@@ -193,11 +207,13 @@ class TrianaService {
   void run_iterations(Job& job, std::uint64_t iterations);
   std::string fresh_job_id();
 
-  net::Transport& transport_;
   net::Clock clock_;
   net::Scheduler scheduler_;
   const UnitRegistry& registry_;
   ServiceConfig config_;
+
+  /// Declared before node_/pipes_/code_: they are built on top of it.
+  net::ReliableTransport transport_;
 
   p2p::PeerNode node_;
   p2p::PipeServe pipes_;

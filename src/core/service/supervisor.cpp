@@ -29,6 +29,10 @@ RunSupervisor::RunSupervisor(TrianaController& controller,
   recovering_.assign(run_->remote_jobs.size(), false);
 }
 
+const net::ReliableStats& RunSupervisor::reliable_stats() const {
+  return controller_.home().reliable().stats();
+}
+
 void RunSupervisor::start() {
   auto self = shared_from_this();
   controller_.home().scheduler()(options_.checkpoint_period_s,

@@ -61,6 +61,10 @@ class RunSupervisor : public std::enable_shared_from_this<RunSupervisor> {
   const CheckpointStore& checkpoints() const { return store_; }
   std::size_t spares_left() const { return spares_.size(); }
 
+  /// Retry/timeout/dedup counters of the home service's reliable layer --
+  /// how hard the control plane is working to keep this run alive.
+  const net::ReliableStats& reliable_stats() const;
+
  private:
   void checkpoint_round();
   void probe_round();

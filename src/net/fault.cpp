@@ -1,0 +1,87 @@
+#include "net/fault.hpp"
+
+#include <stdexcept>
+
+namespace cg::net {
+
+FaultInjector::FaultInjector(SimNetwork& net, FaultPlan plan,
+                             std::uint64_t seed)
+    : net_(net), plan_(std::move(plan)), rng_(seed) {}
+
+void FaultInjector::arm() {
+  if (armed_) throw std::logic_error("FaultInjector::arm called twice");
+  armed_ = true;
+
+  net_.set_fault_fn([this](std::uint32_t from, std::uint32_t to,
+                           const serial::Frame& frame) {
+    return on_frame(from, to, frame);
+  });
+
+  const double now = net_.now();
+  for (const CrashWindow& cw : plan_.crashes) {
+    if (cw.at_s < now) {
+      throw std::invalid_argument("FaultInjector: crash window in the past");
+    }
+    net_.schedule(cw.at_s - now, [this, node = cw.node] {
+      net_.set_up(node, false);
+      ++stats_.crashes_opened;
+    });
+    if (cw.duration_s > 0.0) {
+      net_.schedule(cw.at_s + cw.duration_s - now, [this, node = cw.node] {
+        net_.set_up(node, true);
+        ++stats_.crashes_closed;
+      });
+    }
+  }
+}
+
+void FaultInjector::disarm() {
+  net_.set_fault_fn(nullptr);
+  armed_ = false;
+}
+
+const LinkFaults& FaultInjector::faults_for(std::uint32_t from,
+                                            std::uint32_t to) const {
+  auto it = plan_.per_link.find({from, to});
+  return it != plan_.per_link.end() ? it->second : plan_.default_link;
+}
+
+FaultAction FaultInjector::on_frame(std::uint32_t from, std::uint32_t to,
+                                    const serial::Frame& frame) {
+  (void)frame;
+  ++stats_.frames_seen;
+  const LinkFaults& lf = faults_for(from, to);
+
+  FaultAction a;
+  // Sample every fault class even when an earlier one already decided the
+  // frame's fate: the consumed random numbers must not depend on outcomes,
+  // or replacing one probability would shift the whole downstream stream
+  // and break A/B comparisons between near-identical plans.
+  const bool drop = lf.drop > 0.0 && rng_.chance(lf.drop);
+  const bool dup = lf.duplicate > 0.0 && rng_.chance(lf.duplicate);
+  const bool corrupt = lf.corrupt > 0.0 && rng_.chance(lf.corrupt);
+  const bool delay = lf.delay > 0.0 && rng_.chance(lf.delay);
+  const double extra =
+      lf.delay_min_s + rng_.uniform() * (lf.delay_max_s - lf.delay_min_s);
+
+  if (drop) {
+    a.drop = true;
+    ++stats_.dropped;
+    return a;
+  }
+  if (dup) {
+    a.duplicates = 1;
+    ++stats_.duplicated;
+  }
+  if (corrupt) {
+    a.corrupt = true;
+    ++stats_.corrupted;
+  }
+  if (delay) {
+    a.extra_delay_s = extra;
+    ++stats_.delayed;
+  }
+  return a;
+}
+
+}  // namespace cg::net

@@ -1,0 +1,100 @@
+// ConGrid -- scripted fault injection for SimNetwork.
+//
+// Chaos tests need misbehaving networks that misbehave the *same way* every
+// run. FaultInjector compiles a declarative FaultPlan -- per-link frame
+// fault probabilities plus per-node crash windows -- into the SimNetwork
+// fault hook (set_fault_fn) and scheduled set_up() calls. All randomness
+// comes from the injector's own seeded Rng, independent of the network's
+// latency/loss stream, so the same (seed, plan) pair replays bit-for-bit.
+//
+// What it can do to a frame in flight, per link: drop it, deliver extra
+// copies (each with fresh latency, so duplicates also arrive out of order),
+// delay it by a sampled extra latency (reordering it past later frames),
+// or flip a payload bit (the simulator's CRC check then rejects it at the
+// receiver, which the reliable layer experiences as loss). Crash windows
+// take a node down at a scripted time and optionally bring it back up.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "dsp/rng.hpp"
+#include "net/sim_network.hpp"
+
+namespace cg::net {
+
+/// Per-link fault probabilities. All independent per frame; delay is
+/// sampled uniformly from [delay_min_s, delay_max_s] when it fires.
+struct LinkFaults {
+  double drop = 0.0;
+  double duplicate = 0.0;   ///< chance of one extra copy
+  double corrupt = 0.0;     ///< chance of a single-bit flip in flight
+  double delay = 0.0;       ///< chance of extra latency (reordering)
+  double delay_min_s = 0.05;
+  double delay_max_s = 0.50;
+};
+
+/// One scripted outage: `node` goes down at `at_s` and, if `duration_s` is
+/// positive, comes back up at `at_s + duration_s` (a crash-and-restart).
+/// A non-positive duration is a permanent crash.
+struct CrashWindow {
+  std::uint32_t node = 0;
+  double at_s = 0.0;
+  double duration_s = 0.0;
+};
+
+/// The whole script: ambient faults for every link, overrides for specific
+/// (from, to) pairs, and the crash schedule.
+struct FaultPlan {
+  LinkFaults default_link;
+  std::map<std::pair<std::uint32_t, std::uint32_t>, LinkFaults> per_link;
+  std::vector<CrashWindow> crashes;
+};
+
+/// What the injector actually did, for assertions and reports.
+struct FaultStats {
+  std::uint64_t frames_seen = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t duplicated = 0;
+  std::uint64_t corrupted = 0;
+  std::uint64_t delayed = 0;
+  std::uint64_t crashes_opened = 0;
+  std::uint64_t crashes_closed = 0;
+
+  bool operator==(const FaultStats&) const = default;
+};
+
+/// Owns the plan + RNG and drives one SimNetwork. Construct, then arm()
+/// once before running the simulation. The injector must outlive the
+/// network's event processing (it is captured by reference in the hook).
+class FaultInjector {
+ public:
+  FaultInjector(SimNetwork& net, FaultPlan plan, std::uint64_t seed = 1);
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Install the fault hook and schedule every crash window. Call once.
+  void arm();
+
+  /// Remove the fault hook (crash windows already scheduled still fire).
+  void disarm();
+
+  const FaultStats& stats() const { return stats_; }
+  const FaultPlan& plan() const { return plan_; }
+
+ private:
+  FaultAction on_frame(std::uint32_t from, std::uint32_t to,
+                       const serial::Frame& frame);
+  const LinkFaults& faults_for(std::uint32_t from, std::uint32_t to) const;
+
+  SimNetwork& net_;
+  FaultPlan plan_;
+  dsp::Rng rng_;
+  FaultStats stats_;
+  bool armed_ = false;
+};
+
+}  // namespace cg::net

@@ -1,0 +1,121 @@
+#include "net/reliable.hpp"
+
+#include <algorithm>
+
+namespace cg::net {
+
+ReliableTransport::ReliableTransport(Transport& inner, Clock clock,
+                                     Scheduler scheduler,
+                                     ReliableConfig config)
+    : inner_(inner),
+      clock_(std::move(clock)),
+      scheduler_(std::move(scheduler)),
+      config_(std::move(config)),
+      rng_(config_.seed) {
+  inner_.set_handler([this](const Endpoint& from, serial::Frame f) {
+    on_frame(from, std::move(f));
+  });
+}
+
+bool ReliableTransport::is_reliable_type(serial::FrameType t) const {
+  // Never re-wrap the layer's own traffic, whatever the policy says.
+  if (t == serial::FrameType::kReliable || t == serial::FrameType::kAck) {
+    return false;
+  }
+  if (config_.reliable_type) return config_.reliable_type(t);
+  // Default: everything but liveness probes, which are only useful fresh.
+  return t != serial::FrameType::kHeartbeat;
+}
+
+double ReliableTransport::jittered(double delay_s) {
+  if (config_.jitter_frac <= 0.0) return delay_s;
+  return delay_s * (1.0 + config_.jitter_frac * (2.0 * rng_.uniform() - 1.0));
+}
+
+void ReliableTransport::send(const Endpoint& to, serial::Frame frame) {
+  if (!is_reliable_type(frame.type)) {
+    ++stats_.passthrough_sent;
+    inner_.send(to, std::move(frame));
+    return;
+  }
+
+  const std::uint64_t id = next_id_++;
+  Pending p;
+  p.to = to;
+  p.wire = serial::encode_envelope(id, frame);
+  p.original = std::move(frame);
+  p.first_sent_at = clock_();
+  p.rto_s = config_.rto_initial_s;
+
+  inner_.send(to, p.wire);
+  ++stats_.sent;
+  const double first_retry = jittered(p.rto_s);
+  pending_.emplace(id, std::move(p));
+  schedule_retry(id, first_retry);
+}
+
+void ReliableTransport::schedule_retry(std::uint64_t id, double delay_s) {
+  scheduler_(delay_s, [this, id] { on_retry_timer(id); });
+}
+
+void ReliableTransport::on_retry_timer(std::uint64_t id) {
+  auto it = pending_.find(id);
+  if (it == pending_.end()) return;  // acked meanwhile
+  Pending& p = it->second;
+
+  const bool over_deadline =
+      clock_() - p.first_sent_at >= config_.deadline_s;
+  if (over_deadline || p.retries >= config_.max_retries) {
+    ++stats_.expired;
+    // Move out before erasing: the drop handler may send (and re-enter).
+    Endpoint to = std::move(p.to);
+    serial::Frame original = std::move(p.original);
+    pending_.erase(it);
+    if (on_drop_) on_drop_(to, original);
+    return;
+  }
+
+  ++p.retries;
+  ++stats_.retransmits;
+  inner_.send(p.to, p.wire);
+  p.rto_s = std::min(p.rto_s * config_.backoff, config_.rto_max_s);
+  schedule_retry(id, jittered(p.rto_s));
+}
+
+void ReliableTransport::on_frame(const Endpoint& from, serial::Frame frame) {
+  if (frame.type == serial::FrameType::kAck) {
+    const std::uint64_t id = serial::decode_ack(frame);
+    if (pending_.erase(id) > 0) ++stats_.acked;
+    return;  // duplicate ack for an already-settled message: ignore
+  }
+
+  if (frame.type != serial::FrameType::kReliable) {
+    ++stats_.passthrough_delivered;
+    if (handler_) handler_(from, std::move(frame));
+    return;
+  }
+
+  serial::ReliableEnvelope env = serial::decode_envelope(frame);
+
+  // Always re-ack: the sender retransmits exactly because an earlier ack
+  // (or the message itself) was lost.
+  inner_.send(from, serial::encode_ack(env.msg_id));
+  ++stats_.acks_sent;
+
+  SeenWindow& win = seen_[from.value];
+  if (win.ids.contains(env.msg_id)) {
+    ++stats_.duplicates_suppressed;
+    return;
+  }
+  win.ids.insert(env.msg_id);
+  win.order.push_back(env.msg_id);
+  while (win.order.size() > config_.dedup_window) {
+    win.ids.erase(win.order.front());
+    win.order.pop_front();
+  }
+
+  ++stats_.delivered;
+  if (handler_) handler_(from, std::move(env.inner));
+}
+
+}  // namespace cg::net

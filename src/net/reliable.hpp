@@ -1,0 +1,142 @@
+// ConGrid -- reliable request/reply layer.
+//
+// The paper's volunteer DSL/cable peers vanish without notice (3.6.2) and
+// their links drop frames; a fire-and-forget control plane silently wedges a
+// distributed run on a single lost deploy or ack. ReliableTransport wraps
+// any Transport with at-least-once delivery:
+//
+//   * every selected outbound frame rides in a kReliable envelope carrying
+//     a sender-scoped message id (serial::encode_envelope);
+//   * the receiver confirms each envelope with a kAck and suppresses
+//     duplicate ids per sender, so retried deploys/cancels stay idempotent
+//     -- at-least-once + dedup = effectively-once for control messages;
+//   * the sender retransmits unacknowledged messages with exponential
+//     backoff plus deterministic jitter until a configurable deadline or
+//     retry budget is exhausted, then gives up and (optionally) reports the
+//     expiry to a drop handler.
+//
+// Which frame types get the treatment is policy: by default everything
+// except kHeartbeat (liveness probes are only meaningful fresh) and kAck
+// itself. Acks ride unreliable -- a lost ack simply provokes one more
+// retransmission, which provokes a fresh ack.
+//
+// The layer is transport-agnostic and single-threaded per instance, like
+// everything above it: timers run on the ambient Scheduler, so the same
+// code is exact over SimNetwork virtual time and best-effort over wall
+// clocks.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "dsp/rng.hpp"
+#include "net/time.hpp"
+#include "net/transport.hpp"
+
+namespace cg::net {
+
+/// Retry/dedup tuning. Defaults suit simulated consumer-DSL links (~40 ms
+/// one-way): first retry after ~8x RTT, give up after ~20 s.
+struct ReliableConfig {
+  double rto_initial_s = 0.6;  ///< first retransmission timeout
+  double rto_max_s = 5.0;      ///< backoff ceiling
+  double backoff = 2.0;        ///< RTO multiplier per retry
+  /// Uniform jitter applied to every (re)transmission timer as a fraction
+  /// of the RTO, desynchronising retry storms after an outage.
+  double jitter_frac = 0.1;
+  double deadline_s = 20.0;    ///< total time before a message expires
+  int max_retries = 6;         ///< retransmissions before giving up
+  std::size_t dedup_window = 1024;  ///< remembered ids per sender
+  std::uint64_t seed = 1;      ///< jitter RNG seed (determinism)
+  /// Which frame types are sent reliably; the rest pass through untouched.
+  /// Null means the default policy (everything but kHeartbeat).
+  std::function<bool(serial::FrameType)> reliable_type;
+};
+
+/// Counters for the supervisor, benches and chaos tests. Deterministic for
+/// a given seed + FaultPlan, so two identical runs must compare equal.
+struct ReliableStats {
+  std::uint64_t sent = 0;           ///< reliable messages originated
+  std::uint64_t retransmits = 0;    ///< extra copies sent
+  std::uint64_t acked = 0;          ///< confirmed by the receiver
+  std::uint64_t expired = 0;        ///< gave up (deadline/retry budget)
+  std::uint64_t delivered = 0;      ///< unique reliable frames passed up
+  std::uint64_t duplicates_suppressed = 0;  ///< retransmitted copies eaten
+  std::uint64_t acks_sent = 0;
+  std::uint64_t passthrough_sent = 0;       ///< frames outside the policy
+  std::uint64_t passthrough_delivered = 0;
+
+  bool operator==(const ReliableStats&) const = default;
+};
+
+/// Transport decorator adding at-least-once delivery with receiver-side
+/// duplicate suppression. The inner transport, clock and scheduler must
+/// outlive this object.
+class ReliableTransport final : public Transport {
+ public:
+  /// Fired when a reliable message exhausts its retries (e.g. the peer is
+  /// gone for good). Receives the destination and the original frame.
+  using DropHandler =
+      std::function<void(const Endpoint& to, const serial::Frame& frame)>;
+
+  ReliableTransport(Transport& inner, Clock clock, Scheduler scheduler,
+                    ReliableConfig config = {});
+
+  ReliableTransport(const ReliableTransport&) = delete;
+  ReliableTransport& operator=(const ReliableTransport&) = delete;
+
+  Endpoint local() const override { return inner_.local(); }
+  void send(const Endpoint& to, serial::Frame frame) override;
+  void set_handler(FrameHandler handler) override {
+    handler_ = std::move(handler);
+  }
+  std::size_t poll() override { return inner_.poll(); }
+
+  void set_drop_handler(DropHandler h) { on_drop_ = std::move(h); }
+
+  const ReliableStats& stats() const { return stats_; }
+  const ReliableConfig& config() const { return config_; }
+  /// Messages sent but neither acked nor expired yet.
+  std::size_t in_flight() const { return pending_.size(); }
+  Transport& inner() { return inner_; }
+
+ private:
+  struct Pending {
+    Endpoint to;
+    serial::Frame wire;     ///< the kReliable envelope, resent verbatim
+    serial::Frame original; ///< what the caller sent (for the drop handler)
+    double first_sent_at = 0.0;
+    double rto_s = 0.0;
+    int retries = 0;
+  };
+
+  /// Per-sender window of recently seen message ids (set + FIFO eviction).
+  struct SeenWindow {
+    std::unordered_set<std::uint64_t> ids;
+    std::deque<std::uint64_t> order;
+  };
+
+  bool is_reliable_type(serial::FrameType t) const;
+  void on_frame(const Endpoint& from, serial::Frame frame);
+  void schedule_retry(std::uint64_t id, double delay_s);
+  void on_retry_timer(std::uint64_t id);
+  double jittered(double delay_s);
+
+  Transport& inner_;
+  Clock clock_;
+  Scheduler scheduler_;
+  ReliableConfig config_;
+  dsp::Rng rng_;
+  FrameHandler handler_;
+  DropHandler on_drop_;
+  std::map<std::uint64_t, Pending> pending_;
+  std::unordered_map<std::string, SeenWindow> seen_;
+  std::uint64_t next_id_ = 1;
+  ReliableStats stats_;
+};
+
+}  // namespace cg::net

@@ -1,6 +1,9 @@
 #include "net/sim_network.hpp"
 
+#include <algorithm>
 #include <stdexcept>
+
+#include "serial/crc32.hpp"
 
 namespace cg::net {
 
@@ -61,17 +64,60 @@ void SimNetwork::submit(std::uint32_t from, const Endpoint& to,
     return;
   }
 
+  // Scripted faults (drop / duplicate / delay / corrupt) layer on after the
+  // ambient loss model. While a hook is installed, delivery also verifies
+  // the payload CRC captured here, so in-flight corruption is rejected at
+  // the receiver instead of handed to the application.
+  const bool verify_crc = static_cast<bool>(fault_fn_);
+  // The CRC the sender stamped on the wire: captured before any in-flight
+  // corruption, so a flipped bit is caught at delivery.
+  const std::uint32_t sent_crc =
+      verify_crc ? serial::crc32(frame.payload) : 0u;
+
+  FaultAction action;
+  if (fault_fn_) {
+    action = fault_fn_(from, dst, frame);
+    if (action.drop) {
+      ++stats_.messages_dropped;
+      return;
+    }
+    if (action.corrupt && !frame.payload.empty()) {
+      // Flip one deterministic-random bit per corrupted frame.
+      const std::uint64_t bit = rng_.below(frame.payload.size() * 8);
+      frame.payload[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    }
+  }
+
+  for (int copy = 0; copy < 1 + action.duplicates; ++copy) {
+    if (copy > 0) ++stats_.messages_duplicated;
+    deliver_copy(from, dst, frame, action.extra_delay_s, sent_crc,
+                 verify_crc);
+  }
+}
+
+void SimNetwork::deliver_copy(std::uint32_t from, std::uint32_t dst,
+                              serial::Frame frame, double extra_delay_s,
+                              std::uint32_t sent_crc, bool verify_crc) {
+  const std::size_t wire_bytes = serial::kFrameHeaderSize +
+                                 frame.payload.size() +
+                                 serial::kFrameTrailerSize;
   double latency = latency_fn_ ? latency_fn_(from, dst)
                                : params_.base_latency_s +
                                      rng_.uniform() * params_.jitter_s;
   if (wire_bytes > params_.small_frame_bytes && params_.bandwidth_Bps > 0.0) {
     latency += static_cast<double>(wire_bytes) / params_.bandwidth_Bps;
   }
+  latency += extra_delay_s;
 
   push_event(now_ + latency,
-             [this, from, dst, f = std::move(frame)]() mutable {
+             [this, from, dst, verify_crc, sent_crc,
+              f = std::move(frame)]() mutable {
                if (!up_.at(dst)) {
                  ++stats_.messages_to_down_node;
+                 return;
+               }
+               if (verify_crc && serial::crc32(f.payload) != sent_crc) {
+                 ++stats_.messages_corrupt_rejected;
                  return;
                }
                ++stats_.messages_delivered;

@@ -44,9 +44,26 @@ struct LinkParams {
 struct SimStats {
   std::uint64_t messages_sent = 0;
   std::uint64_t messages_delivered = 0;
-  std::uint64_t messages_dropped = 0;     ///< loss model
+  std::uint64_t messages_dropped = 0;     ///< loss model + injected drops
   std::uint64_t messages_to_down_node = 0;
+  std::uint64_t messages_duplicated = 0;  ///< extra copies from fault hook
+  /// Frames whose payload CRC no longer matched at delivery (bit corruption
+  /// in flight): rejected like a real NIC discards a bad-FCS frame, never
+  /// handed to the application.
+  std::uint64_t messages_corrupt_rejected = 0;
   std::uint64_t bytes_sent = 0;
+
+  bool operator==(const SimStats&) const = default;
+};
+
+/// What the fault hook may do to one frame in flight. A duplicated frame is
+/// delivered `1 + duplicates` times, each copy with independently sampled
+/// latency (so duplicates also reorder).
+struct FaultAction {
+  bool drop = false;
+  int duplicates = 0;
+  double extra_delay_s = 0.0;  ///< added to each copy's latency (reordering)
+  bool corrupt = false;        ///< flip payload bits in flight
 };
 
 class SimNetwork;
@@ -121,6 +138,16 @@ class SimNetwork {
   using LatencyFn = std::function<double(std::uint32_t from, std::uint32_t to)>;
   void set_latency_fn(LatencyFn fn) { latency_fn_ = std::move(fn); }
 
+  /// Per-message fault hook, consulted after the loss model: the
+  /// FaultInjector (net/fault.hpp) layers scripted drop / duplicate /
+  /// delay / corrupt behaviour through this. While a hook is installed the
+  /// simulator also models wire integrity: each frame's payload CRC is
+  /// captured at send time and re-verified at delivery, so a corrupted
+  /// frame is rejected (messages_corrupt_rejected) instead of trusted.
+  using FaultFn = std::function<FaultAction(
+      std::uint32_t from, std::uint32_t to, const serial::Frame& frame)>;
+  void set_fault_fn(FaultFn fn) { fault_fn_ = std::move(fn); }
+
  private:
   friend class SimTransport;
 
@@ -138,6 +165,9 @@ class SimNetwork {
 
   void submit(std::uint32_t from, const Endpoint& to, serial::Frame frame);
   void push_event(double time, std::function<void()> fn);
+  void deliver_copy(std::uint32_t from, std::uint32_t dst, serial::Frame frame,
+                    double extra_delay_s, std::uint32_t sent_crc,
+                    bool verify_crc);
 
   LinkParams params_;
   dsp::Rng rng_;
@@ -148,6 +178,7 @@ class SimNetwork {
   std::vector<bool> up_;
   SimStats stats_;
   LatencyFn latency_fn_;
+  FaultFn fault_fn_;
 };
 
 }  // namespace cg::net

@@ -144,6 +144,12 @@ class PeerNode {
   /// Receives every non-discovery frame (pipes, service protocol).
   void set_fallback_handler(net::FrameHandler h) { fallback_ = std::move(h); }
 
+  /// The currently installed fallback (empty when none). A new chain link
+  /// (e.g. PipeServe) captures this before replacing it, so earlier links
+  /// keep receiving the frame types they consume whatever the install
+  /// order.
+  const net::FrameHandler& fallback_handler() const { return fallback_; }
+
   const PeerNodeStats& stats() const { return stats_; }
 
  private:

@@ -8,7 +8,11 @@
 namespace cg::p2p {
 
 PipeServe::PipeServe(PeerNode& node, Scheduler scheduler)
-    : node_(node), scheduler_(std::move(scheduler)) {
+    : node_(node),
+      scheduler_(std::move(scheduler)),
+      // Chain, don't clobber: whatever fallback was installed on the node
+      // before us keeps receiving the frames we don't consume.
+      fallback_(node.fallback_handler()) {
   node_.set_fallback_handler(
       [this](const net::Endpoint& from, serial::Frame f) {
         on_frame(from, std::move(f));

@@ -46,7 +46,9 @@ class PipeServe {
   using BindHandler = std::function<void(OutputPipe)>;
 
   /// The node and scheduler must outlive the PipeServe. PipeServe installs
-  /// itself as the node's fallback handler and consumes kData frames.
+  /// itself as the node's fallback handler and consumes kData frames; any
+  /// fallback previously installed on the node is captured and chained
+  /// behind this one (until set_fallback_handler replaces it).
   PipeServe(PeerNode& node, Scheduler scheduler);
 
   PipeServe(const PipeServe&) = delete;

@@ -22,6 +22,48 @@ Bytes encode_frame(const Frame& f) {
   return w.take();
 }
 
+Frame encode_envelope(std::uint64_t msg_id, const Frame& inner) {
+  Writer w(8 + 1 + inner.payload.size());
+  w.u64(msg_id);
+  w.u8(static_cast<std::uint8_t>(inner.type));
+  w.raw(inner.payload);
+  Frame f;
+  f.type = FrameType::kReliable;
+  f.payload = w.take();
+  return f;
+}
+
+ReliableEnvelope decode_envelope(const Frame& f) {
+  if (f.type != FrameType::kReliable) {
+    throw DecodeError("decode_envelope: frame is not kReliable");
+  }
+  Reader r(f.payload);
+  ReliableEnvelope e;
+  e.msg_id = r.u64();
+  e.inner.type = static_cast<FrameType>(r.u8());
+  e.inner.payload = r.raw(r.remaining());
+  return e;
+}
+
+Frame encode_ack(std::uint64_t msg_id) {
+  Writer w(8);
+  w.u64(msg_id);
+  Frame f;
+  f.type = FrameType::kAck;
+  f.payload = w.take();
+  return f;
+}
+
+std::uint64_t decode_ack(const Frame& f) {
+  if (f.type != FrameType::kAck) {
+    throw DecodeError("decode_ack: frame is not kAck");
+  }
+  Reader r(f.payload);
+  const std::uint64_t id = r.u64();
+  if (!r.at_end()) throw DecodeError("decode_ack: trailing bytes");
+  return id;
+}
+
 void FrameDecoder::feed(const std::uint8_t* data, std::size_t len) {
   buf_.insert(buf_.end(), data, data + len);
 }

@@ -22,6 +22,8 @@ enum class FrameType : std::uint8_t {
   kCode = 3,      ///< module artifact transfer
   kDiscovery = 4, ///< advertisement / discovery query
   kHeartbeat = 5, ///< liveness probe
+  kReliable = 6,  ///< reliable envelope: message id + wrapped inner frame
+  kAck = 7,       ///< positive acknowledgement of a kReliable message id
 };
 
 /// A decoded frame: a type tag plus an owning payload.
@@ -41,6 +43,34 @@ constexpr std::size_t kFrameTrailerSize = 4;
 /// Frames larger than this are rejected as malformed (guards a corrupt or
 /// hostile length field from forcing a giant allocation).
 constexpr std::size_t kMaxFramePayload = 64u * 1024u * 1024u;
+
+// -- reliable-delivery framing ----------------------------------------------
+//
+// The reliable request/reply layer (net/reliable.hpp) wraps application
+// frames in a kReliable envelope carrying a sender-scoped message id, and
+// confirms receipt with a kAck frame echoing that id. The codec lives here
+// so the wire format stays in one place with the rest of the framing.
+
+/// A decoded reliable envelope: the sender-scoped message id plus the
+/// wrapped application frame.
+struct ReliableEnvelope {
+  std::uint64_t msg_id = 0;
+  Frame inner;
+};
+
+/// Wrap `inner` in a kReliable envelope tagged with `msg_id`.
+Frame encode_envelope(std::uint64_t msg_id, const Frame& inner);
+
+/// Unwrap a kReliable envelope; throws DecodeError on malformed input or a
+/// non-kReliable frame.
+ReliableEnvelope decode_envelope(const Frame& f);
+
+/// Build the kAck frame confirming `msg_id`.
+Frame encode_ack(std::uint64_t msg_id);
+
+/// Extract the acknowledged id; throws DecodeError on malformed input or a
+/// non-kAck frame.
+std::uint64_t decode_ack(const Frame& f);
 
 /// Incremental frame decoder for byte streams.
 ///

@@ -1,0 +1,237 @@
+// Chaos tests: full deploy -> execute -> checkpoint -> recover loops under
+// scripted network faults (loss, duplication, reordering, corruption) plus
+// a forced mid-run peer crash. The acceptance bar: a 3-fragment distributed
+// run over a faulty SimNetwork completes with results bit-identical to the
+// loss-free run and zero duplicate executions, while the reliable layer's
+// counters prove retries and duplicate suppression actually happened.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/service/supervisor.hpp"
+#include "core/unit/builtin.hpp"
+#include "net/fault.hpp"
+#include "net/sim_network.hpp"
+
+namespace cg::core {
+namespace {
+
+UnitRegistry& reg() {
+  static UnitRegistry r = UnitRegistry::with_builtins();
+  return r;
+}
+
+/// Wave source -> parallel group of stateless Scalers -> Grapher sink.
+/// Stateless fragments make the expected output independent of which
+/// worker (original or recovery spare) handled each item.
+TaskGraph scaler_farm_graph() {
+  TaskGraph inner("inner");
+  ParamSet sp;
+  sp.set_double("factor", 3.0);
+  inner.add_task("Scale", "Scaler", sp);
+  TaskGraph g("chaos");
+  ParamSet wp;
+  wp.set_int("samples", 64);
+  g.add_task("Wave", "Wave", wp);
+  TaskDef& grp = g.add_group("G", std::move(inner), "parallel");
+  grp.group_inputs = {GroupPort{"Scale", 0}};
+  grp.group_outputs = {GroupPort{"Scale", 0}};
+  g.add_task("Sink", "Grapher");
+  g.connect("Wave", 0, "G", 0);
+  g.connect("G", 0, "Sink", 0);
+  return g;
+}
+
+/// Home + 3 workers + 1 spare on one simulator.
+/// Sim node ids: home=0, w0=1, w1=2, w2=3, spare=4.
+struct ChaosGrid {
+  explicit ChaosGrid(std::uint64_t seed) : net({}, seed) {
+    auto clock = [this] { return net.now(); };
+    auto sched = [this](double d, std::function<void()> fn) {
+      net.schedule(d, std::move(fn));
+    };
+    // Generous retry budget: a crash window must not expire messages, only
+    // delay them.
+    net::ReliableConfig rel;
+    rel.deadline_s = 60.0;
+    rel.max_retries = 12;
+
+    ServiceConfig hc;
+    hc.peer_id = "home";
+    hc.reliable = rel;
+    home = std::make_unique<TrianaService>(net.add_node(), clock, sched,
+                                           reg(), hc);
+    for (int i = 0; i < 4; ++i) {  // 3 workers + 1 spare
+      ServiceConfig cfg;
+      cfg.peer_id = "w" + std::to_string(i);
+      cfg.reliable = rel;
+      workers.push_back(std::make_unique<TrianaService>(net.add_node(), clock,
+                                                        sched, reg(), cfg));
+      home->node().add_neighbor(workers.back()->endpoint());
+      workers.back()->node().add_neighbor(home->endpoint());
+    }
+  }
+
+  net::SimNetwork net;
+  std::unique_ptr<TrianaService> home;
+  std::vector<std::unique_ptr<TrianaService>> workers;
+};
+
+/// Everything a chaos run produces that two runs can be compared on.
+struct RunOutcome {
+  std::vector<std::vector<double>> items;  ///< sorted sink payloads
+  net::ReliableStats home_reliable;
+  std::vector<net::ReliableStats> worker_reliable;
+  net::FaultStats faults;
+  std::uint64_t duplicate_deploys = 0;
+  std::uint64_t jobs_started = 0;
+  std::uint64_t recoveries = 0;
+  std::uint64_t corrupt_rejected = 0;
+};
+
+constexpr int kItems = 12;
+
+/// Drive the full distributed run; with `chaotic` the network drops,
+/// duplicates, delays and corrupts frames, and worker w1 (sim node 2)
+/// crashes mid-run and restarts 8 s later.
+RunOutcome run_farm(std::uint64_t seed, bool chaotic) {
+  ChaosGrid grid(seed);
+  TaskGraph g = scaler_farm_graph();
+  grid.home->publish_graph_modules(g);
+
+  net::FaultPlan plan;
+  if (chaotic) {
+    plan.default_link.drop = 0.10;
+    plan.default_link.duplicate = 0.05;
+    plan.default_link.delay = 0.10;
+    plan.default_link.delay_min_s = 0.05;
+    plan.default_link.delay_max_s = 0.80;
+    plan.default_link.corrupt = 0.02;
+    plan.crashes.push_back(
+        net::CrashWindow{.node = 2, .at_s = 8.0, .duration_s = 8.0});
+  }
+  net::FaultInjector inj(grid.net, plan, seed ^ 0xFA01u);
+  if (chaotic) inj.arm();
+
+  TrianaController ctl(*grid.home);
+  auto run = ctl.distribute(g, "G",
+                            {grid.workers[0]->endpoint(),
+                             grid.workers[1]->endpoint(),
+                             grid.workers[2]->endpoint()});
+  grid.net.run_until(5.0);
+  EXPECT_TRUE(run->deployed_ok())
+      << (run->errors.empty() ? "missing acks" : run->errors[0]);
+
+  SupervisorOptions opt;
+  opt.checkpoint_period_s = 4.0;
+  opt.probe_period_s = 2.0;
+  opt.max_missed = 2;
+  auto sup = std::make_shared<RunSupervisor>(
+      ctl, run, std::vector<net::Endpoint>{grid.workers[3]->endpoint()}, opt);
+  sup->start();
+
+  // Stream work in three bursts: before, during and after the crash
+  // window, so in-flight items hit every failure mode.
+  ctl.tick(*run, kItems / 3);
+  grid.net.schedule(10.0, [&] { ctl.tick(*run, kItems / 3); });
+  grid.net.schedule(25.0, [&] { ctl.tick(*run, kItems / 3); });
+  grid.net.run_until(120.0);
+  sup->stop();
+
+  RunOutcome out;
+  auto* sink = ctl.home_runtime(*run)->unit_as<GrapherUnit>("Sink");
+  for (const auto& item : sink->items()) {
+    out.items.push_back(item.samples().samples);
+  }
+  std::sort(out.items.begin(), out.items.end());
+  out.home_reliable = grid.home->reliable().stats();
+  for (const auto& w : grid.workers) {
+    out.worker_reliable.push_back(w->reliable().stats());
+    out.duplicate_deploys += w->stats().duplicate_deploys;
+    out.jobs_started += w->stats().jobs_started;
+  }
+  out.faults = inj.stats();
+  out.recoveries = sup->stats().recoveries;
+  out.corrupt_rejected = grid.net.stats().messages_corrupt_rejected;
+  return out;
+}
+
+TEST(Chaos, FaultyRunMatchesLossFreeRunBitForBit) {
+  RunOutcome clean = run_farm(404, /*chaotic=*/false);
+  RunOutcome dirty = run_farm(404, /*chaotic=*/true);
+
+  // The loss-free run is the oracle: every item arrived, scaled once.
+  ASSERT_EQ(clean.items.size(), static_cast<std::size_t>(kItems));
+  EXPECT_EQ(clean.recoveries, 0u);
+
+  // The chaotic run produced the exact same multiset of results -- no item
+  // lost, none executed or delivered twice.
+  ASSERT_EQ(dirty.items.size(), static_cast<std::size_t>(kItems));
+  EXPECT_EQ(dirty.items, clean.items);
+
+  // The chaos was real...
+  EXPECT_GT(dirty.faults.dropped, 0u);
+  EXPECT_GT(dirty.faults.duplicated, 0u);
+  EXPECT_EQ(dirty.faults.crashes_opened, 1u);
+  EXPECT_EQ(dirty.faults.crashes_closed, 1u);
+
+  // ...and the reliable layer fought through it: retransmissions happened
+  // and retransmitted copies were suppressed at receivers, which is what
+  // keeps deploys/cancels/data effectively-once.
+  auto total = [](const RunOutcome& o) {
+    net::ReliableStats sum = o.home_reliable;
+    for (const auto& w : o.worker_reliable) {
+      sum.retransmits += w.retransmits;
+      sum.duplicates_suppressed += w.duplicates_suppressed;
+      sum.expired += w.expired;
+    }
+    return sum;
+  };
+  const net::ReliableStats dirty_total = total(dirty);
+  EXPECT_GT(dirty_total.retransmits, 0u);
+  EXPECT_GT(dirty_total.duplicates_suppressed, 0u);
+  EXPECT_EQ(dirty_total.expired, 0u);  // nothing gave up
+  EXPECT_EQ(total(clean).retransmits, 0u);
+
+  // No deploy ran twice anywhere (the dedup + idempotence guard): three
+  // fragments, plus at most one recovery redeploy onto the spare.
+  EXPECT_EQ(dirty.duplicate_deploys, 0u);
+  EXPECT_EQ(dirty.jobs_started, 3u + dirty.recoveries);
+  EXPECT_EQ(clean.jobs_started, 3u);
+}
+
+TEST(Chaos, CrashTriggersSupervisedRecovery) {
+  RunOutcome dirty = run_farm(404, /*chaotic=*/true);
+  // The 8 s crash window outlives max_missed * probe_period, so the
+  // supervisor must have detected the failure and recovered to the spare.
+  EXPECT_EQ(dirty.recoveries, 1u);
+}
+
+TEST(Chaos, CorruptionIsRejectedNotDelivered) {
+  RunOutcome dirty = run_farm(404, /*chaotic=*/true);
+  EXPECT_GT(dirty.faults.corrupted, 0u);
+  // Not exactly equal to faults.corrupted: a corrupted frame can also be
+  // duplicated (both copies rejected) or addressed to a crashed node
+  // (dropped before the CRC check).
+  EXPECT_GT(dirty.corrupt_rejected, 0u);
+  // Yet the run still completed intact (checked in the bit-identical
+  // test); corruption degraded into retransmission, not wrong data.
+  EXPECT_EQ(dirty.items.size(), static_cast<std::size_t>(kItems));
+}
+
+TEST(Chaos, SameSeedAndPlanReproduceIdenticalStats) {
+  RunOutcome r1 = run_farm(1234, /*chaotic=*/true);
+  RunOutcome r2 = run_farm(1234, /*chaotic=*/true);
+  EXPECT_EQ(r1.home_reliable, r2.home_reliable);
+  ASSERT_EQ(r1.worker_reliable.size(), r2.worker_reliable.size());
+  for (std::size_t i = 0; i < r1.worker_reliable.size(); ++i) {
+    EXPECT_EQ(r1.worker_reliable[i], r2.worker_reliable[i]) << "worker " << i;
+  }
+  EXPECT_EQ(r1.faults, r2.faults);
+  EXPECT_EQ(r1.items, r2.items);
+  EXPECT_EQ(r1.recoveries, r2.recoveries);
+}
+
+}  // namespace
+}  // namespace cg::core

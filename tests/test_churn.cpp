@@ -186,6 +186,58 @@ TEST(Driver, UpAtZeroWhenTraceStartsAtZero) {
   EXPECT_FALSE(net.is_up(0));
 }
 
+TEST(Driver, ZeroLengthIntervalGrantsNoUsableTime) {
+  net::SimNetwork net({}, 1);
+  net.add_node();
+  apply_trace(net, 0, {{5, 5}});
+  EXPECT_FALSE(net.is_up(0));
+  // Both transitions share t=5; FIFO order applies up then immediately
+  // down, so after the timestamp the node is down again.
+  net.run_until(5.0);
+  EXPECT_FALSE(net.is_up(0));
+  net.run_until(10.0);
+  EXPECT_FALSE(net.is_up(0));
+}
+
+TEST(Driver, ZeroLengthIntervalAtZero) {
+  net::SimNetwork net({}, 1);
+  net.add_node();
+  apply_trace(net, 0, {{0, 0}});
+  EXPECT_TRUE(net.is_up(0));  // up at t=0 per the up-at-zero contract...
+  net.run_until(0.0);
+  EXPECT_FALSE(net.is_up(0));  // ...but the t=0 end takes it down at once
+}
+
+TEST(Driver, MessagesAtIntervalBoundariesRespectHalfOpenSemantics) {
+  net::LinkParams p;
+  p.base_latency_s = 1.0;
+  p.jitter_s = 0.0;
+  net::SimNetwork net(p, 1);
+  auto& a = net.add_node();
+  auto& b = net.add_node();
+  int got = 0;
+  b.set_handler([&](const net::Endpoint&, serial::Frame) { ++got; });
+  // Node b (id 1) usable during [5, 9); transitions are scheduled now, so
+  // they run before same-timestamp traffic (FIFO tie-break).
+  apply_trace(net, 1, {{5, 9}});
+
+  serial::Frame f;
+  f.type = serial::FrameType::kControl;
+  f.payload = {1};
+  // Arrives at t=5, exactly at the up transition: delivered (closed start).
+  net.schedule(4.0, [&] { a.send(b.local(), f); });
+  // Arrives at t=7, inside the interval: delivered.
+  net.schedule(6.0, [&] { a.send(b.local(), f); });
+  // Arrives at t=9, exactly at the down transition: lost (open end).
+  net.schedule(8.0, [&] { a.send(b.local(), f); });
+  // Sent at t=9.5 while b is down, arrives at 10.5: lost.
+  net.schedule(9.5, [&] { a.send(b.local(), f); });
+  net.run_all();
+
+  EXPECT_EQ(got, 2);
+  EXPECT_EQ(net.stats().messages_to_down_node, 2u);
+}
+
 TEST(Driver, ApplyModelReturnsTheTraceItApplied) {
   net::SimNetwork net({}, 1);
   net.add_node();

@@ -4,6 +4,7 @@
 // worker selection, status, cancellation, checkpoint and migration.
 #include <gtest/gtest.h>
 
+#include "core/graph/taskgraph_xml.hpp"
 #include "core/service/controller.hpp"
 #include "core/unit/builtin.hpp"
 #include "net/sim_network.hpp"
@@ -133,6 +134,46 @@ TEST(Service, RemoteDeployFetchesCodeOnDemand) {
   auto* rt = grid.workers[0]->job_runtime(got.job_id);
   ASSERT_NE(rt, nullptr);
   EXPECT_EQ(rt->iteration(), 3u);
+}
+
+TEST(Service, DuplicateDeployIsReAckedNotReExecuted) {
+  Grid grid(1);
+  TaskGraph simple("dup");
+  simple.add_task("Wave", "Wave");
+  simple.add_task("Sink", "NullSink");
+  simple.connect("Wave", 0, "Sink", 0);
+  grid.home->publish_graph_modules(simple, 4096);
+
+  int acks = 0;
+  const std::string job = grid.home->deploy_remote(
+      grid.workers[0]->endpoint(), simple, 3,
+      [&](const DeployAckMsg& a) {
+        ++acks;
+        EXPECT_TRUE(a.ok) << a.error;
+      });
+  grid.net.run_all();
+  ASSERT_EQ(acks, 1);
+  ASSERT_EQ(grid.workers[0]->stats().jobs_started, 1u);
+
+  // Replay the deploy verbatim -- as a retransmission that slipped past
+  // the reliable layer's dedup window would. Each reliable send gets a
+  // fresh message id, so only the service-level idempotence guard stands
+  // between this and a second execution.
+  DeployMsg m;
+  m.job_id = job;
+  m.owner = grid.home->id();
+  m.owner_endpoint = grid.home->endpoint();
+  m.iterations = 3;
+  m.graph_xml = write_taskgraph(simple, false);
+  grid.home->reliable().send(grid.workers[0]->endpoint(), encode(m));
+  grid.net.run_all();
+
+  EXPECT_EQ(grid.workers[0]->stats().jobs_started, 1u);  // not re-run
+  EXPECT_EQ(grid.workers[0]->stats().duplicate_deploys, 1u);
+  EXPECT_EQ(grid.workers[0]->job_count(), 1u);
+  auto* rt = grid.workers[0]->job_runtime(job);
+  ASSERT_NE(rt, nullptr);
+  EXPECT_EQ(rt->iteration(), 3u);  // still only the first run's work
 }
 
 TEST(Service, DeployFailsWhenOwnerLacksModule) {

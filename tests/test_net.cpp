@@ -5,6 +5,7 @@
 
 #include <thread>
 
+#include "net/fault.hpp"
 #include "net/inproc.hpp"
 #include "net/sim_network.hpp"
 #include "net/tcp.hpp"
@@ -249,6 +250,170 @@ TEST(Sim, RunAllBoundsRunawayEventLoops) {
   std::function<void()> loop = [&] { net.schedule(0.001, loop); };
   net.schedule(0.0, loop);
   EXPECT_EQ(net.run_all(1000), 1000u);
+}
+
+// ----------------------------------------------------------- fault injection
+
+TEST(Fault, HookDropsFrames) {
+  SimNetwork net({}, 1);
+  auto& a = net.add_node();
+  auto& b = net.add_node();
+  int got = 0;
+  b.set_handler([&](const Endpoint&, serial::Frame) { ++got; });
+
+  FaultPlan plan;
+  plan.default_link.drop = 1.0;
+  FaultInjector inj(net, plan, 7);
+  inj.arm();
+
+  for (int i = 0; i < 5; ++i) a.send(b.local(), text_frame("m"));
+  net.run_all();
+  EXPECT_EQ(got, 0);
+  EXPECT_EQ(inj.stats().dropped, 5u);
+  EXPECT_EQ(net.stats().messages_dropped, 5u);
+}
+
+TEST(Fault, HookDuplicatesFrames) {
+  SimNetwork net({}, 1);
+  auto& a = net.add_node();
+  auto& b = net.add_node();
+  int got = 0;
+  b.set_handler([&](const Endpoint&, serial::Frame) { ++got; });
+
+  FaultPlan plan;
+  plan.default_link.duplicate = 1.0;
+  FaultInjector inj(net, plan, 7);
+  inj.arm();
+
+  a.send(b.local(), text_frame("twin"));
+  net.run_all();
+  EXPECT_EQ(got, 2);
+  EXPECT_EQ(inj.stats().duplicated, 1u);
+  EXPECT_EQ(net.stats().messages_duplicated, 1u);
+}
+
+TEST(Fault, CorruptedFrameIsRejectedAndCounted) {
+  SimNetwork net({}, 1);
+  auto& a = net.add_node();
+  auto& b = net.add_node();
+  int got = 0;
+  b.set_handler([&](const Endpoint&, serial::Frame) { ++got; });
+
+  FaultPlan plan;
+  plan.default_link.corrupt = 1.0;
+  FaultInjector inj(net, plan, 7);
+  inj.arm();
+
+  a.send(b.local(), text_frame("fragile payload"));
+  net.run_all();
+  EXPECT_EQ(got, 0);  // never handed to the application
+  EXPECT_EQ(inj.stats().corrupted, 1u);
+  EXPECT_EQ(net.stats().messages_corrupt_rejected, 1u);
+  EXPECT_EQ(net.stats().messages_delivered, 0u);
+}
+
+TEST(Fault, DelayReordersFrames) {
+  LinkParams p;
+  p.jitter_s = 0.0;
+  SimNetwork net(p, 1);
+  auto& a = net.add_node();
+  auto& b = net.add_node();
+  std::vector<std::string> order;
+  b.set_handler([&](const Endpoint&, serial::Frame f) {
+    order.push_back(serial::to_string(f.payload));
+  });
+
+  // Delay only the first frame submitted; the second overtakes it.
+  bool first = true;
+  net.set_fault_fn([&](std::uint32_t, std::uint32_t, const serial::Frame&) {
+    FaultAction act;
+    if (first) {
+      first = false;
+      act.extra_delay_s = 1.0;
+    }
+    return act;
+  });
+
+  a.send(b.local(), text_frame("slow"));
+  a.send(b.local(), text_frame("fast"));
+  net.run_all();
+  EXPECT_EQ(order, (std::vector<std::string>{"fast", "slow"}));
+}
+
+TEST(Fault, PerLinkOverridesDefault) {
+  SimNetwork net({}, 1);
+  auto& a = net.add_node();
+  auto& b = net.add_node();
+  auto& c = net.add_node();
+  int b_got = 0, c_got = 0;
+  b.set_handler([&](const Endpoint&, serial::Frame) { ++b_got; });
+  c.set_handler([&](const Endpoint&, serial::Frame) { ++c_got; });
+
+  FaultPlan plan;  // clean by default; the a->b link loses everything
+  plan.per_link[{0, 1}] = LinkFaults{.drop = 1.0};
+  FaultInjector inj(net, plan, 7);
+  inj.arm();
+
+  a.send(b.local(), text_frame("m"));
+  a.send(c.local(), text_frame("m"));
+  net.run_all();
+  EXPECT_EQ(b_got, 0);
+  EXPECT_EQ(c_got, 1);
+}
+
+TEST(Fault, CrashWindowTakesNodeDownAndBack) {
+  SimNetwork net({}, 1);
+  auto& a = net.add_node();
+  auto& b = net.add_node();
+  int got = 0;
+  b.set_handler([&](const Endpoint&, serial::Frame) { ++got; });
+
+  FaultPlan plan;
+  plan.crashes.push_back(CrashWindow{.node = 1, .at_s = 1.0,
+                                     .duration_s = 2.0});
+  FaultInjector inj(net, plan, 7);
+  inj.arm();
+
+  net.schedule(1.5, [&] { a.send(b.local(), text_frame("into-void")); });
+  net.schedule(4.0, [&] { a.send(b.local(), text_frame("after")); });
+  net.run_all();
+
+  EXPECT_EQ(got, 1);  // only the post-restart frame lands
+  EXPECT_EQ(inj.stats().crashes_opened, 1u);
+  EXPECT_EQ(inj.stats().crashes_closed, 1u);
+  EXPECT_TRUE(net.is_up(1));  // restarted
+}
+
+TEST(Fault, DeterministicForSeedAndPlan) {
+  auto run = [] {
+    LinkParams p;
+    p.jitter_s = 0.015;
+    SimNetwork net(p, 11);
+    auto& a = net.add_node();
+    auto& b = net.add_node();
+    int got = 0;
+    b.set_handler([&](const Endpoint&, serial::Frame) { ++got; });
+
+    FaultPlan plan;
+    plan.default_link = LinkFaults{.drop = 0.2, .duplicate = 0.1,
+                                   .corrupt = 0.05, .delay = 0.3};
+    FaultInjector inj(net, plan, 23);
+    inj.arm();
+    for (int i = 0; i < 500; ++i) a.send(b.local(), text_frame("m"));
+    net.run_all();
+    return std::make_pair(inj.stats(), net.stats());
+  };
+  auto [f1, n1] = run();
+  auto [f2, n2] = run();
+  EXPECT_EQ(f1, f2);
+  EXPECT_EQ(n1, n2);
+  EXPECT_GT(f1.dropped, 0u);
+  EXPECT_GT(f1.duplicated, 0u);
+  EXPECT_GT(f1.corrupted, 0u);
+  EXPECT_GT(f1.delayed, 0u);
+  EXPECT_EQ(n1.messages_corrupt_rejected + n1.messages_delivered +
+                n1.messages_dropped + n1.messages_to_down_node,
+            n1.messages_sent + n1.messages_duplicated);
 }
 
 // ------------------------------------------------------------------ inproc

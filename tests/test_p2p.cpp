@@ -8,6 +8,7 @@
 #include "p2p/discovery.hpp"
 #include "p2p/peer_node.hpp"
 #include "p2p/pipes.hpp"
+#include "repo/code_exchange.hpp"
 #include "serial/reader.hpp"
 
 namespace cg::p2p {
@@ -558,6 +559,71 @@ TEST(Pipes, RemoveInputStopsDelivery) {
   s.net().run_all();
   EXPECT_EQ(got, 1);
   EXPECT_EQ(ps1.stats().payloads_for_unknown_pipe, 1u);
+}
+
+TEST(FrameChain, PipeServePreservesFallbackInstalledBeforeIt) {
+  Swarm s(2);
+  s.make_line();
+
+  // Order A on node 1: CodeExchange chained directly behind the node
+  // FIRST, PipeServe constructed afterwards. PipeServe must capture the
+  // existing fallback, not clobber it.
+  repo::CodeExchange code1(s[1].transport());
+  s[1].set_fallback_handler(
+      [&](const net::Endpoint& from, serial::Frame f) {
+        code1.on_frame(from, std::move(f));
+      });
+  std::vector<serial::FrameType> tail_seen;
+  code1.set_fallback_handler(
+      [&](const net::Endpoint&, serial::Frame f) {
+        tail_seen.push_back(f.type);
+      });
+  PipeServe ps1(s[1], s.scheduler());
+
+  // Order B on node 0: PipeServe first, CodeExchange chained behind it.
+  PipeServe ps0(s[0], s.scheduler());
+  repo::CodeExchange code0(s[0].transport());
+  ps0.set_fallback_handler(
+      [&](const net::Endpoint& from, serial::Frame f) {
+        code0.on_frame(from, std::move(f));
+      });
+
+  repo::ModuleRepository repo1;
+  repo1.put(repo::make_synthetic_artifact("FFT", "1.0", 512));
+  code1.serve_from(&repo1);
+
+  // kData still reaches node 1's pipes (PipeServe's own frames work).
+  std::string got;
+  ps1.advertise_input("chain-pipe",
+                      [&](const net::Endpoint&, serial::Bytes payload) {
+                        got = serial::to_string(payload);
+                      });
+  OutputPipe pipe;
+  ps0.bind_output("chain-pipe", [&](OutputPipe p) { pipe = std::move(p); });
+  s.net().run_all();
+  ASSERT_TRUE(pipe.bound());
+  ps0.send(pipe, serial::to_bytes("data"));
+
+  // kCode round-trips in both directions: request through node 1's chain,
+  // response through node 0's chain.
+  std::optional<repo::ModuleArtifact> fetched;
+  code0.fetch(s[1].endpoint(), "FFT", "",
+              [&](std::optional<repo::ModuleArtifact> a) {
+                fetched = std::move(a);
+              });
+
+  // kControl frames still fall through to the tail handler on node 1.
+  serial::Frame ctl;
+  ctl.type = serial::FrameType::kControl;
+  ctl.payload = {42};
+  s[0].transport().send(s[1].endpoint(), ctl);
+
+  s.net().run_all();
+  EXPECT_EQ(got, "data");
+  ASSERT_TRUE(fetched.has_value());
+  EXPECT_EQ(fetched->name, "FFT");
+  EXPECT_EQ(tail_seen,
+            (std::vector<serial::FrameType>{serial::FrameType::kControl}));
 }
 
 TEST(Pipes, RendezvousPublishPath) {

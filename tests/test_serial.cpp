@@ -281,6 +281,52 @@ TEST(Frame, CorruptPayloadFailsCrc) {
   EXPECT_THROW(d.next(), DecodeError);
 }
 
+TEST(Envelope, RoundTripPreservesIdTypeAndPayload) {
+  Frame inner;
+  inner.type = FrameType::kControl;
+  inner.payload = {1, 2, 3, 4, 5};
+  Frame env = encode_envelope(0xDEADBEEFCAFEull, inner);
+  EXPECT_EQ(env.type, FrameType::kReliable);
+
+  ReliableEnvelope e = decode_envelope(env);
+  EXPECT_EQ(e.msg_id, 0xDEADBEEFCAFEull);
+  EXPECT_EQ(e.inner.type, FrameType::kControl);
+  EXPECT_EQ(e.inner.payload, inner.payload);
+}
+
+TEST(Envelope, EmptyInnerPayload) {
+  Frame inner;
+  inner.type = FrameType::kHeartbeat;
+  ReliableEnvelope e = decode_envelope(encode_envelope(7, inner));
+  EXPECT_EQ(e.msg_id, 7u);
+  EXPECT_EQ(e.inner.type, FrameType::kHeartbeat);
+  EXPECT_TRUE(e.inner.payload.empty());
+}
+
+TEST(Envelope, WrongFrameTypeThrows) {
+  Frame f;
+  f.type = FrameType::kControl;
+  f.payload = {0, 0, 0, 0, 0, 0, 0, 0, 1};
+  EXPECT_THROW(decode_envelope(f), DecodeError);
+}
+
+TEST(Ack, RoundTrip) {
+  Frame a = encode_ack(99);
+  EXPECT_EQ(a.type, FrameType::kAck);
+  EXPECT_EQ(decode_ack(a), 99u);
+}
+
+TEST(Ack, RejectsWrongTypeAndTrailingBytes) {
+  Frame f;
+  f.type = FrameType::kControl;
+  f.payload = encode_ack(1).payload;
+  EXPECT_THROW(decode_ack(f), DecodeError);
+
+  Frame trailing = encode_ack(1);
+  trailing.payload.push_back(0xFF);
+  EXPECT_THROW(decode_ack(trailing), DecodeError);
+}
+
 TEST(Frame, OversizedLengthRejected) {
   Writer w;
   w.u32(0x31464743u);  // magic
