@@ -12,9 +12,16 @@
 // (the traffic a consumer uplink pays), evictions. The last section shows
 // the version-consistency property: after the owner republishes, the next
 // execution runs the new version.
+// Machine-readable output: --json PATH writes a BENCH_codecache.json
+// artifact with the sweep rows plus the obs metrics snapshot (scopes
+// "budget05", "budget10", ... for each budget fraction).
 #include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "dsp/rng.hpp"
+#include "obs/obs.hpp"
 #include "repo/module_cache.hpp"
 #include "repo/repository.hpp"
 
@@ -56,14 +63,17 @@ std::size_t pick_module(dsp::Rng& rng) {
 }
 
 struct Row {
+  double budget_frac = 0;
   double hit_rate = 0;
   double fetched_mb = 0;
   std::uint64_t evictions = 0;
   std::uint64_t failures = 0;
 };
 
-Row run(std::size_t budget_bytes, const repo::ModuleRepository& repo) {
+Row run(std::size_t budget_bytes, const repo::ModuleRepository& repo,
+        obs::Registry& registry, const std::string& scope) {
   repo::ModuleCache cache(budget_bytes);
+  cache.set_obs(registry, scope);
   dsp::Rng rng(17);
   Row row;
   for (int r = 0; r < kRequests; ++r) {
@@ -93,9 +103,35 @@ Row run(std::size_t budget_bytes, const repo::ModuleRepository& repo) {
   return row;
 }
 
+std::string rows_json(const std::vector<Row>& rows) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    if (i) out += ',';
+    out += "{\"budget_frac\":" + obs::json_number(r.budget_frac);
+    out += ",\"hit_rate\":" + obs::json_number(r.hit_rate);
+    out += ",\"fetched_mb\":" + obs::json_number(r.fetched_mb);
+    out += ",\"evictions\":" + std::to_string(r.evictions);
+    out += ",\"failures\":" + std::to_string(r.failures);
+    out += "}";
+  }
+  out += "]";
+  return out;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: bench_codecache [--json PATH]\n");
+      return 2;
+    }
+  }
+
   std::printf("E6: on-demand module download under cache pressure\n");
   std::printf("%zu modules x %zu kB, dependency DAG, %d Zipf requests\n\n",
               kModules, kModuleBytes / 1024, kRequests);
@@ -104,9 +140,16 @@ int main() {
 
   const auto repo = make_universe();
   const std::size_t full = kModules * kModuleBytes;
+  obs::Registry registry;
+  std::vector<Row> rows;
   for (double frac : {0.05, 0.10, 0.25, 0.5, 1.0}) {
     const auto budget = static_cast<std::size_t>(frac * static_cast<double>(full));
-    const Row row = run(budget, repo);
+    char scope[16];
+    std::snprintf(scope, sizeof scope, "budget%02d",
+                  static_cast<int>(frac * 100 + 0.5));
+    Row row = run(budget, repo, registry, scope);
+    row.budget_frac = frac;
+    rows.push_back(row);
     std::printf("%5.0f%% (%3zu MB) %-10.3f %-14.1f %-11llu %-9llu\n",
                 frac * 100, budget >> 20, row.hit_rate, row.fetched_mb,
                 static_cast<unsigned long long>(row.evictions),
@@ -145,5 +188,25 @@ int main() {
       "a skewed workload while holding only 'code that is necessary'; "
       "traffic falls steeply as the budget grows; a cacheless device pays "
       "two orders of magnitude more uplink traffic.\n");
+
+  if (!json_path.empty()) {
+    const std::string body =
+        "{\"bench\":\"codecache\",\"requests\":" + std::to_string(kRequests) +
+        ",\"rows\":" + rows_json(rows) +
+        ",\"metrics\":" + registry.snapshot().to_json(/*pretty=*/false) + "}";
+    if (!obs::json_valid(body)) {
+      std::fprintf(stderr, "bench_codecache: refusing to write invalid JSON\n");
+      return 1;
+    }
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "bench_codecache: cannot open %s\n",
+                   json_path.c_str());
+      return 1;
+    }
+    std::fwrite(body.data(), 1, body.size(), f);
+    std::fclose(f);
+    std::printf("\nwrote %s\n", json_path.c_str());
+  }
   return 0;
 }

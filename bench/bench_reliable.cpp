@@ -12,19 +12,27 @@
 // (unreliable) delivery rate for the same fault stream, reliable delivery
 // rate, retransmissions per message, duplicate envelopes suppressed at the
 // receiver, expiries, and mean delivery latency.
+//
+// Machine-readable output: --json PATH writes a BENCH_reliable.json
+// artifact holding the table rows plus the full obs metrics snapshot
+// (per-loss-point scopes: "loss05.a.reliable.retransmits", ...). CI's
+// bench-smoke job runs this with --messages 40 and validates the JSON.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <string>
 #include <vector>
 
 #include "net/fault.hpp"
 #include "net/reliable.hpp"
 #include "net/sim_network.hpp"
+#include "obs/obs.hpp"
 
 using namespace cg;
 
 namespace {
 
-constexpr int kMessages = 200;
+int g_messages = 200;            ///< --messages N (CI smoke uses a small N)
 constexpr double kPaceS = 0.25;  ///< gap between sends (virtual seconds)
 
 serial::Frame indexed_frame(int i) {
@@ -49,6 +57,13 @@ struct Row {
   double mean_latency_ms = 0;  ///< send -> unique delivery, successes only
 };
 
+/// Scope label for one loss point: 0.05 -> "loss05".
+std::string loss_scope(double loss) {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "loss%02d", static_cast<int>(loss * 100 + 0.5));
+  return buf;
+}
+
 /// Fire-and-forget baseline: same link, same fault plan, plain transports.
 double run_raw(double loss, std::uint64_t seed) {
   net::SimNetwork net({}, seed);
@@ -62,14 +77,14 @@ double run_raw(double loss, std::uint64_t seed) {
 
   int got = 0;
   b.set_handler([&](const net::Endpoint&, serial::Frame) { ++got; });
-  for (int i = 0; i < kMessages; ++i) {
+  for (int i = 0; i < g_messages; ++i) {
     net.schedule(i * kPaceS, [&, i] { a.send(b.local(), indexed_frame(i)); });
   }
   net.run_all();
-  return static_cast<double>(got) / kMessages;
+  return static_cast<double>(got) / g_messages;
 }
 
-Row run_reliable(double loss, std::uint64_t seed) {
+Row run_reliable(double loss, std::uint64_t seed, obs::Registry& registry) {
   net::SimNetwork net({}, seed);
   auto& ta = net.add_node();
   auto& tb = net.add_node();
@@ -83,19 +98,24 @@ Row run_reliable(double loss, std::uint64_t seed) {
   net::ReliableTransport a(ta, clock, sched, cfg);
   net::ReliableTransport b(tb, clock, sched, cfg);
 
+  const std::string scope = loss_scope(loss);
+  net.set_obs(registry, nullptr, scope);
+  a.set_obs(registry, nullptr, scope + ".a");
+  b.set_obs(registry, nullptr, scope + ".b");
+
   net::FaultPlan plan;
   plan.default_link.drop = loss;
   net::FaultInjector inj(net, plan, seed);
   inj.arm();
 
-  std::vector<double> sent_at(kMessages, 0.0);
+  std::vector<double> sent_at(g_messages, 0.0);
   int got = 0;
   double latency_sum = 0;
   b.set_handler([&](const net::Endpoint&, serial::Frame f) {
     ++got;
     latency_sum += net.now() - sent_at[frame_index(f)];
   });
-  for (int i = 0; i < kMessages; ++i) {
+  for (int i = 0; i < g_messages; ++i) {
     net.schedule(i * kPaceS, [&, i] {
       sent_at[i] = net.now();
       a.send(b.local(), indexed_frame(i));
@@ -105,28 +125,81 @@ Row run_reliable(double loss, std::uint64_t seed) {
 
   Row r;
   r.loss = loss;
-  r.reliable_delivered = static_cast<double>(got) / kMessages;
+  r.reliable_delivered = static_cast<double>(got) / g_messages;
   r.retx_per_msg =
-      static_cast<double>(a.stats().retransmits) / kMessages;
+      static_cast<double>(a.stats().retransmits) / g_messages;
   r.dup_suppressed = b.stats().duplicates_suppressed;
   r.expired = a.stats().expired;
   r.mean_latency_ms = got ? latency_sum / got * 1000.0 : 0.0;
   return r;
 }
 
+std::string rows_json(const std::vector<Row>& rows) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    if (i) out += ',';
+    out += "{\"loss\":" + obs::json_number(r.loss);
+    out += ",\"raw_delivered\":" + obs::json_number(r.raw_delivered);
+    out += ",\"reliable_delivered\":" + obs::json_number(r.reliable_delivered);
+    out += ",\"retx_per_msg\":" + obs::json_number(r.retx_per_msg);
+    out += ",\"dup_suppressed\":" + std::to_string(r.dup_suppressed);
+    out += ",\"expired\":" + std::to_string(r.expired);
+    out += ",\"mean_latency_ms\":" + obs::json_number(r.mean_latency_ms);
+    out += "}";
+  }
+  out += "]";
+  return out;
+}
+
+bool write_json(const std::string& path, const std::string& body) {
+  if (!obs::json_valid(body)) {
+    std::fprintf(stderr, "bench_reliable: refusing to write invalid JSON\n");
+    return false;
+  }
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "bench_reliable: cannot open %s\n", path.c_str());
+    return false;
+  }
+  const bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  std::fclose(f);
+  return ok;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--messages") == 0 && i + 1 < argc) {
+      g_messages = std::atoi(argv[++i]);
+      if (g_messages <= 0) {
+        std::fprintf(stderr, "bench_reliable: bad --messages value\n");
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_reliable [--messages N] [--json PATH]\n");
+      return 2;
+    }
+  }
+
   std::printf("E10: reliable delivery vs frame loss (paper section 3.6.2)\n");
   std::printf("DSL link, %d control messages, loss applied to every frame "
               "(envelopes and acks alike)\n\n",
-              kMessages);
+              g_messages);
   std::printf("%-8s %-10s %-10s %-10s %-10s %-9s %-12s\n", "loss", "raw",
               "reliable", "retx/msg", "dup-supp", "expired", "latency ms");
 
+  obs::Registry registry;
+  std::vector<Row> rows;
   for (double loss : {0.0, 0.05, 0.10, 0.20, 0.30}) {
-    Row r = run_reliable(loss, 7);
+    Row r = run_reliable(loss, 7, registry);
     r.raw_delivered = run_raw(loss, 7);
+    rows.push_back(r);
     std::printf("%-8.2f %-10.3f %-10.3f %-10.2f %-10llu %-9llu %-12.1f\n",
                 r.loss, r.raw_delivered, r.reliable_delivered, r.retx_per_msg,
                 static_cast<unsigned long long>(r.dup_suppressed),
@@ -139,5 +212,14 @@ int main() {
       "the envelope and its ack must survive -- plus tail latency from "
       "exponential backoff. Duplicates suppressed > 0 proves lost acks were "
       "retried without re-delivery.\n");
+
+  if (!json_path.empty()) {
+    std::string body = "{\"bench\":\"reliable\",\"messages\":" +
+                       std::to_string(g_messages) + ",\"rows\":" +
+                       rows_json(rows) + ",\"metrics\":" +
+                       registry.snapshot().to_json(/*pretty=*/false) + "}";
+    if (!write_json(json_path, body)) return 1;
+    std::printf("\nwrote %s\n", json_path.c_str());
+  }
   return 0;
 }

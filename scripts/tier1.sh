@@ -1,20 +1,29 @@
 #!/usr/bin/env bash
 # ConGrid tier-1 gate: full build + test suite, then a sanitizer pass over
-# the reliability/chaos tests (the code most exposed to lifetime bugs --
-# retransmit timers and fault hooks firing into torn-down objects).
+# the reliability/chaos/observability tests (the code most exposed to
+# lifetime bugs -- retransmit timers and fault hooks firing into torn-down
+# objects, and the metrics instruments they report into).
+#
+# Usage: tier1.sh [BUILD_DIR] [ASAN_BUILD_DIR]
+#   BUILD_DIR      normal build tree (default: build)
+#   ASAN_BUILD_DIR sanitizer build tree (default: ${BUILD_DIR}-asan)
+# CI passes distinct directories so the two trees cache independently.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== tier-1: build + ctest =="
-cmake -B build -S . >/dev/null
-cmake --build build -j
-ctest --test-dir build --output-on-failure -j "$(nproc)"
+BUILD_DIR="${1:-build}"
+ASAN_DIR="${2:-${BUILD_DIR}-asan}"
 
-echo "== tier-1: ASan/UBSan chaos pass =="
-cmake -B build-asan -S . -DCONGRID_SANITIZE=address,undefined >/dev/null
-cmake --build build-asan -j --target test_reliable test_chaos test_net
-for t in test_reliable test_chaos test_net; do
-  ./build-asan/tests/"$t"
+echo "== tier-1: build + ctest (${BUILD_DIR}) =="
+cmake -B "${BUILD_DIR}" -S . >/dev/null
+cmake --build "${BUILD_DIR}" -j
+ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "$(nproc)"
+
+echo "== tier-1: ASan/UBSan chaos pass (${ASAN_DIR}) =="
+cmake -B "${ASAN_DIR}" -S . -DCONGRID_SANITIZE=address,undefined >/dev/null
+cmake --build "${ASAN_DIR}" -j --target test_reliable test_chaos test_net test_obs
+for t in test_reliable test_chaos test_net test_obs; do
+  "./${ASAN_DIR}/tests/${t}"
 done
 
 echo "tier-1: OK"

@@ -87,6 +87,29 @@ std::string TrianaService::fresh_job_id() {
   return config_.peer_id + "#" + std::to_string(next_job_++);
 }
 
+void TrianaService::set_obs(obs::Registry& registry, obs::Tracer* tracer,
+                            std::string_view scope) {
+  const std::string s = scope.empty() ? config_.peer_id : std::string(scope);
+  obs_.deploys_received =
+      registry.counter(obs::scoped(s, "service.deploys_received"));
+  obs_.duplicate_deploys =
+      registry.counter(obs::scoped(s, "service.duplicate_deploys"));
+  obs_.jobs_started =
+      registry.counter(obs::scoped(s, "service.jobs_started"));
+  obs_.jobs_failed = registry.counter(obs::scoped(s, "service.jobs_failed"));
+  obs_.jobs_cancelled =
+      registry.counter(obs::scoped(s, "service.jobs_cancelled"));
+  obs_.modules_fetched =
+      registry.counter(obs::scoped(s, "service.modules_fetched"));
+  obs_.deploy_start_s =
+      registry.histogram(obs::scoped(s, "service.deploy_start_s"));
+  obs_.deploy_rtt_s =
+      registry.histogram(obs::scoped(s, "service.deploy_rtt_s"));
+  obs_.tracer = tracer;
+  transport_.set_obs(registry, tracer, s);
+  module_cache_.set_obs(registry, s);
+}
+
 // ---------------------------------------------------------------- client
 
 std::string TrianaService::deploy_remote(const net::Endpoint& target,
@@ -101,7 +124,16 @@ std::string TrianaService::deploy_remote(const net::Endpoint& target,
   m.iterations = iterations;
   m.graph_xml = write_taskgraph(fragment, /*pretty=*/false);
   m.checkpoint = std::move(checkpoint);
-  ack_handlers_[m.job_id] = std::move(on_ack);
+  const double sent_at = clock_();
+  const std::uint64_t span = obs_.tracer.begin_span(
+      config_.peer_id, "deploy.client", "job=" + m.job_id);
+  ack_handlers_[m.job_id] = [this, sent_at, span,
+                             h = std::move(on_ack)](const DeployAckMsg& a) {
+    obs_.deploy_rtt_s.observe(clock_() - sent_at);
+    obs_.tracer.end_span(span, config_.peer_id, "deploy.client",
+                         a.ok ? "acked" : "nacked");
+    if (h) h(a);
+  };
   transport_.send(target, encode(m));
   return m.job_id;
 }
@@ -140,6 +172,7 @@ std::string TrianaService::deploy_local(const TaskGraph& graph,
 
   PendingDeploy pending;
   pending.msg = std::move(m);
+  pending.received_at = clock_();
   // Local deploys never fetch: the owner trivially has its own code.
   const std::string job_id = pending.msg.job_id;
   if (auto error = start_job(std::move(pending))) {
@@ -172,6 +205,7 @@ bool TrianaService::cancel_local(const std::string& job_id) {
   auto it = jobs_.find(job_id);
   if (it == jobs_.end()) return false;
   ++stats_.jobs_cancelled;
+  obs_.jobs_cancelled.inc();
   finish_job(it->second, /*violated=*/false);
   teardown_job(it->second);
   jobs_.erase(it);
@@ -272,6 +306,7 @@ void TrianaService::send_ack(const net::Endpoint& to,
 
 void TrianaService::handle_deploy(const net::Endpoint& from, DeployMsg m) {
   ++stats_.deploys_received;
+  obs_.deploys_received.inc();
 
   // Idempotence guard behind the reliable layer's dedup window: a retried
   // deploy for a job this service already hosts is acknowledged again but
@@ -279,11 +314,13 @@ void TrianaService::handle_deploy(const net::Endpoint& from, DeployMsg m) {
   // dropped -- the in-flight deploy acks when it settles.
   if (jobs_.contains(m.job_id)) {
     ++stats_.duplicate_deploys;
+    obs_.duplicate_deploys.inc();
     send_ack(from, m.job_id, true, "");
     return;
   }
   if (pending_.contains(m.job_id)) {
     ++stats_.duplicate_deploys;
+    obs_.duplicate_deploys.inc();
     return;
   }
 
@@ -294,12 +331,16 @@ void TrianaService::handle_deploy(const net::Endpoint& from, DeployMsg m) {
   } catch (const std::exception& e) {
     send_ack(from, m.job_id, false, std::string("bad graph: ") + e.what());
     ++stats_.jobs_failed;
+    obs_.jobs_failed.inc();
     return;
   }
 
   PendingDeploy pending;
   pending.msg = std::move(m);
   pending.reply_to = from;
+  pending.received_at = clock_();
+  pending.span = obs_.tracer.begin_span(config_.peer_id, "deploy",
+                                        "job=" + pending.msg.job_id);
 
   // On-demand code download: every module type not already cached is
   // requested from the workflow's owner (paper 3.3).
@@ -319,6 +360,9 @@ void TrianaService::handle_deploy(const net::Endpoint& from, DeployMsg m) {
              "module not available and on-demand fetch is disabled: " +
                  missing.front());
     ++stats_.jobs_failed;
+    obs_.jobs_failed.inc();
+    obs_.tracer.end_span(pending.span, config_.peer_id, "deploy",
+                         "failed: fetch disabled");
     return;
   }
 
@@ -344,6 +388,7 @@ void TrianaService::handle_deploy(const net::Endpoint& from, DeployMsg m) {
                     p.error = "owner has no module '" + type + "'";
                   } else {
                     ++stats_.modules_fetched;
+                    obs_.modules_fetched.inc();
                     if (!module_cache_.insert(*a)) {
                       p.failed = true;
                       p.error = "module cache cannot hold '" + type + "'";
@@ -371,6 +416,9 @@ void TrianaService::maybe_start(const std::string& job_id) {
 void TrianaService::fail_deploy(PendingDeploy& pending,
                                 const std::string& error) {
   ++stats_.jobs_failed;
+  obs_.jobs_failed.inc();
+  obs_.tracer.end_span(pending.span, config_.peer_id, "deploy",
+                       "failed: " + error);
   send_ack(pending.reply_to, pending.msg.job_id, false, error);
 }
 
@@ -451,6 +499,9 @@ std::optional<std::string> TrianaService::start_job(PendingDeploy pending) {
   }
 
   ++stats_.jobs_started;
+  obs_.jobs_started.inc();
+  obs_.deploy_start_s.observe(clock_() - pending.received_at);
+  obs_.tracer.end_span(pending.span, config_.peer_id, "deploy", "started");
   send_ack(stored.reply_to, job_id, true, "");
 
   if (pending.msg.iterations > 0) {
@@ -466,7 +517,10 @@ void TrianaService::run_iterations(Job& job, std::uint64_t iterations) {
     const bool already_failed = job.failed;
     job.failed = true;
     if (job.error.empty()) job.error = e.what();
-    if (!already_failed) ++stats_.jobs_failed;
+    if (!already_failed) {
+      ++stats_.jobs_failed;
+      obs_.jobs_failed.inc();
+    }
     finish_job(job, /*violated=*/true);
   }
 }
@@ -485,6 +539,7 @@ void TrianaService::on_channel_send(const std::string& job_id,
     } catch (const sandbox::SandboxViolation&) {
       job.failed = true;
       ++stats_.jobs_failed;
+      obs_.jobs_failed.inc();
       finish_job(job, /*violated=*/true);
       // Rethrow so the engine run that produced this item stops too; the
       // caller (run_iterations or a pipe delivery) records the error.
@@ -512,6 +567,7 @@ void TrianaService::on_channel_send(const std::string& job_id,
       j.failed = true;
       j.error = "could not bind output channel '" + label + "'";
       ++stats_.jobs_failed;
+      obs_.jobs_failed.inc();
       finish_job(j, /*violated=*/false);
       return;
     }

@@ -25,6 +25,7 @@
 #include "core/engine/runtime.hpp"
 #include "core/service/protocol.hpp"
 #include "net/reliable.hpp"
+#include "obs/obs.hpp"
 #include "p2p/pipes.hpp"
 #include "repo/code_exchange.hpp"
 #include "repo/module_cache.hpp"
@@ -98,6 +99,14 @@ class TrianaService {
   /// benches.
   net::ReliableTransport& reliable() { return transport_; }
   const net::ReliableTransport& reliable() const { return transport_; }
+
+  /// Bind this peer's metrics/tracing in one call: "service.*" counters,
+  /// deploy latency histograms, plus the underlying reliable transport's
+  /// and module cache's instruments, all scoped under `scope` (default:
+  /// this peer's id). Deploys become trace spans (received -> started /
+  /// failed on the server; sent -> acked on the client).
+  void set_obs(obs::Registry& registry, obs::Tracer* tracer = nullptr,
+               std::string_view scope = {});
 
   /// Publish this peer's advert (capabilities) into the local cache and to
   /// the configured rendezvous, making the service discoverable.
@@ -190,6 +199,16 @@ class TrianaService {
     bool failed = false;
     std::string error;
     std::vector<std::string> fetched_modules;
+    double received_at = 0.0;  ///< for the deploy_start_s histogram
+    std::uint64_t span = 0;    ///< open "deploy" trace span
+  };
+
+  struct Obs {
+    obs::CounterRef deploys_received, duplicate_deploys, jobs_started,
+        jobs_failed, jobs_cancelled, modules_fetched;
+    obs::HistogramRef deploy_start_s;  ///< server: received -> started
+    obs::HistogramRef deploy_rtt_s;    ///< client: sent -> acked
+    obs::TracerRef tracer;
   };
 
   void handle_control(const net::Endpoint& from, serial::Frame frame);
@@ -229,6 +248,7 @@ class TrianaService {
   std::map<std::string, CheckpointHandler> ckpt_handlers_;
   std::uint64_t next_job_ = 1;
   ServiceStats stats_;
+  Obs obs_;
 };
 
 }  // namespace cg::core

@@ -33,6 +33,26 @@ const net::ReliableStats& RunSupervisor::reliable_stats() const {
   return controller_.home().reliable().stats();
 }
 
+void RunSupervisor::set_obs(obs::Registry& registry, obs::Tracer* tracer,
+                            std::string_view scope) {
+  obs_.checkpoints_taken =
+      registry.counter(obs::scoped(scope, "supervisor.checkpoints_taken"));
+  obs_.probes_sent =
+      registry.counter(obs::scoped(scope, "supervisor.probes_sent"));
+  obs_.probes_answered =
+      registry.counter(obs::scoped(scope, "supervisor.probes_answered"));
+  obs_.failures_detected =
+      registry.counter(obs::scoped(scope, "supervisor.failures_detected"));
+  obs_.recoveries =
+      registry.counter(obs::scoped(scope, "supervisor.recoveries"));
+  obs_.recoveries_failed =
+      registry.counter(obs::scoped(scope, "supervisor.recoveries_failed"));
+  obs_.recovery_s =
+      registry.histogram(obs::scoped(scope, "supervisor.recovery_s"));
+  obs_.tracer = tracer;
+  obs_.node = scope.empty() ? controller_.home().id() : std::string(scope);
+}
+
 void RunSupervisor::start() {
   auto self = shared_from_this();
   controller_.home().scheduler()(options_.checkpoint_period_s,
@@ -51,6 +71,7 @@ void RunSupervisor::checkpoint_round() {
         [self, i](const CheckpointDataMsg& m) {
           if (self->stopped_ || !m.ok) return;
           ++self->stats_.checkpoints_taken;
+          self->obs_.checkpoints_taken.inc();
           self->store_.put(fragment_key(i), m.state,
                            self->controller_.home().now());
         });
@@ -67,10 +88,12 @@ void RunSupervisor::probe_round() {
     ++missed_[i];
     if (missed_[i] > options_.max_missed) {
       ++stats_.failures_detected;
+      obs_.failures_detected.inc();
       recover(i);
       continue;
     }
     ++stats_.probes_sent;
+    obs_.probes_sent.inc();
     controller_.home().request_status(
         run_->workers[i], run_->remote_jobs[i],
         [self, i](const StatusMsg& m) {
@@ -78,6 +101,7 @@ void RunSupervisor::probe_round() {
           if (m.known && !m.failed) {
             self->missed_[i] = 0;
             ++self->stats_.probes_answered;
+            self->obs_.probes_answered.inc();
           }
         });
   }
@@ -92,8 +116,15 @@ void RunSupervisor::recover(std::size_t idx) {
     trust->record(dead.value, sandbox::TrustEvent::kFailure);
   }
 
+  const double detected_at = controller_.home().now();
+  const std::uint64_t span = obs_.tracer.begin_span(
+      obs_.node, "supervisor.recover",
+      "fragment=" + std::to_string(idx) + " dead=" + dead.value);
+
   if (spares_.empty()) {
     ++stats_.recoveries_failed;
+    obs_.recoveries_failed.inc();
+    obs_.tracer.end_span(span, obs_.node, "supervisor.recover", "no spare");
     return;  // stays recovering_: nothing left to probe or redeploy to
   }
   const net::Endpoint spare = spares_.back();
@@ -105,10 +136,13 @@ void RunSupervisor::recover(std::size_t idx) {
   auto self = shared_from_this();
   controller_.home().deploy_remote(
       spare, run_->fragments[idx], /*iterations=*/0,
-      [self, idx, spare](const DeployAckMsg& ack) {
+      [self, idx, spare, detected_at, span](const DeployAckMsg& ack) {
         if (self->stopped_) return;
         if (!ack.ok) {
           ++self->stats_.recoveries_failed;
+          self->obs_.recoveries_failed.inc();
+          self->obs_.tracer.end_span(span, self->obs_.node,
+                                     "supervisor.recover", "redeploy nacked");
           return;
         }
         self->run_->workers[idx] = spare;
@@ -127,6 +161,11 @@ void RunSupervisor::recover(std::size_t idx) {
         self->missed_[idx] = 0;
         self->recovering_[idx] = false;
         ++self->stats_.recoveries;
+        self->obs_.recoveries.inc();
+        self->obs_.recovery_s.observe(self->controller_.home().now() -
+                                      detected_at);
+        self->obs_.tracer.end_span(span, self->obs_.node,
+                                   "supervisor.recover", "recovered");
       },
       std::move(state));
 }

@@ -23,6 +23,7 @@
 
 #include "core/checkpoint/checkpoint.hpp"
 #include "core/service/controller.hpp"
+#include "obs/obs.hpp"
 
 namespace cg::core {
 
@@ -51,6 +52,12 @@ class RunSupervisor : public std::enable_shared_from_this<RunSupervisor> {
                 std::vector<net::Endpoint> spares,
                 SupervisorOptions options = {});
 
+  /// Bind metrics/tracing: "<scope>.supervisor.*" counters plus a
+  /// failure-detection -> recovery-complete latency histogram; each
+  /// recovery is a trace span. Call before start().
+  void set_obs(obs::Registry& registry, obs::Tracer* tracer = nullptr,
+               std::string_view scope = {});
+
   /// Begin the periodic loops. Call once.
   void start();
 
@@ -66,6 +73,14 @@ class RunSupervisor : public std::enable_shared_from_this<RunSupervisor> {
   const net::ReliableStats& reliable_stats() const;
 
  private:
+  struct Obs {
+    obs::CounterRef checkpoints_taken, probes_sent, probes_answered,
+        failures_detected, recoveries, recoveries_failed;
+    obs::HistogramRef recovery_s;  ///< detection -> recovery ack
+    obs::TracerRef tracer;
+    std::string node;
+  };
+
   void checkpoint_round();
   void probe_round();
   void recover(std::size_t idx);
@@ -79,6 +94,7 @@ class RunSupervisor : public std::enable_shared_from_this<RunSupervisor> {
   std::vector<bool> recovering_;  ///< guards double recovery per fragment
   bool stopped_ = false;
   SupervisorStats stats_;
+  Obs obs_;
 };
 
 }  // namespace cg::core

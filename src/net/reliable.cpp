@@ -17,6 +17,29 @@ ReliableTransport::ReliableTransport(Transport& inner, Clock clock,
   });
 }
 
+void ReliableTransport::set_obs(obs::Registry& registry, obs::Tracer* tracer,
+                                std::string_view scope) {
+  obs_.sent = registry.counter(obs::scoped(scope, "reliable.sent"));
+  obs_.retransmits =
+      registry.counter(obs::scoped(scope, "reliable.retransmits"));
+  obs_.acked = registry.counter(obs::scoped(scope, "reliable.acked"));
+  obs_.expired = registry.counter(obs::scoped(scope, "reliable.expired"));
+  obs_.delivered = registry.counter(obs::scoped(scope, "reliable.delivered"));
+  obs_.dedup_hits =
+      registry.counter(obs::scoped(scope, "reliable.dedup_hits"));
+  obs_.acks_sent = registry.counter(obs::scoped(scope, "reliable.acks_sent"));
+  obs_.passthrough_sent =
+      registry.counter(obs::scoped(scope, "reliable.passthrough_sent"));
+  obs_.passthrough_delivered =
+      registry.counter(obs::scoped(scope, "reliable.passthrough_delivered"));
+  obs_.ack_latency_s =
+      registry.histogram(obs::scoped(scope, "reliable.ack_latency_s"));
+  obs_.backoff_wait_s =
+      registry.histogram(obs::scoped(scope, "reliable.backoff_wait_s"));
+  obs_.tracer = tracer;
+  obs_.node = scope.empty() ? inner_.local().value : std::string(scope);
+}
+
 bool ReliableTransport::is_reliable_type(serial::FrameType t) const {
   // Never re-wrap the layer's own traffic, whatever the policy says.
   if (t == serial::FrameType::kReliable || t == serial::FrameType::kAck) {
@@ -35,6 +58,7 @@ double ReliableTransport::jittered(double delay_s) {
 void ReliableTransport::send(const Endpoint& to, serial::Frame frame) {
   if (!is_reliable_type(frame.type)) {
     ++stats_.passthrough_sent;
+    obs_.passthrough_sent.inc();
     inner_.send(to, std::move(frame));
     return;
   }
@@ -46,15 +70,22 @@ void ReliableTransport::send(const Endpoint& to, serial::Frame frame) {
   p.original = std::move(frame);
   p.first_sent_at = clock_();
   p.rto_s = config_.rto_initial_s;
+  if (obs_.tracer) {
+    p.span = obs_.tracer.begin_span(obs_.node, "reliable.msg",
+                                    "id=" + std::to_string(id) + " to=" +
+                                        to.value);
+  }
 
   inner_.send(to, p.wire);
   ++stats_.sent;
+  obs_.sent.inc();
   const double first_retry = jittered(p.rto_s);
   pending_.emplace(id, std::move(p));
   schedule_retry(id, first_retry);
 }
 
 void ReliableTransport::schedule_retry(std::uint64_t id, double delay_s) {
+  obs_.backoff_wait_s.observe(delay_s);
   scheduler_(delay_s, [this, id] { on_retry_timer(id); });
 }
 
@@ -67,6 +98,8 @@ void ReliableTransport::on_retry_timer(std::uint64_t id) {
       clock_() - p.first_sent_at >= config_.deadline_s;
   if (over_deadline || p.retries >= config_.max_retries) {
     ++stats_.expired;
+    obs_.expired.inc();
+    obs_.tracer.end_span(p.span, obs_.node, "reliable.msg", "expired");
     // Move out before erasing: the drop handler may send (and re-enter).
     Endpoint to = std::move(p.to);
     serial::Frame original = std::move(p.original);
@@ -77,6 +110,12 @@ void ReliableTransport::on_retry_timer(std::uint64_t id) {
 
   ++p.retries;
   ++stats_.retransmits;
+  obs_.retransmits.inc();
+  if (obs_.tracer) {
+    obs_.tracer.event(obs_.node, "reliable.retx",
+                      "id=" + std::to_string(id) + " try=" +
+                          std::to_string(p.retries));
+  }
   inner_.send(p.to, p.wire);
   p.rto_s = std::min(p.rto_s * config_.backoff, config_.rto_max_s);
   schedule_retry(id, jittered(p.rto_s));
@@ -85,12 +124,20 @@ void ReliableTransport::on_retry_timer(std::uint64_t id) {
 void ReliableTransport::on_frame(const Endpoint& from, serial::Frame frame) {
   if (frame.type == serial::FrameType::kAck) {
     const std::uint64_t id = serial::decode_ack(frame);
-    if (pending_.erase(id) > 0) ++stats_.acked;
+    if (auto it = pending_.find(id); it != pending_.end()) {
+      ++stats_.acked;
+      obs_.acked.inc();
+      obs_.ack_latency_s.observe(clock_() - it->second.first_sent_at);
+      obs_.tracer.end_span(it->second.span, obs_.node, "reliable.msg",
+                           "acked");
+      pending_.erase(it);
+    }
     return;  // duplicate ack for an already-settled message: ignore
   }
 
   if (frame.type != serial::FrameType::kReliable) {
     ++stats_.passthrough_delivered;
+    obs_.passthrough_delivered.inc();
     if (handler_) handler_(from, std::move(frame));
     return;
   }
@@ -101,10 +148,12 @@ void ReliableTransport::on_frame(const Endpoint& from, serial::Frame frame) {
   // (or the message itself) was lost.
   inner_.send(from, serial::encode_ack(env.msg_id));
   ++stats_.acks_sent;
+  obs_.acks_sent.inc();
 
   SeenWindow& win = seen_[from.value];
   if (win.ids.contains(env.msg_id)) {
     ++stats_.duplicates_suppressed;
+    obs_.dedup_hits.inc();
     return;
   }
   win.ids.insert(env.msg_id);
@@ -115,6 +164,7 @@ void ReliableTransport::on_frame(const Endpoint& from, serial::Frame frame) {
   }
 
   ++stats_.delivered;
+  obs_.delivered.inc();
   if (handler_) handler_(from, std::move(env.inner));
 }
 

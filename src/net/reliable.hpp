@@ -36,6 +36,7 @@
 #include "dsp/rng.hpp"
 #include "net/time.hpp"
 #include "net/transport.hpp"
+#include "obs/obs.hpp"
 
 namespace cg::net {
 
@@ -98,6 +99,13 @@ class ReliableTransport final : public Transport {
 
   void set_drop_handler(DropHandler h) { on_drop_ = std::move(h); }
 
+  /// Bind metrics/tracing: "<scope>.reliable.*" counters, ack-latency and
+  /// backoff-wait histograms, plus a trace span per reliable message
+  /// (begin at first send, end at ack or expiry). `scope` doubles as the
+  /// tracer's node id -- pass the peer id.
+  void set_obs(obs::Registry& registry, obs::Tracer* tracer = nullptr,
+               std::string_view scope = {});
+
   const ReliableStats& stats() const { return stats_; }
   const ReliableConfig& config() const { return config_; }
   /// Messages sent but neither acked nor expired yet.
@@ -112,6 +120,15 @@ class ReliableTransport final : public Transport {
     double first_sent_at = 0.0;
     double rto_s = 0.0;
     int retries = 0;
+    std::uint64_t span = 0;  ///< open trace span (0 when untraced)
+  };
+
+  struct Obs {
+    obs::CounterRef sent, retransmits, acked, expired, delivered, dedup_hits,
+        acks_sent, passthrough_sent, passthrough_delivered;
+    obs::HistogramRef ack_latency_s, backoff_wait_s;
+    obs::TracerRef tracer;
+    std::string node;  ///< tracer scope
   };
 
   /// Per-sender window of recently seen message ids (set + FIFO eviction).
@@ -131,6 +148,7 @@ class ReliableTransport final : public Transport {
   Scheduler scheduler_;
   ReliableConfig config_;
   dsp::Rng rng_;
+  Obs obs_;
   FrameHandler handler_;
   DropHandler on_drop_;
   std::map<std::uint64_t, Pending> pending_;

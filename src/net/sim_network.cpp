@@ -23,7 +23,38 @@ SimTransport& SimNetwork::add_node() {
   return *nodes_.back();
 }
 
-void SimNetwork::set_up(std::uint32_t id, bool up) { up_.at(id) = up; }
+void SimNetwork::set_up(std::uint32_t id, bool up) {
+  if (up_.at(id) != up) {
+    (up ? obs_.node_up : obs_.node_down).inc();
+    if (obs_.tracer) {
+      obs_.tracer.event("sim:" + std::to_string(id),
+                        up ? "net.node_up" : "net.node_down");
+    }
+  }
+  up_.at(id) = up;
+}
+
+void SimNetwork::set_obs(obs::Registry& registry, obs::Tracer* tracer,
+                         std::string_view scope) {
+  obs_.frames_sent = registry.counter(obs::scoped(scope, "net.frames_sent"));
+  obs_.frames_delivered =
+      registry.counter(obs::scoped(scope, "net.frames_delivered"));
+  obs_.frames_dropped =
+      registry.counter(obs::scoped(scope, "net.frames_dropped"));
+  obs_.frames_to_down =
+      registry.counter(obs::scoped(scope, "net.frames_to_down_node"));
+  obs_.frames_duplicated =
+      registry.counter(obs::scoped(scope, "net.frames_duplicated"));
+  obs_.frames_corrupt_rejected =
+      registry.counter(obs::scoped(scope, "net.frames_corrupt_rejected"));
+  obs_.bytes_sent = registry.counter(obs::scoped(scope, "net.bytes_sent"));
+  obs_.node_up = registry.counter(obs::scoped(scope, "net.node_up"));
+  obs_.node_down = registry.counter(obs::scoped(scope, "net.node_down"));
+  obs_.link_delay_s =
+      registry.histogram(obs::scoped(scope, "net.link_delay_s"));
+  obs_.tracer = tracer;
+  if (tracer) tracer->set_clock([this] { return now_; });
+}
 
 void SimNetwork::schedule(double delay_s, std::function<void()> fn) {
   if (delay_s < 0.0) throw std::invalid_argument("schedule: negative delay");
@@ -48,19 +79,23 @@ void SimNetwork::submit(std::uint32_t from, const Endpoint& to,
   }
 
   ++stats_.messages_sent;
+  obs_.frames_sent.inc();
   const std::size_t wire_bytes = serial::kFrameHeaderSize +
                                  frame.payload.size() +
                                  serial::kFrameTrailerSize;
   stats_.bytes_sent += wire_bytes;
+  obs_.bytes_sent.inc(wire_bytes);
 
   // A sender that is itself down cannot transmit.
   if (!up_.at(from)) {
     ++stats_.messages_to_down_node;
+    obs_.frames_to_down.inc();
     return;
   }
 
   if (params_.loss_probability > 0.0 && rng_.chance(params_.loss_probability)) {
     ++stats_.messages_dropped;
+    obs_.frames_dropped.inc();
     return;
   }
 
@@ -79,6 +114,7 @@ void SimNetwork::submit(std::uint32_t from, const Endpoint& to,
     action = fault_fn_(from, dst, frame);
     if (action.drop) {
       ++stats_.messages_dropped;
+      obs_.frames_dropped.inc();
       return;
     }
     if (action.corrupt && !frame.payload.empty()) {
@@ -89,7 +125,10 @@ void SimNetwork::submit(std::uint32_t from, const Endpoint& to,
   }
 
   for (int copy = 0; copy < 1 + action.duplicates; ++copy) {
-    if (copy > 0) ++stats_.messages_duplicated;
+    if (copy > 0) {
+      ++stats_.messages_duplicated;
+      obs_.frames_duplicated.inc();
+    }
     deliver_copy(from, dst, frame, action.extra_delay_s, sent_crc,
                  verify_crc);
   }
@@ -108,19 +147,27 @@ void SimNetwork::deliver_copy(std::uint32_t from, std::uint32_t dst,
     latency += static_cast<double>(wire_bytes) / params_.bandwidth_Bps;
   }
   latency += extra_delay_s;
+  obs_.link_delay_s.observe(latency);
 
   push_event(now_ + latency,
              [this, from, dst, verify_crc, sent_crc,
               f = std::move(frame)]() mutable {
                if (!up_.at(dst)) {
                  ++stats_.messages_to_down_node;
+                 obs_.frames_to_down.inc();
                  return;
                }
                if (verify_crc && serial::crc32(f.payload) != sent_crc) {
                  ++stats_.messages_corrupt_rejected;
+                 obs_.frames_corrupt_rejected.inc();
+                 if (obs_.tracer) {
+                   obs_.tracer.event("sim:" + std::to_string(dst),
+                                     "net.corrupt_reject");
+                 }
                  return;
                }
                ++stats_.messages_delivered;
+               obs_.frames_delivered.inc();
                auto& node = *nodes_.at(dst);
                if (node.handler_) {
                  node.handler_(sim_endpoint(from), std::move(f));

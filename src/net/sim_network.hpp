@@ -25,6 +25,7 @@
 
 #include "dsp/rng.hpp"
 #include "net/transport.hpp"
+#include "obs/obs.hpp"
 
 namespace cg::net {
 
@@ -148,6 +149,14 @@ class SimNetwork {
       std::uint32_t from, std::uint32_t to, const serial::Frame& frame)>;
   void set_fault_fn(FaultFn fn) { fault_fn_ = std::move(fn); }
 
+  /// Bind metrics/tracing (obs/obs.hpp). Counters land under
+  /// "<scope>.net.*" plus a "net.link_delay_s" latency histogram; node
+  /// up/down transitions become per-node trace events. When a tracer is
+  /// given its clock is pointed at this simulator's virtual time, so every
+  /// event in the run is stamped in sim seconds.
+  void set_obs(obs::Registry& registry, obs::Tracer* tracer = nullptr,
+               std::string_view scope = {});
+
  private:
   friend class SimTransport;
 
@@ -169,8 +178,17 @@ class SimNetwork {
                     double extra_delay_s, std::uint32_t sent_crc,
                     bool verify_crc);
 
+  struct Obs {
+    obs::CounterRef frames_sent, frames_delivered, frames_dropped,
+        frames_to_down, frames_duplicated, frames_corrupt_rejected,
+        bytes_sent, node_up, node_down;
+    obs::HistogramRef link_delay_s;
+    obs::TracerRef tracer;
+  };
+
   LinkParams params_;
   dsp::Rng rng_;
+  Obs obs_;
   double now_ = 0.0;
   std::uint64_t next_seq_ = 0;
   std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;

@@ -1,0 +1,216 @@
+#include "obs/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+namespace cg::obs {
+
+void append_json_escaped(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+std::string json_quote(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out += '"';
+  append_json_escaped(out, s);
+  out += '"';
+  return out;
+}
+
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "0";
+  char buf[40];
+  // %.17g round-trips every double; trim to something readable when the
+  // short form is exact.
+  std::snprintf(buf, sizeof buf, "%.12g", v);
+  return buf;
+}
+
+namespace {
+
+/// Recursive-descent JSON parser used only for validation.
+struct Parser {
+  std::string_view s;
+  std::size_t i = 0;
+  int depth = 0;
+  static constexpr int kMaxDepth = 128;
+
+  bool at_end() const { return i >= s.size(); }
+  char peek() const { return s[i]; }
+
+  void skip_ws() {
+    while (!at_end() &&
+           (s[i] == ' ' || s[i] == '\t' || s[i] == '\n' || s[i] == '\r')) {
+      ++i;
+    }
+  }
+
+  bool literal(std::string_view word) {
+    if (s.substr(i, word.size()) != word) return false;
+    i += word.size();
+    return true;
+  }
+
+  bool string() {
+    if (at_end() || peek() != '"') return false;
+    ++i;
+    while (!at_end()) {
+      const char c = s[i++];
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20) return false;
+      if (c == '\\') {
+        if (at_end()) return false;
+        const char e = s[i++];
+        if (e == 'u') {
+          for (int k = 0; k < 4; ++k) {
+            if (at_end() || !std::isxdigit(static_cast<unsigned char>(s[i]))) {
+              return false;
+            }
+            ++i;
+          }
+        } else if (e != '"' && e != '\\' && e != '/' && e != 'b' &&
+                   e != 'f' && e != 'n' && e != 'r' && e != 't') {
+          return false;
+        }
+      }
+    }
+    return false;  // unterminated
+  }
+
+  bool digits() {
+    if (at_end() || !std::isdigit(static_cast<unsigned char>(peek()))) {
+      return false;
+    }
+    while (!at_end() && std::isdigit(static_cast<unsigned char>(peek()))) ++i;
+    return true;
+  }
+
+  bool number() {
+    if (!at_end() && peek() == '-') ++i;
+    if (at_end()) return false;
+    if (peek() == '0') {
+      ++i;
+    } else if (!digits()) {
+      return false;
+    }
+    if (!at_end() && peek() == '.') {
+      ++i;
+      if (!digits()) return false;
+    }
+    if (!at_end() && (peek() == 'e' || peek() == 'E')) {
+      ++i;
+      if (!at_end() && (peek() == '+' || peek() == '-')) ++i;
+      if (!digits()) return false;
+    }
+    return true;
+  }
+
+  bool value() {
+    if (++depth > kMaxDepth) return false;
+    skip_ws();
+    if (at_end()) return false;
+    bool ok = false;
+    switch (peek()) {
+      case '{':
+        ok = object();
+        break;
+      case '[':
+        ok = array();
+        break;
+      case '"':
+        ok = string();
+        break;
+      case 't':
+        ok = literal("true");
+        break;
+      case 'f':
+        ok = literal("false");
+        break;
+      case 'n':
+        ok = literal("null");
+        break;
+      default:
+        ok = number();
+    }
+    --depth;
+    return ok;
+  }
+
+  bool object() {
+    ++i;  // '{'
+    skip_ws();
+    if (!at_end() && peek() == '}') {
+      ++i;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (at_end() || s[i++] != ':') return false;
+      if (!value()) return false;
+      skip_ws();
+      if (at_end()) return false;
+      const char c = s[i++];
+      if (c == '}') return true;
+      if (c != ',') return false;
+    }
+  }
+
+  bool array() {
+    ++i;  // '['
+    skip_ws();
+    if (!at_end() && peek() == ']') {
+      ++i;
+      return true;
+    }
+    while (true) {
+      if (!value()) return false;
+      skip_ws();
+      if (at_end()) return false;
+      const char c = s[i++];
+      if (c == ']') return true;
+      if (c != ',') return false;
+    }
+  }
+};
+
+}  // namespace
+
+bool json_valid(std::string_view text) {
+  Parser p{text};
+  if (!p.value()) return false;
+  p.skip_ws();
+  return p.at_end();
+}
+
+}  // namespace cg::obs

@@ -1,0 +1,33 @@
+// ConGrid -- tiny JSON utilities for the observability layer.
+//
+// The obs layer exports metrics snapshots and trace events as JSON so CI
+// and analysis scripts can consume bench output without scraping printf
+// tables. We need exactly three things -- string escaping, locale-proof
+// number formatting, and a validity check the tests and the CI bench-smoke
+// job can gate on -- so this is hand-rolled rather than a dependency (the
+// container policy forbids new third-party packages anyway).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace cg::obs {
+
+/// Append `s` to `out` as JSON string *contents* (no surrounding quotes),
+/// escaping quotes, backslashes and control characters.
+void append_json_escaped(std::string& out, std::string_view s);
+
+/// `s` as a complete JSON string token, quotes included.
+std::string json_quote(std::string_view s);
+
+/// `v` as a JSON number token. Non-finite values (inf/nan have no JSON
+/// spelling) become 0 so exports stay parseable.
+std::string json_number(double v);
+
+/// Strict validity check: true iff `text` is one complete JSON value
+/// (object, array, string, number, bool or null) with nothing but
+/// whitespace around it. A real recursive-descent parse, not a heuristic:
+/// the CI bench-smoke job fails on anything this rejects.
+bool json_valid(std::string_view text);
+
+}  // namespace cg::obs

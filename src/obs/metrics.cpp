@@ -1,0 +1,241 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+
+#include "obs/json.hpp"
+
+namespace cg::obs {
+
+std::string scoped(std::string_view scope, std::string_view name) {
+  if (scope.empty()) return std::string(name);
+  std::string out;
+  out.reserve(scope.size() + 1 + name.size());
+  out.append(scope);
+  out += '.';
+  out.append(name);
+  return out;
+}
+
+double HistogramData::quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count);
+  std::uint64_t cum = 0;
+  for (std::size_t b = 0; b < counts.size(); ++b) {
+    const std::uint64_t in_bucket = counts[b];
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(cum + in_bucket) >= target) {
+      // Interpolate within [lo, hi); the overflow bucket is clamped to max.
+      const double lo = b == 0 ? std::min(min, bounds.empty() ? min : bounds[0])
+                               : bounds[b - 1];
+      const double hi = b < bounds.size() ? bounds[b] : max;
+      if (hi <= lo) return hi;
+      const double frac =
+          (target - static_cast<double>(cum)) / static_cast<double>(in_bucket);
+      return lo + std::clamp(frac, 0.0, 1.0) * (hi - lo);
+    }
+    cum += in_bucket;
+  }
+  return max;
+}
+
+const std::vector<double>& Histogram::default_latency_bounds() {
+  static const std::vector<double> kBounds = {
+      0.001, 0.002, 0.005, 0.01, 0.02, 0.05, 0.1,
+      0.2,   0.5,   1.0,   2.0,  5.0,  10.0, 30.0, 60.0};
+  return kBounds;
+}
+
+#if CONGRID_OBS_ENABLED
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(bounds.empty() ? default_latency_bounds() : std::move(bounds)),
+      counts_(bounds_.size() + 1) {}
+
+void Histogram::observe(double v) noexcept {
+  const auto it = std::upper_bound(bounds_.begin(), bounds_.end(), v);
+  counts_[static_cast<std::size_t>(it - bounds_.begin())].fetch_add(
+      1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + v,
+                                     std::memory_order_relaxed)) {
+  }
+  cur = min_.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !min_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+  cur = max_.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+std::uint64_t Histogram::count() const noexcept {
+  return count_.load(std::memory_order_relaxed);
+}
+
+HistogramData Histogram::snapshot() const {
+  HistogramData d;
+  d.bounds = bounds_;
+  d.counts.reserve(counts_.size());
+  for (const auto& c : counts_) {
+    d.counts.push_back(c.load(std::memory_order_relaxed));
+  }
+  d.count = count();
+  d.sum = sum_.load(std::memory_order_relaxed);
+  d.min = d.count ? min_.load(std::memory_order_relaxed) : 0.0;
+  d.max = d.count ? max_.load(std::memory_order_relaxed) : 0.0;
+  return d;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  std::lock_guard lock(mu_);
+  return counters_[name];
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  std::lock_guard lock(mu_);
+  return gauges_[name];
+}
+
+Histogram& Registry::histogram(const std::string& name,
+                               std::vector<double> bounds) {
+  std::lock_guard lock(mu_);
+  return histograms_.try_emplace(name, std::move(bounds)).first->second;
+}
+
+MetricsSnapshot Registry::snapshot() const {
+  MetricsSnapshot s;
+  std::lock_guard lock(mu_);
+  for (const auto& [name, c] : counters_) s.counters[name] = c.value();
+  for (const auto& [name, g] : gauges_) s.gauges[name] = g.value();
+  for (const auto& [name, h] : histograms_) s.histograms[name] = h.snapshot();
+  return s;
+}
+
+#else  // CONGRID_OBS_ENABLED == 0
+
+Histogram::Histogram(std::vector<double>) {}
+void Histogram::observe(double) noexcept {}
+std::uint64_t Histogram::count() const noexcept { return 0; }
+HistogramData Histogram::snapshot() const { return {}; }
+
+namespace {
+Counter g_nop_counter;
+Gauge g_nop_gauge;
+Histogram g_nop_histogram;
+}  // namespace
+
+Counter& Registry::counter(const std::string&) { return g_nop_counter; }
+Gauge& Registry::gauge(const std::string&) { return g_nop_gauge; }
+Histogram& Registry::histogram(const std::string&, std::vector<double>) {
+  return g_nop_histogram;
+}
+MetricsSnapshot Registry::snapshot() const { return {}; }
+
+#endif  // CONGRID_OBS_ENABLED
+
+std::uint64_t MetricsSnapshot::counter(const std::string& name) const {
+  const auto it = counters.find(name);
+  return it == counters.end() ? 0 : it->second;
+}
+
+double MetricsSnapshot::gauge(const std::string& name) const {
+  const auto it = gauges.find(name);
+  return it == gauges.end() ? 0.0 : it->second;
+}
+
+const HistogramData* MetricsSnapshot::histogram(
+    const std::string& name) const {
+  const auto it = histograms.find(name);
+  return it == histograms.end() ? nullptr : &it->second;
+}
+
+std::string MetricsSnapshot::to_json(bool pretty) const {
+  const char* nl = pretty ? "\n" : "";
+  const char* ind = pretty ? "  " : "";
+  const char* ind2 = pretty ? "    " : "";
+  std::string out;
+  out += '{';
+  out += nl;
+
+  const auto emit_group = [&](const char* title, auto&& body, bool last) {
+    out += ind;
+    out += json_quote(title);
+    out += pretty ? ": {" : ":{";
+    out += nl;
+    body();
+    out += ind;
+    out += '}';
+    if (!last) out += ',';
+    out += nl;
+  };
+
+  emit_group(
+      "counters",
+      [&] {
+        std::size_t n = 0;
+        for (const auto& [name, v] : counters) {
+          out += ind2;
+          out += json_quote(name);
+          out += pretty ? ": " : ":";
+          out += std::to_string(v);
+          if (++n < counters.size()) out += ',';
+          out += nl;
+        }
+      },
+      false);
+
+  emit_group(
+      "gauges",
+      [&] {
+        std::size_t n = 0;
+        for (const auto& [name, v] : gauges) {
+          out += ind2;
+          out += json_quote(name);
+          out += pretty ? ": " : ":";
+          out += json_number(v);
+          if (++n < gauges.size()) out += ',';
+          out += nl;
+        }
+      },
+      false);
+
+  emit_group(
+      "histograms",
+      [&] {
+        std::size_t n = 0;
+        for (const auto& [name, h] : histograms) {
+          out += ind2;
+          out += json_quote(name);
+          out += pretty ? ": " : ":";
+          out += "{\"count\":" + std::to_string(h.count);
+          out += ",\"sum\":" + json_number(h.sum);
+          out += ",\"min\":" + json_number(h.min);
+          out += ",\"max\":" + json_number(h.max);
+          out += ",\"mean\":" + json_number(h.mean());
+          out += ",\"p50\":" + json_number(h.quantile(0.5));
+          out += ",\"p99\":" + json_number(h.quantile(0.99));
+          out += ",\"bounds\":[";
+          for (std::size_t b = 0; b < h.bounds.size(); ++b) {
+            if (b) out += ',';
+            out += json_number(h.bounds[b]);
+          }
+          out += "],\"counts\":[";
+          for (std::size_t b = 0; b < h.counts.size(); ++b) {
+            if (b) out += ',';
+            out += std::to_string(h.counts[b]);
+          }
+          out += "]}";
+          if (++n < histograms.size()) out += ',';
+          out += nl;
+        }
+      },
+      true);
+
+  out += '}';
+  return out;
+}
+
+}  // namespace cg::obs

@@ -1,0 +1,232 @@
+// ConGrid -- lock-cheap metrics: counters, gauges, fixed-bucket histograms.
+//
+// The control plane made reliable in PR 2 was still a black box: no way to
+// see retransmit rates, deploy latencies or cache hit ratios without a
+// debugger. This registry gives every subsystem named instruments that are
+//
+//   * cheap on the hot path: each instrument is plain atomic storage, no
+//     lock is ever taken after registration (the registry's mutex guards
+//     only name -> instrument resolution and snapshotting);
+//   * stable: instruments live as long as the registry, so components
+//     resolve them once in set_obs() and keep raw pointers;
+//   * exportable: Registry::snapshot() returns a MetricsSnapshot that
+//     serialises to JSON -- the BENCH_*.json artifacts CI uploads and
+//     gates on.
+//
+// Compiled-out mode: configuring with -DCONGRID_OBS=OFF defines
+// CONGRID_OBS_ENABLED=0 and every method below becomes an empty inline --
+// call sites stay, costs vanish, and snapshots are empty but still valid
+// JSON. Code must therefore never branch on metric values for behaviour.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#ifndef CONGRID_OBS_ENABLED
+#define CONGRID_OBS_ENABLED 1
+#endif
+
+namespace cg::obs {
+
+/// Monotonic event count. Relaxed atomics: per-metric totals need no
+/// ordering against anything else.
+class Counter {
+ public:
+#if CONGRID_OBS_ENABLED
+  void inc(std::uint64_t n = 1) noexcept {
+    v_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+#else
+  void inc(std::uint64_t = 1) noexcept {}
+  std::uint64_t value() const noexcept { return 0; }
+#endif
+};
+
+/// Point-in-time level (bytes resident, peers up, queue depth).
+class Gauge {
+ public:
+#if CONGRID_OBS_ENABLED
+  void set(double v) noexcept { v_.store(v, std::memory_order_relaxed); }
+  void add(double d) noexcept {
+    double cur = v_.load(std::memory_order_relaxed);
+    while (!v_.compare_exchange_weak(cur, cur + d,
+                                     std::memory_order_relaxed)) {
+    }
+  }
+  double value() const noexcept { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+#else
+  void set(double) noexcept {}
+  void add(double) noexcept {}
+  double value() const noexcept { return 0.0; }
+#endif
+};
+
+/// One histogram's exported state; quantiles are estimated by linear
+/// interpolation inside the winning bucket.
+struct HistogramData {
+  std::vector<double> bounds;          ///< upper bounds, ascending
+  std::vector<std::uint64_t> counts;   ///< bounds.size() + 1 (overflow last)
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;  ///< 0 when count == 0
+  double max = 0.0;
+
+  double mean() const { return count ? sum / static_cast<double>(count) : 0.0; }
+  /// q in [0,1]; returns 0 when empty.
+  double quantile(double q) const;
+};
+
+/// Fixed-bucket histogram: one atomic increment + one atomic add per
+/// observation, bucket found by branch-free-ish linear scan (bucket counts
+/// are small, typically <= 16).
+class Histogram {
+ public:
+  /// `bounds` are ascending upper bounds; values above the last bound land
+  /// in an implicit overflow bucket. Empty bounds get default_latency_bounds.
+  explicit Histogram(std::vector<double> bounds = {});
+
+  void observe(double v) noexcept;
+  HistogramData snapshot() const;
+  std::uint64_t count() const noexcept;
+
+  /// Exponential seconds scale (1 ms .. 60 s) suited to simulated link and
+  /// control-plane latencies.
+  static const std::vector<double>& default_latency_bounds();
+
+#if CONGRID_OBS_ENABLED
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<std::uint64_t>> counts_;  ///< bounds_.size() + 1
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{std::numeric_limits<double>::infinity()};
+  std::atomic<double> max_{-std::numeric_limits<double>::infinity()};
+#endif
+};
+
+/// Null-safe instrument handles. Components hold these (default state:
+/// unbound, every call a no-op) and bind them in set_obs(); with
+/// CONGRID_OBS off they carry no pointer at all and compile to nothing.
+class CounterRef {
+ public:
+  CounterRef() = default;
+#if CONGRID_OBS_ENABLED
+  /*implicit*/ CounterRef(Counter& c) : c_(&c) {}
+  void inc(std::uint64_t n = 1) const noexcept {
+    if (c_) c_->inc(n);
+  }
+  std::uint64_t value() const noexcept { return c_ ? c_->value() : 0; }
+
+ private:
+  Counter* c_ = nullptr;
+#else
+  /*implicit*/ CounterRef(Counter&) {}
+  void inc(std::uint64_t = 1) const noexcept {}
+  std::uint64_t value() const noexcept { return 0; }
+#endif
+};
+
+class GaugeRef {
+ public:
+  GaugeRef() = default;
+#if CONGRID_OBS_ENABLED
+  /*implicit*/ GaugeRef(Gauge& g) : g_(&g) {}
+  void set(double v) const noexcept {
+    if (g_) g_->set(v);
+  }
+  void add(double d) const noexcept {
+    if (g_) g_->add(d);
+  }
+
+ private:
+  Gauge* g_ = nullptr;
+#else
+  /*implicit*/ GaugeRef(Gauge&) {}
+  void set(double) const noexcept {}
+  void add(double) const noexcept {}
+#endif
+};
+
+class HistogramRef {
+ public:
+  HistogramRef() = default;
+#if CONGRID_OBS_ENABLED
+  /*implicit*/ HistogramRef(Histogram& h) : h_(&h) {}
+  void observe(double v) const noexcept {
+    if (h_) h_->observe(v);
+  }
+
+ private:
+  Histogram* h_ = nullptr;
+#else
+  /*implicit*/ HistogramRef(Histogram&) {}
+  void observe(double) const noexcept {}
+#endif
+};
+
+/// Everything a registry knew at one instant; the unit benches dump as
+/// BENCH_*.json. Lookup helpers return zero/null for unknown names so test
+/// code reads naturally.
+struct MetricsSnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramData> histograms;
+
+  std::uint64_t counter(const std::string& name) const;
+  double gauge(const std::string& name) const;
+  const HistogramData* histogram(const std::string& name) const;
+
+  /// One JSON object: {"counters":{...},"gauges":{...},"histograms":{...}}.
+  /// Always valid JSON, including from an empty / OBS-off snapshot.
+  std::string to_json(bool pretty = true) const;
+};
+
+/// Name -> instrument table. Registration and snapshot take a mutex;
+/// resolved instruments are updated lock-free. Same name + kind always
+/// yields the same instrument, so independent components may share one
+/// (e.g. two transports aggregating into unscoped "reliable.retransmits").
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// `bounds` applies only on first registration of `name`.
+  Histogram& histogram(const std::string& name,
+                       std::vector<double> bounds = {});
+
+  MetricsSnapshot snapshot() const;
+
+#if CONGRID_OBS_ENABLED
+ private:
+  mutable std::mutex mu_;
+  // Node-based maps: element addresses are stable for the registry's life.
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+#endif
+};
+
+/// "scope.name", or just "name" when scope is empty. Per-node metric
+/// scoping: services pass their peer id, benches a sweep-point label.
+std::string scoped(std::string_view scope, std::string_view name);
+
+}  // namespace cg::obs

@@ -1,0 +1,134 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+
+#include "obs/json.hpp"
+
+namespace cg::obs {
+
+#if CONGRID_OBS_ENABLED
+
+Tracer::Tracer(std::size_t capacity) : cap_(std::max<std::size_t>(1, capacity)) {
+  ring_.resize(cap_);
+}
+
+void Tracer::set_clock(std::function<double()> clock) {
+  std::lock_guard lock(mu_);
+  clock_ = std::move(clock);
+}
+
+void Tracer::push(TraceEvent ev) {
+  std::lock_guard lock(mu_);
+  ev.t = clock_ ? clock_() : 0.0;
+  ring_[head_] = std::move(ev);
+  head_ = (head_ + 1) % cap_;
+  if (size_ < cap_) {
+    ++size_;
+  } else {
+    ++dropped_;
+  }
+}
+
+void Tracer::event(std::string node, std::string name, std::string detail) {
+  push(TraceEvent{0.0, EventKind::kInstant, 0, std::move(node),
+                  std::move(name), std::move(detail)});
+}
+
+std::uint64_t Tracer::begin_span(std::string node, std::string name,
+                                 std::string detail) {
+  std::uint64_t id;
+  {
+    std::lock_guard lock(mu_);
+    id = next_span_++;
+  }
+  push(TraceEvent{0.0, EventKind::kSpanBegin, id, std::move(node),
+                  std::move(name), std::move(detail)});
+  return id;
+}
+
+void Tracer::end_span(std::uint64_t span, std::string node, std::string name,
+                      std::string detail) {
+  if (span == 0) return;
+  push(TraceEvent{0.0, EventKind::kSpanEnd, span, std::move(node),
+                  std::move(name), std::move(detail)});
+}
+
+std::vector<TraceEvent> Tracer::events() const {
+  std::lock_guard lock(mu_);
+  std::vector<TraceEvent> out;
+  out.reserve(size_);
+  const std::size_t start = (head_ + cap_ - size_) % cap_;
+  for (std::size_t i = 0; i < size_; ++i) {
+    out.push_back(ring_[(start + i) % cap_]);
+  }
+  return out;
+}
+
+std::size_t Tracer::size() const {
+  std::lock_guard lock(mu_);
+  return size_;
+}
+
+std::size_t Tracer::capacity() const { return cap_; }
+
+std::uint64_t Tracer::dropped() const {
+  std::lock_guard lock(mu_);
+  return dropped_;
+}
+
+void Tracer::clear() {
+  std::lock_guard lock(mu_);
+  head_ = 0;
+  size_ = 0;
+  dropped_ = 0;
+}
+
+#else  // CONGRID_OBS_ENABLED == 0
+
+Tracer::Tracer(std::size_t) {}
+void Tracer::set_clock(std::function<double()>) {}
+void Tracer::event(std::string, std::string, std::string) {}
+std::uint64_t Tracer::begin_span(std::string, std::string, std::string) {
+  return 0;
+}
+void Tracer::end_span(std::uint64_t, std::string, std::string, std::string) {}
+std::vector<TraceEvent> Tracer::events() const { return {}; }
+std::size_t Tracer::size() const { return 0; }
+std::size_t Tracer::capacity() const { return 0; }
+std::uint64_t Tracer::dropped() const { return 0; }
+void Tracer::clear() {}
+
+#endif  // CONGRID_OBS_ENABLED
+
+namespace {
+
+const char* kind_name(EventKind k) {
+  switch (k) {
+    case EventKind::kSpanBegin:
+      return "begin";
+    case EventKind::kSpanEnd:
+      return "end";
+    case EventKind::kInstant:
+    default:
+      return "event";
+  }
+}
+
+}  // namespace
+
+std::string Tracer::to_jsonl() const {
+  std::string out;
+  for (const TraceEvent& ev : events()) {
+    out += "{\"t\":" + json_number(ev.t);
+    out += ",\"kind\":";
+    out += json_quote(kind_name(ev.kind));
+    if (ev.span != 0) out += ",\"span\":" + std::to_string(ev.span);
+    out += ",\"node\":" + json_quote(ev.node);
+    out += ",\"name\":" + json_quote(ev.name);
+    if (!ev.detail.empty()) out += ",\"detail\":" + json_quote(ev.detail);
+    out += "}\n";
+  }
+  return out;
+}
+
+}  // namespace cg::obs

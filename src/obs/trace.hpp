@@ -1,0 +1,128 @@
+// ConGrid -- structured event tracer: a bounded ring of timestamped events.
+//
+// Metrics say *how much*; traces say *what happened when*. The tracer
+// records instants and spans (begin/end pairs sharing an id) stamped with
+// sim time -- virtual seconds when driven from a SimNetwork, wall seconds
+// otherwise -- and scoped to a node (peer id or "sim:<n>"), so one trace
+// interleaves every peer of a simulated grid in causal order.
+//
+// Storage is a fixed-capacity ring: when full, the oldest events are
+// overwritten and `dropped()` counts what was lost -- tracing must never
+// grow without bound under retry storms. Export is JSONL (one JSON object
+// per line), the format trace viewers and ad-hoc grep/jq both stomach.
+//
+// With CONGRID_OBS off every method is an inline no-op and the ring is
+// never allocated.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"  // CONGRID_OBS_ENABLED default
+
+namespace cg::obs {
+
+enum class EventKind : std::uint8_t { kInstant, kSpanBegin, kSpanEnd };
+
+struct TraceEvent {
+  double t = 0.0;          ///< tracer clock (sim seconds)
+  EventKind kind = EventKind::kInstant;
+  std::uint64_t span = 0;  ///< 0 for instants; begin/end pairs share an id
+  std::string node;        ///< per-node scope ("home", "sim:3", ...)
+  std::string name;        ///< event type ("reliable.retx", "deploy", ...)
+  std::string detail;      ///< freeform "k=v k=v" payload
+};
+
+class Tracer {
+ public:
+  /// `capacity` caps resident events; 0 is clamped to 1.
+  explicit Tracer(std::size_t capacity = 4096);
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Timestamp source; components driven by a SimNetwork install its
+  /// virtual clock (SimNetwork::set_obs does this automatically).
+  void set_clock(std::function<double()> clock);
+
+  void event(std::string node, std::string name, std::string detail = "");
+
+  /// Open a span; returns its id (never 0 when enabled).
+  std::uint64_t begin_span(std::string node, std::string name,
+                           std::string detail = "");
+  /// Close a span by id. Ending span 0 (a disabled begin) is a no-op.
+  void end_span(std::uint64_t span, std::string node, std::string name,
+                std::string detail = "");
+
+  /// Resident events, oldest first.
+  std::vector<TraceEvent> events() const;
+  std::size_t size() const;
+  std::size_t capacity() const;
+  /// Events overwritten since construction / clear().
+  std::uint64_t dropped() const;
+  void clear();
+
+  /// One JSON object per event per line; "" when empty. Each line parses
+  /// as a standalone JSON value (json_valid).
+  std::string to_jsonl() const;
+
+#if CONGRID_OBS_ENABLED
+ private:
+  void push(TraceEvent ev);
+
+  mutable std::mutex mu_;
+  std::function<double()> clock_;
+  std::vector<TraceEvent> ring_;
+  std::size_t cap_;
+  std::size_t head_ = 0;  ///< next write slot
+  std::size_t size_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t next_span_ = 1;
+#endif
+};
+
+/// Null-safe tracer handle, same idea as CounterRef.
+class TracerRef {
+ public:
+  TracerRef() = default;
+#if CONGRID_OBS_ENABLED
+  /*implicit*/ TracerRef(Tracer* t) : t_(t) {}
+  /// Guard string-building at call sites: `if (tracer) tracer.event(...)`.
+  explicit operator bool() const { return t_ != nullptr; }
+  void event(std::string node, std::string name,
+             std::string detail = "") const {
+    if (t_) t_->event(std::move(node), std::move(name), std::move(detail));
+  }
+  std::uint64_t begin_span(std::string node, std::string name,
+                           std::string detail = "") const {
+    return t_ ? t_->begin_span(std::move(node), std::move(name),
+                               std::move(detail))
+              : 0;
+  }
+  void end_span(std::uint64_t span, std::string node, std::string name,
+                std::string detail = "") const {
+    if (t_) {
+      t_->end_span(span, std::move(node), std::move(name), std::move(detail));
+    }
+  }
+  Tracer* get() const { return t_; }
+
+ private:
+  Tracer* t_ = nullptr;
+#else
+  /*implicit*/ TracerRef(Tracer*) {}
+  explicit operator bool() const { return false; }
+  void event(std::string, std::string, std::string = "") const {}
+  std::uint64_t begin_span(std::string, std::string, std::string = "") const {
+    return 0;
+  }
+  void end_span(std::uint64_t, std::string, std::string,
+                std::string = "") const {}
+  Tracer* get() const { return nullptr; }
+#endif
+};
+
+}  // namespace cg::obs

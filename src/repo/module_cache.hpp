@@ -15,6 +15,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "obs/obs.hpp"
 #include "repo/artifact.hpp"
 
 namespace cg::repo {
@@ -74,7 +75,14 @@ class ModuleCache {
   std::size_t entry_count() const { return entries_.size(); }
   const CacheStats& stats() const { return stats_; }
 
+  /// Bind metrics: "<scope>.cache.*" counters plus a resident-bytes gauge.
+  void set_obs(obs::Registry& registry, std::string_view scope = {});
+
  private:
+  struct Obs {
+    obs::CounterRef hits, misses, insertions, evictions, bytes_fetched;
+    obs::GaugeRef resident_bytes;
+  };
   struct Entry {
     ModuleArtifact artifact;
     int pin_count = 0;
@@ -87,6 +95,7 @@ class ModuleCache {
 
   std::size_t budget_bytes_;
   std::size_t resident_bytes_ = 0;
+  Obs obs_;
   std::unordered_map<std::string, Entry> entries_;
   std::list<std::string> lru_;  ///< front = most recent
   CacheStats stats_;
