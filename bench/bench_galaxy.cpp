@@ -3,7 +3,7 @@
 // the time than it would if the simulation was performed on a single
 // machine".
 //
-// Two measurements:
+// Three measurements:
 //   (a) REAL: wall-clock speedup of the SPH frame farm on a local thread
 //       pool (the All Hands demo ran "machines on a local network"; shared-
 //       memory cores are our stand-in for the cluster).
@@ -11,11 +11,28 @@
 //       including frame-result upload time, comparing "regenerate snapshot
 //       locally" against "ship the snapshot with every frame" (the paper
 //       notes both variants).
+//   (c) REAL: the engine's deterministic wave scheduler driving the same
+//       render farm as a TaskGraph (FrameSource fanned out to B RenderFrame
+//       branches). Swept over --threads; every row must produce a
+//       bit-identical pixel checksum or the bench fails. CI's bench-smoke
+//       job gates row throughput against bench/baselines/galaxy.json via
+//       scripts/bench_compare.py.
+//
+// Machine-readable output: --json PATH writes the section (c) rows plus
+// the obs metrics snapshot (per-row scopes: "t0.runtime.waves", ...).
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "apps/galaxy/sph.hpp"
+#include "apps/galaxy/units.hpp"
+#include "core/engine/runtime.hpp"
+#include "core/unit/builtin.hpp"
 #include "net/sim_network.hpp"
+#include "obs/obs.hpp"
 #include "rm/thread_pool.hpp"
 
 using namespace cg;
@@ -70,11 +87,9 @@ double simulated_makespan(std::size_t workers, std::size_t frames,
   return makespan;
 }
 
-}  // namespace
-
-int main() {
-  std::printf("E2: galaxy animation farm (paper Case 1)\n\n");
-
+/// Sections (a) and (b): the raw thread-pool farm and the virtual-time
+/// consumer grid. Skipped under --only-wave (CI smoke).
+void run_farm_sections() {
   // (a) real thread-pool speedup.
   galaxy::SimulationSpec spec;
   spec.n_particles = 20000;
@@ -101,8 +116,8 @@ int main() {
   // (b) simulated consumer grid, 5 s/frame renders (2003-era PC).
   const std::size_t frames = 200;
   const double compute_s = 5.0;
-  const std::size_t image_bytes = 128 * 128 * 8;      // one frame out
-  const std::size_t snapshot_bytes = 20000 * 4 * 8;   // data file per frame
+  const std::size_t image_bytes = 128 * 128 * 8;     // one frame out
+  const std::size_t snapshot_bytes = 20000 * 4 * 8;  // data file per frame
 
   std::printf("\n(b) simulated consumer grid, %zu frames x %.0f s renders, "
               "DSL links (%.0f kB/s)\n",
@@ -111,8 +126,7 @@ int main() {
               "ship-snapshot-per-frame");
   std::printf("%-8s %-10s %-10s %-10s %-10s\n", "peers", "makespan",
               "speedup", "makespan", "speedup");
-  const double base =
-      simulated_makespan(1, frames, compute_s, 0, image_bytes);
+  const double base = simulated_makespan(1, frames, compute_s, 0, image_bytes);
   for (std::size_t w : {1u, 2u, 4u, 8u, 16u, 32u}) {
     const double regen =
         simulated_makespan(w, frames, compute_s, 0, image_bytes);
@@ -125,5 +139,193 @@ int main() {
       "\nShape check (paper): near-linear speedup -- 'a fraction of the "
       "time ... on a single machine'; shipping the data file per frame "
       "erodes it on consumer uplinks.\n");
+}
+
+// -- (c) wave-scheduler sweep over the engine ------------------------------
+
+struct WaveRow {
+  unsigned threads = 0;
+  double seconds = 0;
+  double throughput = 0;  ///< frames rendered per second
+  double speedup = 0;     ///< vs the threads=0 serial loop
+  double checksum = 0;    ///< sum of sink pixels; must match across rows
+};
+
+/// Case 1 as a TaskGraph: one frame-index source fanned out to `branches`
+/// RenderFrame units (different viewing angles), each with its own
+/// animation sink. The wide render wave is what the scheduler spreads
+/// across the pool.
+core::TaskGraph wave_graph(int branches, int frames, int particles,
+                           int grid) {
+  core::TaskGraph g("galaxy_wave");
+  core::ParamSet fp;
+  fp.set_int("frames", frames);
+  g.add_task("Frames", "FrameSource", fp);
+  for (int b = 0; b < branches; ++b) {
+    const std::string s = std::to_string(b);
+    core::ParamSet rp;
+    rp.set_int("particles", particles);
+    rp.set_int("frames", frames);
+    rp.set_int("grid", grid);
+    rp.set_double("azimuth", 0.25 * b);
+    g.add_task("Render" + s, "RenderFrame", rp);
+    g.add_task("Anim" + s, "AnimationSink");
+    g.connect("Frames", 0, "Render" + s, 0);
+    g.connect("Render" + s, 0, "Anim" + s, 0);
+    g.connect("Render" + s, 1, "Anim" + s, 1);
+  }
+  return g;
+}
+
+WaveRow run_wave(const core::TaskGraph& g, const core::UnitRegistry& reg,
+                 unsigned threads, int branches, int frames,
+                 obs::Registry& registry) {
+  core::GraphRuntime rt(
+      g, reg, core::RuntimeOptions{.rng_seed = 42, .max_threads = threads});
+  rt.set_obs(registry, "t" + std::to_string(threads));
+  const auto t0 = std::chrono::steady_clock::now();
+  rt.run(static_cast<std::uint64_t>(frames));
+  WaveRow row;
+  row.threads = threads;
+  row.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  row.throughput = static_cast<double>(branches) * frames / row.seconds;
+  for (int b = 0; b < branches; ++b) {
+    const auto* sink = rt.unit_as<galaxy::AnimationSinkUnit>(
+        "Anim" + std::to_string(b));
+    for (const auto& [idx, frame] : sink->frames()) {
+      for (double px : frame.pixels) row.checksum += px;
+    }
+  }
+  return row;
+}
+
+std::string rows_json(const std::vector<WaveRow>& rows) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const WaveRow& r = rows[i];
+    if (i) out += ',';
+    out += "{\"threads\":" + std::to_string(r.threads);
+    out += ",\"seconds\":" + obs::json_number(r.seconds);
+    out += ",\"throughput\":" + obs::json_number(r.throughput);
+    out += ",\"speedup\":" + obs::json_number(r.speedup);
+    out += ",\"checksum\":" + obs::json_number(r.checksum);
+    out += "}";
+  }
+  out += "]";
+  return out;
+}
+
+bool write_json(const std::string& path, const std::string& body) {
+  if (!obs::json_valid(body)) {
+    std::fprintf(stderr, "bench_galaxy: refusing to write invalid JSON\n");
+    return false;
+  }
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "bench_galaxy: cannot open %s\n", path.c_str());
+    return false;
+  }
+  const bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  std::fclose(f);
+  return ok;
+}
+
+std::vector<unsigned> parse_threads(const char* arg) {
+  std::vector<unsigned> out;
+  for (const char* p = arg; *p;) {
+    out.push_back(static_cast<unsigned>(std::strtoul(p, nullptr, 10)));
+    const char* comma = std::strchr(p, ',');
+    if (!comma) break;
+    p = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<unsigned> threads = {0, 1, 2, 4};
+  std::string json_path;
+  int wave_frames = 10;
+  int wave_particles = 6000;
+  bool only_wave = false;  // CI smoke: skip the slow (a)/(b) farm sections
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      threads = parse_threads(argv[++i]);
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--frames") == 0 && i + 1 < argc) {
+      wave_frames = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--particles") == 0 && i + 1 < argc) {
+      wave_particles = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--only-wave") == 0) {
+      only_wave = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_galaxy [--threads 0,1,2,4] [--frames N] "
+                   "[--particles N] [--only-wave] [--json PATH]\n");
+      return 2;
+    }
+  }
+  if (threads.empty() || threads[0] != 0) {
+    threads.insert(threads.begin(), 0);  // serial row anchors the speedup
+  }
+  if (wave_frames <= 0 || wave_particles <= 0) {
+    std::fprintf(stderr, "bench_galaxy: bad --frames/--particles value\n");
+    return 2;
+  }
+
+  std::printf("E2: galaxy animation farm (paper Case 1)\n\n");
+
+  if (!only_wave) run_farm_sections();
+
+  // (c) the engine's wave scheduler on the same farm, as a TaskGraph.
+  const int wave_branches = 8;
+  const int wave_grid = 96;
+  std::printf("\n(c) wave scheduler: %d render branches x %d frames, %d "
+              "particles, grid %d (deterministic -- every row must produce "
+              "the same pixel checksum)\n",
+              wave_branches, wave_frames, wave_particles, wave_grid);
+  std::printf("%-8s %-12s %-14s %-10s %-18s\n", "threads", "seconds",
+              "frames/s", "speedup", "checksum");
+
+  core::UnitRegistry wave_reg = core::UnitRegistry::with_builtins();
+  galaxy::register_galaxy_units(wave_reg);
+  const core::TaskGraph g =
+      wave_graph(wave_branches, wave_frames, wave_particles, wave_grid);
+  obs::Registry registry;
+  std::vector<WaveRow> rows;
+  for (unsigned t : threads) {
+    WaveRow row = run_wave(g, wave_reg, t, wave_branches, wave_frames,
+                           registry);
+    row.speedup = rows.empty() ? 1.0 : rows[0].seconds / row.seconds;
+    rows.push_back(row);
+    std::printf("%-8u %-12.3f %-14.1f %-10.2f %-18.6f\n", row.threads,
+                row.seconds, row.throughput, row.speedup, row.checksum);
+    if (row.checksum != rows[0].checksum) {
+      std::fprintf(stderr,
+                   "bench_galaxy: DETERMINISM VIOLATION -- checksum at "
+                   "%u threads differs from the serial row\n",
+                   row.threads);
+      return 1;
+    }
+  }
+  std::printf("\nShape check: identical checksums row-for-row (the wave "
+              "barrier commits in unit order), speedup approaching the "
+              "core count while the render wave stays wider than the "
+              "pool.\n");
+
+  if (!json_path.empty()) {
+    const std::string body =
+        "{\"bench\":\"galaxy\",\"branches\":" + std::to_string(wave_branches) +
+        ",\"frames\":" + std::to_string(wave_frames) +
+        ",\"particles\":" + std::to_string(wave_particles) +
+        ",\"rows\":" + rows_json(rows) +
+        ",\"metrics\":" + registry.snapshot().to_json(/*pretty=*/false) + "}";
+    if (!write_json(json_path, body)) return 1;
+    std::printf("\nwrote %s\n", json_path.c_str());
+  }
   return 0;
 }

@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Gate a bench JSON artifact against a checked-in baseline.
+
+Usage:
+  bench_compare.py --baseline bench/baselines/galaxy.json \
+                   --current BENCH_galaxy.json \
+                   [--key threads] [--metric throughput] [--threshold 0.15]
+
+Both files hold {"bench": NAME, "rows": [{...}]}. Rows are matched on
+--key (default "threads"); the gate fails when the current --metric
+(default "throughput") falls more than --threshold (default 15%) below
+the baseline row, or when a baseline row is missing from the current run.
+
+A markdown delta table is printed to stdout and, when the
+GITHUB_STEP_SUMMARY environment variable is set, appended to the job
+summary. Exit status: 0 = within budget, 1 = regression, 2 = bad input.
+
+Baselines are conservative floors (roughly half the throughput measured
+on a dev box), so runner-to-runner noise does not trip the gate while a
+real serialisation bug -- which costs the parallel rows their entire
+speedup -- still does. To refresh after an intentional change: run the
+bench locally or download the bench-json CI artifact, halve the
+throughput values, and commit them to bench/baselines/.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def load(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"bench_compare: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--baseline", required=True)
+    ap.add_argument("--current", required=True)
+    ap.add_argument("--key", default="threads")
+    ap.add_argument("--metric", default="throughput")
+    ap.add_argument("--threshold", type=float, default=0.15)
+    args = ap.parse_args()
+
+    base = load(args.baseline)
+    cur = load(args.current)
+    if base.get("bench") != cur.get("bench"):
+        print(
+            f"bench_compare: bench name mismatch: baseline is "
+            f"{base.get('bench')!r}, current is {cur.get('bench')!r}",
+            file=sys.stderr,
+        )
+        sys.exit(2)
+
+    cur_rows = {row[args.key]: row for row in cur.get("rows", [])}
+    lines = [
+        f"### bench_{base.get('bench')}: {args.metric} vs baseline "
+        f"(gate: -{args.threshold:.0%})",
+        "",
+        f"| {args.key} | baseline | current | delta | status |",
+        "| --- | --- | --- | --- | --- |",
+    ]
+    failed = False
+    for brow in base.get("rows", []):
+        key = brow[args.key]
+        floor = brow[args.metric]
+        crow = cur_rows.get(key)
+        if crow is None:
+            lines.append(f"| {key} | {floor:.1f} | missing | — | FAIL |")
+            failed = True
+            continue
+        got = crow[args.metric]
+        delta = (got - floor) / floor if floor else 0.0
+        bad = delta < -args.threshold
+        failed |= bad
+        lines.append(
+            f"| {key} | {floor:.1f} | {got:.1f} | {delta:+.1%} | "
+            f"{'FAIL' if bad else 'ok'} |"
+        )
+    verdict = (
+        "**regression: current throughput is below the baseline floor**"
+        if failed
+        else "within budget"
+    )
+    lines += ["", verdict, ""]
+    table = "\n".join(lines)
+    print(table)
+
+    summary = os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary:
+        with open(summary, "a", encoding="utf-8") as f:
+            f.write(table + "\n")
+
+    sys.exit(1 if failed else 0)
+
+
+if __name__ == "__main__":
+    main()

@@ -8,8 +8,27 @@
 #   BUILD_DIR      normal build tree (default: build)
 #   ASAN_BUILD_DIR sanitizer build tree (default: ${BUILD_DIR}-asan)
 # CI passes distinct directories so the two trees cache independently.
+#
+# Usage: tier1.sh tsan [TSAN_BUILD_DIR]
+#   Builds the tree under ThreadSanitizer and runs the tests that exercise
+#   the wave scheduler and the thread pool (the code that actually shares
+#   state across threads). CI runs this as its own job; locally it is the
+#   fastest way to vet a scheduler change for races.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+if [[ "${1:-}" == "tsan" ]]; then
+  TSAN_DIR="${2:-build-tsan}"
+  echo "== tier-1: TSan pass over the parallel engine (${TSAN_DIR}) =="
+  cmake -B "${TSAN_DIR}" -S . -DCONGRID_SANITIZE=thread >/dev/null
+  cmake --build "${TSAN_DIR}" -j --target \
+    test_parallel_runtime test_rm test_core_runtime
+  for t in test_parallel_runtime test_rm test_core_runtime; do
+    "./${TSAN_DIR}/tests/${t}"
+  done
+  echo "tier-1 (tsan): OK"
+  exit 0
+fi
 
 BUILD_DIR="${1:-build}"
 ASAN_DIR="${2:-${BUILD_DIR}-asan}"

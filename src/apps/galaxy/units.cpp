@@ -49,6 +49,7 @@ void FrameSourceUnit::restore_state(const serial::Bytes& state) {
 UnitInfo RenderFrameUnit::make_info() {
   UnitInfo i;
   i.type_name = "RenderFrame";
+  i.concurrency = core::Concurrency::kPure;
   i.package = "galaxy";
   i.description = "SPH column-density render of one snapshot frame";
   i.inputs = {PortSpec{"index", type_bit(DataType::kInteger)}};

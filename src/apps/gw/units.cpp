@@ -50,6 +50,7 @@ void StrainSourceUnit::process(core::ProcessContext& ctx) {
 core::UnitInfo InspiralFilterUnit::make_info() {
   UnitInfo i;
   i.type_name = "InspiralFilter";
+  i.concurrency = core::Concurrency::kPure;
   i.package = "gw";
   i.description = "Matched-filter scan against a template-bank slice";
   i.inputs = {PortSpec{"strain", type_bit(DataType::kSampleSet)}};

@@ -1,10 +1,8 @@
 #include "core/engine/runtime.hpp"
 
 #include <algorithm>
-#include <atomic>
-#include <mutex>
+#include <chrono>
 #include <stdexcept>
-#include <thread>
 
 #include "core/graph/validate.hpp"
 #include "serial/reader.hpp"
@@ -35,6 +33,16 @@ GraphRuntime::GraphRuntime(const TaskGraph& graph,
     n.routes.resize(n.info->outputs.size());
     n.is_send = (t.unit_type == "Send");
     n.is_receive = (t.unit_type == "Receive");
+    n.serial_only = (n.info->concurrency == Concurrency::kSerialOnly);
+    // Enforce the purity half of the threading contract: a unit claiming
+    // kPure must not carry serialisable state (the other half -- no
+    // external effects -- is what kSerialOnly exists to declare).
+    if (n.info->concurrency == Concurrency::kPure &&
+        !n.unit->save_state().empty()) {
+      throw std::logic_error("unit type '" + t.unit_type +
+                             "' declares Concurrency::kPure but serialises "
+                             "state; declare it kStateful");
+    }
 
     const std::size_t idx = nodes_.size();
     by_name_[n.name] = idx;
@@ -76,10 +84,25 @@ GraphRuntime::GraphRuntime(const TaskGraph& graph,
     nodes_[to].connected[c.to_port] = true;
   }
   queued_.assign(nodes_.size(), false);
+
+  if (options_.max_threads > 0) {
+    pool_ = std::make_unique<rm::ThreadPool>(options_.max_threads);
+  }
 }
 
 void GraphRuntime::set_external_sender(SendUnit::Sender sender) {
   external_sender_ = std::move(sender);
+}
+
+void GraphRuntime::set_obs(obs::Registry& registry, const std::string& scope) {
+  wave_width_h_ = registry.histogram(
+      obs::scoped(scope, "runtime.wave_width"),
+      {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0});
+  barrier_stall_h_ = registry.histogram(
+      obs::scoped(scope, "runtime.barrier_stall_seconds"),
+      {1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1.0});
+  parallelism_g_ = registry.gauge(obs::scoped(scope, "runtime.parallelism"));
+  waves_c_ = registry.counter(obs::scoped(scope, "runtime.waves"));
 }
 
 bool GraphRuntime::ready(const Node& n) const {
@@ -152,6 +175,10 @@ void GraphRuntime::drain() {
 }
 
 void GraphRuntime::tick() {
+  if (pool_) {
+    tick_wave(*pool_);
+    return;
+  }
   ++iteration_;
   ++stats_.ticks;
   for (std::size_t idx : sources_) fire(idx);
@@ -162,69 +189,114 @@ void GraphRuntime::run(std::uint64_t iterations) {
   for (std::uint64_t i = 0; i < iterations; ++i) tick();
 }
 
-void GraphRuntime::tick_parallel(rm::ThreadPool& pool) {
-  ++iteration_;
-  ++stats_.ticks;
-
-  // Wave 0: the sources. Subsequent waves: every currently-ready node.
-  std::vector<std::size_t> wave = sources_;
-  std::exception_ptr first_error;
-  std::mutex error_mu;
-
-  while (!wave.empty()) {
-    // Fire the whole wave concurrently; each invoke touches only its own
-    // node (queues were populated by earlier serial routing).
-    std::vector<std::vector<std::pair<std::size_t, DataItem>>> results(
-        wave.size());
-    std::atomic<std::size_t> remaining{wave.size()};
-    for (std::size_t w = 0; w < wave.size(); ++w) {
-      pool.post([this, &wave, &results, &remaining, &first_error, &error_mu,
-                 w] {
-        try {
-          results[w] = invoke(wave[w]);
-        } catch (...) {
-          std::lock_guard lock(error_mu);
-          if (!first_error) first_error = std::current_exception();
-        }
-        remaining.fetch_sub(1, std::memory_order_release);
-      });
-    }
-    while (remaining.load(std::memory_order_acquire) != 0) {
-      std::this_thread::yield();
-    }
-    if (first_error) std::rethrow_exception(first_error);
-
-    // Route serially in wave order: per-port FIFO matches the serial
-    // engine because each input port has a single producer.
-    stats_.firings += wave.size();
-    for (std::size_t w = 0; w < wave.size(); ++w) {
-      for (auto& [port, item] : results[w]) {
-        route(wave[w], port, std::move(item));
-      }
-    }
-    // route() fills worklist_; turn it into the next wave. A just-fired
-    // node with further backlogged items (possible after a checkpoint
-    // restore) re-enters the wave so nothing strands.
-    std::vector<std::size_t> next;
-    while (!worklist_.empty()) {
-      const std::size_t idx = worklist_.front();
-      worklist_.pop_front();
-      queued_[idx] = false;
-      if (ready(nodes_[idx])) next.push_back(idx);
-    }
-    for (std::size_t idx : wave) {
-      if (ready(nodes_[idx]) &&
-          std::find(next.begin(), next.end(), idx) == next.end()) {
-        next.push_back(idx);
-      }
-    }
-    wave = std::move(next);
-  }
-}
+void GraphRuntime::tick_parallel(rm::ThreadPool& pool) { tick_wave(pool); }
 
 void GraphRuntime::run_parallel(rm::ThreadPool& pool,
                                 std::uint64_t iterations) {
-  for (std::uint64_t i = 0; i < iterations; ++i) tick_parallel(pool);
+  for (std::uint64_t i = 0; i < iterations; ++i) tick_wave(pool);
+}
+
+void GraphRuntime::tick_wave(rm::ThreadPool& pool) {
+  ++iteration_;
+  ++stats_.ticks;
+
+  // Wave 0: the sources (index-ascending by construction). Each later
+  // wave is every node made ready by the previous commit.
+  std::vector<std::size_t> wave = sources_;
+  std::uint64_t waves = 0;
+  std::uint64_t fired = 0;
+  while (!wave.empty()) {
+    ++waves;
+    fired += wave.size();
+    wave_width_h_.observe(static_cast<double>(wave.size()));
+    dispatch_wave(pool, wave);
+    collect_next_wave(wave);
+  }
+  waves_c_.inc(waves);
+  if (waves > 0) {
+    parallelism_g_.set(static_cast<double>(fired) /
+                       static_cast<double>(waves));
+  }
+}
+
+void GraphRuntime::dispatch_wave(rm::ThreadPool& pool,
+                                 const std::vector<std::size_t>& wave) {
+  const std::size_t n = wave.size();
+  std::vector<std::vector<std::pair<std::size_t, DataItem>>> results(n);
+  std::vector<std::exception_ptr> errors(n);
+
+  // Parallel-safe members go to the pool in one batch; serial-only
+  // members (external side effects: Send/Scatter/Broadcast) fire on this
+  // thread while the batch runs, so sender hooks never leave the
+  // coordinator. Each slot touches only its own node -- queues were
+  // populated by earlier, serial commits.
+  std::vector<std::function<void()>> tasks;
+  std::vector<std::size_t> serial_slots;
+  tasks.reserve(n);
+  for (std::size_t w = 0; w < n; ++w) {
+    if (nodes_[wave[w]].serial_only) {
+      serial_slots.push_back(w);
+      continue;
+    }
+    tasks.push_back([this, &wave, &results, &errors, w] {
+      try {
+        results[w] = invoke(wave[w]);
+      } catch (...) {
+        errors[w] = std::current_exception();
+      }
+    });
+  }
+  rm::ThreadPool::Batch batch = pool.submit_batch(std::move(tasks));
+  for (std::size_t w : serial_slots) {
+    try {
+      results[w] = invoke(wave[w]);
+    } catch (...) {
+      errors[w] = std::current_exception();
+    }
+  }
+  const auto stall_begin = std::chrono::steady_clock::now();
+  batch.wait();
+  barrier_stall_h_.observe(
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    stall_begin)
+          .count());
+
+  // Deterministic error surfacing: the lowest-index failure wins,
+  // independent of which worker lost the race.
+  for (const auto& err : errors) {
+    if (err) std::rethrow_exception(err);
+  }
+
+  // Commit at the barrier in ascending unit-index order (`wave` is
+  // sorted). Per-port arrival order matches the serial engine because
+  // validation allows one producer per input port; the fixed order
+  // additionally pins stats and multi-port interleavings.
+  stats_.firings += n;
+  for (std::size_t w = 0; w < n; ++w) {
+    for (auto& [port, item] : results[w]) {
+      route(wave[w], port, std::move(item));
+    }
+  }
+}
+
+void GraphRuntime::collect_next_wave(std::vector<std::size_t>& wave) {
+  std::vector<std::size_t> next;
+  while (!worklist_.empty()) {
+    const std::size_t idx = worklist_.front();
+    worklist_.pop_front();
+    queued_[idx] = false;
+    if (ready(nodes_[idx])) next.push_back(idx);
+  }
+  // A just-fired node with further backlogged items (possible after a
+  // checkpoint restore) re-enters the wave so nothing strands.
+  for (std::size_t idx : wave) {
+    if (ready(nodes_[idx]) &&
+        std::find(next.begin(), next.end(), idx) == next.end()) {
+      next.push_back(idx);
+    }
+  }
+  std::sort(next.begin(), next.end());
+  wave = std::move(next);
 }
 
 bool GraphRuntime::deliver(const std::string& label, DataItem item) {

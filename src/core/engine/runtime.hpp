@@ -6,7 +6,20 @@
 // successive ticks), and Send/Receive proxy units bridge to other peers'
 // runtimes through external channels. The engine is deterministic: unit
 // RNG streams derive from the runtime seed and the task name, and firing
-// order is a fixed topological worklist.
+// order is either a fixed topological worklist (serial) or a wave
+// schedule committed in fixed unit-index order (parallel) -- the two are
+// bit-identical (DESIGN.md section 4d).
+//
+// Parallel mode: RuntimeOptions::max_threads > 0 partitions each tick
+// into dependency waves -- the set of units whose inputs are all
+// satisfied by prior waves -- and dispatches every wave across an
+// internal rm::ThreadPool in one batch. Units whose UnitInfo declares
+// Concurrency::kSerialOnly (Send/Scatter/Broadcast -- anything with
+// external effects) fire on the coordinator thread instead, so external
+// sender hooks never need to be thread-safe. Emissions are buffered per
+// firing and committed (routed) at the wave barrier in ascending unit
+// index, which pins per-port arrival order, RNG streams and checkpoint
+// bytes to the serial schedule.
 //
 // Checkpointing captures the iteration counter, every stateful unit's
 // serialised state and all queued in-flight items; restoring into a fresh
@@ -24,6 +37,7 @@
 #include "core/graph/taskgraph.hpp"
 #include "core/unit/proxy_units.hpp"
 #include "core/unit/registry.hpp"
+#include "obs/metrics.hpp"
 #include "rm/thread_pool.hpp"
 
 namespace cg::core {
@@ -32,6 +46,9 @@ struct RuntimeOptions {
   std::uint64_t rng_seed = 1;
   /// When set, units' charge_cpu calls are enforced against this sandbox.
   sandbox::Sandbox* sandbox = nullptr;
+  /// Worker threads for wave-parallel ticks; 0 selects the serial firing
+  /// loop (no pool is created). Results are bit-identical either way.
+  unsigned max_threads = 0;
 };
 
 struct RuntimeStats {
@@ -41,12 +58,15 @@ struct RuntimeStats {
   std::uint64_t external_sends = 0;
   std::uint64_t external_deliveries = 0;
   std::uint64_t bytes_sent_external = 0;
+
+  bool operator==(const RuntimeStats&) const = default;
 };
 
 class GraphRuntime {
  public:
   /// Flattens, validates (throws std::invalid_argument on a bad graph),
-  /// instantiates and configures every unit.
+  /// instantiates and configures every unit. Throws std::logic_error when
+  /// a unit declares Concurrency::kPure but carries serialisable state.
   GraphRuntime(const TaskGraph& graph, const UnitRegistry& registry,
                RuntimeOptions options = {});
 
@@ -54,24 +74,24 @@ class GraphRuntime {
   GraphRuntime& operator=(const GraphRuntime&) = delete;
 
   /// Install the egress hook for Send units (label, item). Without one,
-  /// firing a Send unit throws.
+  /// firing a Send unit throws. The hook is always invoked on the thread
+  /// calling tick()/run(), even in wave-parallel mode.
   void set_external_sender(SendUnit::Sender sender);
 
+  /// Bind the engine's instruments (wave-width and barrier-stall
+  /// histograms, per-tick parallelism gauge) into `registry` under
+  /// "<scope>.runtime.*".
+  void set_obs(obs::Registry& registry, const std::string& scope = "");
+
   /// One streaming iteration: every source fires once, then the graph
-  /// runs to quiescence.
+  /// runs to quiescence. Uses the wave scheduler when max_threads > 0.
   void tick();
 
   /// tick() `iterations` times.
   void run(std::uint64_t iterations);
 
-  /// One streaming iteration with independent ready units fired
-  /// concurrently on `pool` (wave-parallel: fire a wave in parallel, route
-  /// its emissions serially in task order, repeat). Produces bit-identical
-  /// results to tick(): per-port arrival order is preserved because
-  /// validation allows one producer per input port. Requirements: units
-  /// must not share state (built-ins don't), and any external sender must
-  /// be thread-safe or absent (Send/Scatter/Broadcast may fire from pool
-  /// threads).
+  /// One streaming iteration on a caller-provided pool (the wave
+  /// scheduler, regardless of max_threads).
   void tick_parallel(rm::ThreadPool& pool);
 
   /// tick_parallel() `iterations` times.
@@ -125,6 +145,8 @@ class GraphRuntime {
     std::vector<std::vector<std::pair<std::size_t, std::size_t>>> routes;
     bool is_send = false;
     bool is_receive = false;
+    /// Concurrency::kSerialOnly -- fires on the coordinator thread.
+    bool serial_only = false;
   };
 
   bool ready(const Node& n) const;
@@ -135,6 +157,16 @@ class GraphRuntime {
   void route(std::size_t from_idx, std::size_t port, DataItem item);
   void drain();
 
+  /// One wave-scheduled streaming iteration on `pool`.
+  void tick_wave(rm::ThreadPool& pool);
+  /// Invoke every member of `wave` (pool for parallel-safe units, the
+  /// coordinator for serial-only ones), then commit emissions in ascending
+  /// unit-index order. `wave` must be sorted ascending.
+  void dispatch_wave(rm::ThreadPool& pool, const std::vector<std::size_t>& wave);
+  /// Drain worklist_ (+ still-ready members of the committed wave) into
+  /// the next wave, sorted ascending.
+  void collect_next_wave(std::vector<std::size_t>& wave);
+
   std::vector<Node> nodes_;
   std::unordered_map<std::string, std::size_t> by_name_;
   std::unordered_map<std::string, std::size_t> receive_by_label_;
@@ -143,9 +175,15 @@ class GraphRuntime {
   std::vector<bool> queued_;  ///< node already on the worklist
 
   RuntimeOptions options_;
+  std::unique_ptr<rm::ThreadPool> pool_;  ///< owned when max_threads > 0
   SendUnit::Sender external_sender_;
   std::uint64_t iteration_ = 0;
   RuntimeStats stats_;
+
+  obs::HistogramRef wave_width_h_;     ///< units per dispatched wave
+  obs::HistogramRef barrier_stall_h_;  ///< coordinator wait at the barrier
+  obs::GaugeRef parallelism_g_;        ///< firings / waves, last tick
+  obs::CounterRef waves_c_;            ///< waves dispatched
 };
 
 }  // namespace cg::core

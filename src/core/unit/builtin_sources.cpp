@@ -72,6 +72,7 @@ void WaveUnit::restore_state(const serial::Bytes& state) {
 UnitInfo NoiseSourceUnit::make_info() {
   UnitInfo i;
   i.type_name = "NoiseSource";
+  i.concurrency = Concurrency::kPure;
   i.package = "signalproc";
   i.description = "Gaussian white-noise source";
   i.outputs = {PortSpec{"noise", type_bit(DataType::kSampleSet)}};
@@ -103,6 +104,7 @@ void NoiseSourceUnit::process(ProcessContext& ctx) {
 UnitInfo ConstantUnit::make_info() {
   UnitInfo i;
   i.type_name = "Constant";
+  i.concurrency = Concurrency::kPure;
   i.package = "common";
   i.description = "Constant scalar source";
   i.outputs = {PortSpec{"value", type_bit(DataType::kScalar)}};
@@ -175,6 +177,7 @@ void CounterUnit::reset() {
 UnitInfo TextSourceUnit::make_info() {
   UnitInfo i;
   i.type_name = "TextSource";
+  i.concurrency = Concurrency::kPure;
   i.package = "common";
   i.description = "Fixed text source";
   i.outputs = {PortSpec{"text", type_bit(DataType::kText)}};

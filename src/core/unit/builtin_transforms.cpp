@@ -35,6 +35,7 @@ const SampleSet& require_samples(ProcessContext& ctx, std::size_t port,
 UnitInfo GaussianUnit::make_info() {
   UnitInfo i;
   i.type_name = "Gaussian";
+  i.concurrency = Concurrency::kPure;
   i.package = "signalproc";
   i.description = "Adds Gaussian noise to a signal";
   i.inputs = {PortSpec{"in", type_bit(DataType::kSampleSet)}};
@@ -62,6 +63,7 @@ void GaussianUnit::process(ProcessContext& ctx) {
 UnitInfo FftUnit::make_info() {
   UnitInfo i;
   i.type_name = "FFT";
+  i.concurrency = Concurrency::kPure;
   i.package = "signalproc";
   i.description = "One-sided power spectrum of a signal";
   i.inputs = {PortSpec{"signal", type_bit(DataType::kSampleSet)}};
@@ -174,6 +176,7 @@ void AccumStatUnit::reset() {
 UnitInfo ScalerUnit::make_info() {
   UnitInfo i;
   i.type_name = "Scaler";
+  i.concurrency = Concurrency::kPure;
   i.package = "math";
   i.description = "Multiplies every sample (or a scalar) by a factor";
   i.inputs = {PortSpec{"in", type_bit(DataType::kSampleSet) |
@@ -206,6 +209,7 @@ void ScalerUnit::process(ProcessContext& ctx) {
 UnitInfo OffsetUnit::make_info() {
   UnitInfo i;
   i.type_name = "Offset";
+  i.concurrency = Concurrency::kPure;
   i.package = "math";
   i.description = "Adds a constant offset";
   i.inputs = {PortSpec{"in", type_bit(DataType::kSampleSet) |
@@ -238,6 +242,7 @@ void OffsetUnit::process(ProcessContext& ctx) {
 UnitInfo RectifierUnit::make_info() {
   UnitInfo i;
   i.type_name = "Rectifier";
+  i.concurrency = Concurrency::kPure;
   i.package = "math";
   i.description = "Absolute value of every sample";
   i.inputs = {PortSpec{"in", type_bit(DataType::kSampleSet)}};
@@ -259,6 +264,7 @@ void RectifierUnit::process(ProcessContext& ctx) {
 UnitInfo ClipperUnit::make_info() {
   UnitInfo i;
   i.type_name = "Clipper";
+  i.concurrency = Concurrency::kPure;
   i.package = "math";
   i.description = "Clamps samples to [lo, hi]";
   i.inputs = {PortSpec{"in", type_bit(DataType::kSampleSet)}};
@@ -286,6 +292,7 @@ void ClipperUnit::process(ProcessContext& ctx) {
 UnitInfo MovingAverageUnit::make_info() {
   UnitInfo i;
   i.type_name = "MovingAverage";
+  i.concurrency = Concurrency::kPure;
   i.package = "signalproc";
   i.description = "Centred moving average smoother";
   i.inputs = {PortSpec{"in", type_bit(DataType::kSampleSet)}};
@@ -324,6 +331,7 @@ void MovingAverageUnit::process(ProcessContext& ctx) {
 UnitInfo SubsampleUnit::make_info() {
   UnitInfo i;
   i.type_name = "Subsample";
+  i.concurrency = Concurrency::kPure;
   i.package = "signalproc";
   i.description = "Keeps every k-th sample";
   i.inputs = {PortSpec{"in", type_bit(DataType::kSampleSet)}};
@@ -355,6 +363,7 @@ void SubsampleUnit::process(ProcessContext& ctx) {
 UnitInfo WindowUnit::make_info() {
   UnitInfo i;
   i.type_name = "Window";
+  i.concurrency = Concurrency::kPure;
   i.package = "signalproc";
   i.description = "Applies a window function";
   i.inputs = {PortSpec{"in", type_bit(DataType::kSampleSet)}};
@@ -381,6 +390,7 @@ void WindowUnit::process(ProcessContext& ctx) {
 UnitInfo LogScaleUnit::make_info() {
   UnitInfo i;
   i.type_name = "LogScale";
+  i.concurrency = Concurrency::kPure;
   i.package = "math";
   i.description = "log10 of samples or spectrum power";
   i.inputs = {PortSpec{"in", type_bit(DataType::kSampleSet) |
@@ -443,6 +453,7 @@ DataItem combine(const DataItem& a, const DataItem& b, const char* unit,
 UnitInfo AdderUnit::make_info() {
   UnitInfo i;
   i.type_name = "Adder";
+  i.concurrency = Concurrency::kPure;
   i.package = "math";
   i.description = "Element-wise sum of two inputs";
   i.inputs = {PortSpec{"a", type_bit(DataType::kSampleSet) |
@@ -467,6 +478,7 @@ void AdderUnit::process(ProcessContext& ctx) {
 UnitInfo MultiplierUnit::make_info() {
   UnitInfo i;
   i.type_name = "Multiplier";
+  i.concurrency = Concurrency::kPure;
   i.package = "math";
   i.description = "Element-wise product of two inputs";
   i.inputs = {PortSpec{"a", type_bit(DataType::kSampleSet) |
@@ -491,6 +503,7 @@ void MultiplierUnit::process(ProcessContext& ctx) {
 UnitInfo CorrelatorUnit::make_info() {
   UnitInfo i;
   i.type_name = "Correlator";
+  i.concurrency = Concurrency::kPure;
   i.package = "signalproc";
   i.description = "FFT fast correlation of data against a template";
   i.inputs = {PortSpec{"data", type_bit(DataType::kSampleSet)},
@@ -521,6 +534,7 @@ void CorrelatorUnit::process(ProcessContext& ctx) {
 UnitInfo SpectrumPeakUnit::make_info() {
   UnitInfo i;
   i.type_name = "SpectrumPeak";
+  i.concurrency = Concurrency::kPure;
   i.package = "signalproc";
   i.description = "Peak frequency and peak-to-median ratio of a spectrum";
   i.inputs = {PortSpec{"spectrum", type_bit(DataType::kSpectrum)}};
@@ -642,6 +656,7 @@ void IntegratorUnit::reset() {
 UnitInfo ThresholdUnit::make_info() {
   UnitInfo i;
   i.type_name = "Threshold";
+  i.concurrency = Concurrency::kPure;
   i.package = "math";
   i.description = "1 when max |input| exceeds the threshold, else 0";
   i.inputs = {PortSpec{"in", type_bit(DataType::kSampleSet) |

@@ -7,6 +7,7 @@ namespace cg::core {
 UnitInfo SendUnit::make_info() {
   UnitInfo i;
   i.type_name = "Send";
+  i.concurrency = Concurrency::kSerialOnly;
   i.package = "dist";
   i.description = "Forwards input to a named data channel";
   i.inputs = {PortSpec{"in", kAnyType}};
@@ -34,6 +35,7 @@ void SendUnit::process(ProcessContext& ctx) {
 UnitInfo ScatterUnit::make_info() {
   UnitInfo i;
   i.type_name = "Scatter";
+  i.concurrency = Concurrency::kSerialOnly;
   i.package = "dist";
   i.description = "Round-robin forward to a list of data channels";
   i.inputs = {PortSpec{"in", kAnyType}};
@@ -83,6 +85,7 @@ void ScatterUnit::restore_state(const serial::Bytes& state) {
 UnitInfo BroadcastUnit::make_info() {
   UnitInfo i;
   i.type_name = "Broadcast";
+  i.concurrency = Concurrency::kSerialOnly;
   i.package = "dist";
   i.description = "Forward each item to every listed data channel";
   i.inputs = {PortSpec{"in", kAnyType}};
@@ -121,6 +124,7 @@ void BroadcastUnit::process(ProcessContext& ctx) {
 UnitInfo VoteUnit::make_info() {
   UnitInfo i;
   i.type_name = "Vote";
+  i.concurrency = Concurrency::kPure;
   i.package = "dist";
   i.description = "Majority vote over replicated results";
   for (std::size_t k = 0; k < kMaxVoteInputs; ++k) {

@@ -10,6 +10,11 @@ xml::Node UnitInfo::to_xml() const {
   n.set_attr("type", type_name);
   n.set_attr("package", package);
   if (is_source) n.set_attr("source", "true");
+  if (concurrency == Concurrency::kPure) {
+    n.set_attr("concurrency", "pure");
+  } else if (concurrency == Concurrency::kSerialOnly) {
+    n.set_attr("concurrency", "serial");
+  }
   if (!description.empty()) {
     n.add_child("description").set_text(description);
   }
@@ -34,6 +39,16 @@ UnitInfo UnitInfo::from_xml(const xml::Node& n) {
   info.type_name = n.require_attr("type");
   info.package = n.attr_or("package", "");
   info.is_source = n.attr_or("source", "false") == "true";
+  const std::string conc = n.attr_or("concurrency", "stateful");
+  if (conc == "pure") {
+    info.concurrency = Concurrency::kPure;
+  } else if (conc == "serial") {
+    info.concurrency = Concurrency::kSerialOnly;
+  } else if (conc == "stateful") {
+    info.concurrency = Concurrency::kStateful;
+  } else {
+    throw xml::XmlError("unknown concurrency '" + conc + "'");
+  }
   if (const xml::Node* d = n.child("description")) {
     info.description = d->text();
   }

@@ -31,6 +31,25 @@ struct PortSpec {
   std::uint32_t accepts = kAnyType;
 };
 
+/// The threading contract a unit type declares to the wave scheduler
+/// (DESIGN.md section 4d). The wave model never fires one instance twice
+/// concurrently, so the distinction is about state and external effects,
+/// not reentrancy.
+enum class Concurrency {
+  /// No mutable per-instance state and no effects outside its emissions:
+  /// may fire on any pool thread. save_state() must stay empty -- the
+  /// runtime enforces this at graph construction.
+  kPure,
+  /// Owns per-instance state (accumulators, phase, sink buffers) but
+  /// touches nothing outside the instance: may fire on a pool thread
+  /// concurrently with *other* units. This is the safe default.
+  kStateful,
+  /// Reaches outside the graph (external senders, shared host resources):
+  /// fired only on the engine's coordinator thread, in fixed unit-index
+  /// order, so hooks need not be thread-safe.
+  kSerialOnly,
+};
+
 /// Static description of a unit type -- the CCA-style component metadata
 /// the paper encodes in XML ("The description of a Triana unit is also
 /// encoded in XML, and based on the CCA", section 3.2).
@@ -41,6 +60,7 @@ struct UnitInfo {
   std::vector<PortSpec> inputs;
   std::vector<PortSpec> outputs;
   bool is_source = false;  ///< fires every iteration without inputs
+  Concurrency concurrency = Concurrency::kStateful;
 
   xml::Node to_xml() const;
   static UnitInfo from_xml(const xml::Node& n);

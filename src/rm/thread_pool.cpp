@@ -4,6 +4,18 @@
 
 namespace cg::rm {
 
+void ThreadPool::Batch::wait() {
+  if (!st_) return;
+  std::unique_lock lock(st_->mu);
+  st_->cv.wait(lock, [this] { return st_->remaining == 0; });
+}
+
+bool ThreadPool::Batch::done() const {
+  if (!st_) return true;
+  std::lock_guard lock(st_->mu);
+  return st_->remaining == 0;
+}
+
 ThreadPool::ThreadPool(unsigned threads) {
   if (threads == 0) {
     threads = std::max(1u, std::thread::hardware_concurrency());
@@ -14,14 +26,19 @@ ThreadPool::ThreadPool(unsigned threads) {
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { shutdown(); }
+
+void ThreadPool::shutdown() {
   {
     std::lock_guard lock(mu_);
+    if (stop_) return;
     stop_ = true;
     queue_.clear();
   }
   cv_.notify_all();
-  for (auto& w : workers_) w.join();
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
 }
 
 void ThreadPool::post(std::function<void()> task) {
@@ -31,6 +48,34 @@ void ThreadPool::post(std::function<void()> task) {
     queue_.push_back(std::move(task));
   }
   cv_.notify_one();
+}
+
+ThreadPool::Batch ThreadPool::submit_batch(
+    std::vector<std::function<void()>> tasks) {
+  Batch batch;
+  if (tasks.empty()) return batch;
+  batch.st_ = std::make_shared<Batch::State>();
+  batch.st_->remaining = tasks.size();
+  const auto st = batch.st_;
+  {
+    std::lock_guard lock(mu_);
+    if (stop_) {
+      throw std::runtime_error("ThreadPool::submit_batch after shutdown");
+    }
+    for (auto& task : tasks) {
+      queue_.push_back([st, t = std::move(task)] {
+        t();
+        std::size_t left;
+        {
+          std::lock_guard guard(st->mu);
+          left = --st->remaining;
+        }
+        if (left == 0) st->cv.notify_all();
+      });
+    }
+  }
+  cv_.notify_all();
+  return batch;
 }
 
 void ThreadPool::wait_idle() {

@@ -14,6 +14,7 @@ void Sandbox::admit_module(const std::string& module_name,
 
 void Sandbox::charge_cpu(double seconds) {
   if (seconds < 0.0) throw std::invalid_argument("negative cpu charge");
+  std::lock_guard lock(mu_);
   usage_.cpu_seconds += seconds;
   if (usage_.cpu_seconds > policy_.max_cpu_seconds) {
     throw SandboxViolation("CPU budget exhausted: used " +
@@ -23,6 +24,7 @@ void Sandbox::charge_cpu(double seconds) {
 }
 
 void Sandbox::allocate(std::uint64_t bytes) {
+  std::lock_guard lock(mu_);
   if (usage_.memory_bytes + bytes > policy_.max_memory_bytes) {
     throw SandboxViolation("memory limit exceeded: " +
                            std::to_string(usage_.memory_bytes + bytes) +
@@ -34,11 +36,13 @@ void Sandbox::allocate(std::uint64_t bytes) {
 }
 
 void Sandbox::release(std::uint64_t bytes) {
+  std::lock_guard lock(mu_);
   usage_.memory_bytes -= std::min(bytes, usage_.memory_bytes);
 }
 
 void Sandbox::charge_network(std::uint64_t bytes) {
   check_network_allowed();
+  std::lock_guard lock(mu_);
   usage_.network_bytes += bytes;
   if (usage_.network_bytes > policy_.max_network_bytes) {
     throw SandboxViolation("network budget exhausted");
@@ -50,7 +54,10 @@ void Sandbox::check_file_access(const std::string& path, bool write) {
   for (const auto& prefix : policy_.allowed_path_prefixes) {
     if (path.rfind(prefix, 0) == 0) return;
   }
-  ++usage_.file_accesses_denied;
+  {
+    std::lock_guard lock(mu_);
+    ++usage_.file_accesses_denied;
+  }
   throw SandboxViolation(std::string("filesystem access denied: ") +
                          (write ? "write " : "read ") + path);
 }
@@ -62,6 +69,7 @@ void Sandbox::check_network_allowed() const {
 }
 
 double Sandbox::cpu_remaining() const {
+  std::lock_guard lock(mu_);
   return std::max(0.0, policy_.max_cpu_seconds - usage_.cpu_seconds);
 }
 

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 #include <optional>
 #include <set>
 #include <stdexcept>
@@ -67,11 +68,25 @@ class CertifiedLibrary {
 
 /// One sandboxed execution context. The engine calls the charge/check
 /// methods as the module runs; any violation throws and the module is
-/// terminated. Not thread-safe; one sandbox per executing module.
+/// terminated. Charging is thread-safe (a mutex guards the usage ledger):
+/// the wave-parallel engine bills concurrent unit firings against the one
+/// sandbox its runtime was built with.
 class Sandbox {
  public:
   explicit Sandbox(Policy policy, const CertifiedLibrary* library = nullptr)
       : policy_(std::move(policy)), library_(library) {}
+
+  /// Movable (hosts build one and hand it to the job record); the guard
+  /// mutex itself is not moved. Don't move a sandbox that is being
+  /// charged concurrently.
+  Sandbox(Sandbox&& other) noexcept
+      : policy_(std::move(other.policy_)), library_(other.library_) {
+    std::lock_guard lock(other.mu_);
+    usage_ = other.usage_;
+  }
+  Sandbox(const Sandbox&) = delete;
+  Sandbox& operator=(const Sandbox&) = delete;
+  Sandbox& operator=(Sandbox&&) = delete;
 
   /// Gate module admission: throws when the policy demands certification
   /// and the hash is not in the library.
@@ -96,7 +111,12 @@ class Sandbox {
   /// Check that network use is allowed at all.
   void check_network_allowed() const;
 
-  const Usage& usage() const { return usage_; }
+  /// Snapshot of the usage ledger (by value: the ledger may be charged
+  /// concurrently).
+  Usage usage() const {
+    std::lock_guard lock(mu_);
+    return usage_;
+  }
   const Policy& policy() const { return policy_; }
 
   /// Remaining CPU budget in seconds (never negative).
@@ -105,6 +125,7 @@ class Sandbox {
  private:
   Policy policy_;
   const CertifiedLibrary* library_;
+  mutable std::mutex mu_;  ///< guards usage_
   Usage usage_;
 };
 

@@ -64,6 +64,81 @@ TEST(ThreadPool, ZeroMeansHardwareConcurrency) {
   EXPECT_GE(pool.thread_count(), 1u);
 }
 
+TEST(ThreadPool, SubmitBatchRunsAllAndWaitBlocksUntilDone) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 64; ++i) {
+    tasks.push_back([&] { ++count; });
+  }
+  ThreadPool::Batch batch = pool.submit_batch(std::move(tasks));
+  batch.wait();
+  EXPECT_EQ(count.load(), 64);  // wait() means *completed*, not dequeued
+  EXPECT_TRUE(batch.done());
+}
+
+TEST(ThreadPool, EmptyBatchIsImmediatelyDone) {
+  ThreadPool pool(2);
+  ThreadPool::Batch batch = pool.submit_batch({});
+  EXPECT_TRUE(batch.done());
+  batch.wait();  // must not hang
+  ThreadPool::Batch unused;
+  EXPECT_TRUE(unused.done());
+  unused.wait();
+}
+
+TEST(ThreadPool, BatchesInterleaveWithPosts) {
+  ThreadPool pool(3);
+  std::atomic<int> count{0};
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 10; ++i) tasks.push_back([&] { ++count; });
+  auto b1 = pool.submit_batch(std::move(tasks));
+  for (int i = 0; i < 10; ++i) pool.post([&] { ++count; });
+  tasks.clear();
+  for (int i = 0; i < 10; ++i) tasks.push_back([&] { ++count; });
+  auto b2 = pool.submit_batch(std::move(tasks));
+  b1.wait();
+  b2.wait();
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 30);
+}
+
+TEST(ThreadPool, PostAfterShutdownThrows) {
+  ThreadPool pool(2);
+  pool.shutdown();
+  EXPECT_THROW(pool.post([] {}), std::runtime_error);
+  EXPECT_THROW(pool.submit_batch({[] {}}), std::runtime_error);
+}
+
+TEST(ThreadPool, SubmitAfterShutdownRejectsFutureInsteadOfBrokenPromise) {
+  ThreadPool pool(2);
+  pool.shutdown();
+  // submit() must hand back a valid future carrying the enqueue failure --
+  // not throw at the call site, and not a std::future_error broken
+  // promise.
+  std::future<int> fut;
+  ASSERT_NO_THROW(fut = pool.submit([] { return 1; }));
+  ASSERT_TRUE(fut.valid());
+  try {
+    (void)fut.get();
+    FAIL() << "expected the rejected future to throw";
+  } catch (const std::future_error& e) {
+    FAIL() << "broken promise leaked to the caller: " << e.what();
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("shutdown"), std::string::npos);
+  }
+}
+
+TEST(ThreadPool, ShutdownIsIdempotentAndJoins) {
+  ThreadPool pool(3);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 8; ++i) pool.post([&] { ++count; });
+  pool.wait_idle();
+  pool.shutdown();
+  pool.shutdown();  // second call is a no-op
+  EXPECT_EQ(count.load(), 8);
+}
+
 TEST(InlineManager, RunsSynchronouslyAndReportsSuccess) {
   InlineManager mgr;
   bool ran = false, done_ok = false;
