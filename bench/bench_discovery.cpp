@@ -10,10 +10,18 @@
 // one target peer holds the wanted advert; 20 random queriers search for
 // it. Reported per strategy: network messages per query, success rate, and
 // virtual-time latency to the first hit.
+//
+// Machine-readable output: --json PATH writes a BENCH_discovery.json
+// artifact holding every table row; --max-peers N truncates the overlay
+// size sweep (CI smoke runs a small N and validates the JSON).
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
 
 #include "dsp/stats.hpp"
 #include "net/sim_network.hpp"
+#include "obs/json.hpp"
 #include "p2p/discovery.hpp"
 
 using namespace cg;
@@ -196,25 +204,86 @@ Outcome run_rendezvous(std::size_t n, std::uint64_t seed) {
                  successes ? latency.mean() : 0.0};
 }
 
+struct NamedRow {
+  std::string strategy;
+  std::size_t peers = 0;
+  Outcome o;
+};
+
 void print_row(const char* strategy, std::size_t n, const Outcome& o) {
   std::printf("%-18s %-8zu %-14.1f %-10.2f %-12.1f\n", strategy, n,
               o.msgs_per_query, o.success_rate, o.latency_ms);
 }
 
+std::string rows_json(const std::vector<NamedRow>& rows) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const NamedRow& r = rows[i];
+    if (i) out += ',';
+    out += "{\"strategy\":" + obs::json_quote(r.strategy);
+    out += ",\"peers\":" + std::to_string(r.peers);
+    out += ",\"msgs_per_query\":" + obs::json_number(r.o.msgs_per_query);
+    out += ",\"success_rate\":" + obs::json_number(r.o.success_rate);
+    out += ",\"latency_ms\":" + obs::json_number(r.o.latency_ms);
+    out += "}";
+  }
+  out += "]";
+  return out;
+}
+
+bool write_json(const std::string& path, const std::string& body) {
+  if (!obs::json_valid(body)) {
+    std::fprintf(stderr, "bench_discovery: refusing to write invalid JSON\n");
+    return false;
+  }
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "bench_discovery: cannot open %s\n", path.c_str());
+    return false;
+  }
+  const bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  std::fclose(f);
+  return ok;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string json_path;
+  std::size_t max_peers = 4096;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--max-peers") == 0 && i + 1 < argc) {
+      max_peers = static_cast<std::size_t>(std::atoll(argv[++i]));
+      if (max_peers == 0) {
+        std::fprintf(stderr, "bench_discovery: bad --max-peers value\n");
+        return 2;
+      }
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_discovery [--max-peers N] [--json PATH]\n");
+      return 2;
+    }
+  }
+
   std::printf("E4: discovery scalability (paper section 4)\n");
   std::printf("random ~4-regular overlay, DSL links, %d queries per point\n\n",
               kQueries);
   std::printf("%-18s %-8s %-14s %-10s %-12s\n", "strategy", "peers",
               "msgs/query", "success", "latency ms");
 
+  std::vector<NamedRow> rows;
+  auto record = [&](const char* strategy, std::size_t n, Outcome o) {
+    print_row(strategy, n, o);
+    rows.push_back({strategy, n, o});
+  };
   for (std::size_t n : {64u, 256u, 1024u, 4096u}) {
-    print_row("flooding ttl=64", n, run_flooding(n, 64, 7));
-    print_row("flooding ttl=6", n, run_flooding(n, 6, 7));
-    print_row("expanding ring", n, run_expanding_ring(n, 7));
-    print_row("rendezvous", n, run_rendezvous(n, 7));
+    if (n > max_peers) continue;
+    record("flooding ttl=64", n, run_flooding(n, 64, 7));
+    record("flooding ttl=6", n, run_flooding(n, 6, 7));
+    record("expanding ring", n, run_expanding_ring(n, 7));
+    record("rendezvous", n, run_rendezvous(n, 7));
     std::printf("\n");
   }
   std::printf(
@@ -223,5 +292,13 @@ int main() {
       "scalability'); bounded TTL is cheap but misses; the expanding ring "
       "pays only for the distance it needs; rendezvous answers in O(1) "
       "messages independent of N.\n");
+
+  if (!json_path.empty()) {
+    const std::string body = "{\"bench\":\"discovery\",\"queries\":" +
+                             std::to_string(kQueries) +
+                             ",\"rows\":" + rows_json(rows) + "}";
+    if (!write_json(json_path, body)) return 1;
+    std::printf("\nwrote %s\n", json_path.c_str());
+  }
   return 0;
 }

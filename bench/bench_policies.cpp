@@ -11,11 +11,20 @@
 // payload bytes, virtual completion time, and how much module code each
 // peer had to download (the constrained-device angle of 3.3 -- the
 // pipeline puts 1/3 of the code on each peer, the farm all of it on all).
+//
+// Machine-readable output: --json PATH writes a BENCH_policies.json
+// artifact holding every table row. --trace PATH reruns the smallest p2p
+// point with a causal tracer bound to the whole stack and exports the
+// merged JSONL -- a real deploy/fetch/tick/return trace for congrid-trace.
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
 
 #include "core/service/controller.hpp"
 #include "core/unit/builtin.hpp"
 #include "net/sim_network.hpp"
+#include "obs/obs.hpp"
 
 using namespace cg;
 
@@ -56,7 +65,9 @@ struct Result {
   std::uint64_t code_bytes_max_peer = 0;  ///< worst-case per-peer download
 };
 
-Result run_policy(const std::string& policy, int samples, int items) {
+Result run_policy(const std::string& policy, int samples, int items,
+                  obs::Registry* obs_registry = nullptr,
+                  obs::Tracer* tracer = nullptr) {
   net::SimNetwork net({}, 1);
   auto clock = [&net] { return net.now(); };
   auto sched = [&net](double d, std::function<void()> fn) {
@@ -77,6 +88,13 @@ Result run_policy(const std::string& policy, int samples, int items) {
     home.node().add_neighbor(workers.back()->endpoint());
     workers.back()->node().add_neighbor(home.endpoint());
     eps.push_back(workers.back()->endpoint());
+  }
+  if (obs_registry != nullptr) {
+    net.set_obs(*obs_registry, tracer, "policy");
+    home.set_obs(*obs_registry, tracer, "home");
+    for (std::size_t i = 0; i < workers.size(); ++i) {
+      workers[i]->set_obs(*obs_registry, tracer, "w" + std::to_string(i));
+    }
   }
 
   core::TaskGraph g = make_graph(policy, samples);
@@ -105,12 +123,74 @@ Result run_policy(const std::string& policy, int samples, int items) {
                  static_cast<std::uint64_t>(w->module_cache().stats()
                                                 .bytes_fetched));
   }
+  // After the stats are read: cancel remote jobs and close the run's trace
+  // span so an exported trace has no dangling root.
+  ctl.shutdown(*run);
+  net.run_all();
   return r;
+}
+
+struct Row {
+  int samples = 0;
+  std::string policy;
+  Result r;
+};
+
+std::string rows_json(const std::vector<Row>& rows) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& row = rows[i];
+    if (i) out += ',';
+    out += "{\"samples\":" + std::to_string(row.samples);
+    out += ",\"policy\":" + obs::json_quote(row.policy);
+    out += ",\"messages\":" + std::to_string(row.r.messages);
+    out += ",\"megabytes\":" + obs::json_number(row.r.megabytes);
+    out += ",\"completion_s\":" + obs::json_number(row.r.completion_s);
+    out += ",\"items_done\":" + std::to_string(row.r.items_done);
+    out += ",\"code_bytes_max_peer\":" +
+           std::to_string(row.r.code_bytes_max_peer);
+    out += "}";
+  }
+  out += "]";
+  return out;
+}
+
+bool write_text(const std::string& path, const std::string& body) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "bench_policies: cannot open %s\n", path.c_str());
+    return false;
+  }
+  const bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  std::fclose(f);
+  return ok;
+}
+
+bool write_json(const std::string& path, const std::string& body) {
+  if (!obs::json_valid(body)) {
+    std::fprintf(stderr, "bench_policies: refusing to write invalid JSON\n");
+    return false;
+  }
+  return write_text(path, body);
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string json_path;
+  std::string trace_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_policies [--json PATH] [--trace PATH]\n");
+      return 2;
+    }
+  }
+
   std::printf("E5: parallel (farm) vs peer-to-peer (pipeline) vs "
               "replicated policy\n");
   std::printf("3-stage group, 3 DSL peers, 60 items per run\n\n");
@@ -119,11 +199,13 @@ int main() {
               "code kB/peer");
 
   const int kItems = 60;
+  std::vector<Row> rows;
   for (int samples : {256, 4096, 32768}) {
     // "replicated" is the A1 ablation: integrity via 3x redundancy
     // (paper 3.5's wrong-results problem) paid for in messages/bytes.
     for (const char* policy : {"parallel", "p2p", "replicated"}) {
       const Result r = run_policy(policy, samples, kItems);
+      rows.push_back({samples, policy, r});
       std::printf("%-10d %-11s %-9llu %-10.2f %-9.1f %-8llu %-14.0f\n",
                   samples, policy,
                   static_cast<unsigned long long>(r.messages), r.megabytes,
@@ -138,5 +220,30 @@ int main() {
       "pipeline adds a hop per stage boundary (more messages and bytes) "
       "yet each peer hosts only its own stage's module -- the granularity/"
       "footprint trade the paper gives the user 'complete control' over.\n");
+
+  if (!json_path.empty()) {
+    const std::string body =
+        "{\"bench\":\"policies\",\"items\":" + std::to_string(kItems) +
+        ",\"rows\":" + rows_json(rows) + "}";
+    if (!write_json(json_path, body)) return 1;
+    std::printf("\nwrote %s\n", json_path.c_str());
+  }
+
+  // --trace: rerun the smallest p2p point with a tracer bound to the
+  // network, home service and workers, and export the causal JSONL. The
+  // rerun shares nothing with the sweep above, so the table is unaffected.
+  if (!trace_path.empty()) {
+    obs::Registry trace_registry;
+    obs::Tracer tracer(1 << 16);
+    (void)run_policy("p2p", 256, kItems, &trace_registry, &tracer);
+    const std::string jsonl = tracer.to_jsonl();
+    if (jsonl.empty()) {
+      std::printf("\ntracing compiled out (CONGRID_OBS=OFF); %s not written\n",
+                  trace_path.c_str());
+    } else {
+      if (!write_text(trace_path, jsonl)) return 1;
+      std::printf("\nwrote %s\n", trace_path.c_str());
+    }
+  }
   return 0;
 }

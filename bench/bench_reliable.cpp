@@ -84,7 +84,8 @@ double run_raw(double loss, std::uint64_t seed) {
   return static_cast<double>(got) / g_messages;
 }
 
-Row run_reliable(double loss, std::uint64_t seed, obs::Registry& registry) {
+Row run_reliable(double loss, std::uint64_t seed, obs::Registry& registry,
+                 obs::Tracer* tracer = nullptr) {
   net::SimNetwork net({}, seed);
   auto& ta = net.add_node();
   auto& tb = net.add_node();
@@ -99,9 +100,12 @@ Row run_reliable(double loss, std::uint64_t seed, obs::Registry& registry) {
   net::ReliableTransport b(tb, clock, sched, cfg);
 
   const std::string scope = loss_scope(loss);
-  net.set_obs(registry, nullptr, scope);
-  a.set_obs(registry, nullptr, scope + ".a");
-  b.set_obs(registry, nullptr, scope + ".b");
+  net.set_obs(registry, tracer, scope);
+  a.set_obs(registry, tracer, scope + ".a");
+  b.set_obs(registry, tracer, scope + ".b");
+  // Traced pass: stamp every envelope with a fixed trace id so
+  // congrid-trace can pair the two peers' events into one causal DAG.
+  if (tracer != nullptr) a.set_trace(0xe10c0ffee | 1);
 
   net::FaultPlan plan;
   plan.default_link.drop = loss;
@@ -152,11 +156,7 @@ std::string rows_json(const std::vector<Row>& rows) {
   return out;
 }
 
-bool write_json(const std::string& path, const std::string& body) {
-  if (!obs::json_valid(body)) {
-    std::fprintf(stderr, "bench_reliable: refusing to write invalid JSON\n");
-    return false;
-  }
+bool write_text(const std::string& path, const std::string& body) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (!f) {
     std::fprintf(stderr, "bench_reliable: cannot open %s\n", path.c_str());
@@ -167,10 +167,19 @@ bool write_json(const std::string& path, const std::string& body) {
   return ok;
 }
 
+bool write_json(const std::string& path, const std::string& body) {
+  if (!obs::json_valid(body)) {
+    std::fprintf(stderr, "bench_reliable: refusing to write invalid JSON\n");
+    return false;
+  }
+  return write_text(path, body);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string json_path;
+  std::string trace_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--messages") == 0 && i + 1 < argc) {
       g_messages = std::atoi(argv[++i]);
@@ -180,9 +189,12 @@ int main(int argc, char** argv) {
       }
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
     } else {
       std::fprintf(stderr,
-                   "usage: bench_reliable [--messages N] [--json PATH]\n");
+                   "usage: bench_reliable [--messages N] [--json PATH] "
+                   "[--trace PATH]\n");
       return 2;
     }
   }
@@ -220,6 +232,23 @@ int main(int argc, char** argv) {
                        registry.snapshot().to_json(/*pretty=*/false) + "}";
     if (!write_json(json_path, body)) return 1;
     std::printf("\nwrote %s\n", json_path.c_str());
+  }
+
+  // --trace: rerun the 10% loss point with a tracer bound and export the
+  // causal JSONL (feed it to congrid-trace). A separate registry keeps the
+  // traced rerun out of the sweep's metric snapshot.
+  if (!trace_path.empty()) {
+    obs::Registry trace_registry;
+    obs::Tracer tracer(1 << 16);
+    (void)run_reliable(0.10, 7, trace_registry, &tracer);
+    const std::string jsonl = tracer.to_jsonl();
+    if (jsonl.empty()) {
+      std::printf("\ntracing compiled out (CONGRID_OBS=OFF); %s not written\n",
+                  trace_path.c_str());
+    } else {
+      if (!write_text(trace_path, jsonl)) return 1;
+      std::printf("\nwrote %s\n", trace_path.c_str());
+    }
   }
   return 0;
 }

@@ -105,6 +105,14 @@ void GraphRuntime::set_obs(obs::Registry& registry, const std::string& scope) {
   waves_c_ = registry.counter(obs::scoped(scope, "runtime.waves"));
 }
 
+void GraphRuntime::set_trace(obs::TracerRef tracer, std::string node,
+                             const obs::TraceContext& ctx, std::string tag) {
+  tracer_ = tracer;
+  trace_node_ = std::move(node);
+  trace_ctx_ = ctx;
+  trace_tag_ = tag.empty() ? std::string() : tag + " ";
+}
+
 bool GraphRuntime::ready(const Node& n) const {
   if (n.is_receive) return false;  // fed by deliver(), never fires
   bool any_connected = false;
@@ -181,8 +189,18 @@ void GraphRuntime::tick() {
   }
   ++iteration_;
   ++stats_.ticks;
+  const std::uint64_t span =
+      tracer_ ? tracer_.begin_span(
+                    trace_node_, "runtime.tick", trace_ctx_,
+                    trace_tag_ + "iter=" + std::to_string(iteration_))
+              : 0;
+  const std::uint64_t fired_before = stats_.firings;
   for (std::size_t idx : sources_) fire(idx);
   drain();
+  if (span != 0) {
+    tracer_.end_span(span, trace_node_, "runtime.tick",
+                     "fired=" + std::to_string(stats_.firings - fired_before));
+  }
 }
 
 void GraphRuntime::run(std::uint64_t iterations) {
@@ -199,17 +217,23 @@ void GraphRuntime::run_parallel(rm::ThreadPool& pool,
 void GraphRuntime::tick_wave(rm::ThreadPool& pool) {
   ++iteration_;
   ++stats_.ticks;
+  const std::uint64_t span =
+      tracer_ ? tracer_.begin_span(
+                    trace_node_, "runtime.tick", trace_ctx_,
+                    trace_tag_ + "iter=" + std::to_string(iteration_))
+              : 0;
 
   // Wave 0: the sources (index-ascending by construction). Each later
   // wave is every node made ready by the previous commit.
   std::vector<std::size_t> wave = sources_;
   std::uint64_t waves = 0;
   std::uint64_t fired = 0;
+  double stall_s = 0.0;
   while (!wave.empty()) {
     ++waves;
     fired += wave.size();
     wave_width_h_.observe(static_cast<double>(wave.size()));
-    dispatch_wave(pool, wave);
+    stall_s += dispatch_wave(pool, wave);
     collect_next_wave(wave);
   }
   waves_c_.inc(waves);
@@ -217,10 +241,16 @@ void GraphRuntime::tick_wave(rm::ThreadPool& pool) {
     parallelism_g_.set(static_cast<double>(fired) /
                        static_cast<double>(waves));
   }
+  if (span != 0) {
+    tracer_.end_span(span, trace_node_, "runtime.tick",
+                     "fired=" + std::to_string(fired) +
+                         " waves=" + std::to_string(waves) +
+                         " barrier_stall_s=" + std::to_string(stall_s));
+  }
 }
 
-void GraphRuntime::dispatch_wave(rm::ThreadPool& pool,
-                                 const std::vector<std::size_t>& wave) {
+double GraphRuntime::dispatch_wave(rm::ThreadPool& pool,
+                                   const std::vector<std::size_t>& wave) {
   const std::size_t n = wave.size();
   std::vector<std::vector<std::pair<std::size_t, DataItem>>> results(n);
   std::vector<std::exception_ptr> errors(n);
@@ -256,10 +286,11 @@ void GraphRuntime::dispatch_wave(rm::ThreadPool& pool,
   }
   const auto stall_begin = std::chrono::steady_clock::now();
   batch.wait();
-  barrier_stall_h_.observe(
+  const double stall_s =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     stall_begin)
-          .count());
+          .count();
+  barrier_stall_h_.observe(stall_s);
 
   // Deterministic error surfacing: the lowest-index failure wins,
   // independent of which worker lost the race.
@@ -277,6 +308,7 @@ void GraphRuntime::dispatch_wave(rm::ThreadPool& pool,
       route(wave[w], port, std::move(item));
     }
   }
+  return stall_s;
 }
 
 void GraphRuntime::collect_next_wave(std::vector<std::size_t>& wave) {

@@ -38,6 +38,7 @@
 #include "core/unit/proxy_units.hpp"
 #include "core/unit/registry.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "rm/thread_pool.hpp"
 
 namespace cg::core {
@@ -82,6 +83,15 @@ class GraphRuntime {
   /// histograms, per-tick parallelism gauge) into `registry` under
   /// "<scope>.runtime.*".
   void set_obs(obs::Registry& registry, const std::string& scope = "");
+
+  /// Join a causal trace: every tick becomes a "runtime.tick" span on
+  /// `node`, child of ctx.parent_span (the deploy span that started this
+  /// job). `tag` is prefixed to every span detail (e.g. "job=home#1") so
+  /// ticks of different jobs on one node stay distinguishable. Tracing
+  /// never alters firing order, RNG streams or outputs -- span
+  /// bookkeeping happens outside the scheduling loops.
+  void set_trace(obs::TracerRef tracer, std::string node,
+                 const obs::TraceContext& ctx, std::string tag = "");
 
   /// One streaming iteration: every source fires once, then the graph
   /// runs to quiescence. Uses the wave scheduler when max_threads > 0.
@@ -161,8 +171,10 @@ class GraphRuntime {
   void tick_wave(rm::ThreadPool& pool);
   /// Invoke every member of `wave` (pool for parallel-safe units, the
   /// coordinator for serial-only ones), then commit emissions in ascending
-  /// unit-index order. `wave` must be sorted ascending.
-  void dispatch_wave(rm::ThreadPool& pool, const std::vector<std::size_t>& wave);
+  /// unit-index order. `wave` must be sorted ascending. Returns the
+  /// coordinator's wait at the barrier, in seconds.
+  double dispatch_wave(rm::ThreadPool& pool,
+                       const std::vector<std::size_t>& wave);
   /// Drain worklist_ (+ still-ready members of the committed wave) into
   /// the next wave, sorted ascending.
   void collect_next_wave(std::vector<std::size_t>& wave);
@@ -184,6 +196,11 @@ class GraphRuntime {
   obs::HistogramRef barrier_stall_h_;  ///< coordinator wait at the barrier
   obs::GaugeRef parallelism_g_;        ///< firings / waves, last tick
   obs::CounterRef waves_c_;            ///< waves dispatched
+
+  obs::TracerRef tracer_;        ///< "runtime.tick" spans (set_trace)
+  std::string trace_node_;
+  std::string trace_tag_;        ///< detail prefix ("job=... ")
+  obs::TraceContext trace_ctx_;  ///< the job's causal identity
 };
 
 }  // namespace cg::core

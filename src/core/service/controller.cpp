@@ -31,6 +31,12 @@ void TrianaController::discover_workers(
   auto& node = home_.node();
   const net::Endpoint self = home_.endpoint();
 
+  // The whole round -- flood/rendezvous query, every response straggling
+  // in, the deadline -- is one span under the home peer's current context.
+  const std::uint64_t dspan = home_.tracer().begin_span(
+      home_.id(), "discovery.round", home_.trace(),
+      "want=" + std::to_string(want) + " ttl=" + std::to_string(ttl));
+
   auto on_response = [state, self, want](
                          const std::vector<p2p::Advertisement>& adverts) {
     if (state->finished) return;
@@ -55,10 +61,13 @@ void TrianaController::discover_workers(
   // the full timeout even when `want` is reached early -- responses keep
   // arriving and the deadline keeps the behaviour deterministic.
   home_.scheduler()(timeout_s,
-                    [this, state, qid, done = std::move(done)]() {
+                    [this, state, qid, dspan, done = std::move(done)]() {
                       if (state->finished) return;
                       state->finished = true;
                       home_.node().cancel(qid);
+                      home_.tracer().end_span(
+                          dspan, home_.id(), "discovery.round",
+                          "found=" + std::to_string(state->found.size()));
                       if (trust_) {
                         // Rank best-first; drop quarantined peers.
                         std::stable_sort(
@@ -91,6 +100,21 @@ std::shared_ptr<DistributedRun> TrianaController::distribute(
   auto run = std::make_shared<DistributedRun>();
   run->group = group_name;
   run->prefix = home_.id() + "/g" + std::to_string(next_run_++);
+
+  // Root of the run's causal trace. The trace id is derived from the run
+  // prefix (deterministic across replays of the same seed), unless the
+  // home service already joined a trace, which this run then continues.
+  if (home_.tracer()) {
+    std::uint64_t tid = home_.trace().trace_id;
+    if (tid == 0) tid = std::hash<std::string>{}(run->prefix) | 1;
+    run->trace_id = tid;
+    run->root_span = home_.tracer().begin_span(
+        home_.id(), "run",
+        obs::TraceContext{tid, home_.trace().parent_span, 0},
+        "group=" + group_name +
+            " workers=" + std::to_string(workers.size()));
+    home_.join_trace(tid, run->root_span);
+  }
 
   DistributionPlan plan =
       policy->plan(g, group_name, workers.size(), run->prefix);
@@ -148,6 +172,10 @@ void TrianaController::shutdown(DistributedRun& run) {
     }
   }
   home_.cancel_local(run.home_job);
+  if (run.root_span != 0) {
+    home_.tracer().end_span(run.root_span, home_.id(), "run", "shutdown");
+    run.root_span = 0;
+  }
 }
 
 void TrianaController::migrate(std::shared_ptr<DistributedRun> run,

@@ -35,6 +35,12 @@ struct DistributedRun {
   std::size_t acks_ok = 0;
   std::size_t acks_failed = 0;
   std::vector<std::string> errors;
+  /// Causal identity of this run: every deploy, fetch, pipe bind and tick
+  /// it causes -- on any peer -- carries trace_id; root_span is the open
+  /// "run" span (closed by shutdown()). Zero when the home service has no
+  /// tracer bound.
+  std::uint64_t trace_id = 0;
+  std::uint64_t root_span = 0;
 
   bool all_acked() const {
     return acks_ok + acks_failed == remote_jobs.size();

@@ -32,6 +32,35 @@ Unpacked unpack(const serial::Frame& f) {
   return u;
 }
 
+/// Fixed-width 16-hex rendering so the attribute (and frame) size is the
+/// same whether or not tracing is active.
+std::string hex16(std::uint64_t v) {
+  static const char* digits = "0123456789abcdef";
+  std::string s(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    s[static_cast<std::size_t>(i)] = digits[v & 0xf];
+    v >>= 4;
+  }
+  return s;
+}
+
+std::uint64_t parse_hex16(const std::string& s) {
+  std::uint64_t v = 0;
+  for (char c : s) {
+    v <<= 4;
+    if (c >= '0' && c <= '9') {
+      v |= static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      v |= static_cast<std::uint64_t>(c - 'a' + 10);
+    } else if (c >= 'A' && c <= 'F') {
+      v |= static_cast<std::uint64_t>(c - 'A' + 10);
+    } else {
+      throw serial::DecodeError("bad hex in trace attribute");
+    }
+  }
+  return v;
+}
+
 ControlType type_from_name(const std::string& name) {
   if (name == "deploy") return ControlType::kDeploy;
   if (name == "deploy-ack") return ControlType::kDeployAck;
@@ -52,6 +81,9 @@ serial::Frame encode(const DeployMsg& m) {
   n.set_attr("owner", m.owner);
   n.set_attr("owner-endpoint", m.owner_endpoint.value);
   n.set_attr_int("iterations", static_cast<long long>(m.iterations));
+  n.set_attr("trace", hex16(m.trace.trace_id));
+  n.set_attr("span", hex16(m.trace.parent_span));
+  n.set_attr("lc", hex16(m.trace.lamport));
   n.add_child("graph").set_text(m.graph_xml);
   return pack(n, m.checkpoint);
 }
@@ -121,6 +153,9 @@ DeployMsg decode_deploy(const serial::Frame& f) {
       static_cast<std::uint64_t>(u.header.attr_int("iterations", 0));
   m.graph_xml = u.header.require_child("graph").text();
   m.checkpoint = std::move(u.body);
+  m.trace.trace_id = parse_hex16(u.header.attr_or("trace", "0"));
+  m.trace.parent_span = parse_hex16(u.header.attr_or("span", "0"));
+  m.trace.lamport = parse_hex16(u.header.attr_or("lc", "0"));
   return m;
 }
 

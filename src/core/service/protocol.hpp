@@ -12,6 +12,7 @@
 
 #include "core/graph/taskgraph.hpp"
 #include "net/endpoint.hpp"
+#include "obs/context.hpp"
 #include "serial/frame.hpp"
 
 namespace cg::core {
@@ -34,6 +35,12 @@ struct DeployMsg {
   std::uint64_t iterations = 0; ///< 0 = reactive (pipe-driven) job
   std::string graph_xml;        ///< the fragment to execute
   serial::Bytes checkpoint;     ///< optional state to restore (migration)
+  /// Causal context of the deploy (the controller's run trace and the
+  /// deploy.client span that issued it). Encoded as fixed-width 16-hex
+  /// attributes that are ALWAYS present -- zeros when untraced -- so the
+  /// frame size, and hence simulated latency, never depends on whether
+  /// tracing is enabled.
+  obs::TraceContext trace;
 };
 
 struct DeployAckMsg {

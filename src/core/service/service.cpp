@@ -108,6 +108,20 @@ void TrianaService::set_obs(obs::Registry& registry, obs::Tracer* tracer,
   obs_.tracer = tracer;
   transport_.set_obs(registry, tracer, s);
   module_cache_.set_obs(registry, s);
+  node_.set_obs(tracer, s);
+  code_.set_obs(tracer, s);
+}
+
+void TrianaService::join_trace(std::uint64_t trace_id,
+                               std::uint64_t parent_span) {
+#if CONGRID_OBS_ENABLED
+  trace_ctx_ = obs::TraceContext{trace_id, parent_span, 0};
+  transport_.set_trace(trace_id);
+  node_.set_trace(trace_ctx_);
+#else
+  (void)trace_id;
+  (void)parent_span;
+#endif
 }
 
 // ---------------------------------------------------------------- client
@@ -126,7 +140,8 @@ std::string TrianaService::deploy_remote(const net::Endpoint& target,
   m.checkpoint = std::move(checkpoint);
   const double sent_at = clock_();
   const std::uint64_t span = obs_.tracer.begin_span(
-      config_.peer_id, "deploy.client", "job=" + m.job_id);
+      config_.peer_id, "deploy.client", trace_ctx_, "job=" + m.job_id);
+  m.trace = obs::TraceContext{trace_ctx_.trace_id, span, 0};
   ack_handlers_[m.job_id] = [this, sent_at, span,
                              h = std::move(on_ack)](const DeployAckMsg& a) {
     obs_.deploy_rtt_s.observe(clock_() - sent_at);
@@ -169,10 +184,13 @@ std::string TrianaService::deploy_local(const TaskGraph& graph,
   m.iterations = iterations;
   m.graph_xml = write_taskgraph(graph, /*pretty=*/false);
   m.checkpoint = std::move(checkpoint);
+  m.trace = trace_ctx_;
 
   PendingDeploy pending;
   pending.msg = std::move(m);
   pending.received_at = clock_();
+  pending.span = obs_.tracer.begin_span(config_.peer_id, "deploy", trace_ctx_,
+                                        "job=" + pending.msg.job_id);
   // Local deploys never fetch: the owner trivially has its own code.
   const std::string job_id = pending.msg.job_id;
   if (auto error = start_job(std::move(pending))) {
@@ -308,6 +326,13 @@ void TrianaService::handle_deploy(const net::Endpoint& from, DeployMsg m) {
   ++stats_.deploys_received;
   obs_.deploys_received.inc();
 
+  // A worker that is not yet part of any run trace joins the deploy's:
+  // its own discovery rounds, fetches and envelopes become children of the
+  // controller's run from here on.
+  if (m.trace.trace_id != 0 && trace_ctx_.trace_id == 0) {
+    join_trace(m.trace.trace_id, m.trace.parent_span);
+  }
+
   // Idempotence guard behind the reliable layer's dedup window: a retried
   // deploy for a job this service already hosts is acknowledged again but
   // never executed twice. A retry for a deploy still fetching modules is
@@ -340,6 +365,7 @@ void TrianaService::handle_deploy(const net::Endpoint& from, DeployMsg m) {
   pending.reply_to = from;
   pending.received_at = clock_();
   pending.span = obs_.tracer.begin_span(config_.peer_id, "deploy",
+                                        pending.msg.trace,
                                         "job=" + pending.msg.job_id);
 
   // On-demand code download: every module type not already cached is
@@ -376,28 +402,41 @@ void TrianaService::handle_deploy(const net::Endpoint& from, DeployMsg m) {
   }
 
   const net::Endpoint owner = it->second.msg.owner_endpoint;
+  // Each missing module becomes a "cache.fetch" span, child of the deploy
+  // span; the request carries that context so the owner's "code.serve"
+  // event lands inside it. The critical-path analyzer charges the deploy's
+  // wait on these spans to cache-miss stall.
+  const obs::TraceContext deploy_ctx{it->second.msg.trace.trace_id,
+                                     it->second.span, 0};
   for (const auto& type : missing) {
-    code_.fetch(owner, type, "",
-                [this, job_id, type](std::optional<repo::ModuleArtifact> a) {
-                  auto pit = pending_.find(job_id);
-                  if (pit == pending_.end()) return;  // cancelled
-                  PendingDeploy& p = pit->second;
-                  --p.fetches_outstanding;
-                  if (!a) {
-                    p.failed = true;
-                    p.error = "owner has no module '" + type + "'";
-                  } else {
-                    ++stats_.modules_fetched;
-                    obs_.modules_fetched.inc();
-                    if (!module_cache_.insert(*a)) {
-                      p.failed = true;
-                      p.error = "module cache cannot hold '" + type + "'";
-                    } else {
-                      p.fetched_modules.push_back(type);
-                    }
-                  }
-                  maybe_start(job_id);
-                });
+    const std::uint64_t fspan = obs_.tracer.begin_span(
+        config_.peer_id, "cache.fetch", deploy_ctx, "module=" + type);
+    code_.fetch(
+        owner, type, "",
+        [this, job_id, type,
+         fspan](std::optional<repo::ModuleArtifact> a) {
+          auto pit = pending_.find(job_id);
+          if (pit == pending_.end()) return;  // cancelled
+          PendingDeploy& p = pit->second;
+          --p.fetches_outstanding;
+          if (!a) {
+            p.failed = true;
+            p.error = "owner has no module '" + type + "'";
+          } else {
+            ++stats_.modules_fetched;
+            obs_.modules_fetched.inc();
+            if (!module_cache_.insert(*a)) {
+              p.failed = true;
+              p.error = "module cache cannot hold '" + type + "'";
+            } else {
+              p.fetched_modules.push_back(type);
+            }
+          }
+          obs_.tracer.end_span(fspan, config_.peer_id, "cache.fetch",
+                               a ? "fetched" : "missing");
+          maybe_start(job_id);
+        },
+        obs::TraceContext{deploy_ctx.trace_id, fspan, 0});
   }
 }
 
@@ -468,6 +507,12 @@ std::optional<std::string> TrianaService::start_job(PendingDeploy pending) {
   for (const auto& mname : job.pinned_modules) {
     if (module_cache_.contains(mname)) module_cache_.pin(mname);
   }
+
+  // Everything the runtime does for this job -- ticks, wave dispatch --
+  // is causally a child of the deploy span that started it.
+  job.trace = obs::TraceContext{pending.msg.trace.trace_id, pending.span, 0};
+  job.runtime->set_trace(obs_.tracer, config_.peer_id, job.trace,
+                         "job=" + job.job_id);
 
   const std::string job_id = job.job_id;
 
@@ -559,7 +604,12 @@ void TrianaService::on_channel_send(const std::string& job_id,
   job.out_backlog[label].push_back(std::move(item));
   if (bind_started) return;
 
-  pipes_.bind_output(label, [this, job_id, label](p2p::OutputPipe pipe) {
+  // The bind is a span under the job's context: its duration is how long
+  // the first item on this channel waited for discovery + connection.
+  const std::uint64_t bspan = obs_.tracer.begin_span(
+      config_.peer_id, "pipe.bind", job.trace, "label=" + label);
+  pipes_.bind_output(label, [this, job_id, label,
+                             bspan](p2p::OutputPipe pipe) {
     auto jit = jobs_.find(job_id);
     if (jit == jobs_.end()) return;
     Job& j = jit->second;
@@ -568,9 +618,11 @@ void TrianaService::on_channel_send(const std::string& job_id,
       j.error = "could not bind output channel '" + label + "'";
       ++stats_.jobs_failed;
       obs_.jobs_failed.inc();
+      obs_.tracer.end_span(bspan, config_.peer_id, "pipe.bind", "failed");
       finish_job(j, /*violated=*/false);
       return;
     }
+    obs_.tracer.end_span(bspan, config_.peer_id, "pipe.bind", "bound");
     j.out_pipes[label] = pipe;
     auto bit = j.out_backlog.find(label);
     if (bit != j.out_backlog.end()) {

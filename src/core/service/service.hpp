@@ -108,6 +108,17 @@ class TrianaService {
   void set_obs(obs::Registry& registry, obs::Tracer* tracer = nullptr,
                std::string_view scope = {});
 
+  /// Adopt a run-level causal context: deploys, discovery rounds, module
+  /// fetches and pipe binds this peer initiates become children of
+  /// (trace_id, parent_span), and the reliable layer stamps every envelope
+  /// it originates with trace_id. A service whose trace id is still 0
+  /// adopts the context of the first traced deploy it receives, so workers
+  /// join the controller's run trace with no extra signalling.
+  void join_trace(std::uint64_t trace_id, std::uint64_t parent_span);
+  const obs::TraceContext& trace() const { return trace_ctx_; }
+  /// The bound tracer handle (null-safe; empty before set_obs).
+  obs::TracerRef tracer() const { return obs_.tracer; }
+
   /// Publish this peer's advert (capabilities) into the local cache and to
   /// the configured rendezvous, making the service discoverable.
   void announce();
@@ -189,6 +200,9 @@ class TrianaService {
     std::vector<std::string> input_labels;  ///< advertised pipes to remove
     std::map<std::string, p2p::OutputPipe> out_pipes;
     std::map<std::string, std::vector<DataItem>> out_backlog;
+    /// The job's causal identity: the deploy's trace, parented by this
+    /// service's "deploy" span. Runtime ticks and pipe binds hang off it.
+    obs::TraceContext trace;
   };
 
   /// A deploy waiting for module fetches.
@@ -249,6 +263,7 @@ class TrianaService {
   std::uint64_t next_job_ = 1;
   ServiceStats stats_;
   Obs obs_;
+  obs::TraceContext trace_ctx_;  ///< run-level context (join_trace)
 };
 
 }  // namespace cg::core

@@ -3,6 +3,36 @@
 #include <algorithm>
 
 namespace cg::net {
+namespace {
+
+// Short type tag used in transfer-event details; congrid-trace buckets
+// transfers by it (and excludes timing-sensitive discovery traffic from
+// DAG signatures).
+const char* type_tag(serial::FrameType t) {
+  switch (t) {
+    case serial::FrameType::kControl:
+      return "control";
+    case serial::FrameType::kData:
+      return "data";
+    case serial::FrameType::kCode:
+      return "code";
+    case serial::FrameType::kDiscovery:
+      return "discovery";
+    case serial::FrameType::kHeartbeat:
+      return "heartbeat";
+    default:
+      return "other";
+  }
+}
+
+// Both directions spell the connection the same way -- "<src>><dst>" with
+// endpoint values -- so the analyzer can pair a send with its recv on
+// (conn, seq) alone.
+std::string conn_name(const Endpoint& src, const Endpoint& dst) {
+  return src.value + ">" + dst.value;
+}
+
+}  // namespace
 
 ReliableTransport::ReliableTransport(Transport& inner, Clock clock,
                                      Scheduler scheduler,
@@ -40,6 +70,14 @@ void ReliableTransport::set_obs(obs::Registry& registry, obs::Tracer* tracer,
   obs_.node = scope.empty() ? inner_.local().value : std::string(scope);
 }
 
+void ReliableTransport::set_trace(std::uint64_t trace_id) {
+#if CONGRID_OBS_ENABLED
+  trace_id_ = trace_id;
+#else
+  (void)trace_id;  // zeros stay on the wire; sizes are unchanged either way
+#endif
+}
+
 bool ReliableTransport::is_reliable_type(serial::FrameType t) const {
   // Never re-wrap the layer's own traffic, whatever the policy says.
   if (t == serial::FrameType::kReliable || t == serial::FrameType::kAck) {
@@ -66,15 +104,21 @@ void ReliableTransport::send(const Endpoint& to, serial::Frame frame) {
   const std::uint64_t id = next_id_++;
   Pending p;
   p.to = to;
-  p.wire = serial::encode_envelope(id, frame);
-  p.original = std::move(frame);
   p.first_sent_at = clock_();
   p.rto_s = config_.rto_initial_s;
   if (obs_.tracer) {
-    p.span = obs_.tracer.begin_span(obs_.node, "reliable.msg",
-                                    "id=" + std::to_string(id) + " to=" +
-                                        to.value);
+    p.span = obs_.tracer.begin_span(
+        obs_.node, "reliable.msg",
+        obs::TraceContext{trace_id_, 0, lamport_.now()},
+        "seq=" + std::to_string(id) +
+            " conn=" + conn_name(inner_.local(), to) + " type=" +
+            type_tag(frame.type));
   }
+  // The envelope's parent is the sending span: the receiver's recv event
+  // (and anything caused by the delivery) hangs off it in the causal DAG.
+  const obs::TraceContext wire_trace{trace_id_, p.span, lamport_.tick()};
+  p.wire = serial::encode_envelope(id, frame, wire_trace);
+  p.original = std::move(frame);
 
   inner_.send(to, p.wire);
   ++stats_.sent;
@@ -113,8 +157,10 @@ void ReliableTransport::on_retry_timer(std::uint64_t id) {
   obs_.retransmits.inc();
   if (obs_.tracer) {
     obs_.tracer.event(obs_.node, "reliable.retx",
-                      "id=" + std::to_string(id) + " try=" +
-                          std::to_string(p.retries));
+                      obs::TraceContext{trace_id_, p.span, lamport_.now()},
+                      "seq=" + std::to_string(id) +
+                          " conn=" + conn_name(inner_.local(), p.to) +
+                          " try=" + std::to_string(p.retries));
   }
   inner_.send(p.to, p.wire);
   p.rto_s = std::min(p.rto_s * config_.backoff, config_.rto_max_s);
@@ -129,7 +175,8 @@ void ReliableTransport::on_frame(const Endpoint& from, serial::Frame frame) {
       obs_.acked.inc();
       obs_.ack_latency_s.observe(clock_() - it->second.first_sent_at);
       obs_.tracer.end_span(it->second.span, obs_.node, "reliable.msg",
-                           "acked");
+                           "acked retx=" +
+                               std::to_string(it->second.retries));
       pending_.erase(it);
     }
     return;  // duplicate ack for an already-settled message: ignore
@@ -143,6 +190,17 @@ void ReliableTransport::on_frame(const Endpoint& from, serial::Frame frame) {
   }
 
   serial::ReliableEnvelope env = serial::decode_envelope(frame);
+
+  // Clock-merge rule: every received envelope advances the local Lamport
+  // clock past the sender's (max(local, remote) + 1), so clock order
+  // refines the happens-before relation across peers. Duplicates merge
+  // too -- a retransmission still happened-after its send.
+  const std::uint64_t merged = lamport_.merge(env.trace.lamport);
+  // A transport with no trace of its own joins the run trace of its
+  // traffic; this is how workers adopt the controller's per-run id.
+  if (env.trace.trace_id != 0 && trace_id_ == 0) {
+    trace_id_ = env.trace.trace_id;
+  }
 
   // Always re-ack: the sender retransmits exactly because an earlier ack
   // (or the message itself) was lost.
@@ -165,6 +223,17 @@ void ReliableTransport::on_frame(const Endpoint& from, serial::Frame frame) {
 
   ++stats_.delivered;
   obs_.delivered.inc();
+  if (obs_.tracer) {
+    // The recv half of the transfer pair: same conn/seq spelling as the
+    // sender's reliable.msg span, parented to the sending span via the
+    // envelope's context.
+    obs_.tracer.event(
+        obs_.node, "reliable.recv",
+        obs::TraceContext{env.trace.trace_id, env.trace.parent_span, merged},
+        "seq=" + std::to_string(env.msg_id) +
+            " conn=" + conn_name(from, inner_.local()) + " type=" +
+            type_tag(env.inner.type));
+  }
   if (handler_) handler_(from, std::move(env.inner));
 }
 

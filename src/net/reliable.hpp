@@ -106,6 +106,21 @@ class ReliableTransport final : public Transport {
   void set_obs(obs::Registry& registry, obs::Tracer* tracer = nullptr,
                std::string_view scope = {});
 
+  /// Join causal trace `trace_id`: every envelope this transport originates
+  /// is stamped with it (plus the sending span and the local Lamport clock)
+  /// so receivers can attach their work to the same per-run trace. A
+  /// transport with no explicit trace adopts the id of the first traced
+  /// envelope it receives -- workers join the controller's run trace
+  /// without any extra signalling. No-op (zeros on the wire) when the obs
+  /// layer is compiled out; the envelope bytes stay, so frame sizes and
+  /// simulated latencies never change with tracing.
+  void set_trace(std::uint64_t trace_id);
+  std::uint64_t trace_id() const { return trace_id_; }
+  /// Local Lamport clock: ticked per originated envelope, merged on every
+  /// envelope received. Exposed so app layers (service, discovery) can
+  /// stamp their own messages consistently.
+  obs::LamportClock& lamport() { return lamport_; }
+
   const ReliableStats& stats() const { return stats_; }
   const ReliableConfig& config() const { return config_; }
   /// Messages sent but neither acked nor expired yet.
@@ -154,6 +169,8 @@ class ReliableTransport final : public Transport {
   std::map<std::uint64_t, Pending> pending_;
   std::unordered_map<std::string, SeenWindow> seen_;
   std::uint64_t next_id_ = 1;
+  std::uint64_t trace_id_ = 0;
+  obs::LamportClock lamport_;
   ReliableStats stats_;
 };
 

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "serial/crc32.hpp"
+#include "serial/frame.hpp"
 
 namespace cg::net {
 
@@ -20,6 +21,7 @@ SimTransport& SimNetwork::add_node() {
   const auto id = static_cast<std::uint32_t>(nodes_.size());
   nodes_.emplace_back(std::unique_ptr<SimTransport>(new SimTransport(this, id)));
   up_.push_back(true);
+  lamports_.emplace_back();
   return *nodes_.back();
 }
 
@@ -28,7 +30,8 @@ void SimNetwork::set_up(std::uint32_t id, bool up) {
     (up ? obs_.node_up : obs_.node_down).inc();
     if (obs_.tracer) {
       obs_.tracer.event("sim:" + std::to_string(id),
-                        up ? "net.node_up" : "net.node_down");
+                        up ? "net.node_up" : "net.node_down",
+                        obs::TraceContext{0, 0, lamport_of(id)});
     }
   }
   up_.at(id) = up;
@@ -162,12 +165,21 @@ void SimNetwork::deliver_copy(std::uint32_t from, std::uint32_t dst,
                  obs_.frames_corrupt_rejected.inc();
                  if (obs_.tracer) {
                    obs_.tracer.event("sim:" + std::to_string(dst),
-                                     "net.corrupt_reject");
+                                     "net.corrupt_reject",
+                                     obs::TraceContext{0, 0, lamport_of(dst)});
                  }
                  return;
                }
                ++stats_.messages_delivered;
                obs_.frames_delivered.inc();
+               // Wire-level clock merge: envelopes carry the sender's
+               // Lamport stamp; merging here orders this node's network
+               // events after the send even when the layers above never
+               // look at the context. Skipped entirely when untraced.
+               if (obs_.tracer && f.type == serial::FrameType::kReliable &&
+                   f.payload.size() >= 8 + obs::kTraceContextWireSize) {
+                 lamports_[dst].merge(serial::peek_envelope_trace(f).lamport);
+               }
                auto& node = *nodes_.at(dst);
                if (node.handler_) {
                  node.handler_(sim_endpoint(from), std::move(f));

@@ -157,6 +157,16 @@ class SimNetwork {
   void set_obs(obs::Registry& registry, obs::Tracer* tracer = nullptr,
                std::string_view scope = {});
 
+  /// Per-node Lamport clock as seen by the wire: merged from each
+  /// kReliable envelope's trace context at delivery (max(local, remote)+1,
+  /// same rule as ReliableTransport), so even a node whose upper layers do
+  /// no tracing orders its network-level events against the rest of the
+  /// grid. Only maintained while a tracer is bound -- observability must
+  /// cost nothing when off.
+  std::uint64_t lamport_of(std::uint32_t id) const {
+    return id < lamports_.size() ? lamports_[id].now() : 0;
+  }
+
  private:
   friend class SimTransport;
 
@@ -194,6 +204,7 @@ class SimNetwork {
   std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
   std::vector<std::unique_ptr<SimTransport>> nodes_;
   std::vector<bool> up_;
+  std::vector<obs::LamportClock> lamports_;  ///< wire-level clocks, per node
   SimStats stats_;
   LatencyFn latency_fn_;
   FaultFn fault_fn_;

@@ -1,0 +1,735 @@
+#include "obs/causal.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "obs/json.hpp"
+
+namespace cg::obs::causal {
+namespace {
+
+// ------------------------------------------------------------ line parser
+//
+// Tracer::to_jsonl emits flat objects (string / number / bool values,
+// never nested), so a tiny cursor parser suffices; json_valid stays the
+// strict gate for *producing* JSON, this is the consuming half.
+
+struct Cursor {
+  std::string_view s;
+  std::size_t i = 0;
+
+  bool done() const { return i >= s.size(); }
+  char peek() const { return s[i]; }
+  void skip_ws() {
+    while (!done() && (s[i] == ' ' || s[i] == '\t')) ++i;
+  }
+  void expect(char c, const char* what) {
+    skip_ws();
+    if (done() || s[i] != c) {
+      throw std::runtime_error(std::string("expected ") + what);
+    }
+    ++i;
+  }
+};
+
+std::string parse_string(Cursor& c) {
+  c.expect('"', "string");
+  std::string out;
+  while (!c.done() && c.peek() != '"') {
+    char ch = c.s[c.i++];
+    if (ch != '\\') {
+      out += ch;
+      continue;
+    }
+    if (c.done()) throw std::runtime_error("dangling escape");
+    char e = c.s[c.i++];
+    switch (e) {
+      case '"': out += '"'; break;
+      case '\\': out += '\\'; break;
+      case '/': out += '/'; break;
+      case 'b': out += '\b'; break;
+      case 'f': out += '\f'; break;
+      case 'n': out += '\n'; break;
+      case 'r': out += '\r'; break;
+      case 't': out += '\t'; break;
+      case 'u': {
+        if (c.i + 4 > c.s.size()) throw std::runtime_error("bad \\u escape");
+        unsigned v = 0;
+        for (int k = 0; k < 4; ++k) {
+          char h = c.s[c.i++];
+          v <<= 4;
+          if (h >= '0' && h <= '9') v |= static_cast<unsigned>(h - '0');
+          else if (h >= 'a' && h <= 'f') v |= static_cast<unsigned>(h - 'a' + 10);
+          else if (h >= 'A' && h <= 'F') v |= static_cast<unsigned>(h - 'A' + 10);
+          else throw std::runtime_error("bad \\u escape");
+        }
+        // Encode the code point as UTF-8 (surrogate pairs are not
+        // produced by our exporter; a lone surrogate round-trips as-is).
+        if (v < 0x80) {
+          out += static_cast<char>(v);
+        } else if (v < 0x800) {
+          out += static_cast<char>(0xC0 | (v >> 6));
+          out += static_cast<char>(0x80 | (v & 0x3F));
+        } else {
+          out += static_cast<char>(0xE0 | (v >> 12));
+          out += static_cast<char>(0x80 | ((v >> 6) & 0x3F));
+          out += static_cast<char>(0x80 | (v & 0x3F));
+        }
+        break;
+      }
+      default:
+        throw std::runtime_error("unknown escape");
+    }
+  }
+  if (c.done()) throw std::runtime_error("unterminated string");
+  ++c.i;  // closing quote
+  return out;
+}
+
+double parse_number(Cursor& c) {
+  const char* begin = c.s.data() + c.i;
+  char* end = nullptr;
+  const double v = std::strtod(begin, &end);
+  if (end == begin) throw std::runtime_error("bad number");
+  c.i += static_cast<std::size_t>(end - begin);
+  return v;
+}
+
+/// One flat JSON object -> key/value callbacks. `on_string` / `on_number`
+/// receive each member as encountered.
+template <typename OnString, typename OnNumber>
+void parse_object(std::string_view line, OnString on_string,
+                  OnNumber on_number) {
+  Cursor c{line};
+  c.expect('{', "'{'");
+  c.skip_ws();
+  if (!c.done() && c.peek() == '}') {
+    ++c.i;
+    return;
+  }
+  for (;;) {
+    c.skip_ws();
+    const std::string key = parse_string(c);
+    c.expect(':', "':'");
+    c.skip_ws();
+    if (c.done()) throw std::runtime_error("truncated object");
+    const char ch = c.peek();
+    if (ch == '"') {
+      on_string(key, parse_string(c));
+    } else if (ch == 't') {
+      if (c.s.substr(c.i, 4) != "true") throw std::runtime_error("bad token");
+      c.i += 4;
+      on_number(key, 1.0);
+    } else if (ch == 'f') {
+      if (c.s.substr(c.i, 5) != "false") throw std::runtime_error("bad token");
+      c.i += 5;
+      on_number(key, 0.0);
+    } else if (ch == 'n') {
+      if (c.s.substr(c.i, 4) != "null") throw std::runtime_error("bad token");
+      c.i += 4;
+    } else {
+      on_number(key, parse_number(c));
+    }
+    c.skip_ws();
+    if (c.done()) throw std::runtime_error("truncated object");
+    if (c.peek() == ',') {
+      ++c.i;
+      continue;
+    }
+    if (c.peek() == '}') {
+      ++c.i;
+      return;
+    }
+    throw std::runtime_error("expected ',' or '}'");
+  }
+}
+
+std::uint64_t parse_hex64(const std::string& s) {
+  std::uint64_t v = 0;
+  for (char ch : s) {
+    v <<= 4;
+    if (ch >= '0' && ch <= '9') v |= static_cast<std::uint64_t>(ch - '0');
+    else if (ch >= 'a' && ch <= 'f') v |= static_cast<std::uint64_t>(ch - 'a' + 10);
+    else if (ch >= 'A' && ch <= 'F') v |= static_cast<std::uint64_t>(ch - 'A' + 10);
+    else throw std::runtime_error("bad hex trace id");
+  }
+  return v;
+}
+
+std::uint64_t detail_u64(std::string_view detail, std::string_view key) {
+  const std::string v = detail_get(detail, key);
+  return v.empty() ? 0 : std::strtoull(v.c_str(), nullptr, 10);
+}
+
+double detail_f64(std::string_view detail, std::string_view key) {
+  const std::string v = detail_get(detail, key);
+  return v.empty() ? 0.0 : std::strtod(v.c_str(), nullptr);
+}
+
+std::string transfer_key(const std::string& conn, std::uint64_t seq) {
+  return conn + "#" + std::to_string(seq);
+}
+
+/// [t0,t1) interval; the merged, clipped activity of one span category.
+struct Interval {
+  double a = 0, b = 0;
+};
+
+double clip_overlap(const std::vector<Interval>& ivals, double a, double b) {
+  double total = 0;
+  for (const auto& iv : ivals) {
+    const double lo = std::max(a, iv.a);
+    const double hi = std::min(b, iv.b);
+    if (hi > lo) total += hi - lo;
+  }
+  return total;
+}
+
+}  // namespace
+
+std::string detail_get(std::string_view detail, std::string_view key) {
+  std::size_t i = 0;
+  while (i < detail.size()) {
+    // token = [i, sp)
+    std::size_t sp = detail.find(' ', i);
+    if (sp == std::string_view::npos) sp = detail.size();
+    const std::string_view tok = detail.substr(i, sp - i);
+    const std::size_t eq = tok.find('=');
+    if (eq != std::string_view::npos && tok.substr(0, eq) == key) {
+      return std::string(tok.substr(eq + 1));
+    }
+    i = sp + 1;
+  }
+  return "";
+}
+
+void Trace::add_jsonl(std::string_view text) {
+  finished_ = false;
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t nl = text.find('\n', pos);
+    if (nl == std::string_view::npos) nl = text.size();
+    const std::string_view line = text.substr(pos, nl - pos);
+    pos = nl + 1;
+    ++line_no;
+    if (line.empty()) continue;
+
+    Event ev;
+    bool is_header = false;
+    std::uint64_t header_dropped = 0;
+    try {
+      parse_object(
+          line,
+          [&](const std::string& key, const std::string& val) {
+            if (key == "kind") {
+              if (val == "begin") ev.kind = Event::Kind::kBegin;
+              else if (val == "end") ev.kind = Event::Kind::kEnd;
+              else ev.kind = Event::Kind::kInstant;
+            } else if (key == "node") {
+              ev.node = val;
+            } else if (key == "name") {
+              ev.name = val;
+            } else if (key == "detail") {
+              ev.detail = val;
+            } else if (key == "trace") {
+              ev.trace = parse_hex64(val);
+            }
+          },
+          [&](const std::string& key, double val) {
+            if (key == "t") ev.t = val;
+            else if (key == "span") ev.span = static_cast<std::uint64_t>(val);
+            else if (key == "parent") ev.parent = static_cast<std::uint64_t>(val);
+            else if (key == "lc") ev.lamport = static_cast<std::uint64_t>(val);
+            else if (key == "congrid_trace") is_header = true;
+            else if (key == "dropped") header_dropped = static_cast<std::uint64_t>(val);
+          });
+    } catch (const std::exception& e) {
+      throw std::runtime_error("line " + std::to_string(line_no) + ": " +
+                               e.what());
+    }
+    if (is_header) {
+      dropped_ += header_dropped;
+      continue;
+    }
+    events_.push_back(std::move(ev));
+  }
+}
+
+void Trace::finish() {
+  if (finished_) return;
+  finished_ = true;
+  std::stable_sort(events_.begin(), events_.end(),
+                   [](const Event& a, const Event& b) { return a.t < b.t; });
+
+  spans_.clear();
+  transfers_.clear();
+  std::unordered_map<std::uint64_t, std::size_t> span_idx;
+  std::unordered_map<std::string, std::size_t> xfer_idx;
+
+  for (const Event& ev : events_) {
+    if (ev.kind == Event::Kind::kBegin) {
+      if (span_idx.contains(ev.span)) continue;  // duplicate id: keep first
+      Span s;
+      s.id = ev.span;
+      s.node = ev.node;
+      s.name = ev.name;
+      s.detail = ev.detail;
+      s.begin_t = ev.t;
+      s.trace = ev.trace;
+      s.parent = ev.parent;
+      s.lamport = ev.lamport;
+      span_idx[s.id] = spans_.size();
+      spans_.push_back(std::move(s));
+      if (ev.name == "reliable.msg") {
+        const std::string conn = detail_get(ev.detail, "conn");
+        const std::uint64_t seq = detail_u64(ev.detail, "seq");
+        const std::string key = transfer_key(conn, seq);
+        auto xit = xfer_idx.find(key);
+        if (xit != xfer_idx.end()) {
+          // A receiver-only half already exists (its recv sorted earlier
+          // than this begin -- skewed clocks between merged files). Attach
+          // the sender side so validate() can flag recv-before-send.
+          Transfer& x = transfers_[xit->second];
+          if (x.span == 0) {
+            x.src = ev.node;
+            x.send_t = ev.t;
+            x.last_tx_t = ev.t;
+            x.span = ev.span;
+            x.send_lamport = ev.lamport;
+          }
+        } else {
+          Transfer x;
+          x.conn = conn;
+          x.type = detail_get(ev.detail, "type");
+          x.seq = seq;
+          const std::size_t gt = conn.find('>');
+          if (gt != std::string::npos) {
+            x.src = conn.substr(0, gt);
+            x.dst = conn.substr(gt + 1);
+          }
+          // The event's node name is authoritative for the critical-path
+          // walk (conn endpoints are transport addresses, not obs nodes).
+          x.src = ev.node;
+          x.send_t = ev.t;
+          x.last_tx_t = ev.t;
+          x.span = ev.span;
+          x.send_lamport = ev.lamport;
+          xfer_idx[key] = transfers_.size();
+          transfers_.push_back(std::move(x));
+        }
+      }
+      continue;
+    }
+    if (ev.kind == Event::Kind::kEnd) {
+      auto it = span_idx.find(ev.span);
+      if (it != span_idx.end() && !spans_[it->second].closed) {
+        Span& s = spans_[it->second];
+        s.closed = true;
+        s.end_t = ev.t;
+        s.end_detail = ev.detail;
+      }
+      continue;
+    }
+    // Instants.
+    if (ev.name == "reliable.retx") {
+      const std::string key = transfer_key(detail_get(ev.detail, "conn"),
+                                           detail_u64(ev.detail, "seq"));
+      auto it = xfer_idx.find(key);
+      if (it != xfer_idx.end() && !transfers_[it->second].delivered) {
+        ++transfers_[it->second].retx;
+        transfers_[it->second].last_tx_t = ev.t;
+      }
+    } else if (ev.name == "reliable.recv") {
+      const std::string conn = detail_get(ev.detail, "conn");
+      const std::uint64_t seq = detail_u64(ev.detail, "seq");
+      const std::string key = transfer_key(conn, seq);
+      auto it = xfer_idx.find(key);
+      if (it == xfer_idx.end()) {
+        // Receiver-only half (sender file missing or overwritten):
+        // span stays 0, validate() flags it.
+        Transfer x;
+        x.conn = conn;
+        x.type = detail_get(ev.detail, "type");
+        x.seq = seq;
+        const std::size_t gt = conn.find('>');
+        if (gt != std::string::npos) {
+          x.src = conn.substr(0, gt);
+          x.dst = conn.substr(gt + 1);
+        }
+        x.dst = ev.node;
+        x.send_t = ev.t;
+        x.last_tx_t = ev.t;
+        x.recv_t = ev.t;
+        x.recv_lamport = ev.lamport;
+        x.delivered = true;
+        xfer_idx[key] = transfers_.size();
+        transfers_.push_back(std::move(x));
+      } else if (!transfers_[it->second].delivered) {
+        transfers_[it->second].delivered = true;
+        transfers_[it->second].dst = ev.node;
+        transfers_[it->second].recv_t = ev.t;
+        transfers_[it->second].recv_lamport = ev.lamport;
+      }
+    }
+  }
+}
+
+std::vector<std::string> Trace::validate() const {
+  std::vector<std::string> errors;
+  const bool lossy_ring = dropped_ > 0;
+
+  // Span pairing. In-flight reliable.msg spans (sent, ack not yet seen at
+  // export) are normal and reported as warnings by analyze(), not here.
+  std::unordered_set<std::uint64_t> begun;
+  for (const Span& s : spans_) begun.insert(s.id);
+  for (const Span& s : spans_) {
+    if (!s.closed && s.name != "reliable.msg" && !lossy_ring) {
+      errors.push_back("unpaired span begin: id=" + std::to_string(s.id) +
+                       " name=" + s.name + " node=" + s.node);
+    }
+  }
+  for (const Event& ev : events_) {
+    if (ev.kind == Event::Kind::kEnd && !begun.contains(ev.span) &&
+        !lossy_ring) {
+      errors.push_back("span end without begin: id=" +
+                       std::to_string(ev.span) + " name=" + ev.name);
+    }
+  }
+
+  // Transfers.
+  for (const Transfer& x : transfers_) {
+    if (x.delivered && x.span != 0 && x.recv_t < x.send_t) {
+      errors.push_back("recv before send: conn=" + x.conn +
+                       " seq=" + std::to_string(x.seq));
+    }
+    if (x.delivered && x.span == 0 && !lossy_ring) {
+      errors.push_back("recv without matching send: conn=" + x.conn +
+                       " seq=" + std::to_string(x.seq));
+    }
+  }
+
+  // Parent cycles: follow parent edges with a visited stamp per walk.
+  std::unordered_map<std::uint64_t, std::uint64_t> parent_of;
+  for (const Span& s : spans_) parent_of[s.id] = s.parent;
+  std::unordered_map<std::uint64_t, int> color;  // 0 new, 1 active, 2 done
+  for (const Span& s : spans_) {
+    std::vector<std::uint64_t> path;
+    std::uint64_t cur = s.id;
+    while (cur != 0 && parent_of.contains(cur) && color[cur] == 0) {
+      color[cur] = 1;
+      path.push_back(cur);
+      cur = parent_of[cur];
+    }
+    if (cur != 0 && parent_of.contains(cur) && color[cur] == 1) {
+      errors.push_back("parent cycle through span id=" + std::to_string(cur));
+    }
+    for (std::uint64_t id : path) color[id] = 2;
+  }
+  return errors;
+}
+
+std::vector<std::string> Trace::signature() const {
+  std::vector<std::string> sig;
+
+  // Span structure: label every non-wire span by (node, name, begin
+  // detail) -- all deterministic fields -- and emit its parent edge.
+  std::unordered_map<std::uint64_t, std::string> label;
+  for (const Span& s : spans_) {
+    if (s.name == "reliable.msg") continue;
+    label[s.id] = s.node + "/" + s.name +
+                  (s.detail.empty() ? "" : "?" + s.detail);
+  }
+  for (const Span& s : spans_) {
+    if (s.name == "reliable.msg") continue;
+    auto pit = label.find(s.parent);
+    sig.push_back("span:" + (pit == label.end() ? std::string("root")
+                                                : pit->second) +
+                  "=>" + label[s.id]);
+  }
+
+  // Transfer structure: per-(conn,type) ordinals. Raw sequence ids shift
+  // under loss (the reliable layer's counter is shared across message
+  // types and discovery send counts vary), ordinals do not. Discovery and
+  // heartbeat traffic is timing-sensitive by design and excluded.
+  std::map<std::string, int> ordinal;
+  for (const Transfer& x : transfers_) {  // transfers_ is send-time ordered
+    if (x.span == 0) continue;            // receiver-only half
+    if (x.type == "discovery" || x.type == "heartbeat") continue;
+    const std::string group = x.conn + "|" + x.type;
+    sig.push_back("xfer:" + group + "#" + std::to_string(ordinal[group]++));
+  }
+
+  std::sort(sig.begin(), sig.end());
+  return sig;
+}
+
+Report Trace::analyze() const {
+  Report r;
+  r.events = events_.size();
+  r.spans = spans_.size();
+  r.transfers = transfers_.size();
+  r.dropped = dropped_;
+  r.errors = validate();
+  if (dropped_ > 0) {
+    r.warnings.push_back(std::to_string(dropped_) +
+                         " events overwritten in the ring; trace is "
+                         "incomplete and unpaired spans are expected");
+  }
+  for (const Span& s : spans_) {
+    if (!s.closed && (s.name == "reliable.msg" || dropped_ > 0)) {
+      r.warnings.push_back("open span at export: id=" + std::to_string(s.id) +
+                           " name=" + s.name + " node=" + s.node);
+    }
+  }
+  for (const Transfer& x : transfers_) {
+    if (x.delivered && x.span != 0 && x.send_lamport != 0 &&
+        x.recv_lamport != 0 && x.recv_lamport <= x.send_lamport) {
+      r.warnings.push_back("lamport clock did not advance across conn=" +
+                           x.conn + " seq=" + std::to_string(x.seq));
+    }
+  }
+  if (events_.empty()) {
+    r.warnings.push_back("no events");
+    return r;
+  }
+  r.t0 = events_.front().t;
+  r.t1 = events_.back().t;
+
+  // Per-node activity intervals for local-time attribution, in priority
+  // order: waiting on a module fetch outranks everything (the deploy is
+  // blocked), then pipe binding, then compute.
+  struct NodeActivity {
+    std::vector<Interval> cache;    // cache.fetch spans
+    std::vector<Interval> bind;     // pipe.bind spans
+    std::vector<Interval> compute;  // runtime.tick spans
+    double barrier_s = 0;           // summed from tick end details
+  };
+  std::map<std::string, NodeActivity> act;
+  for (const Span& s : spans_) {
+    if (!s.closed || s.end_t <= s.begin_t) {
+      // Zero-width spans still matter for the barrier tally below.
+      if (s.closed && s.name == "runtime.tick") {
+        act[s.node].barrier_s += detail_f64(s.end_detail, "barrier_stall_s");
+      }
+      continue;
+    }
+    if (s.name == "cache.fetch") {
+      act[s.node].cache.push_back({s.begin_t, s.end_t});
+    } else if (s.name == "pipe.bind") {
+      act[s.node].bind.push_back({s.begin_t, s.end_t});
+    } else if (s.name == "runtime.tick") {
+      act[s.node].compute.push_back({s.begin_t, s.end_t});
+      act[s.node].barrier_s += detail_f64(s.end_detail, "barrier_stall_s");
+    }
+  }
+
+  auto attribute_local = [&](const std::string& node, double a, double b) {
+    if (b <= a) return;
+    const NodeActivity& na = act[node];
+    double cache_s = clip_overlap(na.cache, a, b);
+    double bind_s = clip_overlap(na.bind, a, b);
+    double compute_s = clip_overlap(na.compute, a, b);
+    // Overlaps resolve by priority; each category cedes to the ones above.
+    double remaining = b - a;
+    cache_s = std::min(cache_s, remaining);
+    remaining -= cache_s;
+    bind_s = std::min(bind_s, remaining);
+    remaining -= bind_s;
+    compute_s = std::min(compute_s, remaining);
+    remaining -= compute_s;
+    // Wave-barrier stall is wall time inside tick spans, reported by the
+    // engine itself; carve it out of compute.
+    double barrier_s = std::min(na.barrier_s, compute_s);
+    compute_s -= barrier_s;
+    r.attribution["cache_wait"] += cache_s;
+    r.attribution["bind_wait"] += bind_s;
+    r.attribution["compute"] += compute_s;
+    r.attribution["barrier_stall"] += barrier_s;
+    r.attribution["other"] += remaining;
+    std::string what = "local";
+    std::string cat = "other";
+    if (cache_s >= bind_s && cache_s >= compute_s && cache_s > 0) {
+      cat = "cache_wait";
+      what = "cache.fetch";
+    } else if (bind_s >= compute_s && bind_s > 0) {
+      cat = "bind_wait";
+      what = "pipe.bind";
+    } else if (compute_s > 0) {
+      cat = "compute";
+      what = "runtime.tick";
+    }
+    r.critical_path.push_back({a, b, cat, node, what});
+  };
+
+  // Ack arrivals are causal edges too: a "reliable.msg" span on the
+  // sender ends ("acked ...") exactly when the receiver's ack lands, so
+  // the walk can hop sender<-receiver even though acks themselves are
+  // not traced as transfers. Without this, a run whose last event is on
+  // the originating peer (every request/ack benchmark) dead-ends there.
+  std::map<std::uint64_t, std::size_t> xfer_by_span;
+  for (std::size_t i = 0; i < transfers_.size(); ++i) {
+    if (transfers_[i].delivered && transfers_[i].span != 0) {
+      xfer_by_span[transfers_[i].span] = i;
+    }
+  }
+
+  // Backward walk from the last event: local activity back to the latest
+  // inbound transfer (or returning ack), hop to its sender, repeat.
+  // Newest-first, reversed at the end. Each round trip can cost two
+  // hops (ack + payload), hence the 2x step budget.
+  double cur_t = r.t1;
+  std::string cur_node = events_.back().node;
+  const std::size_t step_limit = 2 * transfers_.size() + 16;
+  for (std::size_t step = 0; step < step_limit && cur_t > r.t0; ++step) {
+    const Transfer* best = nullptr;
+    for (const Transfer& x : transfers_) {
+      if (!x.delivered || x.span == 0) continue;
+      if (x.dst != cur_node) continue;
+      if (x.recv_t > cur_t || x.send_t >= cur_t) continue;
+      if (!best || x.recv_t > best->recv_t) best = &x;
+    }
+    // Latest acked outbound message whose ack landed here by cur_t; its
+    // delivery at the far end strictly precedes cur_t, so the hop makes
+    // progress.
+    const Span* ack = nullptr;
+    const Transfer* ack_x = nullptr;
+    for (const Span& s : spans_) {
+      if (!s.closed || s.name != "reliable.msg" || s.node != cur_node) {
+        continue;
+      }
+      if (s.end_t > cur_t) continue;
+      if (s.end_detail.compare(0, 5, "acked") != 0) continue;
+      const auto it = xfer_by_span.find(s.id);
+      if (it == xfer_by_span.end()) continue;
+      const Transfer& x = transfers_[it->second];
+      if (x.dst == cur_node || x.recv_t >= cur_t) continue;
+      if (!ack || s.end_t > ack->end_t) {
+        ack = &s;
+        ack_x = &x;
+      }
+    }
+    // Prefer whichever predecessor event arrived later; ties go to the
+    // delivered payload (the more direct cause).
+    if (ack && (!best || ack->end_t > best->recv_t)) {
+      attribute_local(cur_node, ack->end_t, cur_t);
+      if (ack->end_t > ack_x->recv_t) {
+        r.attribution["link"] += ack->end_t - ack_x->recv_t;
+        r.critical_path.push_back({ack_x->recv_t, ack->end_t, "link",
+                                   cur_node,
+                                   ack_x->conn + " " + ack_x->type + " seq=" +
+                                       std::to_string(ack_x->seq) + " ack"});
+      }
+      cur_t = ack_x->recv_t;
+      cur_node = ack_x->dst;
+      continue;
+    }
+    if (!best || best->recv_t <= r.t0) {
+      attribute_local(cur_node, r.t0, cur_t);
+      break;
+    }
+    attribute_local(cur_node, best->recv_t, cur_t);
+    const std::string what = best->conn + " " + best->type +
+                             " seq=" + std::to_string(best->seq);
+    if (best->recv_t > best->last_tx_t) {
+      r.attribution["link"] += best->recv_t - best->last_tx_t;
+      r.critical_path.push_back(
+          {best->last_tx_t, best->recv_t, "link", best->dst, what});
+    }
+    if (best->last_tx_t > best->send_t) {
+      r.attribution["retx_stall"] += best->last_tx_t - best->send_t;
+      r.critical_path.push_back({best->send_t, best->last_tx_t, "retx_stall",
+                                 best->src,
+                                 what + " retx=" + std::to_string(best->retx)});
+    }
+    cur_t = best->send_t;
+    cur_node = best->src;
+  }
+  std::reverse(r.critical_path.begin(), r.critical_path.end());
+  return r;
+}
+
+std::string Report::to_json() const {
+  std::string out = "{";
+  out += "\"ok\":" + std::string(ok() ? "true" : "false");
+  out += ",\"events\":" + std::to_string(events);
+  out += ",\"spans\":" + std::to_string(spans);
+  out += ",\"transfers\":" + std::to_string(transfers);
+  out += ",\"dropped\":" + std::to_string(dropped);
+  out += ",\"t0\":" + json_number(t0);
+  out += ",\"t1\":" + json_number(t1);
+  out += ",\"errors\":[";
+  for (std::size_t i = 0; i < errors.size(); ++i) {
+    if (i) out += ",";
+    out += json_quote(errors[i]);
+  }
+  out += "],\"warnings\":[";
+  for (std::size_t i = 0; i < warnings.size(); ++i) {
+    if (i) out += ",";
+    out += json_quote(warnings[i]);
+  }
+  out += "],\"attribution\":{";
+  bool first = true;
+  for (const auto& [cat, sec] : attribution) {
+    if (!first) out += ",";
+    first = false;
+    out += json_quote(cat) + ":" + json_number(sec);
+  }
+  out += "},\"critical_path\":[";
+  for (std::size_t i = 0; i < critical_path.size(); ++i) {
+    const PathStep& p = critical_path[i];
+    if (i) out += ",";
+    out += "{\"t0\":" + json_number(p.t0);
+    out += ",\"t1\":" + json_number(p.t1);
+    out += ",\"category\":" + json_quote(p.category);
+    out += ",\"node\":" + json_quote(p.node);
+    out += ",\"what\":" + json_quote(p.what);
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::string Report::to_markdown() const {
+  std::string out;
+  out += "## congrid-trace report\n\n";
+  out += "- events: " + std::to_string(events) +
+         ", spans: " + std::to_string(spans) +
+         ", transfers: " + std::to_string(transfers) + "\n";
+  out += "- time range: " + json_number(t0) + "s .. " + json_number(t1) +
+         "s (" + json_number(t1 - t0) + "s)\n";
+  if (dropped > 0) {
+    out += "- **" + std::to_string(dropped) +
+           " events dropped** (ring overwrote them); results are partial\n";
+  }
+  out += "\n### Critical-path attribution\n\n";
+  out += "| category | seconds | share |\n|---|---:|---:|\n";
+  double total = 0;
+  for (const auto& [cat, sec] : attribution) total += sec;
+  for (const auto& [cat, sec] : attribution) {
+    const double pct = total > 0 ? 100.0 * sec / total : 0.0;
+    out += "| " + cat + " | " + json_number(sec) + " | " +
+           json_number(pct) + "% |\n";
+  }
+  out += "\n### Critical path (" + std::to_string(critical_path.size()) +
+         " steps)\n\n";
+  out += "| t0 | t1 | category | node | what |\n|---:|---:|---|---|---|\n";
+  for (const PathStep& p : critical_path) {
+    out += "| " + json_number(p.t0) + " | " + json_number(p.t1) + " | " +
+           p.category + " | " + p.node + " | " + p.what + " |\n";
+  }
+  if (!errors.empty()) {
+    out += "\n### Errors\n\n";
+    for (const auto& e : errors) out += "- " + e + "\n";
+  }
+  if (!warnings.empty()) {
+    out += "\n### Warnings\n\n";
+    for (const auto& w : warnings) out += "- " + w + "\n";
+  }
+  return out;
+}
+
+}  // namespace cg::obs::causal

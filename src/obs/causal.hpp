@@ -1,0 +1,144 @@
+// ConGrid -- causal trace analysis (the library behind congrid-trace).
+//
+// Consumes the JSONL files Tracer::to_jsonl produces -- one per peer or
+// one merged ring -- and reconstructs the run's causal DAG:
+//
+//   * span begin/end pairs (deploys, fetches, binds, ticks) linked by the
+//     parent-span field every traced component stamps;
+//   * cross-peer transfers, paired by (connection, sequence id) from the
+//     sender's "reliable.msg" span and the receiver's "reliable.recv"
+//     event, with "reliable.retx" events folded into a retransmit tally.
+//
+// On top of the DAG it computes a critical path: the chain of local
+// activity and network transfers that ends at the last event of the
+// trace, with every second of wall (sim) time attributed to a category --
+// compute, link latency, retransmit stall, cache-miss wait, wave-barrier
+// stall or other. The analyzer is pure offline code: it does not depend
+// on CONGRID_OBS_ENABLED and never touches a live Tracer.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cg::obs::causal {
+
+/// One parsed JSONL line (header lines are folded into Trace counters).
+struct Event {
+  enum class Kind { kInstant, kBegin, kEnd };
+  double t = 0.0;
+  Kind kind = Kind::kInstant;
+  std::uint64_t span = 0;
+  std::string node;
+  std::string name;
+  std::string detail;
+  std::uint64_t trace = 0;  ///< decoded from the 16-hex "trace" field
+  std::uint64_t parent = 0;
+  std::uint64_t lamport = 0;
+};
+
+/// A begin/end pair. `closed` is false for a begin with no matching end.
+struct Span {
+  std::uint64_t id = 0;
+  std::string node;
+  std::string name;
+  std::string detail;      ///< begin detail (deterministic k=v fields)
+  std::string end_detail;  ///< end detail (outcome, timings)
+  double begin_t = 0.0;
+  double end_t = 0.0;
+  bool closed = false;
+  std::uint64_t trace = 0;
+  std::uint64_t parent = 0;
+  std::uint64_t lamport = 0;
+};
+
+/// A sender->receiver envelope journey, paired by (conn, seq).
+struct Transfer {
+  std::string conn;  ///< "src>dst" as both sides spell it
+  std::string type;  ///< frame type tag (control/data/code/discovery/...)
+  std::uint64_t seq = 0;
+  std::string src, dst;    ///< split out of conn
+  double send_t = 0.0;     ///< first transmission (span begin)
+  double last_tx_t = 0.0;  ///< last (re)transmission before delivery
+  double recv_t = 0.0;     ///< unique delivery at the receiver
+  int retx = 0;            ///< retransmissions observed
+  bool delivered = false;
+  std::uint64_t span = 0;          ///< sender's reliable.msg span id
+  std::uint64_t send_lamport = 0;  ///< sender clock at first tx
+  std::uint64_t recv_lamport = 0;  ///< receiver clock after merge
+};
+
+/// One step of the critical path, oldest first.
+struct PathStep {
+  double t0 = 0.0, t1 = 0.0;
+  std::string category;  ///< compute|link|retx_stall|cache_wait|...
+  std::string node;      ///< where the time was spent (dst for links)
+  std::string what;      ///< span name or transfer conn/type
+};
+
+struct Report {
+  std::vector<std::string> errors;    ///< validation failures (exit 1)
+  std::vector<std::string> warnings;  ///< dropped events, clock anomalies
+  std::size_t events = 0;
+  std::size_t spans = 0;
+  std::size_t transfers = 0;
+  std::uint64_t dropped = 0;  ///< ring overwrites summed over inputs
+  double t0 = 0.0, t1 = 0.0;  ///< trace time range
+  std::vector<PathStep> critical_path;         ///< oldest first
+  std::map<std::string, double> attribution;   ///< category -> seconds
+  bool ok() const { return errors.empty(); }
+  /// One JSON object (json_valid); errors/warnings/attribution/path.
+  std::string to_json() const;
+  /// Human-facing summary: attribution table + longest path steps.
+  std::string to_markdown() const;
+};
+
+/// A merged set of trace files. Feed every file through add_jsonl, then
+/// call finish() once; analyze()/signature() operate on the result.
+class Trace {
+ public:
+  /// Parse one JSONL document (header + events). Unknown keys are
+  /// ignored; malformed lines throw std::runtime_error with the line
+  /// number. May be called repeatedly to merge per-peer files.
+  void add_jsonl(std::string_view text);
+
+  /// Sort merged events by time (stable), pair spans and transfers.
+  void finish();
+
+  const std::vector<Event>& events() const { return events_; }
+  const std::vector<Span>& spans() const { return spans_; }
+  const std::vector<Transfer>& transfers() const { return transfers_; }
+  std::uint64_t dropped() const { return dropped_; }
+
+  /// Structural validation: unpaired spans (warning instead when events
+  /// were dropped -- the pair may have been overwritten), recv-before-
+  /// send, parent cycles. Returns the error list; warnings accumulate in
+  /// analyze()'s report.
+  std::vector<std::string> validate() const;
+
+  /// Loss-invariant causal-DAG signature: sorted edge labels built from
+  /// closed spans (node/name/begin-detail, linked to their parent span's
+  /// label) plus per-(conn,type) transfer ordinals. Discovery and
+  /// heartbeat transfers are excluded -- their send counts legitimately
+  /// vary with timing (expanding-ring retries, keepalives) -- so two runs
+  /// of the same seed, lossy or not, produce the same signature.
+  std::vector<std::string> signature() const;
+
+  /// Validation + critical path + attribution.
+  Report analyze() const;
+
+ private:
+  std::vector<Event> events_;
+  std::vector<Span> spans_;
+  std::vector<Transfer> transfers_;
+  std::uint64_t dropped_ = 0;
+  bool finished_ = false;
+};
+
+/// Extract the value of `key` from a "k=v k=v" detail string ("" when
+/// absent). Exposed for tests and the CLI.
+std::string detail_get(std::string_view detail, std::string_view key);
+
+}  // namespace cg::obs::causal

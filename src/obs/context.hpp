@@ -1,0 +1,62 @@
+// ConGrid -- cross-peer trace context.
+//
+// The causal identity a message or span carries between peers: which
+// per-run trace it belongs to, which span caused it, and the sender's
+// Lamport clock at send time. The struct is deliberately dependency-free
+// (three integers) so the wire layer (serial/frame.hpp), the transports
+// and the tracer can all share one type without linking anything.
+//
+// Wire rule: the context is ALWAYS encoded, as three fixed-width u64s,
+// zero-filled when tracing is off or compiled out. Frame sizes -- and
+// therefore SimNetwork latencies, schedules and run outputs -- are
+// bit-identical whether tracing is on, off, or built with
+// -DCONGRID_OBS=OFF.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#ifndef CONGRID_OBS_ENABLED
+#define CONGRID_OBS_ENABLED 1
+#endif
+
+namespace cg::obs {
+
+/// Causal identity carried by messages and spans. trace_id == 0 means
+/// "untraced": the fields still travel (fixed width) but carry nothing.
+struct TraceContext {
+  std::uint64_t trace_id = 0;     ///< per-run id, assigned by the controller
+  std::uint64_t parent_span = 0;  ///< span that caused this message/span
+  std::uint64_t lamport = 0;      ///< sender's logical clock at send time
+
+  bool active() const { return trace_id != 0; }
+  bool operator==(const TraceContext&) const = default;
+};
+
+/// Size of the encoded context: three u64s, always present.
+constexpr std::size_t kTraceContextWireSize = 24;
+
+/// Per-peer Lamport clock. tick() before sending, merge() on receive
+/// (max(local, remote) + 1): comparing clocks then orders any two events
+/// connected by a message chain. Compiles to constant zeros under
+/// -DCONGRID_OBS=OFF so the wire carries zero-filled contexts.
+class LamportClock {
+ public:
+#if CONGRID_OBS_ENABLED
+  std::uint64_t tick() { return ++t_; }
+  std::uint64_t merge(std::uint64_t remote) {
+    t_ = std::max(t_, remote) + 1;
+    return t_;
+  }
+  std::uint64_t now() const { return t_; }
+
+ private:
+  std::uint64_t t_ = 0;
+#else
+  std::uint64_t tick() { return 0; }
+  std::uint64_t merge(std::uint64_t) { return 0; }
+  std::uint64_t now() const { return 0; }
+#endif
+};
+
+}  // namespace cg::obs

@@ -6,8 +6,70 @@
 
 namespace cg::obs {
 
+namespace {
+
+/// Length of the valid UTF-8 sequence starting at s[i], or 0 if the bytes
+/// there are not well-formed UTF-8 (overlong forms, surrogates, stray
+/// continuation bytes, truncation). Strings reaching the exporter are
+/// usually ASCII, but node/detail fields are freeform -- a single invalid
+/// byte must not make a whole merged JSONL trace unparseable.
+std::size_t utf8_seq_len(std::string_view s, std::size_t i) {
+  const auto b = [&](std::size_t k) {
+    return static_cast<unsigned char>(s[i + k]);
+  };
+  const unsigned char lead = b(0);
+  if (lead < 0x80) return 1;
+  if (lead < 0xC2) return 0;  // continuation byte or overlong 2-byte lead
+  const auto cont = [&](std::size_t k) {
+    return i + k < s.size() && (b(k) & 0xC0) == 0x80;
+  };
+  if (lead < 0xE0) return cont(1) ? 2 : 0;
+  if (lead < 0xF0) {
+    if (!cont(1) || !cont(2)) return 0;
+    if (lead == 0xE0 && b(1) < 0xA0) return 0;  // overlong
+    if (lead == 0xED && b(1) >= 0xA0) return 0;  // UTF-16 surrogate range
+    return 3;
+  }
+  if (lead < 0xF5) {
+    if (!cont(1) || !cont(2) || !cont(3)) return 0;
+    if (lead == 0xF0 && b(1) < 0x90) return 0;  // overlong
+    if (lead == 0xF4 && b(1) >= 0x90) return 0;  // above U+10FFFF
+    return 4;
+  }
+  return 0;  // 0xF5..0xFF never appear in UTF-8
+}
+
+/// Bytes consumed by one replacement character when the sequence at s[i]
+/// is ill-formed: the maximal subpart of a valid sequence (the W3C/WHATWG
+/// decoding rule), so a truncated 3-byte character costs one U+FFFD, not
+/// one per byte.
+std::size_t invalid_seq_len(std::string_view s, std::size_t i) {
+  const auto b = [&](std::size_t k) {
+    return static_cast<unsigned char>(s[i + k]);
+  };
+  const unsigned char lead = b(0);
+  const auto in = [&](std::size_t k, unsigned char lo, unsigned char hi) {
+    return i + k < s.size() && b(k) >= lo && b(k) <= hi;
+  };
+  if (lead >= 0xC2 && lead <= 0xDF) return 1;  // missing continuation
+  unsigned char lo = 0x80, hi = 0xBF;  // constrained second-byte ranges
+  if (lead == 0xE0) lo = 0xA0;
+  if (lead == 0xED) hi = 0x9F;
+  if (lead == 0xF0) lo = 0x90;
+  if (lead == 0xF4) hi = 0x8F;
+  if (lead >= 0xE0 && lead <= 0xEF) return in(1, lo, hi) ? 2 : 1;
+  if (lead >= 0xF0 && lead <= 0xF4) {
+    if (!in(1, lo, hi)) return 1;
+    return in(2, 0x80, 0xBF) ? 3 : 2;
+  }
+  return 1;  // stray continuation byte or invalid lead
+}
+
+}  // namespace
+
 void append_json_escaped(std::string& out, std::string_view s) {
-  for (const char c : s) {
+  for (std::size_t i = 0; i < s.size();) {
+    const char c = s[i];
     switch (c) {
       case '"':
         out += "\\\"";
@@ -30,10 +92,23 @@ void append_json_escaped(std::string& out, std::string_view s) {
           std::snprintf(buf, sizeof buf, "\\u%04x",
                         static_cast<unsigned>(static_cast<unsigned char>(c)));
           out += buf;
+        } else if (static_cast<unsigned char>(c) >= 0x80) {
+          // Multi-byte sequence: emit verbatim when well-formed, replace
+          // the maximal ill-formed subpart with one U+FFFD otherwise.
+          const std::size_t len = utf8_seq_len(s, i);
+          if (len == 0) {
+            out += "\xEF\xBF\xBD";  // U+FFFD REPLACEMENT CHARACTER
+            i += invalid_seq_len(s, i);
+            continue;
+          }
+          out.append(s.substr(i, len));
+          i += len;
+          continue;
         } else {
           out += c;
         }
     }
+    ++i;
   }
 }
 

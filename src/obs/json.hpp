@@ -14,7 +14,9 @@
 namespace cg::obs {
 
 /// Append `s` to `out` as JSON string *contents* (no surrounding quotes),
-/// escaping quotes, backslashes and control characters.
+/// escaping quotes, backslashes and control characters. Bytes that do not
+/// form well-formed UTF-8 are replaced with U+FFFD so the output is always
+/// a parseable JSON string, whatever ends up in a node/detail field.
 void append_json_escaped(std::string& out, std::string_view s);
 
 /// `s` as a complete JSON string token, quotes included.

@@ -17,6 +17,11 @@ void Tracer::set_clock(std::function<double()> clock) {
   clock_ = std::move(clock);
 }
 
+void Tracer::set_obs(Registry& registry, std::string_view scope) {
+  std::lock_guard lock(mu_);
+  dropped_c_ = registry.counter(scoped(scope, "trace.dropped_events"));
+}
+
 void Tracer::push(TraceEvent ev) {
   std::lock_guard lock(mu_);
   ev.t = clock_ ? clock_() : 0.0;
@@ -26,12 +31,20 @@ void Tracer::push(TraceEvent ev) {
     ++size_;
   } else {
     ++dropped_;
+    dropped_c_.inc();
   }
 }
 
 void Tracer::event(std::string node, std::string name, std::string detail) {
   push(TraceEvent{0.0, EventKind::kInstant, 0, std::move(node),
                   std::move(name), std::move(detail)});
+}
+
+void Tracer::event(std::string node, std::string name, const TraceContext& ctx,
+                   std::string detail) {
+  push(TraceEvent{0.0, EventKind::kInstant, 0, std::move(node),
+                  std::move(name), std::move(detail), ctx.trace_id,
+                  ctx.parent_span, ctx.lamport});
 }
 
 std::uint64_t Tracer::begin_span(std::string node, std::string name,
@@ -43,6 +56,19 @@ std::uint64_t Tracer::begin_span(std::string node, std::string name,
   }
   push(TraceEvent{0.0, EventKind::kSpanBegin, id, std::move(node),
                   std::move(name), std::move(detail)});
+  return id;
+}
+
+std::uint64_t Tracer::begin_span(std::string node, std::string name,
+                                 const TraceContext& ctx, std::string detail) {
+  std::uint64_t id;
+  {
+    std::lock_guard lock(mu_);
+    id = next_span_++;
+  }
+  push(TraceEvent{0.0, EventKind::kSpanBegin, id, std::move(node),
+                  std::move(name), std::move(detail), ctx.trace_id,
+                  ctx.parent_span, ctx.lamport});
   return id;
 }
 
@@ -87,8 +113,15 @@ void Tracer::clear() {
 
 Tracer::Tracer(std::size_t) {}
 void Tracer::set_clock(std::function<double()>) {}
+void Tracer::set_obs(Registry&, std::string_view) {}
 void Tracer::event(std::string, std::string, std::string) {}
+void Tracer::event(std::string, std::string, const TraceContext&,
+                   std::string) {}
 std::uint64_t Tracer::begin_span(std::string, std::string, std::string) {
+  return 0;
+}
+std::uint64_t Tracer::begin_span(std::string, std::string,
+                                 const TraceContext&, std::string) {
   return 0;
 }
 void Tracer::end_span(std::uint64_t, std::string, std::string, std::string) {}
@@ -102,7 +135,7 @@ void Tracer::clear() {}
 
 namespace {
 
-const char* kind_name(EventKind k) {
+[[maybe_unused]] const char* kind_name(EventKind k) {
   switch (k) {
     case EventKind::kSpanBegin:
       return "begin";
@@ -114,11 +147,37 @@ const char* kind_name(EventKind k) {
   }
 }
 
+// Trace ids are hashes and may exceed 2^53; exported as fixed-width hex
+// strings so JSON consumers never round them through a double.
+[[maybe_unused]] std::string hex64(std::uint64_t v) {
+  static const char* digits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = digits[v & 0xF];
+    v >>= 4;
+  }
+  return out;
+}
+
 }  // namespace
 
-std::string Tracer::to_jsonl() const {
+std::string Tracer::to_jsonl(std::string_view node_filter) const {
+#if CONGRID_OBS_ENABLED
+  const std::vector<TraceEvent> evs = events();
+  std::size_t count = 0;
+  for (const TraceEvent& ev : evs) {
+    if (node_filter.empty() || ev.node == node_filter) ++count;
+  }
   std::string out;
-  for (const TraceEvent& ev : events()) {
+  // Header first: lets congrid-trace detect ring overwrites (an incomplete
+  // trace would otherwise yield a confidently wrong critical path).
+  out += "{\"congrid_trace\":1,\"events\":" + std::to_string(count);
+  out += ",\"dropped\":" + std::to_string(dropped());
+  out += ",\"capacity\":" + std::to_string(capacity());
+  if (!node_filter.empty()) out += ",\"node\":" + json_quote(node_filter);
+  out += "}\n";
+  for (const TraceEvent& ev : evs) {
+    if (!node_filter.empty() && ev.node != node_filter) continue;
     out += "{\"t\":" + json_number(ev.t);
     out += ",\"kind\":";
     out += json_quote(kind_name(ev.kind));
@@ -126,9 +185,18 @@ std::string Tracer::to_jsonl() const {
     out += ",\"node\":" + json_quote(ev.node);
     out += ",\"name\":" + json_quote(ev.name);
     if (!ev.detail.empty()) out += ",\"detail\":" + json_quote(ev.detail);
+    if (ev.trace != 0 || ev.parent != 0 || ev.lamport != 0) {
+      out += ",\"trace\":\"" + hex64(ev.trace) + "\"";
+      out += ",\"parent\":" + std::to_string(ev.parent);
+      out += ",\"lc\":" + std::to_string(ev.lamport);
+    }
     out += "}\n";
   }
   return out;
+#else
+  (void)node_filter;
+  return "";
+#endif
 }
 
 }  // namespace cg::obs

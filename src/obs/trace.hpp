@@ -19,8 +19,10 @@
 #include <functional>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "obs/context.hpp"
 #include "obs/metrics.hpp"  // CONGRID_OBS_ENABLED default
 
 namespace cg::obs {
@@ -34,6 +36,12 @@ struct TraceEvent {
   std::string node;        ///< per-node scope ("home", "sim:3", ...)
   std::string name;        ///< event type ("reliable.retx", "deploy", ...)
   std::string detail;      ///< freeform "k=v k=v" payload
+  /// Causal identity (PR 5): which per-run trace this event belongs to,
+  /// which span caused it, and the node's Lamport clock. All zero for
+  /// untraced events; exported to JSONL only when set.
+  std::uint64_t trace = 0;
+  std::uint64_t parent = 0;
+  std::uint64_t lamport = 0;
 };
 
 class Tracer {
@@ -48,11 +56,23 @@ class Tracer {
   /// virtual clock (SimNetwork::set_obs does this automatically).
   void set_clock(std::function<double()> clock);
 
+  /// Make ring overwrites visible as a metric: binds
+  /// "<scope>.trace.dropped_events", incremented once per overwritten
+  /// event, so an incomplete trace shows up in the same snapshot the run
+  /// exports.
+  void set_obs(Registry& registry, std::string_view scope = {});
+
   void event(std::string node, std::string name, std::string detail = "");
+  /// Instant stamped with a causal context (cross-peer events).
+  void event(std::string node, std::string name, const TraceContext& ctx,
+             std::string detail = "");
 
   /// Open a span; returns its id (never 0 when enabled).
   std::uint64_t begin_span(std::string node, std::string name,
                            std::string detail = "");
+  /// Open a span inside trace `ctx.trace_id`, caused by `ctx.parent_span`.
+  std::uint64_t begin_span(std::string node, std::string name,
+                           const TraceContext& ctx, std::string detail = "");
   /// Close a span by id. Ending span 0 (a disabled begin) is a no-op.
   void end_span(std::uint64_t span, std::string node, std::string name,
                 std::string detail = "");
@@ -65,9 +85,15 @@ class Tracer {
   std::uint64_t dropped() const;
   void clear();
 
-  /// One JSON object per event per line; "" when empty. Each line parses
-  /// as a standalone JSON value (json_valid).
-  std::string to_jsonl() const;
+  /// JSONL export: a header object
+  ///   {"congrid_trace":1,"events":N,"dropped":D,"capacity":C[,"node":...]}
+  /// followed by one JSON object per event per line. "" when tracing is
+  /// compiled out. Each line parses as a standalone JSON value
+  /// (json_valid). `node_filter`, when non-empty, keeps only that node's
+  /// events -- how per-peer trace files are produced from the shared ring
+  /// (span ids stay globally unique across the filtered files, so
+  /// congrid-trace can merge them back).
+  std::string to_jsonl(std::string_view node_filter = {}) const;
 
 #if CONGRID_OBS_ENABLED
  private:
@@ -81,6 +107,7 @@ class Tracer {
   std::size_t size_ = 0;
   std::uint64_t dropped_ = 0;
   std::uint64_t next_span_ = 1;
+  CounterRef dropped_c_;
 #endif
 };
 
@@ -96,9 +123,22 @@ class TracerRef {
              std::string detail = "") const {
     if (t_) t_->event(std::move(node), std::move(name), std::move(detail));
   }
+  void event(std::string node, std::string name, const TraceContext& ctx,
+             std::string detail = "") const {
+    if (t_) {
+      t_->event(std::move(node), std::move(name), ctx, std::move(detail));
+    }
+  }
   std::uint64_t begin_span(std::string node, std::string name,
                            std::string detail = "") const {
     return t_ ? t_->begin_span(std::move(node), std::move(name),
+                               std::move(detail))
+              : 0;
+  }
+  std::uint64_t begin_span(std::string node, std::string name,
+                           const TraceContext& ctx,
+                           std::string detail = "") const {
+    return t_ ? t_->begin_span(std::move(node), std::move(name), ctx,
                                std::move(detail))
               : 0;
   }
@@ -116,7 +156,13 @@ class TracerRef {
   /*implicit*/ TracerRef(Tracer*) {}
   explicit operator bool() const { return false; }
   void event(std::string, std::string, std::string = "") const {}
+  void event(std::string, std::string, const TraceContext&,
+             std::string = "") const {}
   std::uint64_t begin_span(std::string, std::string, std::string = "") const {
+    return 0;
+  }
+  std::uint64_t begin_span(std::string, std::string, const TraceContext&,
+                           std::string = "") const {
     return 0;
   }
   void end_span(std::uint64_t, std::string, std::string,

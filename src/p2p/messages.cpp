@@ -40,11 +40,27 @@ void expect_type(serial::Reader& r, DiscoveryMsgType want) {
   }
 }
 
+// Fixed-width context slot right after the type tag (see messages.hpp).
+void write_trace(serial::Writer& w, const obs::TraceContext& t) {
+  w.u64(t.trace_id);
+  w.u64(t.parent_span);
+  w.u64(t.lamport);
+}
+
+obs::TraceContext read_trace(serial::Reader& r) {
+  obs::TraceContext t;
+  t.trace_id = r.u64();
+  t.parent_span = r.u64();
+  t.lamport = r.u64();
+  return t;
+}
+
 }  // namespace
 
 serial::Frame encode(const QueryMsg& m) {
   serial::Writer w;
   w.u8(static_cast<std::uint8_t>(DiscoveryMsgType::kQuery));
+  write_trace(w, m.trace);
   w.u64(m.query_id);
   w.string(m.origin.value);
   w.u8(m.ttl);
@@ -55,6 +71,7 @@ serial::Frame encode(const QueryMsg& m) {
 serial::Frame encode(const ResponseMsg& m) {
   serial::Writer w;
   w.u8(static_cast<std::uint8_t>(DiscoveryMsgType::kResponse));
+  write_trace(w, m.trace);
   w.u64(m.query_id);
   write_adverts(w, m.adverts);
   return finish(w);
@@ -63,6 +80,7 @@ serial::Frame encode(const ResponseMsg& m) {
 serial::Frame encode(const PublishMsg& m) {
   serial::Writer w;
   w.u8(static_cast<std::uint8_t>(DiscoveryMsgType::kPublish));
+  write_trace(w, m.trace);
   write_adverts(w, m.adverts);
   return finish(w);
 }
@@ -76,6 +94,7 @@ QueryMsg decode_query(const serial::Frame& f) {
   serial::Reader r(f.payload);
   expect_type(r, DiscoveryMsgType::kQuery);
   QueryMsg m;
+  m.trace = read_trace(r);
   m.query_id = r.u64();
   m.origin = net::Endpoint{r.string()};
   m.ttl = r.u8();
@@ -87,6 +106,7 @@ ResponseMsg decode_response(const serial::Frame& f) {
   serial::Reader r(f.payload);
   expect_type(r, DiscoveryMsgType::kResponse);
   ResponseMsg m;
+  m.trace = read_trace(r);
   m.query_id = r.u64();
   m.adverts = read_adverts(r);
   return m;
@@ -96,6 +116,7 @@ PublishMsg decode_publish(const serial::Frame& f) {
   serial::Reader r(f.payload);
   expect_type(r, DiscoveryMsgType::kPublish);
   PublishMsg m;
+  m.trace = read_trace(r);
   m.adverts = read_adverts(r);
   return m;
 }

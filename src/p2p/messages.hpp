@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "net/endpoint.hpp"
+#include "obs/context.hpp"
 #include "p2p/advert.hpp"
 #include "serial/frame.hpp"
 
@@ -22,23 +23,32 @@ enum class DiscoveryMsgType : std::uint8_t {
   kPublish = 3,
 };
 
+// Every discovery message carries an obs::TraceContext, encoded as a fixed
+// 24 bytes right after the type tag (zero-filled when untraced, so message
+// sizes never depend on observability state). Forwarded queries keep the
+// originator's context; responses echo the query's, tying a whole
+// discovery round to the run that issued it.
+
 /// A query in flight: who asked, how far it may still travel, what it wants.
 struct QueryMsg {
   std::uint64_t query_id = 0;
   net::Endpoint origin;  ///< responses go straight back here
   std::uint8_t ttl = 0;  ///< remaining hops including the receiving one
   Query query;
+  obs::TraceContext trace;
 };
 
 /// Advertisements answering `query_id`, sent directly to the origin.
 struct ResponseMsg {
   std::uint64_t query_id = 0;
   std::vector<Advertisement> adverts;
+  obs::TraceContext trace;
 };
 
 /// Push adverts into the receiver's cache (peer -> rendezvous).
 struct PublishMsg {
   std::vector<Advertisement> adverts;
+  obs::TraceContext trace;
 };
 
 serial::Frame encode(const QueryMsg& m);

@@ -79,10 +79,16 @@ void PeerNode::publish_local(const Advertisement& a) {
   cache_.put(a, clock_());
 }
 
+void PeerNode::set_obs(obs::Tracer* tracer, std::string_view node) {
+  tracer_ = tracer;
+  trace_node_ = node.empty() ? config_.peer_id : std::string(node);
+}
+
 void PeerNode::publish_to(const net::Endpoint& target,
                           const std::vector<Advertisement>& adverts) {
   PublishMsg m;
   m.adverts = adverts;
+  m.trace = trace_ctx_;
   transport_.send(target, encode(m));
   stats_.adverts_published += adverts.size();
 }
@@ -106,12 +112,18 @@ std::uint64_t PeerNode::discover_flood(const Query& q, int ttl,
   pending_[id] = std::move(on);
   if (!local.empty()) pending_[id](local);
 
+  if (tracer_) {
+    tracer_.event(trace_node_, "discovery.query", trace_ctx_,
+                  "qid=" + std::to_string(id) + " ttl=" + std::to_string(ttl));
+  }
+
   if (ttl > 0) {
     QueryMsg m;
     m.query_id = id;
     m.origin = endpoint();
     m.ttl = static_cast<std::uint8_t>(std::min(ttl, 255));
     m.query = q;
+    m.trace = trace_ctx_;
     for (const auto& n : neighbors_) {
       transport_.send(n, encode(m));
       ++stats_.queries_forwarded;
@@ -130,12 +142,18 @@ std::uint64_t PeerNode::discover_rendezvous(const Query& q,
   pending_[id] = std::move(on);
   if (!local.empty()) pending_[id](local);
 
+  if (tracer_) {
+    tracer_.event(trace_node_, "discovery.query", trace_ctx_,
+                  "qid=" + std::to_string(id) + " ttl=2");
+  }
+
   if (!rendezvous_.empty()) {
     QueryMsg m;
     m.query_id = id;
     m.origin = endpoint();
     m.ttl = 2;  // rendezvous may fan out one more hop to its fellows
     m.query = q;
+    m.trace = trace_ctx_;
     transport_.send(rendezvous_.front(), encode(m));
     ++stats_.queries_forwarded;
   }
@@ -185,13 +203,20 @@ void PeerNode::handle_query(const net::Endpoint& from, QueryMsg m) {
     return;
   }
   ++stats_.queries_received;
+  if (tracer_) {
+    tracer_.event(trace_node_, "discovery.query_recv", m.trace,
+                  "qid=" + std::to_string(m.query_id) +
+                      " ttl=" + std::to_string(m.ttl));
+  }
 
-  // Answer what we can, straight back to the origin.
+  // Answer what we can, straight back to the origin. The response echoes
+  // the query's causal context so the round stays inside one trace.
   auto matches = find_local(m.query, config_.max_response_adverts);
   if (!matches.empty()) {
     ResponseMsg r;
     r.query_id = m.query_id;
     r.adverts = std::move(matches);
+    r.trace = m.trace;
     transport_.send(m.origin, encode(r));
     ++stats_.responses_sent;
   }
@@ -219,6 +244,11 @@ void PeerNode::handle_query(const net::Endpoint& from, QueryMsg m) {
 
 void PeerNode::handle_response(ResponseMsg m) {
   ++stats_.responses_received;
+  if (tracer_) {
+    tracer_.event(trace_node_, "discovery.response_recv", m.trace,
+                  "qid=" + std::to_string(m.query_id) +
+                      " adverts=" + std::to_string(m.adverts.size()));
+  }
   // Remember what we learned -- answered queries warm the whole path's
   // cache in JXTA; here the origin's cache.
   const double t = clock_();

@@ -29,6 +29,7 @@
 
 #include "net/time.hpp"
 #include "net/transport.hpp"
+#include "obs/trace.hpp"
 #include "p2p/cache.hpp"
 #include "p2p/messages.hpp"
 
@@ -150,6 +151,19 @@ class PeerNode {
   /// order.
   const net::FrameHandler& fallback_handler() const { return fallback_; }
 
+  // -- observability -----------------------------------------------------
+  /// Bind a tracer: query initiation, query/response arrival and publish
+  /// arrival become instant events on `node` (the peer id by default),
+  /// each stamped with the causal context the message carried.
+  void set_obs(obs::Tracer* tracer, std::string_view node = {});
+
+  /// Adopt a causal context: queries and publishes this node initiates are
+  /// stamped with it, so whole discovery rounds (including every forwarded
+  /// hop and response) hang off the run that issued them. Forwarded
+  /// queries keep the ORIGINATOR's context; responses echo the query's.
+  void set_trace(const obs::TraceContext& ctx) { trace_ctx_ = ctx; }
+  const obs::TraceContext& trace() const { return trace_ctx_; }
+
   const PeerNodeStats& stats() const { return stats_; }
 
  private:
@@ -177,6 +191,9 @@ class PeerNode {
 
   net::FrameHandler fallback_;
   PeerNodeStats stats_;
+  obs::TracerRef tracer_;
+  std::string trace_node_;
+  obs::TraceContext trace_ctx_;
 };
 
 }  // namespace cg::p2p

@@ -11,16 +11,25 @@ constexpr std::uint8_t kResponse = 2;
 
 }  // namespace
 
+void CodeExchange::set_obs(obs::Tracer* tracer, std::string_view node) {
+  tracer_ = tracer;
+  trace_node_ = node.empty() ? transport_.local().value : std::string(node);
+}
+
 std::uint64_t CodeExchange::fetch(const net::Endpoint& owner,
                                   const std::string& name,
                                   const std::string& version,
-                                  FetchHandler on_done) {
+                                  FetchHandler on_done,
+                                  const obs::TraceContext& trace) {
   const std::uint64_t id = next_req_++;
   pending_[id] = std::move(on_done);
 
   serial::Writer w;
   w.u8(kRequest);
   w.u64(id);
+  w.u64(trace.trace_id);
+  w.u64(trace.parent_span);
+  w.u64(trace.lamport);
   w.string(name);
   w.string(version);
 
@@ -42,12 +51,20 @@ void CodeExchange::on_frame(const net::Endpoint& from, serial::Frame frame) {
 
   if (kind == kRequest) {
     const std::uint64_t id = r.u64();
+    obs::TraceContext trace;
+    trace.trace_id = r.u64();
+    trace.parent_span = r.u64();
+    trace.lamport = r.u64();
     const std::string name = r.string();
     const std::string version = r.string();
 
     std::optional<ModuleArtifact> a;
     if (repo_) {
       a = version.empty() ? repo_->latest(name) : repo_->get(name, version);
+    }
+    if (tracer_) {
+      tracer_.event(trace_node_, "code.serve", trace,
+                    "module=" + name + " found=" + (a ? "1" : "0"));
     }
 
     serial::Writer w;

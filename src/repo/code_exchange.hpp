@@ -9,9 +9,11 @@
 #include <cstdint>
 #include <functional>
 #include <optional>
+#include <string_view>
 #include <unordered_map>
 
 #include "net/transport.hpp"
+#include "obs/trace.hpp"
 #include "repo/repository.hpp"
 
 namespace cg::repo {
@@ -39,9 +41,17 @@ class CodeExchange {
 
   /// Request `name` (at `version`, or the owner's latest when empty) from
   /// `owner`. The handler fires once, with nullopt when the owner does not
-  /// have the module.
+  /// have the module. `trace` is the causal context of whatever caused the
+  /// fetch (e.g. the deploy span waiting on the module); it travels in the
+  /// request -- a fixed 24 bytes, zero-filled when untraced -- and is
+  /// echoed in the response, so the owner's serve event joins the trace.
   std::uint64_t fetch(const net::Endpoint& owner, const std::string& name,
-                      const std::string& version, FetchHandler on_done);
+                      const std::string& version, FetchHandler on_done,
+                      const obs::TraceContext& trace = {});
+
+  /// Bind a tracer: served requests become "code.serve" events on `node`,
+  /// stamped with the requester's causal context.
+  void set_obs(obs::Tracer* tracer, std::string_view node = {});
 
   /// Feed a frame from the handler chain. Consumes kCode frames; passes
   /// everything else to the fallback.
@@ -58,6 +68,8 @@ class CodeExchange {
   std::uint64_t next_req_ = 1;
   net::FrameHandler fallback_;
   CodeExchangeStats stats_;
+  obs::TracerRef tracer_;
+  std::string trace_node_;
 };
 
 }  // namespace cg::repo

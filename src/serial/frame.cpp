@@ -22,9 +22,13 @@ Bytes encode_frame(const Frame& f) {
   return w.take();
 }
 
-Frame encode_envelope(std::uint64_t msg_id, const Frame& inner) {
-  Writer w(8 + 1 + inner.payload.size());
+Frame encode_envelope(std::uint64_t msg_id, const Frame& inner,
+                      const obs::TraceContext& trace) {
+  Writer w(8 + obs::kTraceContextWireSize + 1 + inner.payload.size());
   w.u64(msg_id);
+  w.u64(trace.trace_id);
+  w.u64(trace.parent_span);
+  w.u64(trace.lamport);
   w.u8(static_cast<std::uint8_t>(inner.type));
   w.raw(inner.payload);
   Frame f;
@@ -40,9 +44,28 @@ ReliableEnvelope decode_envelope(const Frame& f) {
   Reader r(f.payload);
   ReliableEnvelope e;
   e.msg_id = r.u64();
+  e.trace.trace_id = r.u64();
+  e.trace.parent_span = r.u64();
+  e.trace.lamport = r.u64();
   e.inner.type = static_cast<FrameType>(r.u8());
   e.inner.payload = r.raw(r.remaining());
   return e;
+}
+
+obs::TraceContext peek_envelope_trace(const Frame& f) {
+  if (f.type != FrameType::kReliable) {
+    throw DecodeError("peek_envelope_trace: frame is not kReliable");
+  }
+  if (f.payload.size() < 8 + obs::kTraceContextWireSize) {
+    throw DecodeError("peek_envelope_trace: truncated envelope");
+  }
+  Reader r(std::span<const std::uint8_t>(f.payload.data() + 8,
+                                         obs::kTraceContextWireSize));
+  obs::TraceContext trace;
+  trace.trace_id = r.u64();
+  trace.parent_span = r.u64();
+  trace.lamport = r.u64();
+  return trace;
 }
 
 Frame encode_ack(std::uint64_t msg_id) {

@@ -10,6 +10,7 @@
 #include <deque>
 #include <optional>
 
+#include "obs/context.hpp"
 #include "serial/bytes.hpp"
 
 namespace cg::serial {
@@ -51,19 +52,31 @@ constexpr std::size_t kMaxFramePayload = 64u * 1024u * 1024u;
 // confirms receipt with a kAck frame echoing that id. The codec lives here
 // so the wire format stays in one place with the rest of the framing.
 
-/// A decoded reliable envelope: the sender-scoped message id plus the
-/// wrapped application frame.
+/// A decoded reliable envelope: the sender-scoped message id, the causal
+/// trace context the sender stamped, plus the wrapped application frame.
 struct ReliableEnvelope {
   std::uint64_t msg_id = 0;
+  obs::TraceContext trace;
   Frame inner;
 };
 
-/// Wrap `inner` in a kReliable envelope tagged with `msg_id`.
-Frame encode_envelope(std::uint64_t msg_id, const Frame& inner);
+/// Wrap `inner` in a kReliable envelope tagged with `msg_id` and `trace`.
+/// The trace context occupies a fixed 24 bytes whether or not tracing is
+/// active (obs::kTraceContextWireSize, zero-filled when idle), so envelope
+/// sizes -- and everything downstream of frame size, like simulated link
+/// latency -- never depend on observability state.
+Frame encode_envelope(std::uint64_t msg_id, const Frame& inner,
+                      const obs::TraceContext& trace = {});
 
 /// Unwrap a kReliable envelope; throws DecodeError on malformed input or a
 /// non-kReliable frame.
 ReliableEnvelope decode_envelope(const Frame& f);
+
+/// Read just the trace context of a kReliable envelope without copying the
+/// inner payload (SimNetwork merges Lamport clocks on delivery and must not
+/// pay a full decode per hop). Throws DecodeError on malformed input or a
+/// non-kReliable frame.
+obs::TraceContext peek_envelope_trace(const Frame& f);
 
 /// Build the kAck frame confirming `msg_id`.
 Frame encode_ack(std::uint64_t msg_id);

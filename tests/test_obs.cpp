@@ -122,6 +122,44 @@ TEST(Json, NumberNeverEmitsNonFinite) {
   EXPECT_EQ(obs::json_number(std::nan("")), "0");
 }
 
+TEST(Json, QuoteEscapesControlCharsAndQuotes) {
+  EXPECT_EQ(obs::json_quote("plain"), "\"plain\"");
+  EXPECT_EQ(obs::json_quote("a\"b"), "\"a\\\"b\"");
+  EXPECT_EQ(obs::json_quote("a\\b"), "\"a\\\\b\"");
+  EXPECT_EQ(obs::json_quote("\n\t\r"), "\"\\n\\t\\r\"");
+  // Control characters without shorthand escapes use \u00XX.
+  EXPECT_EQ(obs::json_quote(std::string(1, '\x01')), "\"\\u0001\"");
+  EXPECT_EQ(obs::json_quote(std::string(1, '\x1f')), "\"\\u001f\"");
+  // NUL embedded mid-string must not truncate the output.
+  const std::string nul = std::string("a") + '\0' + "b";
+  EXPECT_EQ(obs::json_quote(nul), "\"a\\u0000b\"");
+  for (const char* s : {"plain", "a\"b", "a\\b", "\n\t\r", "\x01", "\x7f"}) {
+    EXPECT_TRUE(obs::json_valid(obs::json_quote(s))) << s;
+  }
+}
+
+TEST(Json, QuotePassesValidUtf8Through) {
+  // 2-, 3- and 4-byte sequences: é, €, 🌍 -- copied verbatim, still valid.
+  const std::string s = "caf\xc3\xa9 \xe2\x82\xac \xf0\x9f\x8c\x8d";
+  EXPECT_EQ(obs::json_quote(s), "\"" + s + "\"");
+  EXPECT_TRUE(obs::json_valid(obs::json_quote(s)));
+}
+
+TEST(Json, QuoteReplacesInvalidUtf8WithReplacementChar) {
+  const std::string fffd = "\xef\xbf\xbd";  // U+FFFD
+  // Lone continuation byte, overlong-start byte with no continuation, and
+  // a truncated 3-byte sequence: each becomes one replacement character
+  // instead of leaking broken bytes into the JSON document.
+  EXPECT_EQ(obs::json_quote("\x80"), "\"" + fffd + "\"");
+  EXPECT_EQ(obs::json_quote("a\xc3"), "\"a" + fffd + "\"");
+  EXPECT_EQ(obs::json_quote("a\xe2\x82"), "\"a" + fffd + "\"");
+  // Valid neighbours survive an invalid byte between them.
+  EXPECT_EQ(obs::json_quote("x\xffy"), "\"x" + fffd + "y\"");
+  for (const char* s : {"\x80", "a\xc3", "a\xe2\x82", "x\xffy", "\xfe\xff"}) {
+    EXPECT_TRUE(obs::json_valid(obs::json_quote(s)));
+  }
+}
+
 // ----------------------------------------------------------------- tracer
 
 TEST(Tracer, SpansPairAndClockApplies) {
@@ -187,8 +225,32 @@ TEST(Tracer, JsonlLinesAreEachValidJson) {
   while (std::getline(in, line)) {
     ++lines;
     EXPECT_TRUE(obs::json_valid(line)) << line;
+    if (lines == 1) {
+      // Header first: identifies the format and carries the ring counters
+      // congrid-trace uses to detect incomplete captures.
+      EXPECT_NE(line.find("\"congrid_trace\""), std::string::npos);
+      EXPECT_NE(line.find("\"events\":3"), std::string::npos);
+      EXPECT_NE(line.find("\"dropped\":0"), std::string::npos);
+    }
   }
-  EXPECT_EQ(lines, 3);
+  EXPECT_EQ(lines, 4);  // header + 3 events
+#else
+  EXPECT_TRUE(jsonl.empty());
+#endif
+}
+
+TEST(Tracer, JsonlHeaderReportsRingOverwrites) {
+  obs::Tracer tr(4);
+  for (int i = 0; i < 9; ++i) tr.event("n", "e" + std::to_string(i));
+  const std::string jsonl = tr.to_jsonl();
+#if CONGRID_OBS_ENABLED
+  const std::string header = jsonl.substr(0, jsonl.find('\n'));
+  EXPECT_TRUE(obs::json_valid(header)) << header;
+  // 9 events through a 4-slot ring: 5 overwritten, 4 retained. The
+  // analyzer reads this to warn that span pairing may be incomplete.
+  EXPECT_NE(header.find("\"dropped\":5"), std::string::npos) << header;
+  EXPECT_NE(header.find("\"events\":4"), std::string::npos) << header;
+  EXPECT_NE(header.find("\"capacity\":4"), std::string::npos) << header;
 #else
   EXPECT_TRUE(jsonl.empty());
 #endif

@@ -310,6 +310,60 @@ TEST(Envelope, WrongFrameTypeThrows) {
   EXPECT_THROW(decode_envelope(f), DecodeError);
 }
 
+TEST(Envelope, TraceContextRoundTrips) {
+  Frame inner;
+  inner.type = FrameType::kData;
+  inner.payload = {8, 9};
+  const obs::TraceContext ctx{0x1122334455667788ull, 42, 17};
+  ReliableEnvelope e = decode_envelope(encode_envelope(5, inner, ctx));
+  EXPECT_EQ(e.msg_id, 5u);
+  EXPECT_EQ(e.trace.trace_id, ctx.trace_id);
+  EXPECT_EQ(e.trace.parent_span, ctx.parent_span);
+  EXPECT_EQ(e.trace.lamport, ctx.lamport);
+  EXPECT_EQ(e.inner.payload, inner.payload);
+}
+
+TEST(Envelope, DefaultTraceContextIsZeroFilled) {
+  Frame inner;
+  inner.type = FrameType::kControl;
+  ReliableEnvelope e = decode_envelope(encode_envelope(1, inner));
+  EXPECT_EQ(e.trace.trace_id, 0u);
+  EXPECT_EQ(e.trace.parent_span, 0u);
+  EXPECT_EQ(e.trace.lamport, 0u);
+}
+
+TEST(Envelope, WireSizeIndependentOfTraceContent) {
+  // The scheduling-invariance bedrock: a traced envelope and an untraced
+  // one are byte-for-byte the same length, so link latencies (a function
+  // of frame size in SimNetwork) cannot depend on observability state.
+  Frame inner;
+  inner.type = FrameType::kData;
+  inner.payload = {1, 2, 3};
+  const Frame bare = encode_envelope(9, inner);
+  const Frame traced =
+      encode_envelope(9, inner, obs::TraceContext{~0ull, ~0ull, ~0ull});
+  EXPECT_EQ(bare.payload.size(), traced.payload.size());
+}
+
+TEST(Envelope, PeekReadsTraceWithoutFullDecode) {
+  Frame inner;
+  inner.type = FrameType::kData;
+  inner.payload = std::vector<std::uint8_t>(1024, 0xAB);
+  const obs::TraceContext ctx{77, 3, 12};
+  const Frame env = encode_envelope(2, inner, ctx);
+  const obs::TraceContext peeked = peek_envelope_trace(env);
+  EXPECT_EQ(peeked.trace_id, 77u);
+  EXPECT_EQ(peeked.parent_span, 3u);
+  EXPECT_EQ(peeked.lamport, 12u);
+
+  Frame not_reliable;
+  not_reliable.type = FrameType::kControl;
+  EXPECT_THROW(peek_envelope_trace(not_reliable), DecodeError);
+  Frame truncated = env;
+  truncated.payload.resize(8);  // msg id only, trace slot sheared off
+  EXPECT_THROW(peek_envelope_trace(truncated), DecodeError);
+}
+
 TEST(Ack, RoundTrip) {
   Frame a = encode_ack(99);
   EXPECT_EQ(a.type, FrameType::kAck);

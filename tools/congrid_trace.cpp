@@ -1,0 +1,133 @@
+// congrid-trace -- merge per-peer JSONL trace files, reconstruct the
+// causal DAG and report where the wall time of a distributed run went.
+//
+//   congrid-trace [--validate] [--json PATH|-] [--md PATH|-] FILE...
+//
+// FILEs are Tracer::to_jsonl outputs ("-" reads stdin); multiple files
+// (e.g. one per peer) are merged -- span ids are globally unique within a
+// run, and cross-peer transfers pair up by (connection, sequence).
+//
+// Default output is the markdown report on stdout. --json/--md redirect
+// the machine/human forms to files. --validate exits nonzero when the
+// DAG is structurally broken (unpaired spans, receive-before-send,
+// parent cycles); ring overwrites downgrade pairing errors to warnings
+// but are themselves reported.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/causal.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--validate] [--json PATH|-] [--md PATH|-] "
+               "FILE...\n",
+               argv0);
+  return 2;
+}
+
+bool read_input(const std::string& path, std::string& out) {
+  if (path == "-") {
+    std::ostringstream ss;
+    ss << std::cin.rdbuf();
+    out = ss.str();
+    return true;
+  }
+  std::ifstream f(path, std::ios::binary);
+  if (!f) return false;
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  out = ss.str();
+  return true;
+}
+
+bool write_output(const std::string& path, const std::string& text) {
+  if (path == "-") {
+    std::fwrite(text.data(), 1, text.size(), stdout);
+    return true;
+  }
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) return false;
+  f << text;
+  return f.good();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool validate = false;
+  std::string json_path;
+  std::string md_path;
+  std::vector<std::string> files;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--validate") {
+      validate = true;
+    } else if (arg == "--json") {
+      if (++i >= argc) return usage(argv[0]);
+      json_path = argv[i];
+    } else if (arg == "--md") {
+      if (++i >= argc) return usage(argv[0]);
+      md_path = argv[i];
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      return usage(argv[0]);
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (files.empty()) return usage(argv[0]);
+
+  cg::obs::causal::Trace trace;
+  for (const auto& path : files) {
+    std::string text;
+    if (!read_input(path, text)) {
+      std::fprintf(stderr, "congrid-trace: cannot read %s\n", path.c_str());
+      return 2;
+    }
+    try {
+      trace.add_jsonl(text);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "congrid-trace: %s: %s\n", path.c_str(), e.what());
+      return 2;
+    }
+  }
+  trace.finish();
+
+  const cg::obs::causal::Report report = trace.analyze();
+
+  bool io_ok = true;
+  if (!json_path.empty()) {
+    io_ok = write_output(json_path, report.to_json() + "\n") && io_ok;
+  }
+  if (!md_path.empty()) {
+    io_ok = write_output(md_path, report.to_markdown()) && io_ok;
+  }
+  if (json_path.empty() && md_path.empty()) {
+    write_output("-", report.to_markdown());
+  }
+  if (!io_ok) {
+    std::fprintf(stderr, "congrid-trace: write failed\n");
+    return 2;
+  }
+
+  for (const auto& w : report.warnings) {
+    std::fprintf(stderr, "warning: %s\n", w.c_str());
+  }
+  if (!report.errors.empty()) {
+    for (const auto& e : report.errors) {
+      std::fprintf(stderr, "error: %s\n", e.c_str());
+    }
+    if (validate) return 1;
+  }
+  return 0;
+}
