@@ -1,0 +1,143 @@
+#include "cas/compress.hpp"
+
+#include <cstring>
+#include <vector>
+
+#include "serial/reader.hpp"
+#include "serial/writer.hpp"
+
+namespace cg::cas {
+namespace {
+
+// Layout: varint raw_size, u8 method, payload.
+//   kStored: payload is the raw bytes verbatim.
+//   kLz: payload is a series of blocks
+//          varint literal_len, literal bytes,
+//          varint match_len  (0 = no match, next block follows),
+//          varint offset     (present when match_len > 0; 1-based back ref)
+//        until the decoded output reaches raw_size. The trailing block may
+//        end after its literals once the output is complete.
+constexpr std::uint8_t kStored = 0;
+constexpr std::uint8_t kLz = 1;
+
+constexpr std::size_t kMinMatch = 4;
+constexpr std::size_t kMaxOffset = 1u << 16;
+constexpr std::size_t kHashBits = 13;
+
+inline std::uint32_t hash4(const std::uint8_t* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, 4);
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+}  // namespace
+
+serial::Bytes compress(std::span<const std::uint8_t> raw) {
+  serial::Writer w(raw.size() / 2 + 16);
+  w.varint(raw.size());
+  if (raw.size() < kMinMatch + 1) {
+    w.u8(kStored);
+    w.raw(raw);
+    return w.take();
+  }
+
+  serial::Writer body(raw.size());
+  std::vector<std::size_t> table(std::size_t{1} << kHashBits, SIZE_MAX);
+  const std::uint8_t* base = raw.data();
+  const std::size_t n = raw.size();
+  std::size_t pos = 0;
+  std::size_t literal_start = 0;
+  // The last kMinMatch-1 bytes can never start a match (hash4 reads 4).
+  const std::size_t match_limit = n - kMinMatch + 1;
+
+  auto emit_block = [&](std::size_t lit_end, std::size_t match_len,
+                        std::size_t offset) {
+    body.varint(lit_end - literal_start);
+    body.raw(std::span<const std::uint8_t>(base + literal_start,
+                                           lit_end - literal_start));
+    body.varint(match_len);
+    if (match_len > 0) body.varint(offset);
+  };
+
+  while (pos < match_limit) {
+    const std::uint32_t h = hash4(base + pos);
+    const std::size_t cand = table[h];
+    table[h] = pos;
+    if (cand != SIZE_MAX && pos - cand <= kMaxOffset &&
+        std::memcmp(base + cand, base + pos, kMinMatch) == 0) {
+      std::size_t len = kMinMatch;
+      while (pos + len < n && base[cand + len] == base[pos + len]) ++len;
+      emit_block(pos, len, pos - cand);
+      // Seed the table sparsely inside the match so later data can still
+      // reference it without paying a per-byte insertion cost.
+      const std::size_t step = len > 64 ? 8 : 1;
+      for (std::size_t i = 1; i < len && pos + i < match_limit; i += step) {
+        table[hash4(base + pos + i)] = pos + i;
+      }
+      pos += len;
+      literal_start = pos;
+    } else {
+      ++pos;
+    }
+  }
+  if (literal_start < n) emit_block(n, 0, 0);
+
+  // Keep whichever form is smaller; ties go to stored (cheaper to decode).
+  if (body.size() < n) {
+    w.u8(kLz);
+    w.raw(body.bytes());
+  } else {
+    w.u8(kStored);
+    w.raw(raw);
+  }
+  return w.take();
+}
+
+serial::Bytes decompress(std::span<const std::uint8_t> compressed) {
+  serial::Reader r(compressed);
+  const std::uint64_t raw_size = r.varint();
+  const std::uint8_t method = r.u8();
+
+  if (method == kStored) {
+    serial::Bytes out = r.raw(raw_size);
+    if (!r.at_end()) {
+      throw serial::DecodeError("cas: trailing bytes after stored block");
+    }
+    return out;
+  }
+  if (method != kLz) {
+    throw serial::DecodeError("cas: unknown compression method");
+  }
+
+  serial::Bytes out;
+  out.reserve(raw_size);
+  while (out.size() < raw_size) {
+    const std::uint64_t lit = r.varint();
+    if (out.size() + lit > raw_size) {
+      throw serial::DecodeError("cas: literal run overflows raw size");
+    }
+    const serial::Bytes run = r.raw(lit);
+    out.insert(out.end(), run.begin(), run.end());
+    if (out.size() == raw_size) break;
+    const std::uint64_t match_len = r.varint();
+    if (match_len == 0) continue;
+    const std::uint64_t offset = r.varint();
+    if (offset == 0 || offset > out.size()) {
+      throw serial::DecodeError("cas: match offset out of range");
+    }
+    if (out.size() + match_len > raw_size) {
+      throw serial::DecodeError("cas: match overflows raw size");
+    }
+    // Byte-by-byte: overlapping matches (offset < match_len) replicate.
+    std::size_t src = out.size() - offset;
+    for (std::uint64_t i = 0; i < match_len; ++i) {
+      out.push_back(out[src + i]);
+    }
+  }
+  if (out.size() != raw_size) {
+    throw serial::DecodeError("cas: decoded size mismatch");
+  }
+  return out;
+}
+
+}  // namespace cg::cas

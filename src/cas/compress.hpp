@@ -1,0 +1,27 @@
+// ConGrid -- byte-oriented LZ compression for the disk tier.
+//
+// Disk objects are compressed with a small LZ77 scheme in the LZ4 spirit:
+// a greedy hash-table matcher emits (literal run, match length, back
+// offset) sequences encoded with the same varints the wire format uses.
+// Incompressible input (entropy-coded or synthetic-random module bytes)
+// falls back to stored form at a one-byte cost, so compression never
+// inflates an object by more than its header. The codec is deterministic:
+// equal input bytes always produce equal compressed bytes, which keeps
+// disk-object files byte-identical across peers and runs.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "serial/bytes.hpp"
+
+namespace cg::cas {
+
+/// Compress `raw`; the output embeds the raw size and the method used.
+serial::Bytes compress(std::span<const std::uint8_t> raw);
+
+/// Inverse of compress(). Throws serial::DecodeError on malformed input
+/// (truncation, bad offsets, raw-size mismatch).
+serial::Bytes decompress(std::span<const std::uint8_t> compressed);
+
+}  // namespace cg::cas

@@ -1,0 +1,71 @@
+// ConGrid -- SHA-256 content hashing for the artifact store.
+//
+// Everything the content-addressed store (cas/store.hpp) holds is keyed by
+// the SHA-256 of its bytes: identical module code, configs or memoized
+// outputs collapse to one stored object no matter which peer produced
+// them, and a disk entry whose bytes no longer hash to its name is
+// detectably corrupt. FNV-1a (repo/artifact.hpp) remains the cheap
+// admission-control hash; this digest is the storage key, where collision
+// resistance actually matters.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+
+namespace cg::cas {
+
+/// A 256-bit content digest. Value type: compare, hash, copy freely.
+struct Digest {
+  std::array<std::uint8_t, 32> bytes{};
+
+  /// Lowercase 64-char hex, the on-disk object filename.
+  std::string hex() const;
+  /// Parse 64 hex chars; nullopt on bad length or non-hex input.
+  static std::optional<Digest> from_hex(std::string_view s);
+
+  bool operator==(const Digest&) const = default;
+  auto operator<=>(const Digest&) const = default;
+};
+
+/// Map/set hashing: the first 8 digest bytes are already uniform.
+struct DigestHasher {
+  std::size_t operator()(const Digest& d) const {
+    std::size_t h = 0;
+    for (std::size_t i = 0; i < sizeof(h); ++i) {
+      h = (h << 8) | d.bytes[i];
+    }
+    return h;
+  }
+};
+
+/// Incremental SHA-256 (FIPS 180-4). Callers framing multi-field keys must
+/// length-prefix the fields themselves; update() concatenates raw bytes.
+class Sha256 {
+ public:
+  Sha256() { reset(); }
+
+  void reset();
+  void update(const void* data, std::size_t len);
+  void update(std::span<const std::uint8_t> data) {
+    update(data.data(), data.size());
+  }
+  /// Finalise and return the digest; the hasher must be reset() for reuse.
+  Digest finish();
+
+ private:
+  void compress_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_{};
+  std::array<std::uint8_t, 64> buf_{};
+  std::uint64_t total_ = 0;  ///< bytes hashed so far
+  std::size_t buf_len_ = 0;
+};
+
+/// One-shot digest of a byte range.
+Digest sha256(std::span<const std::uint8_t> data);
+
+}  // namespace cg::cas

@@ -34,6 +34,21 @@ GraphRuntime::GraphRuntime(const TaskGraph& graph,
     n.is_send = (t.unit_type == "Send");
     n.is_receive = (t.unit_type == "Receive");
     n.serial_only = (n.info->concurrency == Concurrency::kSerialOnly);
+    // Memoization applies to kPure units only: no instance state (enforced
+    // below) and no external effects, so a firing is a function of (type,
+    // params, inputs) -- unless it reads the RNG or the iteration counter,
+    // which invoke() detects per firing via the ProcessContext flags.
+    if (options_.memo_store && n.info->concurrency == Concurrency::kPure) {
+      n.memoizable = true;
+      serial::Writer pw;
+      pw.string(t.unit_type);
+      pw.varint(t.params.raw().size());
+      for (const auto& [k, v] : t.params.raw()) {
+        pw.string(k);
+        pw.string(v);
+      }
+      n.memo_prefix = pw.take();
+    }
     // Enforce the purity half of the threading contract: a unit claiming
     // kPure must not carry serialisable state (the other half -- no
     // external effects -- is what kSerialOnly exists to declare).
@@ -103,6 +118,9 @@ void GraphRuntime::set_obs(obs::Registry& registry, const std::string& scope) {
       {1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1.0});
   parallelism_g_ = registry.gauge(obs::scoped(scope, "runtime.parallelism"));
   waves_c_ = registry.counter(obs::scoped(scope, "runtime.waves"));
+  memo_hits_c_ = registry.counter(obs::scoped(scope, "runtime.memo_hits"));
+  memo_misses_c_ =
+      registry.counter(obs::scoped(scope, "runtime.memo_misses"));
 }
 
 void GraphRuntime::set_trace(obs::TracerRef tracer, std::string node,
@@ -125,6 +143,36 @@ bool GraphRuntime::ready(const Node& n) const {
   return any_connected;
 }
 
+namespace {
+
+/// Memo value layout: varint emission count, then per emission a varint
+/// port and a blob-encoded DataItem -- exactly what invoke() returns.
+serial::Bytes encode_emissions(
+    const std::vector<std::pair<std::size_t, DataItem>>& emissions) {
+  serial::Writer w;
+  w.varint(emissions.size());
+  for (const auto& [port, item] : emissions) {
+    w.varint(port);
+    w.blob(encode_data_item(item));
+  }
+  return w.take();
+}
+
+std::vector<std::pair<std::size_t, DataItem>> decode_emissions(
+    const serial::Bytes& bytes) {
+  serial::Reader r(bytes);
+  std::vector<std::pair<std::size_t, DataItem>> out;
+  const std::uint64_t count = r.varint();
+  out.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::size_t port = static_cast<std::size_t>(r.varint());
+    out.emplace_back(port, decode_data_item(r.blob()));
+  }
+  return out;
+}
+
+}  // namespace
+
 std::vector<std::pair<std::size_t, DataItem>> GraphRuntime::invoke(
     std::size_t idx) {
   Node& n = nodes_[idx];
@@ -135,6 +183,32 @@ std::vector<std::pair<std::size_t, DataItem>> GraphRuntime::invoke(
       n.pending[p].pop_front();
     }
   }
+
+  // Memo key: unit type + params (pre-encoded prefix) + the exact encoded
+  // input bytes. Runs on pool threads in wave mode -- the store is
+  // thread-safe, the counters atomic, and nothing here touches shared
+  // runtime state.
+  std::string memo_key;
+  if (n.memoizable) {
+    serial::Writer kw;
+    kw.raw(n.memo_prefix);
+    kw.varint(inputs.size());
+    for (const auto& item : inputs) kw.blob(encode_data_item(item));
+    memo_key = "memo/" + cas::sha256(kw.bytes()).hex();
+    if (auto stored = options_.memo_store->get_by_key(memo_key)) {
+      try {
+        auto emissions = decode_emissions(*stored);
+        ++n.firings;
+        memo_hits_.fetch_add(1, std::memory_order_relaxed);
+        memo_hits_c_.inc();
+        return emissions;
+      } catch (const serial::DecodeError&) {
+        // Key resolved to bytes that are not an emission record (ref
+        // collision with another keyspace): recompute below.
+      }
+    }
+  }
+
   ProcessContext ctx(std::move(inputs), iteration_, &n.rng, options_.sandbox);
   n.unit->process(ctx);
   ++n.firings;
@@ -144,6 +218,20 @@ std::vector<std::pair<std::size_t, DataItem>> GraphRuntime::invoke(
                              std::to_string(port) + " which it never declared");
     }
     (void)item;
+  }
+
+  if (n.memoizable) {
+    memo_misses_.fetch_add(1, std::memory_order_relaxed);
+    memo_misses_c_.inc();
+    // Only firings that were a pure function of their inputs are stored: a
+    // firing that read the RNG depends on (and advances) stream position,
+    // and one that read the iteration counter depends on tick number, so
+    // replaying either would change later behaviour. Conversely, a stored
+    // firing touched neither -- replaying it skips no RNG draws and the
+    // streams stay aligned with a recomputing run.
+    if (!ctx.rng_used() && !ctx.iteration_used()) {
+      options_.memo_store->put_keyed(memo_key, encode_emissions(ctx.emissions()));
+    }
   }
   return std::move(ctx.emissions());
 }

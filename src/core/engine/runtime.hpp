@@ -28,11 +28,14 @@
 // computation").
 #pragma once
 
+#include <atomic>
 #include <deque>
 #include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
+
+#include "cas/store.hpp"
 
 #include "core/graph/taskgraph.hpp"
 #include "core/unit/proxy_units.hpp"
@@ -50,6 +53,15 @@ struct RuntimeOptions {
   /// Worker threads for wave-parallel ticks; 0 selects the serial firing
   /// loop (no pool is created). Results are bit-identical either way.
   unsigned max_threads = 0;
+  /// Memoize pure-unit firings through this content store (borrowed; must
+  /// outlive the runtime; nullptr disables). Only units declaring
+  /// Concurrency::kPure participate, and only firings that touched neither
+  /// ctx.rng() nor ctx.iteration() are stored -- see DESIGN.md section 4f
+  /// for the soundness argument. Keys cover unit type, parameters and the
+  /// encoded input items, so hits replay across jobs, runs and any peer
+  /// sharing the store directory. Replay is bit-identical to recompute, so
+  /// serial/parallel equivalence and checkpoint bytes are unaffected.
+  cas::ContentStore* memo_store = nullptr;
 };
 
 struct RuntimeStats {
@@ -126,6 +138,16 @@ class GraphRuntime {
 
   std::uint64_t iteration() const { return iteration_; }
   const RuntimeStats& stats() const { return stats_; }
+  /// Pure-unit firings replayed from / computed into the memo store this
+  /// runtime's lifetime. Kept outside RuntimeStats: stats() compares
+  /// bit-identical between a cold and a warm run of the same graph, while
+  /// these two deliberately differ.
+  std::uint64_t memo_hits() const {
+    return memo_hits_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t memo_misses() const {
+    return memo_misses_.load(std::memory_order_relaxed);
+  }
   /// Firing count per task (diagnostics / reports).
   std::uint64_t firings_of(const std::string& task_name) const;
 
@@ -157,6 +179,10 @@ class GraphRuntime {
     bool is_receive = false;
     /// Concurrency::kSerialOnly -- fires on the coordinator thread.
     bool serial_only = false;
+    /// kPure with a memo store attached: firings may be replayed.
+    bool memoizable = false;
+    /// Pre-encoded memo-key prefix: unit type + ordered parameters.
+    serial::Bytes memo_prefix;
   };
 
   bool ready(const Node& n) const;
@@ -191,6 +217,11 @@ class GraphRuntime {
   SendUnit::Sender external_sender_;
   std::uint64_t iteration_ = 0;
   RuntimeStats stats_;
+  /// Atomics: invoke() runs on pool threads in wave-parallel mode.
+  std::atomic<std::uint64_t> memo_hits_{0};
+  std::atomic<std::uint64_t> memo_misses_{0};
+  obs::CounterRef memo_hits_c_;
+  obs::CounterRef memo_misses_c_;
 
   obs::HistogramRef wave_width_h_;     ///< units per dispatched wave
   obs::HistogramRef barrier_stall_h_;  ///< coordinator wait at the barrier

@@ -85,6 +85,14 @@ serial::Frame encode(const DeployMsg& m) {
   n.set_attr("span", hex16(m.trace.parent_span));
   n.set_attr("lc", hex16(m.trace.lamport));
   n.add_child("graph").set_text(m.graph_xml);
+  if (!m.module_hashes.empty()) {
+    xml::Node& mods = n.add_child("modules");
+    for (const auto& [type, hex] : m.module_hashes) {
+      xml::Node& mod = mods.add_child("module");
+      mod.set_attr("type", type);
+      mod.set_attr("sha256", hex);
+    }
+  }
   return pack(n, m.checkpoint);
 }
 
@@ -152,6 +160,13 @@ DeployMsg decode_deploy(const serial::Frame& f) {
   m.iterations =
       static_cast<std::uint64_t>(u.header.attr_int("iterations", 0));
   m.graph_xml = u.header.require_child("graph").text();
+  if (const xml::Node* mods = u.header.child("modules")) {
+    for (const xml::Node* mod : mods->children("module")) {
+      const std::string type = mod->attr_or("type", "");
+      const std::string hex = mod->attr_or("sha256", "");
+      if (!type.empty() && !hex.empty()) m.module_hashes[type] = hex;
+    }
+  }
   m.checkpoint = std::move(u.body);
   m.trace.trace_id = parse_hex16(u.header.attr_or("trace", "0"));
   m.trace.parent_span = parse_hex16(u.header.attr_or("span", "0"));

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <optional>
 #include <string>
 
@@ -35,6 +36,13 @@ struct DeployMsg {
   std::uint64_t iterations = 0; ///< 0 = reactive (pipe-driven) job
   std::string graph_xml;        ///< the fragment to execute
   serial::Bytes checkpoint;     ///< optional state to restore (migration)
+  /// Content digests of the modules the fragment needs: unit type ->
+  /// 64-hex SHA-256 of the encoded artifact the owner currently publishes.
+  /// A peer holding bytes with a matching digest (module cache or CAS) can
+  /// skip the network fetch entirely; a stale cached copy under the same
+  /// name is detected the same way. Absent entries (older controllers)
+  /// degrade to the plain fetch-from-owner path.
+  std::map<std::string, std::string> module_hashes;
   /// Causal context of the deploy (the controller's run trace and the
   /// deploy.client span that issued it). Encoded as fixed-width 16-hex
   /// attributes that are ALWAYS present -- zeros when untraced -- so the

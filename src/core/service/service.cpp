@@ -3,6 +3,7 @@
 #include <set>
 
 #include "core/graph/taskgraph_xml.hpp"
+#include "serial/reader.hpp"
 
 namespace cg::core {
 namespace {
@@ -47,6 +48,7 @@ TrianaService::TrianaService(net::Transport& transport, net::Clock clock,
                                        : config_.peer_id,
                config_.sandbox_policy, config_.certified_library) {
   if (config_.peer_id.empty()) config_.peer_id = transport.local().value;
+  module_cache_.set_backing_store(config_.cas);
   code_.serve_from(&local_repo_);
   // Frame chain: PeerNode (discovery) -> PipeServe (data) -> CodeExchange
   // (code) -> control messages.
@@ -101,15 +103,23 @@ void TrianaService::set_obs(obs::Registry& registry, obs::Tracer* tracer,
       registry.counter(obs::scoped(s, "service.jobs_cancelled"));
   obs_.modules_fetched =
       registry.counter(obs::scoped(s, "service.modules_fetched"));
+  obs_.modules_from_cas =
+      registry.counter(obs::scoped(s, "service.modules_from_cas"));
   obs_.deploy_start_s =
       registry.histogram(obs::scoped(s, "service.deploy_start_s"));
   obs_.deploy_rtt_s =
       registry.histogram(obs::scoped(s, "service.deploy_rtt_s"));
   obs_.tracer = tracer;
+  obs_registry_ = &registry;
+  obs_scope_ = s;
   transport_.set_obs(registry, tracer, s);
   module_cache_.set_obs(registry, s);
   node_.set_obs(tracer, s);
   code_.set_obs(tracer, s);
+  // A store shared between peers keeps the scope of whichever service
+  // bound it last; give each peer its own store when per-peer counters
+  // matter (the benches do).
+  if (config_.cas) config_.cas->set_obs(registry, s);
 }
 
 void TrianaService::join_trace(std::uint64_t trace_id,
@@ -138,6 +148,19 @@ std::string TrianaService::deploy_remote(const net::Endpoint& target,
   m.iterations = iterations;
   m.graph_xml = write_taskgraph(fragment, /*pretty=*/false);
   m.checkpoint = std::move(checkpoint);
+  // Advertise the content digest of every module we own that the fragment
+  // needs: the target can satisfy them from its own store (dedup across
+  // names, warm restarts) and can tell a stale cached copy from ours
+  // without a round trip. Owner-side, the encoded artifact lands in the
+  // store too, so identical modules published under different names share
+  // bytes.
+  for (const auto& type : module_types(fragment)) {
+    if (const auto a = local_repo_.latest(type)) {
+      const auto enc = repo::encode_artifact(*a);
+      m.module_hashes[type] =
+          config_.cas ? config_.cas->put(enc).hex() : cas::sha256(enc).hex();
+    }
+  }
   const double sent_at = clock_();
   const std::uint64_t span = obs_.tracer.begin_span(
       config_.peer_id, "deploy.client", trace_ctx_, "job=" + m.job_id);
@@ -368,15 +391,48 @@ void TrianaService::handle_deploy(const net::Endpoint& from, DeployMsg m) {
                                         pending.msg.trace,
                                         "job=" + pending.msg.job_id);
 
-  // On-demand code download: every module type not already cached is
-  // requested from the workflow's owner (paper 3.3).
+  // On-demand code download (paper 3.3), content-addressed when the deploy
+  // advertises digests: a local copy -- module cache, backing store, or our
+  // own repository -- only satisfies a module whose digest matches what the
+  // owner currently publishes (the paper's "owner's version wins" rule,
+  // checked by content instead of by version string). Without an advertised
+  // digest (older controller) any cached copy is trusted as before.
   std::vector<std::string> missing;
   for (const auto& type : module_types(graph)) {
-    if (module_cache_.lookup(type).has_value()) continue;
-    if (local_repo_.latest(type)) {
-      // We own this module; stage it into the cache directly.
-      module_cache_.insert(*local_repo_.latest(type));
+    const auto adv = pending.msg.module_hashes.find(type);
+    const bool has_digest = adv != pending.msg.module_hashes.end();
+    const auto matches = [&](const repo::ModuleArtifact& a) {
+      return !has_digest || repo::artifact_digest(a).hex() == adv->second;
+    };
+
+    if (const auto cached = module_cache_.lookup(type);
+        cached && matches(*cached)) {
       continue;
+    }
+    if (const auto owned = local_repo_.latest(type);
+        owned && matches(*owned)) {
+      // We own a current copy; stage it into the cache directly.
+      module_cache_.insert(*owned);
+      continue;
+    }
+    // Exact-content lookup: the advertised digest may be resident under a
+    // different name, from an earlier run (disk tier), or from a peer that
+    // shares the store. Any hit here is network bytes not fetched.
+    if (has_digest && config_.cas) {
+      if (const auto d = cas::Digest::from_hex(adv->second)) {
+        if (auto bytes = config_.cas->get(*d)) {
+          try {
+            module_cache_.insert(repo::decode_artifact(*bytes));
+            ++stats_.modules_from_cas;
+            obs_.modules_from_cas.inc();
+            obs_.tracer.event(config_.peer_id, "cas.hit", pending.msg.trace,
+                              "module=" + type);
+            continue;
+          } catch (const serial::DecodeError&) {
+            // Digest resolved to bytes that are not an artifact; fetch.
+          }
+        }
+      }
     }
     missing.push_back(type);
   }
@@ -493,7 +549,11 @@ std::optional<std::string> TrianaService::start_job(PendingDeploy pending) {
     opt.rng_seed = config_.rng_seed ^
                    std::hash<std::string>{}(job.job_id);
     opt.sandbox = job.sb.get();
+    if (config_.memoize_pure_units) opt.memo_store = config_.cas;
     job.runtime = std::make_unique<GraphRuntime>(graph, registry_, opt);
+    // Job runtimes share the service's scope so runtime.* counters (memo
+    // hits/misses among them) accumulate per peer across jobs.
+    if (obs_registry_) job.runtime->set_obs(*obs_registry_, obs_scope_);
 
     if (!pending.msg.checkpoint.empty()) {
       job.runtime->restore_checkpoint(pending.msg.checkpoint);

@@ -22,6 +22,7 @@
 #include <memory>
 #include <string>
 
+#include "cas/store.hpp"
 #include "core/engine/runtime.hpp"
 #include "core/service/protocol.hpp"
 #include "net/reliable.hpp"
@@ -50,6 +51,19 @@ struct ServiceConfig {
   std::uint64_t rng_seed = 1;
   /// Retry/dedup tuning for the reliable control plane (net/reliable.hpp).
   net::ReliableConfig reliable;
+  /// Optional content-addressed store (borrowed; must outlive the service).
+  /// When set: the module cache writes through to it and falls back to it
+  /// on misses; deploys this peer issues advertise per-module content
+  /// digests; and deploys it receives resolve advertised digests against
+  /// the store before fetching over the network -- so a restart with the
+  /// same CAS directory turns re-deploys into disk hits.
+  cas::ContentStore* cas = nullptr;
+  /// Memoize pure-unit firings through `cas` (requires it to be set):
+  /// units declared kPure whose firing touched neither the RNG nor the
+  /// iteration counter have their outputs replayed from the store when the
+  /// same unit type + params + input bytes recur -- across jobs, runs and
+  /// (via a shared store directory) peers.
+  bool memoize_pure_units = false;
 };
 
 struct ServiceStats {
@@ -58,6 +72,9 @@ struct ServiceStats {
   std::uint64_t jobs_failed = 0;
   std::uint64_t jobs_cancelled = 0;
   std::uint64_t modules_fetched = 0;
+  /// Deploy-needed modules materialised from the content store (advertised
+  /// digest already present locally) instead of fetched from the owner.
+  std::uint64_t modules_from_cas = 0;
   std::uint64_t pipe_items_in = 0;
   std::uint64_t pipe_items_out = 0;
   /// Deploys for a job this service already hosts (a retransmitted deploy
@@ -219,7 +236,7 @@ class TrianaService {
 
   struct Obs {
     obs::CounterRef deploys_received, duplicate_deploys, jobs_started,
-        jobs_failed, jobs_cancelled, modules_fetched;
+        jobs_failed, jobs_cancelled, modules_fetched, modules_from_cas;
     obs::HistogramRef deploy_start_s;  ///< server: received -> started
     obs::HistogramRef deploy_rtt_s;    ///< client: sent -> acked
     obs::TracerRef tracer;
@@ -263,6 +280,8 @@ class TrianaService {
   std::uint64_t next_job_ = 1;
   ServiceStats stats_;
   Obs obs_;
+  obs::Registry* obs_registry_ = nullptr;  ///< rebound onto job runtimes
+  std::string obs_scope_;
   obs::TraceContext trace_ctx_;  ///< run-level context (join_trace)
 };
 

@@ -109,10 +109,28 @@ class ProcessContext {
   void emit(std::size_t port, DataItem item);
 
   /// Which streaming iteration this firing belongs to (sources increment).
-  std::uint64_t iteration() const { return iteration_; }
+  /// Reading it marks the firing iteration-dependent, which (like rng())
+  /// excludes it from cross-run memoization: equal inputs at different
+  /// iterations may legitimately produce different outputs.
+  std::uint64_t iteration() const {
+    iteration_used_ = true;
+    return iteration_;
+  }
 
-  /// Deterministic per-task random stream.
-  dsp::Rng& rng() { return *rng_; }
+  /// Deterministic per-task random stream. Touching it marks the firing
+  /// RNG-dependent: its outputs depend on stream position, and replaying
+  /// them without advancing the stream would desynchronise later firings,
+  /// so such firings are never memoized.
+  dsp::Rng& rng() {
+    rng_used_ = true;
+    return *rng_;
+  }
+
+  /// Did this firing read the RNG / the iteration counter? Consulted by
+  /// the runtime after process() to decide whether the firing was a pure
+  /// function of its inputs (memoization gate).
+  bool rng_used() const { return rng_used_; }
+  bool iteration_used() const { return iteration_used_; }
 
   /// Account estimated CPU cost against the host's sandbox (no-op when the
   /// host runs the unit untrusted-free). Throws SandboxViolation on budget
@@ -130,6 +148,8 @@ class ProcessContext {
   std::uint64_t iteration_;
   dsp::Rng* rng_;
   sandbox::Sandbox* sandbox_;
+  mutable bool rng_used_ = false;
+  mutable bool iteration_used_ = false;
 };
 
 /// Base class of every unit.

@@ -46,6 +46,10 @@ ModuleArtifact decode_artifact(const serial::Bytes& b) {
   return a;
 }
 
+cas::Digest artifact_digest(const ModuleArtifact& a) {
+  return cas::sha256(encode_artifact(a));
+}
+
 ModuleArtifact make_synthetic_artifact(const std::string& name,
                                        const std::string& version,
                                        std::size_t size,

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "cas/hash.hpp"
 #include "serial/bytes.hpp"
 
 namespace cg::repo {
@@ -39,6 +40,11 @@ struct ModuleArtifact {
 /// Serialise / parse an artifact for kCode frames.
 serial::Bytes encode_artifact(const ModuleArtifact& a);
 ModuleArtifact decode_artifact(const serial::Bytes& b);
+
+/// SHA-256 of the encoded artifact -- the content-addressed store key.
+/// Unlike content_hash() (a fast 64-bit admission check) this digest is
+/// what deploys advertise on the wire and what peers dedup against.
+cas::Digest artifact_digest(const ModuleArtifact& a);
 
 /// Deterministically fabricate an artifact of roughly `size` bytes -- the
 /// synthetic stand-in for real compiled module code in tests and benches.

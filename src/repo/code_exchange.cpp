@@ -91,8 +91,10 @@ void CodeExchange::on_frame(const net::Endpoint& from, serial::Frame frame) {
     const bool found = r.boolean();
     std::optional<ModuleArtifact> a;
     if (found) {
-      a = decode_artifact(r.blob());
+      const auto bytes = r.blob();
+      a = decode_artifact(bytes);
       ++stats_.artifacts_received;
+      stats_.bytes_received += bytes.size();
     }
     auto it = pending_.find(id);
     if (it == pending_.end()) return;  // late or duplicate response

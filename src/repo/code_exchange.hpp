@@ -24,6 +24,7 @@ struct CodeExchangeStats {
   std::uint64_t requests_not_found = 0;
   std::uint64_t artifacts_received = 0;
   std::uint64_t bytes_served = 0;
+  std::uint64_t bytes_received = 0;  ///< encoded-artifact bytes fetched
 };
 
 /// One per peer. Chain it behind PipeServe:

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "serial/reader.hpp"
+
 namespace cg::repo {
 
 void ModuleCache::set_obs(obs::Registry& registry, std::string_view scope) {
@@ -11,6 +13,8 @@ void ModuleCache::set_obs(obs::Registry& registry, std::string_view scope) {
   obs_.evictions = registry.counter(obs::scoped(scope, "cache.evictions"));
   obs_.bytes_fetched =
       registry.counter(obs::scoped(scope, "cache.bytes_fetched"));
+  obs_.backing_hits =
+      registry.counter(obs::scoped(scope, "cache.backing_hits"));
   obs_.resident_bytes =
       registry.gauge(obs::scoped(scope, "cache.resident_bytes"));
   obs_.resident_bytes.set(static_cast<double>(resident_bytes_));
@@ -21,6 +25,21 @@ std::optional<ModuleArtifact> ModuleCache::lookup(const std::string& name) {
   if (it == entries_.end()) {
     ++stats_.misses;
     obs_.misses.inc();
+    if (backing_) {
+      if (auto bytes = backing_->get_by_key("module/" + name)) {
+        try {
+          ModuleArtifact a = decode_artifact(*bytes);
+          ++stats_.backing_hits;
+          obs_.backing_hits.inc();
+          // Promote without writing through: the bytes came from the store.
+          insert_internal(a, /*write_through=*/false);
+          return a;
+        } catch (const serial::DecodeError&) {
+          // Store handed back bytes that don't parse as an artifact (ref
+          // pointed at something else): treat as a plain miss.
+        }
+      }
+    }
     return std::nullopt;
   }
   ++stats_.hits;
@@ -36,6 +55,17 @@ void ModuleCache::touch(Entry& e, const std::string& name) {
 }
 
 bool ModuleCache::insert(const ModuleArtifact& a) {
+  return insert_internal(a, /*write_through=*/true);
+}
+
+bool ModuleCache::insert_internal(const ModuleArtifact& a,
+                                  bool write_through) {
+  // Write through to the backing store regardless of whether the in-memory
+  // insert below succeeds: a module too large for the LRU budget is still
+  // worth keeping on disk for the next deploy.
+  if (backing_ && write_through) {
+    backing_->put_keyed("module/" + a.name, encode_artifact(a));
+  }
   // Replace any resident version of the same name first.
   if (auto it = entries_.find(a.name); it != entries_.end()) {
     if (it->second.pin_count > 0) {

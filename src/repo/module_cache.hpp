@@ -15,6 +15,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "cas/store.hpp"
 #include "obs/obs.hpp"
 #include "repo/artifact.hpp"
 
@@ -28,6 +29,7 @@ struct CacheStats {
   std::uint64_t bytes_fetched = 0;   ///< sum of inserted artifact sizes
   std::uint64_t rejected_too_large = 0;
   std::uint64_t rejected_pinned = 0;  ///< replace attempt on an in-use module
+  std::uint64_t backing_hits = 0;  ///< misses satisfied by the backing store
 
   double hit_rate() const {
     const auto total = hits + misses;
@@ -47,7 +49,18 @@ class ModuleCache {
   explicit ModuleCache(std::size_t budget_bytes)
       : budget_bytes_(budget_bytes) {}
 
+  /// Attach a content-addressed store behind the cache. Inserts write
+  /// through to it (keyed "module/<name>" -> digest of the encoded
+  /// artifact) and lookup misses fall back to it, so re-deploys after a
+  /// restart hit the disk tier instead of the network. Pass nullptr to
+  /// detach. The store is borrowed, not owned, and must outlive the cache.
+  void set_backing_store(cas::ContentStore* store) { backing_ = store; }
+  cas::ContentStore* backing_store() const { return backing_; }
+
   /// Look up a module; a hit refreshes recency. Records hit/miss stats.
+  /// On an in-memory miss, consults the backing store (when attached) and
+  /// promotes a decoded copy into the cache -- counted as a miss plus a
+  /// backing_hit, since the caller avoided a network fetch but not a load.
   std::optional<ModuleArtifact> lookup(const std::string& name);
 
   /// True without touching stats or recency (introspection).
@@ -80,7 +93,8 @@ class ModuleCache {
 
  private:
   struct Obs {
-    obs::CounterRef hits, misses, insertions, evictions, bytes_fetched;
+    obs::CounterRef hits, misses, insertions, evictions, bytes_fetched,
+        backing_hits;
     obs::GaugeRef resident_bytes;
   };
   struct Entry {
@@ -92,7 +106,9 @@ class ModuleCache {
   void touch(Entry& e, const std::string& name);
   bool make_room(std::size_t need);
   void erase_entry(const std::string& name);
+  bool insert_internal(const ModuleArtifact& a, bool write_through);
 
+  cas::ContentStore* backing_ = nullptr;
   std::size_t budget_bytes_;
   std::size_t resident_bytes_ = 0;
   Obs obs_;

@@ -385,5 +385,133 @@ TEST(Runtime, SandboxViolationPropagates) {
   EXPECT_THROW(rt.run(10), sandbox::SandboxViolation);
 }
 
+// ------------------------------------------------------ pure-unit memoization
+
+/// Wave -> FFT -> AccumStat -> Grapher: FFT is the only kPure unit and it
+/// never touches rng()/iteration(), so every FFT firing is memoizable.
+TaskGraph fft_pipeline() {
+  TaskGraph g("fftpipe");
+  ParamSet wp;
+  wp.set_double("freq", 50.0);
+  wp.set_double("rate", 512.0);
+  wp.set_int("samples", 256);
+  g.add_task("Wave", "Wave", wp);
+  g.add_task("FFT", "FFT");
+  g.add_task("AccumStat", "AccumStat");
+  g.add_task("Grapher", "Grapher");
+  g.connect("Wave", 0, "FFT", 0);
+  g.connect("FFT", 0, "AccumStat", 0);
+  g.connect("AccumStat", 0, "Grapher", 0);
+  return g;
+}
+
+TEST(RuntimeMemo, WarmRunReplaysWithZeroRecomputation) {
+  cas::ContentStore store;
+  RuntimeOptions memo_opt;
+  memo_opt.memo_store = &store;
+
+  // Reference: no memoization at all.
+  GraphRuntime plain(fft_pipeline(), reg(), {});
+  plain.run(5);
+
+  // Cold run populates the store (every FFT firing misses, then stores).
+  GraphRuntime cold(fft_pipeline(), reg(), memo_opt);
+  cold.run(5);
+  EXPECT_EQ(cold.memo_hits(), 0u);
+  EXPECT_EQ(cold.memo_misses(), 5u);
+
+  // Warm run: same graph, fresh runtime, shared store. Every pure firing
+  // replays; outputs are bit-identical to recompute; visible stats match.
+  GraphRuntime warm(fft_pipeline(), reg(), memo_opt);
+  warm.run(5);
+  EXPECT_EQ(warm.memo_hits(), 5u);
+  EXPECT_EQ(warm.memo_misses(), 0u);
+  EXPECT_EQ(warm.firings_of("FFT"), 5u);  // replay still counts as a firing
+  EXPECT_EQ(warm.unit_as<GrapherUnit>("Grapher")->items(),
+            plain.unit_as<GrapherUnit>("Grapher")->items());
+  EXPECT_EQ(warm.stats(), plain.stats());
+}
+
+TEST(RuntimeMemo, RngDependentFiringsAreNeverStored) {
+  cas::ContentStore store;
+  RuntimeOptions memo_opt;
+  memo_opt.memo_store = &store;
+
+  // Gaussian declares kPure but draws from ctx.rng() each firing, so
+  // nothing it does may be stored: replaying would skip RNG draws and
+  // desynchronise the stream for later firings.
+  TaskGraph g("noisy");
+  ParamSet wp;
+  wp.set_int("samples", 64);
+  g.add_task("Wave", "Wave", wp);
+  ParamSet gp;
+  gp.set_double("stddev", 1.0);
+  g.add_task("Gaussian", "Gaussian", gp);
+  g.add_task("Grapher", "Grapher");
+  g.connect("Wave", 0, "Gaussian", 0);
+  g.connect("Gaussian", 0, "Grapher", 0);
+
+  GraphRuntime plain(g, reg(), {});
+  plain.run(4);
+  GraphRuntime cold(g, reg(), memo_opt);
+  cold.run(4);
+  GraphRuntime warm(g, reg(), memo_opt);
+  warm.run(4);
+
+  EXPECT_EQ(warm.memo_hits(), 0u);  // nothing was ever stored
+  // All three runs recompute and stay bit-identical -- memoization being
+  // enabled must not disturb RNG streams.
+  EXPECT_EQ(warm.unit_as<GrapherUnit>("Grapher")->items(),
+            plain.unit_as<GrapherUnit>("Grapher")->items());
+}
+
+TEST(RuntimeMemo, SerialAndParallelShareMemoizedResults) {
+  cas::ContentStore store;
+  RuntimeOptions serial_opt;
+  serial_opt.memo_store = &store;
+  GraphRuntime cold(fft_pipeline(), reg(), serial_opt);
+  cold.run(4);
+
+  RuntimeOptions par_opt;
+  par_opt.memo_store = &store;
+  par_opt.max_threads = 4;
+  GraphRuntime warm(fft_pipeline(), reg(), par_opt);
+  warm.run(4);
+  EXPECT_EQ(warm.memo_hits(), 4u);
+  EXPECT_EQ(warm.memo_misses(), 0u);
+
+  GraphRuntime plain(fft_pipeline(), reg(), {});
+  plain.run(4);
+  EXPECT_EQ(warm.unit_as<GrapherUnit>("Grapher")->items(),
+            plain.unit_as<GrapherUnit>("Grapher")->items());
+}
+
+TEST(RuntimeMemo, KeyCoversParamsAndInputs) {
+  cas::ContentStore store;
+  RuntimeOptions memo_opt;
+  memo_opt.memo_store = &store;
+
+  auto scaled = [&](double factor) {
+    TaskGraph g("scaled");
+    ParamSet cp;
+    cp.set_double("value", 2.0);
+    g.add_task("C", "Constant", cp);
+    ParamSet sp;
+    sp.set_double("factor", factor);
+    g.add_task("S", "Scaler", sp);
+    g.add_task("Sink", "StatSink");
+    g.connect("C", 0, "S", 0);
+    g.connect("S", 0, "Sink", 0);
+    GraphRuntime rt(g, reg(), memo_opt);
+    rt.run(1);
+    return rt.unit_as<StatSinkUnit>("Sink")->stats().mean();
+  };
+
+  // Same unit type, same input, different parameter: distinct memo entries.
+  EXPECT_DOUBLE_EQ(scaled(3.0), 6.0);
+  EXPECT_DOUBLE_EQ(scaled(5.0), 10.0);  // must not replay factor=3.0's entry
+  EXPECT_DOUBLE_EQ(scaled(3.0), 6.0);   // and the 3.0 entry is still hit
+}
+
 }  // namespace
 }  // namespace cg::core

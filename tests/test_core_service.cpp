@@ -4,10 +4,14 @@
 // worker selection, status, cancellation, checkpoint and migration.
 #include <gtest/gtest.h>
 
+#include <filesystem>
+
+#include "cas/store.hpp"
 #include "core/graph/taskgraph_xml.hpp"
 #include "core/service/controller.hpp"
 #include "core/unit/builtin.hpp"
 #include "net/sim_network.hpp"
+#include "repo/artifact.hpp"
 
 namespace cg::core {
 namespace {
@@ -561,6 +565,158 @@ TEST(Service, PipeItemCountsAreTracked) {
   EXPECT_EQ(grid.home->stats().pipe_items_in, 5u);    // results back
   EXPECT_EQ(grid.workers[0]->stats().pipe_items_in, 5u);
   EXPECT_EQ(grid.workers[0]->stats().pipe_items_out, 5u);
+}
+
+// ------------------------------------------------- content-addressed deploys
+
+/// RAII temp directory for worker-side CAS stores.
+struct TempDir {
+  explicit TempDir(const std::string& name)
+      : path((std::filesystem::temp_directory_path() / name).string()) {
+    std::filesystem::remove_all(path);
+  }
+  ~TempDir() { std::filesystem::remove_all(path); }
+  std::string path;
+};
+
+TaskGraph simple_remote_graph() {
+  TaskGraph g("remote");
+  g.add_task("Wave", "Wave");
+  g.add_task("Sink", "NullSink");
+  g.connect("Wave", 0, "Sink", 0);
+  return g;
+}
+
+TEST(Service, DeployAdvertisesModuleDigests) {
+  Grid grid(1);
+  TaskGraph g = simple_remote_graph();
+  grid.home->publish_graph_modules(g, 4096);
+
+  bool acked = false;
+  grid.home->deploy_remote(grid.workers[0]->endpoint(), g, 1,
+                           [&](const DeployAckMsg& a) {
+                             acked = true;
+                             EXPECT_TRUE(a.ok) << a.error;
+                           });
+  grid.net.run_all();
+  ASSERT_TRUE(acked);
+
+  // The worker's fetched copies carry exactly the digests home advertises.
+  for (const std::string type : {"Wave", "NullSink"}) {
+    const auto fetched = grid.workers[0]->module_cache().lookup(type);
+    ASSERT_TRUE(fetched.has_value()) << type;
+    EXPECT_EQ(repo::artifact_digest(*fetched),
+              repo::artifact_digest(*grid.home->local_repo().latest(type)))
+        << type;
+  }
+}
+
+TEST(Service, CasWarmRestartSkipsNetworkFetch) {
+  TempDir dir("congrid_svc_cas_warm");
+  cas::CasConfig ccfg;
+  ccfg.dir = dir.path;
+  TaskGraph g = simple_remote_graph();
+
+  std::uint64_t cold_fetched = 0;
+  {
+    cas::ContentStore store(ccfg);
+    ServiceConfig wcfg;
+    wcfg.cas = &store;
+    Grid grid(1, wcfg);
+    grid.home->publish_graph_modules(g, 4096);
+    bool ok = false;
+    grid.home->deploy_remote(grid.workers[0]->endpoint(), g, 2,
+                             [&](const DeployAckMsg& a) { ok = a.ok; });
+    grid.net.run_all();
+    ASSERT_TRUE(ok);
+    cold_fetched = grid.workers[0]->stats().modules_fetched;
+    EXPECT_EQ(cold_fetched, 2u);  // cold start pays the network fetch
+  }
+
+  // "Restart": a brand-new grid (fresh services, empty module caches) over
+  // the same CAS directory. The deploy's advertised digests resolve from
+  // the disk tier, so no code crosses the network.
+  {
+    cas::ContentStore store(ccfg);
+    ServiceConfig wcfg;
+    wcfg.cas = &store;
+    Grid grid(1, wcfg);
+    grid.home->publish_graph_modules(g, 4096);
+    bool ok = false;
+    grid.home->deploy_remote(grid.workers[0]->endpoint(), g, 2,
+                             [&](const DeployAckMsg& a) { ok = a.ok; });
+    grid.net.run_all();
+    ASSERT_TRUE(ok);
+    EXPECT_EQ(grid.workers[0]->stats().modules_fetched, 0u);
+    EXPECT_EQ(grid.workers[0]->stats().modules_from_cas +
+                  grid.workers[0]->module_cache().stats().backing_hits,
+              2u);
+    EXPECT_EQ(grid.home->code().stats().requests_served, 0u);
+  }
+}
+
+TEST(Service, StaleCachedModuleIsRefreshedByDigestMismatch) {
+  cas::ContentStore store;  // memory-only is enough here
+  ServiceConfig wcfg;
+  wcfg.cas = &store;
+  Grid grid(1, wcfg);
+  TaskGraph g = simple_remote_graph();
+  grid.home->publish_graph_modules(g, 4096);
+
+  // Seed the worker's cache with a divergent "Wave" under the same name --
+  // e.g. fetched earlier from a now-outdated owner.
+  ASSERT_TRUE(grid.workers[0]->module_cache().insert(
+      repo::make_synthetic_artifact("Wave", "0.9-stale", 4096)));
+
+  bool ok = false;
+  grid.home->deploy_remote(grid.workers[0]->endpoint(), g, 1,
+                           [&](const DeployAckMsg& a) { ok = a.ok; });
+  grid.net.run_all();
+  ASSERT_TRUE(ok);
+  // The digest mismatch forced a re-fetch (paper 3.3: the owner's current
+  // version always wins), and the resident copy is now the owner's.
+  const auto resident = grid.workers[0]->module_cache().lookup("Wave");
+  ASSERT_TRUE(resident.has_value());
+  EXPECT_EQ(resident->version, "1.0");
+  EXPECT_EQ(repo::artifact_digest(*resident),
+            repo::artifact_digest(*grid.home->local_repo().latest("Wave")));
+}
+
+TEST(Service, MemoizedPureUnitsReplayAcrossJobs) {
+  cas::ContentStore store;
+  ServiceConfig wcfg;
+  wcfg.cas = &store;
+  wcfg.memoize_pure_units = true;
+  Grid grid(1, wcfg);
+
+  // Wave -> FFT -> NullSink: FFT is pure and deterministic, so the second
+  // job's FFT firings replay from the store populated by the first.
+  TaskGraph g("memo");
+  g.add_task("Wave", "Wave");
+  g.add_task("FFT", "FFT");
+  g.add_task("Sink", "NullSink");
+  g.connect("Wave", 0, "FFT", 0);
+  g.connect("FFT", 0, "Sink", 0);
+  grid.home->publish_graph_modules(g, 4096);
+
+  DeployAckMsg first, second;
+  grid.home->deploy_remote(grid.workers[0]->endpoint(), g, 3,
+                           [&](const DeployAckMsg& a) { first = a; });
+  grid.net.run_all();
+  ASSERT_TRUE(first.ok) << first.error;
+  auto* rt1 = grid.workers[0]->job_runtime(first.job_id);
+  ASSERT_NE(rt1, nullptr);
+  EXPECT_EQ(rt1->memo_hits(), 0u);
+  EXPECT_EQ(rt1->memo_misses(), 3u);
+
+  grid.home->deploy_remote(grid.workers[0]->endpoint(), g, 3,
+                           [&](const DeployAckMsg& a) { second = a; });
+  grid.net.run_all();
+  ASSERT_TRUE(second.ok) << second.error;
+  auto* rt2 = grid.workers[0]->job_runtime(second.job_id);
+  ASSERT_NE(rt2, nullptr);
+  EXPECT_EQ(rt2->memo_hits(), 3u);  // zero FFT recomputations
+  EXPECT_EQ(rt2->memo_misses(), 0u);
 }
 
 }  // namespace
