@@ -8,14 +8,44 @@
 // tasks of various lengths without checkpointing -- long tasks waste the
 // tail of every session, which is exactly why the paper needs either small
 // work units or the E8 checkpointing.
+//
+// --json PATH writes the table as machine-readable rows keyed "model".
 #include <cstdio>
+#include <cstring>
+#include <string>
 
 #include "churn/availability.hpp"
 #include "dsp/stats.hpp"
+#include "obs/json.hpp"
 
 using namespace cg;
 
-int main() {
+namespace {
+
+bool write_text(const std::string& path, const std::string& body) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "bench_availability: cannot open %s\n", path.c_str());
+    return false;
+  }
+  const bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  std::fclose(f);
+  return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: bench_availability [--json PATH]\n");
+      return 2;
+    }
+  }
+
   std::printf("E9: volunteer availability models, 1000 peers x 1 week\n\n");
   std::printf("%-28s %-10s %-12s | usable fraction for task length\n",
               "model", "avail", "session h");
@@ -48,6 +78,8 @@ int main() {
       {"heavily used desktop", &heavy_use},
   };
 
+  std::string rows_json = "[";
+  bool first = true;
   for (const Row& row : rows) {
     dsp::Rng rng(2026);
     dsp::RunningStats avail, session;
@@ -64,7 +96,17 @@ int main() {
     std::printf("%-28s %-10.2f %-12.1f %-9.2f %-9.2f %-9.2f\n", row.name,
                 avail.mean(), session.mean(), usable[0].mean(),
                 usable[1].mean(), usable[2].mean());
+    if (!first) rows_json += ',';
+    first = false;
+    rows_json += "{\"model\":" + obs::json_quote(row.name);
+    rows_json += ",\"availability\":" + obs::json_number(avail.mean());
+    rows_json += ",\"session_h\":" + obs::json_number(session.mean());
+    rows_json += ",\"usable_10min\":" + obs::json_number(usable[0].mean());
+    rows_json += ",\"usable_1h\":" + obs::json_number(usable[1].mean());
+    rows_json += ",\"usable_5h\":" + obs::json_number(usable[2].mean());
+    rows_json += "}";
   }
+  rows_json += "]";
 
   std::printf(
       "\nShape check (paper 3.7): volunteer populations deliver a large "
@@ -72,5 +114,18 @@ int main() {
       "sharply with task length because partial sessions are wasted -- the "
       "SETI@home design point (small work units) and the motivation for "
       "checkpointing (E8).\n");
+
+  if (!json_path.empty()) {
+    const std::string body =
+        "{\"bench\":\"availability\",\"peers\":" + std::to_string(kPeers) +
+        ",\"rows\":" + rows_json + "}";
+    if (!obs::json_valid(body)) {
+      std::fprintf(stderr,
+                   "bench_availability: refusing to write invalid JSON\n");
+      return 1;
+    }
+    if (!write_text(json_path, body)) return 1;
+    std::printf("\nwrote %s\n", json_path.c_str());
+  }
   return 0;
 }

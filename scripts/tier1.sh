@@ -22,8 +22,9 @@ if [[ "${1:-}" == "tsan" ]]; then
   echo "== tier-1: TSan pass over the parallel engine (${TSAN_DIR}) =="
   cmake -B "${TSAN_DIR}" -S . -DCONGRID_SANITIZE=thread >/dev/null
   cmake --build "${TSAN_DIR}" -j --target \
-    test_parallel_runtime test_rm test_core_runtime test_cas
-  for t in test_parallel_runtime test_rm test_core_runtime test_cas; do
+    test_parallel_runtime test_rm test_core_runtime test_cas test_chaos
+  for t in test_parallel_runtime test_rm test_core_runtime test_cas \
+           test_chaos; do
     "./${TSAN_DIR}/tests/${t}"
   done
   echo "tier-1 (tsan): OK"

@@ -1,0 +1,69 @@
+#include "core/service/failure_detector.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cg::core {
+namespace {
+
+/// -log10 of the normal upper-tail probability at z standard deviations.
+/// Uses erfc directly while it has precision, then the asymptotic
+/// expansion (Mills ratio) once erfc underflows -- phi keeps growing
+/// smoothly instead of saturating at the double floor.
+double phi_of_z(double z) {
+  if (z <= 0.0) return 0.0;
+  const double tail = 0.5 * std::erfc(z / std::sqrt(2.0));
+  if (tail > 1e-300) return -std::log10(tail);
+  // tail ~ exp(-z^2/2) / (z * sqrt(2*pi))
+  constexpr double kLn10 = 2.302585092994046;
+  return z * z / (2.0 * kLn10) +
+         std::log10(z * std::sqrt(2.0 * 3.141592653589793));
+}
+
+}  // namespace
+
+PhiAccrualDetector::PhiAccrualDetector(FailureDetectorOptions options)
+    : options_(options) {
+  if (options_.window == 0) options_.window = 1;
+}
+
+void PhiAccrualDetector::heartbeat(double now) {
+  if (last_heartbeat_ >= 0.0) {
+    const double interval = std::max(0.0, now - last_heartbeat_);
+    intervals_.push_back(interval);
+    sum_ += interval;
+    sum_sq_ += interval * interval;
+    if (intervals_.size() > options_.window) {
+      const double old = intervals_.front();
+      intervals_.pop_front();
+      sum_ -= old;
+      sum_sq_ -= old * old;
+    }
+  }
+  last_heartbeat_ = now;
+  last_evidence_ = std::max(last_evidence_, now);
+}
+
+void PhiAccrualDetector::touch(double now) {
+  last_evidence_ = std::max(last_evidence_, now);
+}
+
+double PhiAccrualDetector::phi(double now) const {
+  if (last_evidence_ < 0.0 || intervals_.empty()) return 0.0;
+  const double n = static_cast<double>(intervals_.size());
+  const double mean = sum_ / n;
+  const double var = std::max(0.0, sum_sq_ / n - mean * mean);
+  const double std_dev = std::max(options_.min_std_s, std::sqrt(var));
+  const double elapsed = std::max(0.0, now - last_evidence_);
+  return phi_of_z((elapsed - mean) / std_dev);
+}
+
+void PhiAccrualDetector::reset() {
+  intervals_.clear();
+  sum_ = 0.0;
+  sum_sq_ = 0.0;
+  last_heartbeat_ = -1.0;
+  last_evidence_ = -1.0;
+}
+
+}  // namespace cg::core

@@ -70,6 +70,9 @@ ControlType type_from_name(const std::string& name) {
   if (name == "checkpoint-request") return ControlType::kCheckpointRequest;
   if (name == "checkpoint-data") return ControlType::kCheckpointData;
   if (name == "rebind") return ControlType::kRebind;
+  if (name == "fence") return ControlType::kFence;
+  if (name == "bounce") return ControlType::kBounce;
+  if (name == "promote") return ControlType::kPromote;
   throw serial::DecodeError("unknown control message <" + name + ">");
 }
 
@@ -84,6 +87,11 @@ serial::Frame encode(const DeployMsg& m) {
   n.set_attr("trace", hex16(m.trace.trace_id));
   n.set_attr("span", hex16(m.trace.parent_span));
   n.set_attr("lc", hex16(m.trace.lamport));
+  // Fencing attrs ride fixed-width (epoch) / always-present (lease,
+  // standby) so frame sizes do not depend on whether supervision is on.
+  n.set_attr("epoch", hex16(m.epoch));
+  n.set_attr_double("lease", m.lease_s);
+  n.set_attr("standby", m.standby ? "true" : "false");
   n.add_child("graph").set_text(m.graph_xml);
   if (!m.module_hashes.empty()) {
     xml::Node& mods = n.add_child("modules");
@@ -113,6 +121,8 @@ serial::Frame encode(const CancelMsg& m) {
 serial::Frame encode(const StatusRequestMsg& m) {
   xml::Node n("status-request");
   n.set_attr("job", m.job_id);
+  n.set_attr("epoch", hex16(m.epoch));
+  n.set_attr_double("lease", m.lease_s);
   return pack(n);
 }
 
@@ -122,6 +132,8 @@ serial::Frame encode(const StatusMsg& m) {
   n.set_attr("known", m.known ? "true" : "false");
   n.set_attr("running", m.running ? "true" : "false");
   n.set_attr("failed", m.failed ? "true" : "false");
+  n.set_attr("epoch", hex16(m.epoch));
+  n.set_attr("suspended", m.suspended ? "true" : "false");
   if (!m.error.empty()) n.set_attr("error", m.error);
   n.set_attr_int("iteration", static_cast<long long>(m.iteration));
   n.set_attr_int("firings", static_cast<long long>(m.firings));
@@ -144,6 +156,27 @@ serial::Frame encode(const CheckpointDataMsg& m) {
 serial::Frame encode(const RebindMsg& m) {
   xml::Node n("rebind");
   n.set_attr("label", m.label);
+  n.set_attr("epoch", hex16(m.epoch));
+  return pack(n);
+}
+
+serial::Frame encode(const FenceMsg& m) {
+  xml::Node n("fence");
+  n.set_attr("label", m.label);
+  n.set_attr("epoch", hex16(m.epoch));
+  if (!m.target.empty()) n.set_attr("target", m.target);
+  return pack(n);
+}
+
+serial::Frame encode(const BounceMsg& m) {
+  xml::Node n("bounce");
+  n.set_attr("label", m.label);
+  return pack(n, m.payload);
+}
+
+serial::Frame encode(const PromoteMsg& m) {
+  xml::Node n("promote");
+  n.set_attr("job", m.job_id);
   return pack(n);
 }
 
@@ -171,6 +204,9 @@ DeployMsg decode_deploy(const serial::Frame& f) {
   m.trace.trace_id = parse_hex16(u.header.attr_or("trace", "0"));
   m.trace.parent_span = parse_hex16(u.header.attr_or("span", "0"));
   m.trace.lamport = parse_hex16(u.header.attr_or("lc", "0"));
+  m.epoch = parse_hex16(u.header.attr_or("epoch", "0"));
+  m.lease_s = u.header.attr_double("lease", 0.0);
+  m.standby = u.header.attr_or("standby", "false") == "true";
   return m;
 }
 
@@ -188,7 +224,12 @@ CancelMsg decode_cancel(const serial::Frame& f) {
 }
 
 StatusRequestMsg decode_status_request(const serial::Frame& f) {
-  return StatusRequestMsg{unpack(f).header.require_attr("job")};
+  Unpacked u = unpack(f);
+  StatusRequestMsg m;
+  m.job_id = u.header.require_attr("job");
+  m.epoch = parse_hex16(u.header.attr_or("epoch", "0"));
+  m.lease_s = u.header.attr_double("lease", 0.0);
+  return m;
 }
 
 StatusMsg decode_status(const serial::Frame& f) {
@@ -198,6 +239,8 @@ StatusMsg decode_status(const serial::Frame& f) {
   m.known = u.header.attr_or("known", "false") == "true";
   m.running = u.header.attr_or("running", "false") == "true";
   m.failed = u.header.attr_or("failed", "false") == "true";
+  m.epoch = parse_hex16(u.header.attr_or("epoch", "0"));
+  m.suspended = u.header.attr_or("suspended", "false") == "true";
   m.error = u.header.attr_or("error", "");
   m.iteration = static_cast<std::uint64_t>(u.header.attr_int("iteration", 0));
   m.firings = static_cast<std::uint64_t>(u.header.attr_int("firings", 0));
@@ -209,7 +252,32 @@ CheckpointRequestMsg decode_checkpoint_request(const serial::Frame& f) {
 }
 
 RebindMsg decode_rebind(const serial::Frame& f) {
-  return RebindMsg{unpack(f).header.require_attr("label")};
+  Unpacked u = unpack(f);
+  RebindMsg m;
+  m.label = u.header.require_attr("label");
+  m.epoch = parse_hex16(u.header.attr_or("epoch", "0"));
+  return m;
+}
+
+FenceMsg decode_fence(const serial::Frame& f) {
+  Unpacked u = unpack(f);
+  FenceMsg m;
+  m.label = u.header.require_attr("label");
+  m.epoch = parse_hex16(u.header.attr_or("epoch", "0"));
+  m.target = u.header.attr_or("target", "");
+  return m;
+}
+
+BounceMsg decode_bounce(const serial::Frame& f) {
+  Unpacked u = unpack(f);
+  BounceMsg m;
+  m.label = u.header.require_attr("label");
+  m.payload = std::move(u.body);
+  return m;
+}
+
+PromoteMsg decode_promote(const serial::Frame& f) {
+  return PromoteMsg{unpack(f).header.require_attr("job")};
 }
 
 CheckpointDataMsg decode_checkpoint_data(const serial::Frame& f) {

@@ -27,6 +27,9 @@ enum class ControlType {
   kCheckpointRequest,  ///< controller -> service
   kCheckpointData,  ///< service -> controller (binary body)
   kRebind,          ///< controller -> service: channel moved, re-resolve
+  kFence,           ///< supervisor -> everyone: reject epochs below this
+  kBounce,          ///< service -> sender: payload refused, rebind + resend
+  kPromote,         ///< supervisor -> service: standby job goes live
 };
 
 struct DeployMsg {
@@ -49,6 +52,20 @@ struct DeployMsg {
   /// frame size, and hence simulated latency, never depends on whether
   /// tracing is enabled.
   obs::TraceContext trace;
+  /// Recovery fencing epoch of the fragment this deploy carries (0 for
+  /// unsupervised / first deployments). The job stamps it on every pipe
+  /// payload it emits and echoes it in status replies; fences with a
+  /// higher epoch halt the job.
+  std::uint64_t epoch = 0;
+  /// Liveness lease in seconds (0 = none). Renewed by every supervisor
+  /// contact; a job whose lease expires suspends itself -- withdraws its
+  /// input pipes and bounces inbound payloads -- until the supervisor
+  /// reappears or a fence kills it.
+  double lease_s = 0.0;
+  /// Deploy as a hot standby: restore state and wait, but do not
+  /// advertise input pipes or emit anything until a kPromote arrives
+  /// (speculative gray-failure backup).
+  bool standby = false;
 };
 
 struct DeployAckMsg {
@@ -63,6 +80,12 @@ struct CancelMsg {
 
 struct StatusRequestMsg {
   std::string job_id;
+  /// The epoch the supervisor believes current (echoed back for sanity;
+  /// 0 = unfenced probing).
+  std::uint64_t epoch = 0;
+  /// Lease renewal: > 0 extends the job's liveness lease to now+lease_s
+  /// (and grants one to a job deployed without).
+  double lease_s = 0.0;
 };
 
 struct StatusMsg {
@@ -70,6 +93,10 @@ struct StatusMsg {
   bool known = false;
   bool running = false;
   bool failed = false;
+  /// The job's own fencing epoch; a supervisor that has since re-deployed
+  /// the fragment at a higher epoch ignores this reply as stale.
+  std::uint64_t epoch = 0;
+  bool suspended = false;  ///< lease expired, job self-suspended
   std::string error;
   std::uint64_t iteration = 0;
   std::uint64_t firings = 0;
@@ -87,9 +114,45 @@ struct CheckpointDataMsg {
 
 /// "The provider of channel `label` has moved": drop cached bindings and
 /// stale pipe adverts so the next send re-resolves. Applies to every job
-/// on the receiving service (jobs ignore labels they don't use).
+/// on the receiving service (jobs ignore labels they don't use). With
+/// epoch > 0 it is also a fence on the consumer side: any local job still
+/// ADVERTISING `label` at a lower epoch is a zombie from before the
+/// migration and is halted.
 struct RebindMsg {
   std::string label;
+  std::uint64_t epoch = 0;
+};
+
+/// Producer fence for channel `label`, scoped to the host `target` (an
+/// endpoint value): pipe payloads on `label` FROM that host stamped with an
+/// epoch below `epoch` are counted and dropped, never applied -- and on the
+/// target host itself, any job still sending on `label` at a lower epoch is
+/// halted. The sender scope matters because fan-in channels are shared:
+/// every replica of a parallel group funnels into the same home label, each
+/// at its own epoch, and only the replaced host's traffic is stale.
+/// Broadcast by the supervisor when a fragment is re-deployed so a
+/// partitioned host that returns cannot double-fire results. An empty
+/// target fences the label for every sender and halts at every receiver.
+struct FenceMsg {
+  std::string label;
+  std::uint64_t epoch = 0;
+  std::string target;
+};
+
+/// A pipe payload was refused (suspended or fenced consumer) and is handed
+/// back to its sender so no item is lost: the sender drops its stale
+/// binding, re-resolves `label` and re-sends the payload -- it ends up at
+/// the replacement exactly once.
+struct BounceMsg {
+  std::string label;
+  serial::Bytes payload;
+};
+
+/// Promote a standby job (deployed with DeployMsg::standby) to live: it
+/// advertises its input pipes and starts emitting. Confirmed with a
+/// DeployAckMsg for the same job id.
+struct PromoteMsg {
+  std::string job_id;
 };
 
 serial::Frame encode(const DeployMsg& m);
@@ -100,6 +163,9 @@ serial::Frame encode(const StatusMsg& m);
 serial::Frame encode(const CheckpointRequestMsg& m);
 serial::Frame encode(const CheckpointDataMsg& m);
 serial::Frame encode(const RebindMsg& m);
+serial::Frame encode(const FenceMsg& m);
+serial::Frame encode(const BounceMsg& m);
+serial::Frame encode(const PromoteMsg& m);
 
 /// Peek a control frame's message type; throws serial::DecodeError /
 /// xml::XmlError on malformed frames.
@@ -113,5 +179,8 @@ StatusMsg decode_status(const serial::Frame& f);
 CheckpointRequestMsg decode_checkpoint_request(const serial::Frame& f);
 CheckpointDataMsg decode_checkpoint_data(const serial::Frame& f);
 RebindMsg decode_rebind(const serial::Frame& f);
+FenceMsg decode_fence(const serial::Frame& f);
+BounceMsg decode_bounce(const serial::Frame& f);
+PromoteMsg decode_promote(const serial::Frame& f);
 
 }  // namespace cg::core

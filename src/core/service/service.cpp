@@ -1,5 +1,6 @@
 #include "core/service/service.hpp"
 
+#include <algorithm>
 #include <set>
 
 #include "core/graph/taskgraph_xml.hpp"
@@ -26,6 +27,34 @@ std::set<std::string> module_types(const TaskGraph& g) {
     }
   }
   return out;
+}
+
+/// Labels a graph emits on: Send units' "label" plus the comma-separated
+/// "labels" of Scatter/Broadcast proxies (recursing into groups). A fence
+/// naming one of these halts the job that owns it; a bounced payload for
+/// one is re-sent by the job that owns it.
+void collect_send_labels(const TaskGraph& g, std::vector<std::string>& out) {
+  for (const auto& t : g.tasks()) {
+    if (t.is_group()) {
+      collect_send_labels(*t.group, out);
+    } else if (t.unit_type == "Send") {
+      if (auto l = t.params.get("label", ""); !l.empty()) out.push_back(l);
+    } else if (t.unit_type == "Scatter" || t.unit_type == "Broadcast") {
+      const std::string csv = t.params.get("labels", "");
+      std::size_t start = 0;
+      while (start < csv.size()) {
+        std::size_t comma = csv.find(',', start);
+        if (comma == std::string::npos) comma = csv.size();
+        if (comma > start) out.push_back(csv.substr(start, comma - start));
+        start = comma + 1;
+      }
+    }
+  }
+}
+
+bool contains_label(const std::vector<std::string>& labels,
+                    const std::string& label) {
+  return std::find(labels.begin(), labels.end(), label) != labels.end();
 }
 
 }  // namespace
@@ -59,6 +88,18 @@ TrianaService::TrianaService(net::Transport& transport, net::Clock clock,
   code_.set_fallback_handler(
       [this](const net::Endpoint& from, serial::Frame f) {
         handle_control(from, std::move(f));
+      });
+  // Payloads for a label whose job is suspended or fenced go back to their
+  // sender instead of vanishing: the sender re-resolves the label and the
+  // item lands at the live incarnation.
+  pipes_.set_unknown_pipe_handler(
+      [this](const std::string& pipe, const net::Endpoint& from,
+             serial::Bytes payload) {
+        if (!bounce_labels_.contains(pipe)) return false;
+        ++stats_.payloads_bounced;
+        obs_.payloads_bounced.inc();
+        transport_.send(from, encode(BounceMsg{pipe, std::move(payload)}));
+        return true;
       });
 }
 
@@ -105,6 +146,14 @@ void TrianaService::set_obs(obs::Registry& registry, obs::Tracer* tracer,
       registry.counter(obs::scoped(s, "service.modules_fetched"));
   obs_.modules_from_cas =
       registry.counter(obs::scoped(s, "service.modules_from_cas"));
+  obs_.jobs_suspended =
+      registry.counter(obs::scoped(s, "service.jobs_suspended"));
+  obs_.jobs_fenced = registry.counter(obs::scoped(s, "service.jobs_fenced"));
+  obs_.promotions = registry.counter(obs::scoped(s, "service.promotions"));
+  obs_.payloads_bounced =
+      registry.counter(obs::scoped(s, "service.payloads_bounced"));
+  obs_.binds_retried =
+      registry.counter(obs::scoped(s, "service.binds_retried"));
   obs_.deploy_start_s =
       registry.histogram(obs::scoped(s, "service.deploy_start_s"));
   obs_.deploy_rtt_s =
@@ -140,7 +189,8 @@ std::string TrianaService::deploy_remote(const net::Endpoint& target,
                                          const TaskGraph& fragment,
                                          std::uint64_t iterations,
                                          AckHandler on_ack,
-                                         serial::Bytes checkpoint) {
+                                         serial::Bytes checkpoint,
+                                         DeployOptions options) {
   DeployMsg m;
   m.job_id = fresh_job_id();
   m.owner = config_.peer_id;
@@ -148,6 +198,9 @@ std::string TrianaService::deploy_remote(const net::Endpoint& target,
   m.iterations = iterations;
   m.graph_xml = write_taskgraph(fragment, /*pretty=*/false);
   m.checkpoint = std::move(checkpoint);
+  m.epoch = options.epoch;
+  m.lease_s = options.lease_s;
+  m.standby = options.standby;
   // Advertise the content digest of every module we own that the fragment
   // needs: the target can satisfy them from its own store (dedup across
   // names, warm restarts) and can tell a stale cached copy from ours
@@ -176,11 +229,19 @@ std::string TrianaService::deploy_remote(const net::Endpoint& target,
   return m.job_id;
 }
 
+void TrianaService::promote_remote(const net::Endpoint& target,
+                                   const std::string& job_id,
+                                   AckHandler on_ack) {
+  ack_handlers_[job_id] = std::move(on_ack);
+  transport_.send(target, encode(PromoteMsg{job_id}));
+}
+
 void TrianaService::request_status(const net::Endpoint& target,
                                    const std::string& job_id,
-                                   StatusHandler on_status) {
+                                   StatusHandler on_status,
+                                   std::uint64_t epoch, double lease_s) {
   status_handlers_[job_id] = std::move(on_status);
-  transport_.send(target, encode(StatusRequestMsg{job_id}));
+  transport_.send(target, encode(StatusRequestMsg{job_id, epoch, lease_s}));
 }
 
 void TrianaService::request_checkpoint(const net::Endpoint& target,
@@ -283,13 +344,24 @@ void TrianaService::handle_control(const net::Endpoint& from,
       s.job_id = m.job_id;
       auto it = jobs_.find(m.job_id);
       if (it != jobs_.end()) {
+        Job& job = it->second;
+        // A probe is supervisor contact: renew the lease (and grant one to
+        // a job deployed without). A suspended job whose supervisor has
+        // reappeared resumes -- the suspension was precautionary, not a
+        // fence.
+        if (m.lease_s > 0.0 && !job.failed && !job.standby) {
+          renew_lease(job, m.lease_s);
+          if (job.suspended) resume_job(job);
+        }
         s.known = true;
-        s.running = !it->second.failed;
-        s.failed = it->second.failed;
-        s.error = it->second.error;
-        if (it->second.runtime) {
-          s.iteration = it->second.runtime->iteration();
-          s.firings = it->second.runtime->stats().firings;
+        s.running = !job.failed && !job.suspended;
+        s.failed = job.failed;
+        s.error = job.error;
+        s.epoch = job.epoch;
+        s.suspended = job.suspended;
+        if (job.runtime) {
+          s.iteration = job.runtime->iteration();
+          s.firings = job.runtime->stats().firings;
         }
       }
       transport_.send(from, encode(s));
@@ -318,9 +390,30 @@ void TrianaService::handle_control(const net::Endpoint& from,
       break;
     }
     case ControlType::kRebind: {
-      rebind_channel(decode_rebind(frame).label);
+      auto m = decode_rebind(frame);
+      rebind_channel(m.label);
+      if (m.epoch > 0) {
+        // Consumer-side fence: a local job still advertising this label at
+        // a lower epoch is the zombie the migration replaced.
+        std::vector<std::string> stale;
+        for (const auto& [id, job] : jobs_) {
+          if (job.epoch < m.epoch && contains_label(job.input_labels, m.label)) {
+            stale.push_back(id);
+          }
+        }
+        for (const auto& id : stale) fence_halt(id);
+      }
       break;
     }
+    case ControlType::kFence:
+      handle_fence(decode_fence(frame));
+      break;
+    case ControlType::kBounce:
+      handle_bounce(from, decode_bounce(frame));
+      break;
+    case ControlType::kPromote:
+      handle_promote(from, decode_promote(frame));
+      break;
     case ControlType::kCheckpointData: {
       auto m = decode_checkpoint_data(frame);
       auto it = ckpt_handlers_.find(m.job_id);
@@ -524,6 +617,9 @@ std::optional<std::string> TrianaService::start_job(PendingDeploy pending) {
   job.reply_to = pending.reply_to;
   job.started_at = clock_();
   job.pinned_modules = std::move(pending.fetched_modules);
+  job.epoch = pending.msg.epoch;
+  job.lease_s = pending.msg.lease_s;
+  job.standby = pending.msg.standby;
 
   TaskGraph graph;
   try {
@@ -582,14 +678,34 @@ std::optional<std::string> TrianaService::start_job(PendingDeploy pending) {
         on_channel_send(job_id, label, std::move(item));
       });
 
-  // Boundary ingress: advertise every Receive label as an input pipe.
+  // Boundary ingress/egress labels. A standby job stays dark: no input
+  // adverts (the live incarnation owns the labels) until a kPromote.
   job.input_labels = job.runtime->receive_labels();
+  collect_send_labels(graph, job.output_labels);
   auto [jit, _] = jobs_.emplace(job_id, std::move(job));
   Job& stored = jit->second;
-  for (const auto& label : stored.input_labels) {
+  if (!stored.standby) advertise_job_inputs(stored);
+  if (stored.lease_s > 0.0) renew_lease(stored, stored.lease_s);
+
+  ++stats_.jobs_started;
+  obs_.jobs_started.inc();
+  obs_.deploy_start_s.observe(clock_() - pending.received_at);
+  obs_.tracer.end_span(pending.span, config_.peer_id, "deploy", "started");
+  send_ack(stored.reply_to, job_id, true, "");
+
+  if (pending.msg.iterations > 0 && !stored.standby) {
+    run_iterations(stored, pending.msg.iterations);
+  }
+  return std::nullopt;
+}
+
+void TrianaService::advertise_job_inputs(Job& job) {
+  const std::string job_id = job.job_id;
+  for (const auto& label : job.input_labels) {
+    bounce_labels_.erase(label);  // a live job serves it again
     pipes_.advertise_input(
-        label, [this, job_id, label](const net::Endpoint&,
-                                     serial::Bytes payload) {
+        label,
+        [this, job_id, label](const net::Endpoint&, serial::Bytes payload) {
           auto it = jobs_.find(job_id);
           if (it == jobs_.end() || it->second.failed) return;
           ++stats_.pipe_items_in;
@@ -600,19 +716,9 @@ std::optional<std::string> TrianaService::start_job(PendingDeploy pending) {
             it->second.error = e.what();
             finish_job(it->second, /*violated=*/true);
           }
-        });
+        },
+        job.epoch);
   }
-
-  ++stats_.jobs_started;
-  obs_.jobs_started.inc();
-  obs_.deploy_start_s.observe(clock_() - pending.received_at);
-  obs_.tracer.end_span(pending.span, config_.peer_id, "deploy", "started");
-  send_ack(stored.reply_to, job_id, true, "");
-
-  if (pending.msg.iterations > 0) {
-    run_iterations(stored, pending.msg.iterations);
-  }
-  return std::nullopt;
 }
 
 void TrianaService::run_iterations(Job& job, std::uint64_t iterations) {
@@ -655,7 +761,7 @@ void TrianaService::on_channel_send(const std::string& job_id,
   auto pit = job.out_pipes.find(label);
   if (pit != job.out_pipes.end() && pit->second.bound()) {
     ++stats_.pipe_items_out;
-    pipes_.send(pit->second, encode_data_item(item));
+    pipes_.send(pit->second, encode_data_item(item), job.epoch);
     return;
   }
 
@@ -665,15 +771,51 @@ void TrianaService::on_channel_send(const std::string& job_id,
   if (bind_started) return;
 
   // The bind is a span under the job's context: its duration is how long
-  // the first item on this channel waited for discovery + connection.
+  // the first item on this channel waited for discovery + connection
+  // (including retries while the provider is down or mid-recovery).
   const std::uint64_t bspan = obs_.tracer.begin_span(
       config_.peer_id, "pipe.bind", job.trace, "label=" + label);
-  pipes_.bind_output(label, [this, job_id, label,
+  start_output_bind(job_id, label, config_.bind_retries, bspan);
+}
+
+void TrianaService::start_output_bind(const std::string& job_id,
+                                      const std::string& label,
+                                      int attempts_left, std::uint64_t bspan) {
+  pipes_.bind_output(label, [this, job_id, label, attempts_left,
                              bspan](p2p::OutputPipe pipe) {
     auto jit = jobs_.find(job_id);
-    if (jit == jobs_.end()) return;
+    if (jit == jobs_.end()) {
+      obs_.tracer.end_span(bspan, config_.peer_id, "pipe.bind", "job-gone");
+      return;
+    }
     Job& j = jit->second;
     if (!pipe.bound()) {
+      // Nobody answered the flood. Under churn that is usually transient:
+      // the provider is down for a blip, or dead with its replacement not
+      // yet serving. Keep the backlog and ask again -- the supervisor's
+      // recovery publishes a fresh advert the retry will find.
+      if (attempts_left > 0 && !j.failed) {
+        ++stats_.binds_retried;
+        obs_.binds_retried.inc();
+        scheduler_(config_.bind_retry_s, [this, job_id, label, attempts_left,
+                                          bspan] {
+          auto it2 = jobs_.find(job_id);
+          if (it2 == jobs_.end() || it2->second.failed) {
+            obs_.tracer.end_span(bspan, config_.peer_id, "pipe.bind",
+                                 "job-gone");
+            return;
+          }
+          // The channel may have been bound elsewhere meanwhile (e.g. a
+          // rebind after recovery raced this retry).
+          if (it2->second.out_pipes.contains(label)) {
+            obs_.tracer.end_span(bspan, config_.peer_id, "pipe.bind",
+                                 "superseded");
+            return;
+          }
+          start_output_bind(job_id, label, attempts_left - 1, bspan);
+        });
+        return;
+      }
       j.failed = true;
       j.error = "could not bind output channel '" + label + "'";
       ++stats_.jobs_failed;
@@ -688,7 +830,7 @@ void TrianaService::on_channel_send(const std::string& job_id,
     if (bit != j.out_backlog.end()) {
       for (auto& queued : bit->second) {
         ++stats_.pipe_items_out;
-        pipes_.send(pipe, encode_data_item(queued));
+        pipes_.send(pipe, encode_data_item(queued), j.epoch);
       }
       j.out_backlog.erase(bit);
     }
@@ -714,20 +856,206 @@ void TrianaService::teardown_job(Job& job) {
   for (const auto& label : job.input_labels) {
     // A replacement job may already serve this label (cancel and redeploy
     // can arrive reordered); removing it would sever the new job's pipe.
-    bool owned_elsewhere = false;
-    for (const auto& [id, other] : jobs_) {
-      if (id == job.job_id) continue;
-      for (const auto& l : other.input_labels) {
-        if (l == label) {
-          owned_elsewhere = true;
-          break;
-        }
-      }
-      if (owned_elsewhere) break;
-    }
-    if (!owned_elsewhere) pipes_.remove_input(label);
+    if (!label_owned_by_other(job.job_id, label)) pipes_.remove_input(label);
   }
   for (const auto& mname : job.pinned_modules) module_cache_.unpin(mname);
+}
+
+bool TrianaService::label_owned_by_other(const std::string& job_id,
+                                         const std::string& label) const {
+  for (const auto& [id, other] : jobs_) {
+    if (id == job_id || other.standby || other.suspended) continue;
+    if (contains_label(other.input_labels, label)) return true;
+  }
+  return false;
+}
+
+std::uint64_t TrianaService::job_epoch(const std::string& job_id) const {
+  auto it = jobs_.find(job_id);
+  return it == jobs_.end() ? 0 : it->second.epoch;
+}
+
+bool TrianaService::job_suspended(const std::string& job_id) const {
+  auto it = jobs_.find(job_id);
+  return it != jobs_.end() && it->second.suspended;
+}
+
+// ------------------------------------------------- lease / fence / bounce
+
+void TrianaService::renew_lease(Job& job, double lease_s) {
+  job.lease_s = lease_s;
+  job.lease_deadline = clock_() + lease_s;
+  if (job.lease_timer_armed) return;  // the live chain sees the new deadline
+  job.lease_timer_armed = true;
+  const std::string job_id = job.job_id;
+  scheduler_(lease_s, [this, job_id] { check_lease(job_id); });
+}
+
+void TrianaService::check_lease(const std::string& job_id) {
+  auto it = jobs_.find(job_id);
+  if (it == jobs_.end()) return;
+  Job& job = it->second;
+  job.lease_timer_armed = false;
+  if (job.failed || job.suspended || job.lease_deadline <= 0.0) return;
+  const double now = clock_();
+  if (now + 1e-9 < job.lease_deadline) {
+    // Renewed since this timer was set; re-arm for the current deadline.
+    job.lease_timer_armed = true;
+    scheduler_(job.lease_deadline - now,
+               [this, job_id] { check_lease(job_id); });
+    return;
+  }
+  suspend_job(job);
+}
+
+void TrianaService::suspend_job(Job& job) {
+  // No supervisor contact for a whole lease: assume we are the one who is
+  // partitioned. Withdraw the input pipes (so senders stop reaching a
+  // possibly-stale incarnation) and bounce anything already in flight.
+  // Reversible: a returning supervisor's probe resumes the job; a fence
+  // from a completed recovery halts it.
+  job.suspended = true;
+  ++stats_.jobs_suspended;
+  obs_.jobs_suspended.inc();
+  obs_.tracer.event(config_.peer_id, "job.suspend", job.trace,
+                    "job=" + job.job_id +
+                        " epoch=" + std::to_string(job.epoch));
+  for (const auto& label : job.input_labels) {
+    if (label_owned_by_other(job.job_id, label)) continue;
+    pipes_.remove_input(label);
+    bounce_labels_.insert(label);
+  }
+}
+
+void TrianaService::resume_job(Job& job) {
+  job.suspended = false;
+  ++stats_.jobs_resumed;
+  obs_.tracer.event(config_.peer_id, "job.resume", job.trace,
+                    "job=" + job.job_id +
+                        " epoch=" + std::to_string(job.epoch));
+  advertise_job_inputs(job);
+}
+
+void TrianaService::fence_halt(const std::string& job_id) {
+  auto it = jobs_.find(job_id);
+  if (it == jobs_.end()) return;
+  Job& job = it->second;
+  ++stats_.jobs_fenced;
+  obs_.jobs_fenced.inc();
+  obs_.tracer.event(config_.peer_id, "job.fenced", job.trace,
+                    "job=" + job.job_id +
+                        " epoch=" + std::to_string(job.epoch));
+  // The labels stay bouncy after the job is gone: late payloads addressed
+  // to the dead incarnation still get handed back to their senders.
+  for (const auto& label : job.input_labels) {
+    if (!label_owned_by_other(job.job_id, label)) {
+      bounce_labels_.insert(label);
+    }
+  }
+  cancel_local(job_id);
+}
+
+void TrianaService::handle_fence(const FenceMsg& m) {
+  // Producer fence at the pipe layer: stale-epoch payloads for this label
+  // FROM the fenced host are counted and dropped from here on. The sender
+  // scope is what keeps fan-in labels safe: every replica of a parallel
+  // group funnels into the same home label at its own epoch, and only the
+  // replaced host's traffic is stale.
+  pipes_.fence(m.label, m.epoch, m.target);
+  // On the fenced host itself (or everywhere, for an unscoped fence): any
+  // job still SENDING on the label at a lower epoch is a zombie
+  // incarnation of the re-deployed fragment.
+  if (!m.target.empty() && m.target != endpoint().value) return;
+  std::vector<std::string> stale;
+  for (const auto& [id, job] : jobs_) {
+    if (job.epoch < m.epoch && contains_label(job.output_labels, m.label)) {
+      stale.push_back(id);
+    }
+  }
+  for (const auto& id : stale) fence_halt(id);
+}
+
+void TrianaService::handle_bounce(const net::Endpoint& from, BounceMsg m) {
+  (void)from;
+  // A payload we sent was refused (suspended or fenced consumer). Drop the
+  // stale binding and re-resolve -- the advert cache prefers the highest
+  // epoch, so the re-send lands at the replacement.
+  rebind_channel(m.label);
+  resend_bounced(m.label, std::move(m.payload), config_.bounce_retries);
+}
+
+void TrianaService::resend_bounced(const std::string& label,
+                                   serial::Bytes payload, int attempts_left) {
+  Job* owner = nullptr;
+  for (auto& [id, job] : jobs_) {
+    if (!job.failed && contains_label(job.output_labels, label)) {
+      owner = &job;
+      break;
+    }
+  }
+  if (!owner) {
+    ++stats_.bounces_dropped;
+    return;
+  }
+  if (auto pit = owner->out_pipes.find(label);
+      pit != owner->out_pipes.end() && pit->second.bound()) {
+    ++stats_.pipe_items_out;
+    ++stats_.bounces_resent;
+    pipes_.send(pit->second, std::move(payload), owner->epoch);
+    return;
+  }
+  // Unbound: resolve our own binding (separate from on_channel_send's
+  // backlog machinery -- a failed resolve here retries instead of failing
+  // the job, because the replacement may still be deploying).
+  const std::string job_id = owner->job_id;
+  pipes_.bind_output(
+      label, [this, label, job_id, payload = std::move(payload),
+              attempts_left](p2p::OutputPipe pipe) mutable {
+        auto jit = jobs_.find(job_id);
+        if (jit == jobs_.end() || jit->second.failed) {
+          ++stats_.bounces_dropped;
+          return;
+        }
+        if (!pipe.bound()) {
+          if (attempts_left > 0) {
+            scheduler_(config_.bounce_retry_s,
+                       [this, label, payload = std::move(payload),
+                        attempts_left]() mutable {
+                         resend_bounced(label, std::move(payload),
+                                        attempts_left - 1);
+                       });
+          } else {
+            ++stats_.bounces_dropped;
+          }
+          return;
+        }
+        Job& j = jit->second;
+        j.out_pipes[label] = pipe;
+        ++stats_.pipe_items_out;
+        ++stats_.bounces_resent;
+        pipes_.send(pipe, std::move(payload), j.epoch);
+      });
+}
+
+void TrianaService::handle_promote(const net::Endpoint& from,
+                                   const PromoteMsg& m) {
+  auto it = jobs_.find(m.job_id);
+  if (it == jobs_.end() || it->second.failed) {
+    send_ack(from, m.job_id, false, "no such standby job");
+    return;
+  }
+  Job& job = it->second;
+  if (job.standby) {
+    job.standby = false;
+    ++stats_.promotions;
+    obs_.promotions.inc();
+    obs_.tracer.event(config_.peer_id, "job.promote", job.trace,
+                      "job=" + job.job_id +
+                          " epoch=" + std::to_string(job.epoch));
+    advertise_job_inputs(job);
+    if (job.lease_s > 0.0) renew_lease(job, job.lease_s);
+  }
+  send_ack(from, m.job_id, true, "");
 }
 
 }  // namespace cg::core

@@ -20,6 +20,7 @@
 
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 
 #include "cas/store.hpp"
@@ -64,6 +65,29 @@ struct ServiceConfig {
   /// same unit type + params + input bytes recur -- across jobs, runs and
   /// (via a shared store directory) peers.
   bool memoize_pure_units = false;
+  /// Bounced-payload re-send: when a payload this service sent comes back
+  /// (consumer suspended or fenced), re-resolve the channel and re-send;
+  /// retry a failed re-resolve this many times, this far apart (recovery
+  /// may still be in flight when the bounce arrives).
+  double bounce_retry_s = 1.0;
+  int bounce_retries = 8;
+  /// Output-channel bind retry: a failed discovery for an output label is
+  /// retried this many times, this far apart, before the job is failed.
+  /// Under churn the provider may be down for a blip -- or dead and mid
+  /// recovery -- when the flood goes out; by the next attempt the host is
+  /// back (or the supervisor has redeployed the fragment and the retry
+  /// binds the replacement's higher-epoch advert). Only the final failure
+  /// is fatal to the job.
+  double bind_retry_s = 2.0;
+  int bind_retries = 10;
+};
+
+/// Client-side knobs for supervised deployments: the fragment's fencing
+/// epoch, a liveness lease, and the standby (deploy-but-don't-run) flag.
+struct DeployOptions {
+  std::uint64_t epoch = 0;
+  double lease_s = 0.0;
+  bool standby = false;
 };
 
 struct ServiceStats {
@@ -81,6 +105,15 @@ struct ServiceStats {
   /// that slipped past the reliable layer's dedup window): re-acked, never
   /// re-executed.
   std::uint64_t duplicate_deploys = 0;
+  // -- lease / fencing / bounce (fenced recovery) ----------------------------
+  std::uint64_t jobs_suspended = 0;   ///< lease expiries (self-suspensions)
+  std::uint64_t jobs_resumed = 0;     ///< lease renewals after a suspension
+  std::uint64_t jobs_fenced = 0;      ///< stale jobs halted by fence/rebind
+  std::uint64_t promotions = 0;       ///< standby jobs promoted to live
+  std::uint64_t payloads_bounced = 0; ///< inbound payloads returned to sender
+  std::uint64_t binds_retried = 0;    ///< output binds re-issued (churn blips)
+  std::uint64_t bounces_resent = 0;   ///< returned payloads re-sent by us
+  std::uint64_t bounces_dropped = 0;  ///< returned payloads given up on
 };
 
 class TrianaService {
@@ -162,14 +195,24 @@ class TrianaService {
   std::string deploy_remote(const net::Endpoint& target,
                             const TaskGraph& fragment,
                             std::uint64_t iterations, AckHandler on_ack,
-                            serial::Bytes checkpoint = {});
+                            serial::Bytes checkpoint = {},
+                            DeployOptions options = {});
+
+  /// Promote a standby job on `target` to live; the handler fires with the
+  /// confirming DeployAckMsg (ok=false when the job is unknown there).
+  void promote_remote(const net::Endpoint& target, const std::string& job_id,
+                      AckHandler on_ack);
 
   /// The scheduler this service runs timers on (exposed for the
   /// controller's discovery deadlines).
   const net::Scheduler& scheduler() const { return scheduler_; }
 
+  /// Probe a remote job. `epoch` is echoed for staleness filtering;
+  /// `lease_s` > 0 renews (or grants) the job's liveness lease -- the
+  /// probe doubles as proof the supervisor is alive.
   void request_status(const net::Endpoint& target, const std::string& job_id,
-                      StatusHandler on_status);
+                      StatusHandler on_status, std::uint64_t epoch = 0,
+                      double lease_s = 0.0);
   void request_checkpoint(const net::Endpoint& target,
                           const std::string& job_id,
                           CheckpointHandler on_data);
@@ -203,6 +246,11 @@ class TrianaService {
   /// inbound kRebind control messages.
   void rebind_channel(const std::string& label);
 
+  /// The fencing epoch of a job hosted here (0 when unknown/unfenced).
+  std::uint64_t job_epoch(const std::string& job_id) const;
+  /// True when the job exists and has self-suspended on an expired lease.
+  bool job_suspended(const std::string& job_id) const;
+
  private:
   struct Job {
     std::string job_id;
@@ -215,8 +263,15 @@ class TrianaService {
     double started_at = 0;
     std::vector<std::string> pinned_modules;
     std::vector<std::string> input_labels;  ///< advertised pipes to remove
+    std::vector<std::string> output_labels;  ///< labels this job sends on
     std::map<std::string, p2p::OutputPipe> out_pipes;
     std::map<std::string, std::vector<DataItem>> out_backlog;
+    std::uint64_t epoch = 0;      ///< fencing epoch (stamped on all sends)
+    double lease_s = 0.0;         ///< liveness lease length (0 = none)
+    double lease_deadline = 0.0;  ///< next expiry on the ambient clock
+    bool lease_timer_armed = false;  ///< one expiry timer chain per job
+    bool suspended = false;       ///< lease expired; inputs withdrawn
+    bool standby = false;         ///< dormant until kPromote
     /// The job's causal identity: the deploy's trace, parented by this
     /// service's "deploy" span. Runtime ticks and pipe binds hang off it.
     obs::TraceContext trace;
@@ -237,6 +292,8 @@ class TrianaService {
   struct Obs {
     obs::CounterRef deploys_received, duplicate_deploys, jobs_started,
         jobs_failed, jobs_cancelled, modules_fetched, modules_from_cas;
+    obs::CounterRef jobs_suspended, jobs_fenced, promotions, payloads_bounced,
+        binds_retried;
     obs::HistogramRef deploy_start_s;  ///< server: received -> started
     obs::HistogramRef deploy_rtt_s;    ///< client: sent -> acked
     obs::TracerRef tracer;
@@ -254,8 +311,30 @@ class TrianaService {
   void teardown_job(Job& job);
   void on_channel_send(const std::string& job_id, const std::string& label,
                        DataItem item);
+  /// Issue (or re-issue) the discovery+bind for an output label; on an
+  /// unbound result, retries up to `attempts_left` more times before
+  /// failing the job. `bspan` is the open "pipe.bind" trace span.
+  void start_output_bind(const std::string& job_id, const std::string& label,
+                         int attempts_left, std::uint64_t bspan);
   void run_iterations(Job& job, std::uint64_t iterations);
   std::string fresh_job_id();
+
+  // Lease / fencing / bounce (fenced recovery).
+  void advertise_job_inputs(Job& job);
+  bool label_owned_by_other(const std::string& job_id,
+                            const std::string& label) const;
+  void renew_lease(Job& job, double lease_s);
+  void check_lease(const std::string& job_id);
+  void suspend_job(Job& job);
+  void resume_job(Job& job);
+  /// Halt a zombie job overtaken by a higher-epoch fence/rebind: its input
+  /// labels keep bouncing, the job itself is cancelled.
+  void fence_halt(const std::string& job_id);
+  void handle_fence(const FenceMsg& m);
+  void handle_bounce(const net::Endpoint& from, BounceMsg m);
+  void handle_promote(const net::Endpoint& from, const PromoteMsg& m);
+  void resend_bounced(const std::string& label, serial::Bytes payload,
+                      int attempts_left);
 
   net::Clock clock_;
   net::Scheduler scheduler_;
@@ -274,6 +353,10 @@ class TrianaService {
 
   std::map<std::string, Job> jobs_;
   std::map<std::string, PendingDeploy> pending_;
+  /// Labels whose payloads are bounced back to the sender while no live
+  /// job serves them (suspended or fenced incarnations); prevents silent
+  /// item loss during recovery.
+  std::set<std::string> bounce_labels_;
   std::map<std::string, AckHandler> ack_handlers_;      // by job id
   std::map<std::string, StatusHandler> status_handlers_;
   std::map<std::string, CheckpointHandler> ckpt_handlers_;

@@ -1,5 +1,8 @@
 #include "core/service/supervisor.hpp"
 
+#include <algorithm>
+#include <stdexcept>
+
 namespace cg::core {
 namespace {
 
@@ -7,6 +10,16 @@ std::vector<std::string> receive_labels_of(const TaskGraph& frag) {
   std::vector<std::string> labels;
   for (const auto& t : frag.tasks()) {
     if (t.unit_type == "Receive") labels.push_back(t.params.get("label", ""));
+  }
+  return labels;
+}
+
+/// Fragments emit through Send proxies only (Scatter/Broadcast live in the
+/// home graph); these are the labels a fenced recovery must fence.
+std::vector<std::string> send_labels_of(const TaskGraph& frag) {
+  std::vector<std::string> labels;
+  for (const auto& t : frag.tasks()) {
+    if (t.unit_type == "Send") labels.push_back(t.params.get("label", ""));
   }
   return labels;
 }
@@ -25,12 +38,28 @@ RunSupervisor::RunSupervisor(TrianaController& controller,
       run_(std::move(run)),
       spares_(std::move(spares)),
       options_(options) {
-  missed_.assign(run_->remote_jobs.size(), 0);
-  recovering_.assign(run_->remote_jobs.size(), false);
+  const std::size_t n = run_->remote_jobs.size();
+  missed_.assign(n, 0);
+  recovering_.assign(n, false);
+  degraded_.assign(n, false);
+  last_contact_.assign(n, 0.0);
+  epochs_.assign(n, 0);
+  standbys_.assign(n, Standby{});
+  FailureDetectorOptions d;
+  d.window = options_.detector_window;
+  d.min_std_s = options_.detector_min_std_s;
+  detectors_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) detectors_.emplace_back(d);
+  rebuild_contact_index();
 }
 
 const net::ReliableStats& RunSupervisor::reliable_stats() const {
   return controller_.home().reliable().stats();
+}
+
+double RunSupervisor::phi_of(std::size_t idx) const {
+  if (detectors_[idx].samples() < 2) return 0.0;
+  return detectors_[idx].phi(controller_.home().now());
 }
 
 void RunSupervisor::set_obs(obs::Registry& registry, obs::Tracer* tracer,
@@ -47,25 +76,81 @@ void RunSupervisor::set_obs(obs::Registry& registry, obs::Tracer* tracer,
       registry.counter(obs::scoped(scope, "supervisor.recoveries"));
   obs_.recoveries_failed =
       registry.counter(obs::scoped(scope, "supervisor.recoveries_failed"));
+  obs_.fenced_msgs =
+      registry.counter(obs::scoped(scope, "supervisor.fenced_msgs"));
+  obs_.speculative_deploys =
+      registry.counter(obs::scoped(scope, "supervisor.speculative_deploys"));
   obs_.recovery_s =
       registry.histogram(obs::scoped(scope, "supervisor.recovery_s"));
   obs_.tracer = tracer;
   obs_.node = scope.empty() ? controller_.home().id() : std::string(scope);
+  registry_ = &registry;
+  obs_scope_ = scope;
+}
+
+void RunSupervisor::set_phi_gauge(std::size_t idx, double phi) {
+  if (!registry_) return;
+  const std::string& host = run_->workers[idx].value;
+  auto it = phi_gauges_.find(host);
+  if (it == phi_gauges_.end()) {
+    it = phi_gauges_
+             .emplace(host, registry_->gauge(obs::scoped(
+                                obs_scope_, "supervisor.phi." + host)))
+             .first;
+  }
+  it->second.set(phi);
+}
+
+void RunSupervisor::rebuild_contact_index() {
+  contact_idx_.clear();
+  for (std::size_t i = 0; i < run_->workers.size(); ++i) {
+    contact_idx_[run_->workers[i].value] = i;
+  }
 }
 
 void RunSupervisor::start() {
+  if (started_) {
+    throw std::logic_error(
+        "RunSupervisor::start() called twice (would double the timer loops)");
+  }
+  started_ = true;
   auto self = shared_from_this();
-  controller_.home().scheduler()(options_.checkpoint_period_s,
-                                 [self] { self->checkpoint_round(); });
-  controller_.home().scheduler()(options_.probe_period_s,
-                                 [self] { self->probe_round(); });
+  const double now = home().now();
+  for (double& t : last_contact_) t = now;
+
+  // Piggybacked liveness: ANY frame the home transport receives from a
+  // monitored host -- data items, acks, code replies -- is proof of life.
+  // Weak capture: the listener outlives the supervisor harmlessly.
+  std::weak_ptr<RunSupervisor> weak = self;
+  home().reliable().set_activity_listener([weak](const net::Endpoint& from) {
+    if (auto locked = weak.lock(); locked && !locked->stopped_) {
+      locked->on_activity(from);
+    }
+  });
+
+  home().scheduler()(options_.checkpoint_period_s,
+                     [self] { self->checkpoint_round(); });
+  home().scheduler()(options_.probe_period_s, [self] { self->probe_round(); });
+}
+
+void RunSupervisor::on_activity(const net::Endpoint& from) {
+  auto it = contact_idx_.find(from.value);
+  if (it == contact_idx_.end()) return;
+  const std::size_t i = it->second;
+  if (degraded_[i]) return;
+  const double now = home().now();
+  // Evidence only: touch() never pollutes the reply-interval history, so a
+  // burst of data frames cannot shrink the window and turn the detector
+  // trigger-happy once the burst ends.
+  detectors_[i].touch(now);
+  last_contact_[i] = now;
 }
 
 void RunSupervisor::checkpoint_round() {
   if (stopped_) return;
   auto self = shared_from_this();
   for (std::size_t i = 0; i < run_->remote_jobs.size(); ++i) {
-    if (recovering_[i]) continue;
+    if (recovering_[i] || degraded_[i]) continue;
     controller_.home().request_checkpoint(
         run_->workers[i], run_->remote_jobs[i],
         [self, i](const CheckpointDataMsg& m) {
@@ -83,30 +168,59 @@ void RunSupervisor::checkpoint_round() {
 void RunSupervisor::probe_round() {
   if (stopped_) return;
   auto self = shared_from_this();
+  const double now = home().now();
   for (std::size_t i = 0; i < run_->remote_jobs.size(); ++i) {
-    if (recovering_[i]) continue;
-    ++missed_[i];
-    if (missed_[i] > options_.max_missed) {
+    if (recovering_[i] || degraded_[i]) continue;
+
+    bool dead = false;
+    bool suspect = false;
+    if (detectors_[i].samples() >= 2) {
+      const double phi = detectors_[i].phi(now);
+      set_phi_gauge(i, phi);
+      dead = phi >= options_.phi_dead;
+      suspect = phi >= options_.phi_suspect;
+    } else {
+      // Bootstrap: no reply history to model yet (the host may have been
+      // dead from the start) -- fall back to missed-probe counting.
+      ++missed_[i];
+      dead = missed_[i] > options_.max_missed;
+    }
+
+    if (dead) {
       ++stats_.failures_detected;
       obs_.failures_detected.inc();
       recover(i);
       continue;
     }
+
+    if (options_.speculative_backups && fencing()) {
+      if (suspect && !standbys_[i].pending && !standbys_[i].ready) {
+        deploy_standby(i);
+      } else if (!suspect && standbys_[i].ready) {
+        cancel_standby(i);  // suspicion subsided; hand the spare back
+      }
+    }
+
     ++stats_.probes_sent;
     obs_.probes_sent.inc();
-    controller_.home().request_status(
+    home().request_status(
         run_->workers[i], run_->remote_jobs[i],
         [self, i](const StatusMsg& m) {
           if (self->stopped_) return;
-          if (m.known && !m.failed) {
-            self->missed_[i] = 0;
-            ++self->stats_.probes_answered;
-            self->obs_.probes_answered.inc();
-          }
-        });
+          if (!m.known || m.failed) return;
+          // A reply from a previous incarnation (pre-recovery epoch) is
+          // not evidence for the CURRENT fragment host.
+          if (m.epoch != self->epochs_[i]) return;
+          const double t = self->home().now();
+          self->detectors_[i].heartbeat(t);
+          self->last_contact_[i] = t;
+          self->missed_[i] = 0;
+          ++self->stats_.probes_answered;
+          self->obs_.probes_answered.inc();
+        },
+        epochs_[i], options_.lease_s);
   }
-  controller_.home().scheduler()(options_.probe_period_s,
-                                 [self] { self->probe_round(); });
+  home().scheduler()(options_.probe_period_s, [self] { self->probe_round(); });
 }
 
 void RunSupervisor::recover(std::size_t idx) {
@@ -116,58 +230,272 @@ void RunSupervisor::recover(std::size_t idx) {
     trust->record(dead.value, sandbox::TrustEvent::kFailure);
   }
 
-  const double detected_at = controller_.home().now();
-  const std::uint64_t span = obs_.tracer.begin_span(
+  auto rec = std::make_shared<Recovery>();
+  rec->idx = idx;
+  rec->dead = dead;
+  rec->detected_at = home().now();
+  rec->contact_at_detect = last_contact_[idx];
+  rec->attempts_left =
+      static_cast<int>(spares_.size()) + (standbys_[idx].ready ? 1 : 0);
+  if (auto r = store_.get(fragment_key(idx))) rec->state = r->state;
+  rec->span = obs_.tracer.begin_span(
       obs_.node, "supervisor.recover",
       "fragment=" + std::to_string(idx) + " dead=" + dead.value);
 
-  if (spares_.empty()) {
-    ++stats_.recoveries_failed;
-    obs_.recoveries_failed.inc();
-    obs_.tracer.end_span(span, obs_.node, "supervisor.recover", "no spare");
-    return;  // stays recovering_: nothing left to probe or redeploy to
+  if (rec->attempts_left == 0) {
+    fail_recovery(rec, "no spare");
+    return;
   }
+
+  if (!fencing()) {
+    begin_replacement(rec);
+    return;
+  }
+
+  // Fenced mode: let the zombie's lease run out first. Its lease deadline
+  // is at most last_contact + lease_s (renewals stopped with the probes),
+  // so after this wait the host -- if it is alive at all -- has provably
+  // self-suspended and is bouncing payloads. The replacement never
+  // coexists with a live-and-serving zombie.
+  const double wait =
+      std::max(0.0, last_contact_[idx] + options_.lease_s - home().now()) +
+      0.001;
+  auto self = shared_from_this();
+  home().scheduler()(wait, [self, rec] {
+    if (self->stopped_) return;
+    if (self->last_contact_[rec->idx] > rec->contact_at_detect) {
+      // The host showed life during the wait: partitioned, not dead. It is
+      // sitting suspended; the next probe renews its lease and resumes it.
+      ++self->stats_.recoveries_aborted;
+      self->missed_[rec->idx] = 0;
+      self->recovering_[rec->idx] = false;
+      self->obs_.tracer.end_span(rec->span, self->obs_.node,
+                                 "supervisor.recover", "aborted: host alive");
+      return;
+    }
+    self->begin_replacement(rec);
+  });
+}
+
+void RunSupervisor::begin_replacement(std::shared_ptr<Recovery> rec) {
+  if (stopped_) return;
+  Standby& sb = standbys_[rec->idx];
+  if (sb.ready) {
+    // The speculative standby already holds the checkpoint: promotion is
+    // one control round-trip instead of a full redeploy.
+    const net::Endpoint host = sb.host;
+    const std::string job_id = sb.job_id;
+    const std::uint64_t epoch = sb.epoch;
+    standbys_[rec->idx] = Standby{};
+    auto self = shared_from_this();
+    auto done = std::make_shared<bool>(false);
+    home().promote_remote(
+        host, job_id,
+        [self, rec, host, job_id, epoch, done](const DeployAckMsg& ack) {
+          if (self->stopped_ || *done) return;
+          *done = true;
+          if (!ack.ok) {
+            self->attempt_redeploy(rec);
+            return;
+          }
+          ++self->stats_.speculative_promoted;
+          self->complete_recovery(rec, host, job_id, epoch);
+        });
+    home().scheduler()(options_.redeploy_timeout_s,
+                       [self, rec, host, job_id, done] {
+                         if (self->stopped_ || *done) return;
+                         *done = true;
+                         // Correlated failure: the standby's host is silent
+                         // too. Do not return it to the pool.
+                         ++self->stats_.redeploys_timed_out;
+                         self->home().cancel_remote(host, job_id);
+                         self->attempt_redeploy(rec);
+                       });
+    return;
+  }
+  attempt_redeploy(rec);
+}
+
+void RunSupervisor::attempt_redeploy(std::shared_ptr<Recovery> rec) {
+  if (stopped_) return;
+  if (rec->attempts_left <= 0 || spares_.empty()) {
+    fail_recovery(rec, spares_.empty() ? "no spare" : "attempts exhausted");
+    return;
+  }
+  --rec->attempts_left;
   const net::Endpoint spare = spares_.back();
   spares_.pop_back();
+  const std::uint64_t epoch = fencing() ? next_epoch_++ : 0;
 
-  serial::Bytes state;
-  if (auto rec = store_.get(fragment_key(idx))) state = rec->state;
+  DeployOptions opt;
+  opt.epoch = epoch;
+  opt.lease_s = fencing() ? options_.lease_s : 0.0;
 
   auto self = shared_from_this();
-  controller_.home().deploy_remote(
-      spare, run_->fragments[idx], /*iterations=*/0,
-      [self, idx, spare, detected_at, span](const DeployAckMsg& ack) {
+  auto done = std::make_shared<bool>(false);
+  const std::string job_id = home().deploy_remote(
+      spare, run_->fragments[rec->idx], /*iterations=*/0,
+      [self, rec, spare, epoch, done](const DeployAckMsg& ack) {
         if (self->stopped_) return;
-        if (!ack.ok) {
-          ++self->stats_.recoveries_failed;
-          self->obs_.recoveries_failed.inc();
-          self->obs_.tracer.end_span(span, self->obs_.node,
-                                     "supervisor.recover", "redeploy nacked");
+        if (*done) {
+          // Ack after the timeout gave up on this spare: the deploy may
+          // have landed there -- make sure no orphan job keeps running.
+          if (ack.ok) self->home().cancel_remote(spare, ack.job_id);
           return;
         }
-        self->run_->workers[idx] = spare;
-        self->run_->remote_jobs[idx] = ack.job_id;
-
-        // Every sender into the moved fragment must re-resolve.
-        for (const auto& label :
-             receive_labels_of(self->run_->fragments[idx])) {
-          self->controller_.home().rebind_channel(label);
-          for (std::size_t j = 0; j < self->run_->workers.size(); ++j) {
-            if (j == idx) continue;
-            self->controller_.home().node().transport().send(
-                self->run_->workers[j], encode(RebindMsg{label}));
-          }
+        *done = true;
+        if (!ack.ok) {
+          // The spare is alive but refused (missing module, policy).
+          // Return it to the END of the line -- not leaked, not retried
+          // first -- and try the next one.
+          ++self->stats_.redeploys_nacked;
+          self->spares_.insert(self->spares_.begin(), spare);
+          self->attempt_redeploy(rec);
+          return;
         }
-        self->missed_[idx] = 0;
-        self->recovering_[idx] = false;
-        ++self->stats_.recoveries;
-        self->obs_.recoveries.inc();
-        self->obs_.recovery_s.observe(self->controller_.home().now() -
-                                      detected_at);
-        self->obs_.tracer.end_span(span, self->obs_.node,
-                                   "supervisor.recover", "recovered");
+        self->complete_recovery(rec, spare, ack.job_id, epoch);
       },
-      std::move(state));
+      rec->state, opt);
+
+  home().scheduler()(options_.redeploy_timeout_s,
+                     [self, rec, spare, job_id, done] {
+                       if (self->stopped_ || *done) return;
+                       *done = true;
+                       // A silent spare is probably dead too: drop it from
+                       // the pool and cancel the possibly-orphaned deploy
+                       // best-effort.
+                       ++self->stats_.redeploys_timed_out;
+                       self->home().cancel_remote(spare, job_id);
+                       self->attempt_redeploy(rec);
+                     });
+}
+
+void RunSupervisor::complete_recovery(std::shared_ptr<Recovery> rec,
+                                      const net::Endpoint& host,
+                                      const std::string& job_id,
+                                      std::uint64_t epoch) {
+  const std::size_t idx = rec->idx;
+  run_->workers[idx] = host;
+  run_->remote_jobs[idx] = job_id;
+  epochs_[idx] = epoch;
+  rebuild_contact_index();
+  broadcast_refence(idx, epoch, rec->dead);
+
+  // Fresh grace for the new host: the old reply history does not describe
+  // it, and a stale evidence clock would re-convict it instantly.
+  const double now = home().now();
+  missed_[idx] = 0;
+  detectors_[idx].reset();
+  detectors_[idx].touch(now);
+  last_contact_[idx] = now;
+  recovering_[idx] = false;
+  ++stats_.recoveries;
+  obs_.recoveries.inc();
+  obs_.recovery_s.observe(now - rec->detected_at);
+  obs_.tracer.end_span(rec->span, obs_.node, "supervisor.recover",
+                       "recovered epoch=" + std::to_string(epoch));
+}
+
+void RunSupervisor::fail_recovery(std::shared_ptr<Recovery> rec,
+                                  const std::string& why) {
+  ++stats_.recoveries_failed;
+  obs_.recoveries_failed.inc();
+  // Degraded, not wedged: this fragment is lost for good, the rest of the
+  // run keeps being supervised and nothing hangs waiting on it.
+  degraded_[rec->idx] = true;
+  recovering_[rec->idx] = false;
+  obs_.tracer.end_span(rec->span, obs_.node, "supervisor.recover", why);
+}
+
+void RunSupervisor::broadcast_refence(std::size_t idx, std::uint64_t epoch,
+                                      const net::Endpoint& dead) {
+  auto& transport = home().node().transport();
+  const bool fenced = fencing();
+  const auto send_fence_msg = [&](const net::Endpoint& to, serial::Frame f) {
+    transport.send(to, std::move(f));
+    ++stats_.fences_sent;
+    obs_.fenced_msgs.inc();
+  };
+
+  // Every sender into the moved fragment must re-resolve; with fencing on,
+  // the rebind also halts a zombie still ADVERTISING these labels -- and is
+  // sent to the dead host itself so a returning partitionee learns its
+  // fate without guessing.
+  for (const auto& label : receive_labels_of(run_->fragments[idx])) {
+    home().rebind_channel(label);
+    for (std::size_t j = 0; j < run_->workers.size(); ++j) {
+      if (j == idx) continue;
+      if (fenced) {
+        send_fence_msg(run_->workers[j], encode(RebindMsg{label, epoch}));
+      } else {
+        transport.send(run_->workers[j], encode(RebindMsg{label}));
+      }
+    }
+    if (fenced) send_fence_msg(dead, encode(RebindMsg{label, epoch}));
+  }
+
+  if (!fenced) return;
+
+  // Producer fences on the fragment's output labels, scoped to the dead
+  // host: stale-epoch payloads FROM it are dropped (counted, never
+  // applied) at every consumer -- the home first, since farm results land
+  // there. The scope matters for fan-in labels, which every sibling
+  // replica shares at its own epoch: an unscoped fence would halt healthy
+  // jobs. The dead host itself is told to halt its zombie sender.
+  for (const auto& label : send_labels_of(run_->fragments[idx])) {
+    home().pipes().fence(label, epoch, dead.value);
+    for (std::size_t j = 0; j < run_->workers.size(); ++j) {
+      if (j == idx) continue;
+      send_fence_msg(run_->workers[j], encode(FenceMsg{label, epoch, dead.value}));
+    }
+    send_fence_msg(dead, encode(FenceMsg{label, epoch, dead.value}));
+  }
+}
+
+void RunSupervisor::deploy_standby(std::size_t idx) {
+  if (spares_.empty()) return;
+  Standby& sb = standbys_[idx];
+  sb = Standby{};
+  sb.pending = true;
+  sb.host = spares_.back();
+  spares_.pop_back();
+  sb.epoch = next_epoch_++;
+  serial::Bytes state;
+  if (auto r = store_.get(fragment_key(idx))) state = r->state;
+  ++stats_.speculative_deploys;
+  obs_.speculative_deploys.inc();
+
+  DeployOptions opt;
+  opt.epoch = sb.epoch;
+  opt.standby = true;  // dark: no adverts, no emissions until promoted
+
+  const net::Endpoint host = sb.host;
+  auto self = shared_from_this();
+  home().deploy_remote(
+      host, run_->fragments[idx], /*iterations=*/0,
+      [self, idx, host](const DeployAckMsg& ack) {
+        if (self->stopped_) return;
+        Standby& sb = self->standbys_[idx];
+        if (!sb.pending || sb.host.value != host.value) return;  // superseded
+        sb.pending = false;
+        if (!ack.ok) {
+          self->spares_.insert(self->spares_.begin(), host);
+          sb = Standby{};
+          return;
+        }
+        sb.ready = true;
+        sb.job_id = ack.job_id;
+      },
+      std::move(state), opt);
+}
+
+void RunSupervisor::cancel_standby(std::size_t idx) {
+  Standby& sb = standbys_[idx];
+  if (!sb.ready) return;
+  ++stats_.speculative_cancelled;
+  home().cancel_remote(sb.host, sb.job_id);
+  spares_.push_back(sb.host);
+  sb = Standby{};
 }
 
 }  // namespace cg::core

@@ -1,4 +1,4 @@
-// ConGrid -- run supervision: failure detection and automatic recovery.
+// ConGrid -- run supervision: adaptive failure detection, fenced recovery.
 //
 // The paper's Consumer Grid loses peers without notice ("connection lost,
 // user intervenes", 3.6.2) and proposes checkpointing "to migrate
@@ -7,11 +7,24 @@
 //
 //   * every checkpoint_period it captures each fragment's state into a
 //     CheckpointStore (latest-wins);
-//   * every probe_period it sends a status probe to each fragment's host;
-//     a host that misses `max_missed` consecutive probes is declared dead;
-//   * a dead fragment is re-deployed to the next spare worker, restored
-//     from its last stored checkpoint, and every participant is told to
-//     re-resolve the moved channels;
+//   * every probe_period it sends a status probe to each fragment's host
+//     and scores the host's *suspicion* with a phi-accrual detector
+//     (failure_detector.hpp) fed by probe-reply inter-arrivals and by
+//     liveness piggybacked on ordinary data-plane traffic. phi >= phi_dead
+//     declares the host dead; until the detector has history, the legacy
+//     missed-probe count (max_missed) decides;
+//   * a dead fragment is re-deployed to the next spare, restored from its
+//     last checkpoint, and -- when lease fencing is on (lease_s > 0) --
+//     given a bumped *recovery epoch*. The supervisor first waits out the
+//     zombie's lease (so a partitioned host has provably self-suspended
+//     before the replacement exists), then fences the fragment's channels:
+//     stale-epoch payloads are dropped at the receiver and the returning
+//     zombie is halted, so a host coming back mid-recovery can neither
+//     double-fire results nor capture rebinding senders;
+//   * a host that is suspected (phi >= phi_suspect) but not yet dead can
+//     get a *speculative standby*: its fragment deployed dark from the
+//     last checkpoint on a spare, promoted instantly if the host dies,
+//     cancelled (spare returned) if suspicion subsides;
 //   * failures and recoveries feed the controller's TrustManager when one
 //     is installed.
 //
@@ -20,9 +33,11 @@
 #pragma once
 
 #include <memory>
+#include <unordered_map>
 
 #include "core/checkpoint/checkpoint.hpp"
 #include "core/service/controller.hpp"
+#include "core/service/failure_detector.hpp"
 #include "obs/obs.hpp"
 
 namespace cg::core {
@@ -30,8 +45,44 @@ namespace cg::core {
 struct SupervisorOptions {
   double checkpoint_period_s = 30.0;
   double probe_period_s = 10.0;
-  /// Probes with no reply before a host is declared dead.
+  /// Bootstrap rule: probes with no reply before a host is declared dead
+  /// while the adaptive detector has too little history (< 2 reply
+  /// intervals -- e.g. a worker that was dead from the start).
   int max_missed = 3;
+
+  // -- adaptive (phi-accrual) detection ------------------------------------
+  /// Reply inter-arrival window and variance floor (see FailureDetector-
+  /// Options); the floor keeps one metronomic link from turning into a
+  /// hair trigger.
+  std::size_t detector_window = 32;
+  double detector_min_std_s = 0.25;
+  /// Suspicion threshold: phi at which a host is *suspected* (eligible for
+  /// a speculative standby, not yet recovered from).
+  double phi_suspect = 3.0;
+  /// Conviction threshold: phi at which a host is declared dead. phi = 8
+  /// is roughly "the current silence had a one-in-10^8 chance under the
+  /// observed reply cadence".
+  double phi_dead = 8.0;
+
+  // -- fenced recovery ------------------------------------------------------
+  /// Liveness lease granted to fragments via probes (0 = fencing off,
+  /// legacy unfenced recovery). With a lease, recovery waits until the
+  /// zombie's lease has provably expired (it has self-suspended and is
+  /// bouncing inbound payloads) before the replacement is deployed at a
+  /// bumped epoch, and fences the fragment's channels afterwards.
+  double lease_s = 0.0;
+
+  // -- speculative standby --------------------------------------------------
+  /// Deploy a dark standby from the last checkpoint when a host is
+  /// suspected; promote on death, cancel when suspicion subsides.
+  /// Requires lease_s > 0 (promotion relies on epoch fencing).
+  bool speculative_backups = false;
+
+  // -- redeploy robustness --------------------------------------------------
+  /// A recovery redeploy (or standby promote) unacknowledged for this long
+  /// is abandoned: the possibly-orphaned deploy is cancelled best-effort
+  /// and the next spare is tried.
+  double redeploy_timeout_s = 15.0;
 };
 
 struct SupervisorStats {
@@ -40,7 +91,16 @@ struct SupervisorStats {
   std::uint64_t probes_answered = 0;
   std::uint64_t failures_detected = 0;
   std::uint64_t recoveries = 0;
-  std::uint64_t recoveries_failed = 0;  ///< no spare or redeploy nacked
+  std::uint64_t recoveries_failed = 0;  ///< out of spares / all nacked
+  /// Recoveries abandoned because the "dead" host showed life during the
+  /// lease wait (it resumes on the next probe instead).
+  std::uint64_t recoveries_aborted = 0;
+  std::uint64_t redeploys_nacked = 0;     ///< spare refused; returned to pool
+  std::uint64_t redeploys_timed_out = 0;  ///< spare silent; dropped
+  std::uint64_t fences_sent = 0;          ///< fence/rebind msgs broadcast
+  std::uint64_t speculative_deploys = 0;
+  std::uint64_t speculative_promoted = 0;
+  std::uint64_t speculative_cancelled = 0;
 };
 
 class RunSupervisor : public std::enable_shared_from_this<RunSupervisor> {
@@ -52,49 +112,115 @@ class RunSupervisor : public std::enable_shared_from_this<RunSupervisor> {
                 std::vector<net::Endpoint> spares,
                 SupervisorOptions options = {});
 
-  /// Bind metrics/tracing: "<scope>.supervisor.*" counters plus a
-  /// failure-detection -> recovery-complete latency histogram; each
-  /// recovery is a trace span. Call before start().
+  /// Bind metrics/tracing: "<scope>.supervisor.*" counters, a per-host
+  /// "supervisor.phi.<endpoint>" suspicion gauge, plus a failure-detection
+  /// -> recovery-complete latency histogram; each recovery is a trace span
+  /// tagged with the fragment's new epoch. Call before start().
   void set_obs(obs::Registry& registry, obs::Tracer* tracer = nullptr,
                std::string_view scope = {});
 
-  /// Begin the periodic loops. Call once.
+  /// Begin the periodic loops. Call once; a second call throws
+  /// std::logic_error (it would double every timer chain).
   void start();
 
-  /// Stop scheduling further work (in-flight callbacks become no-ops).
+  /// Stop scheduling further work. In-flight callbacks become no-ops:
+  /// after stop() neither stats nor the run are mutated.
   void stop() { stopped_ = true; }
 
   const SupervisorStats& stats() const { return stats_; }
   const CheckpointStore& checkpoints() const { return store_; }
   std::size_t spares_left() const { return spares_.size(); }
+  /// Current fencing epoch of a fragment (0 until its first recovery).
+  std::uint64_t epoch_of(std::size_t idx) const { return epochs_[idx]; }
+  /// True when the fragment is lost for good (recovery exhausted spares);
+  /// the run is degraded but the supervisor keeps serving the rest.
+  bool degraded(std::size_t idx) const { return degraded_[idx]; }
+  /// Current suspicion score for a fragment's host (0 while bootstrapping).
+  double phi_of(std::size_t idx) const;
 
   /// Retry/timeout/dedup counters of the home service's reliable layer --
   /// how hard the control plane is working to keep this run alive.
   const net::ReliableStats& reliable_stats() const;
 
  private:
+  /// One in-flight recovery: consumes spares until one acks, the lease wait
+  /// and every redeploy attempt carry this through their callbacks.
+  struct Recovery {
+    std::size_t idx = 0;
+    net::Endpoint dead;          ///< the host being replaced
+    double detected_at = 0.0;
+    double contact_at_detect = 0.0;  ///< to spot life during the lease wait
+    serial::Bytes state;         ///< checkpoint to restore
+    std::uint64_t span = 0;      ///< open "supervisor.recover" trace span
+    int attempts_left = 0;       ///< spares we may still try
+  };
+
+  /// A dark standby for a suspected host.
+  struct Standby {
+    bool pending = false;  ///< deploy in flight
+    bool ready = false;    ///< acked, promotable
+    net::Endpoint host;
+    std::string job_id;
+    std::uint64_t epoch = 0;
+  };
+
   struct Obs {
     obs::CounterRef checkpoints_taken, probes_sent, probes_answered,
-        failures_detected, recoveries, recoveries_failed;
+        failures_detected, recoveries, recoveries_failed, fenced_msgs,
+        speculative_deploys;
     obs::HistogramRef recovery_s;  ///< detection -> recovery ack
     obs::TracerRef tracer;
     std::string node;
   };
 
+  TrianaService& home() const { return controller_.home(); }
+  bool fencing() const { return options_.lease_s > 0.0; }
+
   void checkpoint_round();
   void probe_round();
+  void on_activity(const net::Endpoint& from);
+  void rebuild_contact_index();
+  void set_phi_gauge(std::size_t idx, double phi);
+
   void recover(std::size_t idx);
+  /// After the zombie's lease has provably expired (no-op wait when
+  /// fencing is off): promote the standby if one is ready, else redeploy.
+  void begin_replacement(std::shared_ptr<Recovery> rec);
+  void attempt_redeploy(std::shared_ptr<Recovery> rec);
+  void complete_recovery(std::shared_ptr<Recovery> rec,
+                         const net::Endpoint& host, const std::string& job_id,
+                         std::uint64_t epoch);
+  void fail_recovery(std::shared_ptr<Recovery> rec, const std::string& why);
+  /// Tell everyone fragment `idx` moved: rebind its input labels, fence its
+  /// output labels at `epoch` (fencing mode), including the dead host so a
+  /// returning zombie halts itself.
+  void broadcast_refence(std::size_t idx, std::uint64_t epoch,
+                         const net::Endpoint& dead);
+
+  void deploy_standby(std::size_t idx);
+  void cancel_standby(std::size_t idx);
 
   TrianaController& controller_;
   std::shared_ptr<DistributedRun> run_;
   std::vector<net::Endpoint> spares_;
   SupervisorOptions options_;
   CheckpointStore store_;
-  std::vector<int> missed_;       ///< consecutive unanswered probes
+  std::vector<int> missed_;       ///< consecutive unanswered probes (bootstrap)
   std::vector<bool> recovering_;  ///< guards double recovery per fragment
+  std::vector<bool> degraded_;    ///< lost for good; stop probing
+  std::vector<PhiAccrualDetector> detectors_;
+  std::vector<double> last_contact_;  ///< last evidence of life per fragment
+  std::vector<std::uint64_t> epochs_; ///< active fencing epoch per fragment
+  std::vector<Standby> standbys_;
+  std::unordered_map<std::string, std::size_t> contact_idx_;  ///< endpoint -> fragment
+  std::uint64_t next_epoch_ = 1;
+  bool started_ = false;
   bool stopped_ = false;
   SupervisorStats stats_;
   Obs obs_;
+  obs::Registry* registry_ = nullptr;  ///< for lazy per-host phi gauges
+  std::string obs_scope_;
+  std::unordered_map<std::string, obs::GaugeRef> phi_gauges_;
 };
 
 }  // namespace cg::core

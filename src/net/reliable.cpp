@@ -168,6 +168,7 @@ void ReliableTransport::on_retry_timer(std::uint64_t id) {
 }
 
 void ReliableTransport::on_frame(const Endpoint& from, serial::Frame frame) {
+  if (on_activity_) on_activity_(from);
   if (frame.type == serial::FrameType::kAck) {
     const std::uint64_t id = serial::decode_ack(frame);
     if (auto it = pending_.find(id); it != pending_.end()) {

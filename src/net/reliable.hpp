@@ -84,6 +84,13 @@ class ReliableTransport final : public Transport {
   using DropHandler =
       std::function<void(const Endpoint& to, const serial::Frame& frame)>;
 
+  /// Fired for EVERY frame this transport receives -- acks, reliable
+  /// envelopes, passthrough -- before any processing. Any frame from a
+  /// peer is proof the peer is alive, so a failure detector listening
+  /// here gets liveness piggybacked on ordinary data-plane traffic for
+  /// free (no extra probes on the wire).
+  using ActivityListener = std::function<void(const Endpoint& from)>;
+
   ReliableTransport(Transport& inner, Clock clock, Scheduler scheduler,
                     ReliableConfig config = {});
 
@@ -98,6 +105,9 @@ class ReliableTransport final : public Transport {
   std::size_t poll() override { return inner_.poll(); }
 
   void set_drop_handler(DropHandler h) { on_drop_ = std::move(h); }
+  void set_activity_listener(ActivityListener l) {
+    on_activity_ = std::move(l);
+  }
 
   /// Bind metrics/tracing: "<scope>.reliable.*" counters, ack-latency and
   /// backoff-wait histograms, plus a trace span per reliable message
@@ -166,6 +176,7 @@ class ReliableTransport final : public Transport {
   Obs obs_;
   FrameHandler handler_;
   DropHandler on_drop_;
+  ActivityListener on_activity_;
   std::map<std::uint64_t, Pending> pending_;
   std::unordered_map<std::string, SeenWindow> seen_;
   std::uint64_t next_id_ = 1;

@@ -1,11 +1,32 @@
 #include "p2p/pipes.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "serial/reader.hpp"
 #include "serial/writer.hpp"
 
 namespace cg::p2p {
+namespace {
+
+/// Highest-epoch advert wins: after a migration the replacement publishes
+/// its pipe with a bumped "epoch" attribute, and a sender re-resolving the
+/// label must not rebind to a stale cached advert of the dead host.
+/// Missing attribute reads as 0, ties keep the earliest advert.
+const Advertisement& best_advert(const std::vector<Advertisement>& adverts) {
+  const Advertisement* best = &adverts.front();
+  double best_epoch = best->numeric_attr("epoch").value_or(0.0);
+  for (const auto& a : adverts) {
+    const double e = a.numeric_attr("epoch").value_or(0.0);
+    if (e > best_epoch) {
+      best = &a;
+      best_epoch = e;
+    }
+  }
+  return *best;
+}
+
+}  // namespace
 
 PipeServe::PipeServe(PeerNode& node, Scheduler scheduler)
     : node_(node),
@@ -20,9 +41,10 @@ PipeServe::PipeServe(PeerNode& node, Scheduler scheduler)
 }
 
 void PipeServe::advertise_input(const std::string& pipe_name,
-                                PipeHandler handler) {
+                                PipeHandler handler, std::uint64_t epoch) {
   inputs_[pipe_name] = std::move(handler);
-  const Advertisement advert = node_.make_pipe_advert(pipe_name);
+  Advertisement advert = node_.make_pipe_advert(pipe_name);
+  advert.attrs["epoch"] = std::to_string(epoch);
   node_.publish_local(advert);
   for (const auto& r : node_.rendezvous()) {
     node_.publish_to(r, {advert});
@@ -44,9 +66,9 @@ void PipeServe::bind_output(const std::string& pipe_name, BindHandler on_bound,
   q.name = pipe_name;
 
   // 1. Local cache (free).
-  auto local = node_.find_local(q, 1);
+  auto local = node_.find_local(q);
   if (!local.empty()) {
-    on_bound(OutputPipe{pipe_name, local.front().provider});
+    on_bound(OutputPipe{pipe_name, best_advert(local).provider});
     return;
   }
 
@@ -59,7 +81,7 @@ void PipeServe::bind_output(const std::string& pipe_name, BindHandler on_bound,
                const std::vector<Advertisement>& adverts) {
           if (*done || adverts.empty()) return;
           *done = true;
-          handler_copy(OutputPipe{pipe_name, adverts.front().provider});
+          handler_copy(OutputPipe{pipe_name, best_advert(adverts).provider});
         });
     scheduler_(ring.ring_timeout_s, [this, qid, done, pipe_name,
                                      on_bound = std::move(on_bound), ring] {
@@ -76,7 +98,7 @@ void PipeServe::bind_output(const std::string& pipe_name, BindHandler on_bound,
         if (r.adverts.empty()) {
           on_bound(OutputPipe{pipe_name, net::Endpoint{}});
         } else {
-          on_bound(OutputPipe{pipe_name, r.adverts.front().provider});
+          on_bound(OutputPipe{pipe_name, best_advert(r.adverts).provider});
         }
       });
     });
@@ -90,17 +112,19 @@ void PipeServe::bind_output(const std::string& pipe_name, BindHandler on_bound,
     if (r.adverts.empty()) {
       on_bound(OutputPipe{pipe_name, net::Endpoint{}});
     } else {
-      on_bound(OutputPipe{pipe_name, r.adverts.front().provider});
+      on_bound(OutputPipe{pipe_name, best_advert(r.adverts).provider});
     }
   });
 }
 
-void PipeServe::send(const OutputPipe& pipe, serial::Bytes payload) {
+void PipeServe::send(const OutputPipe& pipe, serial::Bytes payload,
+                     std::uint64_t epoch) {
   if (!pipe.bound()) {
     throw std::logic_error("send on unbound pipe '" + pipe.name + "'");
   }
-  serial::Writer w(pipe.name.size() + payload.size() + 16);
+  serial::Writer w(pipe.name.size() + payload.size() + 24);
   w.string(pipe.name);
+  w.u64(epoch);
   w.blob(payload);
 
   serial::Frame f;
@@ -111,6 +135,28 @@ void PipeServe::send(const OutputPipe& pipe, serial::Bytes payload) {
   node_.transport().send(pipe.target, std::move(f));
 }
 
+void PipeServe::fence(const std::string& pipe_name, std::uint64_t min_epoch,
+                      const std::string& from) {
+  std::uint64_t& cur = fences_[pipe_name][from];
+  if (min_epoch > cur) cur = min_epoch;
+}
+
+std::uint64_t PipeServe::fence_of(const std::string& pipe_name,
+                                  const std::string& from) const {
+  auto it = fences_.find(pipe_name);
+  if (it == fences_.end()) return 0;
+  std::uint64_t best = 0;
+  if (auto w = it->second.find(std::string{}); w != it->second.end()) {
+    best = w->second;
+  }
+  if (!from.empty()) {
+    if (auto s = it->second.find(from); s != it->second.end()) {
+      best = std::max(best, s->second);
+    }
+  }
+  return best;
+}
+
 void PipeServe::on_frame(const net::Endpoint& from, serial::Frame frame) {
   if (frame.type != serial::FrameType::kData) {
     if (fallback_) fallback_(from, std::move(frame));
@@ -118,10 +164,19 @@ void PipeServe::on_frame(const net::Endpoint& from, serial::Frame frame) {
   }
   serial::Reader r(frame.payload);
   const std::string pipe_name = r.string();
+  const std::uint64_t epoch = r.u64();
   serial::Bytes payload = r.blob();
+
+  // Producer fence: a payload from before its sender's last recovery is a
+  // potential double-fire -- count it, never apply it.
+  if (epoch < fence_of(pipe_name, from.value)) {
+    ++stats_.payloads_fenced;
+    return;
+  }
 
   auto it = inputs_.find(pipe_name);
   if (it == inputs_.end()) {
+    if (unknown_ && unknown_(pipe_name, from, std::move(payload))) return;
     ++stats_.payloads_for_unknown_pipe;
     return;
   }

@@ -34,6 +34,9 @@ struct PipeServeStats {
   std::uint64_t payloads_sent = 0;
   std::uint64_t payloads_received = 0;
   std::uint64_t payloads_for_unknown_pipe = 0;
+  /// Stale-epoch payloads rejected by a producer fence: counted here,
+  /// never delivered (recovery double-fire suppression).
+  std::uint64_t payloads_fenced = 0;
   std::uint64_t bytes_sent = 0;
 };
 
@@ -44,6 +47,13 @@ class PipeServe {
   using PipeHandler =
       std::function<void(const net::Endpoint& from, serial::Bytes payload)>;
   using BindHandler = std::function<void(OutputPipe)>;
+  /// Consulted for payloads that match no input pipe (withdrawn after a
+  /// lease suspension, or never served here). Return true when the
+  /// payload was taken over (e.g. bounced back to its sender); false
+  /// counts it as payloads_for_unknown_pipe as before.
+  using UnknownPipeHandler = std::function<bool(
+      const std::string& pipe, const net::Endpoint& from,
+      serial::Bytes payload)>;
 
   /// The node and scheduler must outlive the PipeServe. PipeServe installs
   /// itself as the node's fallback handler and consumes kData frames; any
@@ -56,8 +66,12 @@ class PipeServe {
 
   // -- input pipes -----------------------------------------------------------
   /// Register a handler and advertise the pipe: always in the local cache,
-  /// and pushed to this node's rendezvous when it has one.
-  void advertise_input(const std::string& pipe_name, PipeHandler handler);
+  /// and pushed to this node's rendezvous when it has one. `epoch` is the
+  /// provider's recovery epoch, carried as an advert attribute so a
+  /// rebinding sender prefers the newest incarnation over a stale cached
+  /// advert of the host it just migrated away from.
+  void advertise_input(const std::string& pipe_name, PipeHandler handler,
+                       std::uint64_t epoch = 0);
 
   /// Stop serving an input pipe (payloads for it become "unknown").
   void remove_input(const std::string& pipe_name);
@@ -73,14 +87,37 @@ class PipeServe {
   void bind_output(const std::string& pipe_name, BindHandler on_bound,
                    ExpandingRingOptions ring = {});
 
-  /// Fire-and-forget payload delivery over a bound pipe. Throws
-  /// std::logic_error if the pipe is unbound.
-  void send(const OutputPipe& pipe, serial::Bytes payload);
+  /// Fire-and-forget payload delivery over a bound pipe, stamped with the
+  /// sending job's fencing epoch (0 = unfenced). Throws std::logic_error
+  /// if the pipe is unbound.
+  void send(const OutputPipe& pipe, serial::Bytes payload,
+            std::uint64_t epoch = 0);
+
+  // -- fencing -----------------------------------------------------------------
+  /// Reject payloads for `pipe_name` stamped with an epoch below
+  /// `min_epoch` (monotonic: a lower fence never replaces a higher one).
+  /// `from` scopes the fence to one sending endpoint's value -- essential
+  /// for fan-in labels, where many producers share a pipe name and each has
+  /// its own epoch; empty `from` fences the label for every sender.
+  /// Rejected payloads bump payloads_fenced and are dropped before any
+  /// handler runs.
+  void fence(const std::string& pipe_name, std::uint64_t min_epoch,
+             const std::string& from = {});
+
+  /// Current fence for a pipe as seen by sender `from` (0 = none); the
+  /// wildcard and the sender-scoped fence combine as max.
+  std::uint64_t fence_of(const std::string& pipe_name,
+                         const std::string& from = {}) const;
 
   // -- plumbing ----------------------------------------------------------------
   /// Frames that are neither discovery (PeerNode) nor pipe data end up
   /// here -- the Triana service protocol chains on this.
   void set_fallback_handler(net::FrameHandler h) { fallback_ = std::move(h); }
+
+  /// Install the unknown-pipe hook (the service's bounce path).
+  void set_unknown_pipe_handler(UnknownPipeHandler h) {
+    unknown_ = std::move(h);
+  }
 
   const PipeServeStats& stats() const { return stats_; }
   PeerNode& node() { return node_; }
@@ -91,7 +128,12 @@ class PipeServe {
   PeerNode& node_;
   Scheduler scheduler_;
   std::unordered_map<std::string, PipeHandler> inputs_;
+  /// label -> (sender endpoint value, "" = any sender) -> min epoch
+  std::unordered_map<std::string,
+                     std::unordered_map<std::string, std::uint64_t>>
+      fences_;
   net::FrameHandler fallback_;
+  UnknownPipeHandler unknown_;
   PipeServeStats stats_;
 };
 

@@ -561,6 +561,123 @@ TEST(Pipes, RemoveInputStopsDelivery) {
   EXPECT_EQ(ps1.stats().payloads_for_unknown_pipe, 1u);
 }
 
+TEST(Pipes, FenceDropsStaleEpochPayloads) {
+  Swarm s(2);
+  s.make_line();
+  PipeServe ps0(s[0], s.scheduler());
+  PipeServe ps1(s[1], s.scheduler());
+  int got = 0;
+  ps1.advertise_input("c", [&](const net::Endpoint&, serial::Bytes) { ++got; });
+  ps1.fence("c", 2);
+  EXPECT_EQ(ps1.fence_of("c"), 2u);
+
+  OutputPipe p{"c", s[1].endpoint()};
+  ps0.send(p, serial::to_bytes("stale"), /*epoch=*/1);
+  s.net().run_all();
+  EXPECT_EQ(got, 0);  // dropped at the fence, handler never ran
+  EXPECT_EQ(ps1.stats().payloads_fenced, 1u);
+  EXPECT_EQ(ps1.stats().payloads_received, 0u);
+
+  ps0.send(p, serial::to_bytes("current"), /*epoch=*/2);
+  s.net().run_all();
+  EXPECT_EQ(got, 1);
+  EXPECT_EQ(ps1.stats().payloads_received, 1u);
+
+  // Fences only ever rise: an older fence cannot reopen the pipe.
+  ps1.fence("c", 1);
+  EXPECT_EQ(ps1.fence_of("c"), 2u);
+  ps0.send(p, serial::to_bytes("stale again"), /*epoch=*/1);
+  s.net().run_all();
+  EXPECT_EQ(got, 1);
+  EXPECT_EQ(ps1.stats().payloads_fenced, 2u);
+}
+
+TEST(Pipes, SenderScopedFenceSparesOtherProducers) {
+  // Fan-in: two producers share the label "c" (a parallel group funnelling
+  // into one home channel), each sending at its own epoch. Fencing the
+  // replaced producer must not silence its healthy sibling.
+  Swarm s(3);
+  s.connect(0, 2);
+  s.connect(1, 2);
+  PipeServe psa(s[0], s.scheduler());
+  PipeServe psb(s[1], s.scheduler());
+  PipeServe sink(s[2], s.scheduler());
+  int got = 0;
+  sink.advertise_input("c",
+                       [&](const net::Endpoint&, serial::Bytes) { ++got; });
+  sink.fence("c", 2, s[0].endpoint().value);
+  EXPECT_EQ(sink.fence_of("c", s[0].endpoint().value), 2u);
+  EXPECT_EQ(sink.fence_of("c", s[1].endpoint().value), 0u);
+  EXPECT_EQ(sink.fence_of("c"), 0u);  // no wildcard fence installed
+
+  OutputPipe p{"c", s[2].endpoint()};
+  psa.send(p, serial::to_bytes("zombie"), /*epoch=*/1);   // fenced sender
+  psb.send(p, serial::to_bytes("sibling"), /*epoch=*/0);  // untouched
+  s.net().run_all();
+  EXPECT_EQ(got, 1);  // only the sibling's payload got through
+  EXPECT_EQ(sink.stats().payloads_fenced, 1u);
+
+  // The fenced sender clears the bar once it carries the new epoch.
+  psa.send(p, serial::to_bytes("replacement"), /*epoch=*/2);
+  s.net().run_all();
+  EXPECT_EQ(got, 2);
+
+  // A wildcard fence combines with the sender-scoped one as max.
+  sink.fence("c", 5);
+  EXPECT_EQ(sink.fence_of("c", s[0].endpoint().value), 5u);
+  EXPECT_EQ(sink.fence_of("c", s[1].endpoint().value), 5u);
+  psb.send(p, serial::to_bytes("now stale"), /*epoch=*/4);
+  s.net().run_all();
+  EXPECT_EQ(got, 2);
+  EXPECT_EQ(sink.stats().payloads_fenced, 2u);
+}
+
+TEST(Pipes, BindPrefersHighestEpochAdvert) {
+  Swarm s(3);
+  s.connect(0, 1);  // star: one ring reaches both advertisers
+  s.connect(0, 2);
+  PipeServe ps0(s[0], s.scheduler());
+  PipeServe ps1(s[1], s.scheduler());
+  PipeServe ps2(s[2], s.scheduler());
+
+  // The zombie (epoch 0) and its fenced replacement (epoch 3) both still
+  // advertise the label; a binder must resolve to the replacement.
+  ps1.advertise_input("c", [](const net::Endpoint&, serial::Bytes) {});
+  ps2.advertise_input("c", [](const net::Endpoint&, serial::Bytes) {},
+                      /*epoch=*/3);
+
+  OutputPipe pipe;
+  ExpandingRingOptions ring;
+  ring.min_results = 2;  // collect both candidates before resolving
+  ps0.bind_output("c", [&](OutputPipe p) { pipe = std::move(p); }, ring);
+  s.net().run_all();
+  ASSERT_TRUE(pipe.bound());
+  EXPECT_EQ(pipe.target, s[2].endpoint());
+}
+
+TEST(Pipes, UnknownPipeHandlerCanClaimPayloads) {
+  Swarm s(2);
+  s.make_line();
+  PipeServe ps0(s[0], s.scheduler());
+  PipeServe ps1(s[1], s.scheduler());
+  std::string claimed_pipe;
+  ps1.set_unknown_pipe_handler(
+      [&](const std::string& pipe, const net::Endpoint&, serial::Bytes) {
+        claimed_pipe = pipe;
+        return pipe == "claim-me";  // true = consumed, not "unknown"
+      });
+
+  ps0.send(OutputPipe{"claim-me", s[1].endpoint()}, serial::to_bytes("a"));
+  s.net().run_all();
+  EXPECT_EQ(claimed_pipe, "claim-me");
+  EXPECT_EQ(ps1.stats().payloads_for_unknown_pipe, 0u);
+
+  ps0.send(OutputPipe{"not-mine", s[1].endpoint()}, serial::to_bytes("b"));
+  s.net().run_all();
+  EXPECT_EQ(claimed_pipe, "not-mine");
+  EXPECT_EQ(ps1.stats().payloads_for_unknown_pipe, 1u);
+}
+
 TEST(FrameChain, PipeServePreservesFallbackInstalledBeforeIt) {
   Swarm s(2);
   s.make_line();
