@@ -1,0 +1,352 @@
+// E13 -- wire throughput and deploy latency: simulator vs real loopback TCP.
+//
+// The NetworkBackend seam promises that the service stack behaves the same
+// over the discrete-event simulator and over real sockets; this bench
+// quantifies what the real wire costs and what envelope batching buys back.
+// Two measurements per backend:
+//
+//   * messages/sec -- a windowed stream of small control envelopes between
+//     two ReliableTransports (window 64, effectively-once delivery). On TCP
+//     this is run unbatched (one frame per envelope, one per ack) and
+//     batched (kBatch coalescing at the reliable layer), because small-
+//     envelope chatter is exactly the workload where per-frame overhead
+//     dominates. The bench FAILS (exit 1) if batched TCP does not deliver
+//     at least 2x the unbatched rate.
+//   * deploy latency -- wall milliseconds from TrianaController::distribute
+//     of a one-fragment farm to deployed_ok over a home + worker pair
+//     (code fetch, pipe resolution and the ack round trip included).
+//
+// All rates are wall-clock: for the simulator that measures how fast the
+// harness pumps simulated traffic (its virtual clock is free), which is the
+// number CI cares about when budgeting sim-based chaos suites.
+//
+// Machine-readable output: --json PATH writes BENCH_wire.json with one row
+// per scenario (sim / tcp / tcp-batched); CI gates msgs_per_s against the
+// conservative floors in bench/baselines/wire.json. --trace PATH reruns the
+// batched TCP stream with a Tracer bound and exports the causal JSONL for
+// congrid-trace --validate.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/service/supervisor.hpp"
+#include "core/unit/builtin.hpp"
+#include "net/backend.hpp"
+#include "net/loopback.hpp"
+#include "obs/obs.hpp"
+
+using namespace cg;
+
+namespace {
+
+int g_messages = 4000;        ///< --messages N (CI smoke uses a smaller N)
+constexpr int kWindow = 64;   ///< envelopes in flight
+
+double wall_s() {
+  using namespace std::chrono;
+  return duration_cast<duration<double>>(
+             steady_clock::now().time_since_epoch())
+      .count();
+}
+
+serial::Frame indexed_frame(int i) {
+  serial::Frame f;
+  f.type = serial::FrameType::kControl;
+  f.payload = {static_cast<std::uint8_t>(i & 0xff),
+               static_cast<std::uint8_t>((i >> 8) & 0xff),
+               static_cast<std::uint8_t>((i >> 16) & 0xff)};
+  return f;
+}
+
+net::ReliableConfig wire_reliable(bool batch) {
+  net::ReliableConfig cfg;
+  cfg.rto_initial_s = 0.06;
+  cfg.rto_max_s = 0.5;
+  cfg.deadline_s = 30.0;
+  cfg.max_retries = 30;
+  if (batch) {
+    cfg.batch = true;
+    cfg.batch_max_frames = 64;
+    cfg.batch_flush_s = 0.0005;
+  }
+  return cfg;
+}
+
+struct Row {
+  std::string scenario;   ///< sim | tcp | tcp-batched
+  double msgs_per_s = 0;  ///< wall-clock delivery rate, windowed stream
+  double wall_s = 0;      ///< stream wall time
+  double deploy_ms = 0;   ///< distribute -> deployed_ok, wall ms
+  std::uint64_t retransmits = 0;
+  std::uint64_t batches_on_wire = 0;
+  bool completed = false;
+};
+
+/// Windowed small-envelope stream a -> b; returns wall seconds, or < 0 if
+/// the stream did not complete inside the budget.
+double run_stream(net::NetworkBackend& be, bool batch, Row& row,
+                  obs::Registry* registry = nullptr,
+                  obs::Tracer* tracer = nullptr) {
+  auto& ta = be.add_node();
+  auto& tb = be.add_node();
+  net::ReliableTransport a(ta, be.clock(), be.scheduler(),
+                           wire_reliable(batch));
+  net::ReliableTransport b(tb, be.clock(), be.scheduler(),
+                           wire_reliable(batch));
+  if (registry != nullptr) {
+    a.set_obs(*registry, tracer, "wire.a");
+    b.set_obs(*registry, tracer, "wire.b");
+    if (tracer != nullptr) a.set_trace(0xe13c0ffeeULL);
+  }
+
+  int got = 0;
+  b.set_handler([&](const net::Endpoint&, serial::Frame) { ++got; });
+  const net::Endpoint peer = b.local();
+
+  int sent = 0;
+  const double t0 = wall_s();
+  // The refill runs inside the pump predicate: every loop iteration tops
+  // the window back up, so the stream is continuous without a timer per
+  // message.
+  const bool done = be.run_until(be.now() + 120.0, [&] {
+    while (sent < g_messages && sent - got < kWindow) {
+      a.send(peer, indexed_frame(sent));
+      ++sent;
+    }
+    return got >= g_messages;
+  });
+  const double elapsed = wall_s() - t0;
+  // Let the tail acks drain (outside the timed window) so envelope spans
+  // close before a tracer export.
+  be.run_until(be.now() + 0.05);
+
+  row.completed = done;
+  row.retransmits = a.stats().retransmits;
+  row.batches_on_wire = a.stats().batches_sent + b.stats().batches_sent;
+  row.wall_s = elapsed;
+  row.msgs_per_s = done && elapsed > 0 ? g_messages / elapsed : 0.0;
+  return done ? elapsed : -1.0;
+}
+
+core::UnitRegistry& reg() {
+  static core::UnitRegistry r = core::UnitRegistry::with_builtins();
+  return r;
+}
+
+core::TaskGraph deploy_graph() {
+  core::TaskGraph inner("inner");
+  core::ParamSet sp;
+  sp.set_double("factor", 2.0);
+  inner.add_task("Scale", "Scaler", sp);
+  core::TaskGraph g("wire");
+  core::ParamSet wp;
+  wp.set_int("samples", 64);
+  g.add_task("Wave", "Wave", wp);
+  core::TaskDef& grp = g.add_group("G", std::move(inner), "parallel");
+  grp.group_inputs = {core::GroupPort{"Scale", 0}};
+  grp.group_outputs = {core::GroupPort{"Scale", 0}};
+  g.add_task("Sink", "Grapher");
+  g.connect("Wave", 0, "G", 0);
+  g.connect("G", 0, "Sink", 0);
+  return g;
+}
+
+/// Full-stack deploy over `be`: home + one worker, one fragment. Returns
+/// wall ms to deployed_ok, or < 0 on failure.
+double run_deploy(net::NetworkBackend& be, bool batch) {
+  const net::ReliableConfig rel = wire_reliable(batch);
+  core::ServiceConfig hc;
+  hc.peer_id = "home";
+  hc.reliable = rel;
+  hc.bind_retry_s = 0.2;
+  auto home = std::make_unique<core::TrianaService>(be.add_node(), be.clock(),
+                                                    be.scheduler(), reg(), hc);
+  core::ServiceConfig wc;
+  wc.peer_id = "w0";
+  wc.reliable = rel;
+  wc.bind_retry_s = 0.2;
+  auto worker = std::make_unique<core::TrianaService>(
+      be.add_node(), be.clock(), be.scheduler(), reg(), wc);
+  home->node().add_neighbor(worker->endpoint());
+  worker->node().add_neighbor(home->endpoint());
+
+  core::TaskGraph g = deploy_graph();
+  home->publish_graph_modules(g);
+  core::TrianaController ctl(*home);
+  const double t0 = wall_s();
+  auto run = ctl.distribute(g, "G",
+                            std::vector<net::Endpoint>{worker->endpoint()});
+  const bool ok =
+      be.run_until(be.now() + 30.0, [&] { return run->deployed_ok(); });
+  return ok ? (wall_s() - t0) * 1000.0 : -1.0;
+}
+
+Row run_scenario(const std::string& name) {
+  Row row;
+  row.scenario = name;
+  const bool batch = name == "tcp-batched";
+  {
+    std::unique_ptr<net::NetworkBackend> be;
+    if (name == "sim")
+      be = std::make_unique<net::SimBackend>(net::LinkParams{}, 7);
+    else
+      be = std::make_unique<net::TcpLoopbackBackend>();
+    if (run_stream(*be, batch, row) < 0) return row;
+  }
+  {
+    std::unique_ptr<net::NetworkBackend> be;
+    if (name == "sim")
+      be = std::make_unique<net::SimBackend>(net::LinkParams{}, 7);
+    else
+      be = std::make_unique<net::TcpLoopbackBackend>();
+    row.deploy_ms = run_deploy(*be, batch);
+    row.completed = row.completed && row.deploy_ms >= 0;
+  }
+  return row;
+}
+
+std::string rows_json(const std::vector<Row>& rows) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    if (i) out += ',';
+    out += "{\"scenario\":\"" + r.scenario + "\"";
+    out += ",\"msgs_per_s\":" + obs::json_number(r.msgs_per_s);
+    out += ",\"wall_s\":" + obs::json_number(r.wall_s);
+    out += ",\"deploy_ms\":" + obs::json_number(r.deploy_ms);
+    out += ",\"retransmits\":" + std::to_string(r.retransmits);
+    out += ",\"batches_on_wire\":" + std::to_string(r.batches_on_wire);
+    out += ",\"completed\":" + std::string(r.completed ? "true" : "false");
+    out += "}";
+  }
+  out += "]";
+  return out;
+}
+
+bool write_text(const std::string& path, const std::string& body) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "bench_wire: cannot open %s\n", path.c_str());
+    return false;
+  }
+  const bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  std::fclose(f);
+  return ok;
+}
+
+bool write_json(const std::string& path, const std::string& body) {
+  if (!obs::json_valid(body)) {
+    std::fprintf(stderr, "bench_wire: refusing to write invalid JSON\n");
+    return false;
+  }
+  return write_text(path, body);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  std::string trace_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--messages") == 0 && i + 1 < argc) {
+      g_messages = std::atoi(argv[++i]);
+      if (g_messages <= 0) {
+        std::fprintf(stderr, "bench_wire: bad --messages value\n");
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_wire [--messages N] [--json PATH] "
+                   "[--trace PATH]\n");
+      return 2;
+    }
+  }
+
+  std::printf("E13: wire throughput and deploy latency, sim vs loopback TCP\n");
+  std::printf("%d small envelopes, window %d, reliable effectively-once\n\n",
+              g_messages, kWindow);
+  std::printf("%-12s %-12s %-10s %-11s %-8s %-10s\n", "scenario", "msgs/s",
+              "wall s", "deploy ms", "retx", "batches");
+
+  obs::Registry registry;
+  std::vector<Row> rows;
+  for (const char* name : {"sim", "tcp", "tcp-batched"}) {
+    Row r = run_scenario(name);
+    rows.push_back(r);
+    std::printf("%-12s %-12.0f %-10.3f %-11.2f %-8llu %-10llu\n",
+                r.scenario.c_str(), r.msgs_per_s, r.wall_s, r.deploy_ms,
+                static_cast<unsigned long long>(r.retransmits),
+                static_cast<unsigned long long>(r.batches_on_wire));
+    if (!r.completed) {
+      std::fprintf(stderr, "bench_wire: scenario %s did not complete\n",
+                   r.scenario.c_str());
+      return 1;
+    }
+  }
+
+  const Row& tcp = rows[1];
+  const Row& batched = rows[2];
+  const double speedup =
+      tcp.msgs_per_s > 0 ? batched.msgs_per_s / tcp.msgs_per_s : 0.0;
+  std::printf(
+      "\nBatching speedup on TCP: %.2fx (batched %f msgs/s over %llu kBatch "
+      "frames vs %f unbatched)\n",
+      speedup, batched.msgs_per_s,
+      static_cast<unsigned long long>(batched.batches_on_wire),
+      tcp.msgs_per_s);
+  if (batched.batches_on_wire == 0) {
+    std::fprintf(stderr, "bench_wire: FAIL -- batched run sent no kBatch "
+                         "frames; coalescing is not engaging\n");
+    return 1;
+  }
+  if (speedup < 2.0) {
+    std::fprintf(stderr,
+                 "bench_wire: FAIL -- batched TCP is %.2fx unbatched, "
+                 "expected >= 2x on the small-envelope workload\n",
+                 speedup);
+    return 1;
+  }
+
+  if (!json_path.empty()) {
+    std::string body = "{\"bench\":\"wire\",\"messages\":" +
+                       std::to_string(g_messages) +
+                       ",\"batch_speedup\":" + obs::json_number(speedup) +
+                       ",\"rows\":" + rows_json(rows) +
+                       ",\"metrics\":" +
+                       registry.snapshot().to_json(/*pretty=*/false) + "}";
+    if (!write_json(json_path, body)) return 1;
+    std::printf("\nwrote %s\n", json_path.c_str());
+  }
+
+  // --trace: rerun the batched TCP stream with a tracer bound; the
+  // envelope spans pair across the two peers into one causal DAG for
+  // congrid-trace --validate.
+  if (!trace_path.empty()) {
+    obs::Registry trace_registry;
+    obs::Tracer tracer(1 << 16);
+    net::TcpLoopbackBackend be;
+    Row traced;
+    traced.scenario = "tcp-batched-traced";
+    if (run_stream(be, true, traced, &trace_registry, &tracer) < 0) {
+      std::fprintf(stderr, "bench_wire: traced rerun did not complete\n");
+      return 1;
+    }
+    const std::string jsonl = tracer.to_jsonl();
+    if (jsonl.empty()) {
+      std::printf("\ntracing compiled out (CONGRID_OBS=OFF); %s not written\n",
+                  trace_path.c_str());
+    } else {
+      if (!write_text(trace_path, jsonl)) return 1;
+      std::printf("wrote %s\n", trace_path.c_str());
+    }
+  }
+  return 0;
+}

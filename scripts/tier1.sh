@@ -21,10 +21,13 @@ if [[ "${1:-}" == "tsan" ]]; then
   TSAN_DIR="${2:-build-tsan}"
   echo "== tier-1: TSan pass over the parallel engine (${TSAN_DIR}) =="
   cmake -B "${TSAN_DIR}" -S . -DCONGRID_SANITIZE=thread >/dev/null
+  # test_wire joins the TSan tier for its cross-thread socket test: the
+  # epoll reactor's handler runs against sends from another thread.
   cmake --build "${TSAN_DIR}" -j --target \
-    test_parallel_runtime test_rm test_core_runtime test_cas test_chaos
+    test_parallel_runtime test_rm test_core_runtime test_cas test_chaos \
+    test_wire
   for t in test_parallel_runtime test_rm test_core_runtime test_cas \
-           test_chaos; do
+           test_chaos test_wire; do
     "./${TSAN_DIR}/tests/${t}"
   done
   echo "tier-1 (tsan): OK"
@@ -40,9 +43,15 @@ cmake --build "${BUILD_DIR}" -j
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "$(nproc)"
 
 echo "== tier-1: ASan/UBSan chaos pass (${ASAN_DIR}) =="
+# test_wire and test_tcp_parity run the real-socket tier under ASan too:
+# the epoll reactor and the zero-copy decoder path are exactly where a
+# lifetime bug would hide (buffers retired mid-writev, spans into a
+# decoder that reallocated).
 cmake -B "${ASAN_DIR}" -S . -DCONGRID_SANITIZE=address,undefined >/dev/null
-cmake --build "${ASAN_DIR}" -j --target test_reliable test_chaos test_net test_obs
-for t in test_reliable test_chaos test_net test_obs; do
+cmake --build "${ASAN_DIR}" -j --target test_reliable test_chaos test_net \
+  test_obs test_wire test_tcp_parity
+for t in test_reliable test_chaos test_net test_obs test_wire \
+         test_tcp_parity; do
   "./${ASAN_DIR}/tests/${t}"
 done
 

@@ -73,6 +73,7 @@ ControlType type_from_name(const std::string& name) {
   if (name == "fence") return ControlType::kFence;
   if (name == "bounce") return ControlType::kBounce;
   if (name == "promote") return ControlType::kPromote;
+  if (name == "resume") return ControlType::kResume;
   throw serial::DecodeError("unknown control message <" + name + ">");
 }
 
@@ -180,6 +181,14 @@ serial::Frame encode(const PromoteMsg& m) {
   return pack(n);
 }
 
+serial::Frame encode(const ResumeMsg& m) {
+  xml::Node n("resume");
+  n.set_attr("job", m.job_id);
+  n.set_attr("epoch", hex16(m.epoch));
+  n.set_attr_double("lease", m.lease_s);
+  return pack(n);
+}
+
 ControlType control_type(const serial::Frame& f) {
   return type_from_name(unpack(f).header.name());
 }
@@ -278,6 +287,15 @@ BounceMsg decode_bounce(const serial::Frame& f) {
 
 PromoteMsg decode_promote(const serial::Frame& f) {
   return PromoteMsg{unpack(f).header.require_attr("job")};
+}
+
+ResumeMsg decode_resume(const serial::Frame& f) {
+  Unpacked u = unpack(f);
+  ResumeMsg m;
+  m.job_id = u.header.require_attr("job");
+  m.epoch = parse_hex16(u.header.attr_or("epoch", "0"));
+  m.lease_s = u.header.attr_double("lease", 0.0);
+  return m;
 }
 
 CheckpointDataMsg decode_checkpoint_data(const serial::Frame& f) {

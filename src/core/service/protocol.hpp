@@ -30,6 +30,7 @@ enum class ControlType {
   kFence,           ///< supervisor -> everyone: reject epochs below this
   kBounce,          ///< service -> sender: payload refused, rebind + resend
   kPromote,         ///< supervisor -> service: standby job goes live
+  kResume,          ///< supervisor -> service: un-suspend a leased job
 };
 
 struct DeployMsg {
@@ -155,6 +156,20 @@ struct PromoteMsg {
   std::string job_id;
 };
 
+/// Un-suspend a lease-expired job. Only the CURRENT supervisor sends this
+/// (in response to a suspended=true status reply at its own epoch), so a
+/// zombie host that was already replaced never self-resumes off a stale
+/// retransmitted probe -- over real sockets that race lets the zombie
+/// execute a retransmitted payload at the old epoch and the result is
+/// fenced at home while the reliable layer counts it delivered.
+struct ResumeMsg {
+  std::string job_id;
+  /// Must match the job's own epoch or the resume is ignored.
+  std::uint64_t epoch = 0;
+  /// Fresh lease grant (> 0) accompanying the resume.
+  double lease_s = 0.0;
+};
+
 serial::Frame encode(const DeployMsg& m);
 serial::Frame encode(const DeployAckMsg& m);
 serial::Frame encode(const CancelMsg& m);
@@ -166,6 +181,7 @@ serial::Frame encode(const RebindMsg& m);
 serial::Frame encode(const FenceMsg& m);
 serial::Frame encode(const BounceMsg& m);
 serial::Frame encode(const PromoteMsg& m);
+serial::Frame encode(const ResumeMsg& m);
 
 /// Peek a control frame's message type; throws serial::DecodeError /
 /// xml::XmlError on malformed frames.
@@ -182,5 +198,6 @@ RebindMsg decode_rebind(const serial::Frame& f);
 FenceMsg decode_fence(const serial::Frame& f);
 BounceMsg decode_bounce(const serial::Frame& f);
 PromoteMsg decode_promote(const serial::Frame& f);
+ResumeMsg decode_resume(const serial::Frame& f);
 
 }  // namespace cg::core

@@ -256,6 +256,12 @@ void TrianaService::cancel_remote(const net::Endpoint& target,
   transport_.send(target, encode(CancelMsg{job_id}));
 }
 
+void TrianaService::resume_remote(const net::Endpoint& target,
+                                  const std::string& job_id,
+                                  std::uint64_t epoch, double lease_s) {
+  transport_.send(target, encode(ResumeMsg{job_id, epoch, lease_s}));
+}
+
 // ------------------------------------------------------------ local jobs
 
 std::string TrianaService::deploy_local(const TaskGraph& graph,
@@ -346,12 +352,14 @@ void TrianaService::handle_control(const net::Endpoint& from,
       if (it != jobs_.end()) {
         Job& job = it->second;
         // A probe is supervisor contact: renew the lease (and grant one to
-        // a job deployed without). A suspended job whose supervisor has
-        // reappeared resumes -- the suspension was precautionary, not a
-        // fence.
+        // a job deployed without). A suspended job does NOT self-resume
+        // here: the probe may be a stale retransmission from before a
+        // recovery (the reliable layer replays it through an outage), and
+        // resuming on it would let a replaced zombie execute retransmitted
+        // payloads at the old epoch. The reply carries suspended=true; the
+        // CURRENT supervisor answers with an explicit kResume.
         if (m.lease_s > 0.0 && !job.failed && !job.standby) {
           renew_lease(job, m.lease_s);
-          if (job.suspended) resume_job(job);
         }
         s.known = true;
         s.running = !job.failed && !job.suspended;
@@ -414,6 +422,20 @@ void TrianaService::handle_control(const net::Endpoint& from,
     case ControlType::kPromote:
       handle_promote(from, decode_promote(frame));
       break;
+    case ControlType::kResume: {
+      auto m = decode_resume(frame);
+      auto it = jobs_.find(m.job_id);
+      if (it != jobs_.end()) {
+        Job& job = it->second;
+        // Epoch-gated: a resume that raced a fence (the job was re-fenced
+        // after the supervisor replied) must not revive it.
+        if (!job.failed && !job.standby && m.epoch == job.epoch) {
+          if (m.lease_s > 0.0) renew_lease(job, m.lease_s);
+          if (job.suspended) resume_job(job);
+        }
+      }
+      break;
+    }
     case ControlType::kCheckpointData: {
       auto m = decode_checkpoint_data(frame);
       auto it = ckpt_handlers_.find(m.job_id);
@@ -724,6 +746,9 @@ void TrianaService::advertise_job_inputs(Job& job) {
 void TrianaService::run_iterations(Job& job, std::uint64_t iterations) {
   try {
     job.runtime->run(iterations);
+    // A run burst typically emitted a flurry of small pipe frames; flush
+    // the coalescing buffers so downstream stages see them immediately.
+    transport_.flush();
   } catch (const std::exception& e) {
     const bool already_failed = job.failed;
     job.failed = true;

@@ -217,6 +217,11 @@ class TrianaService {
                           const std::string& job_id,
                           CheckpointHandler on_data);
   void cancel_remote(const net::Endpoint& target, const std::string& job_id);
+  /// Un-suspend a lease-expired remote job. Only the current supervisor
+  /// calls this (the worker never self-resumes off a probe, which may be a
+  /// stale retransmission from before a recovery).
+  void resume_remote(const net::Endpoint& target, const std::string& job_id,
+                     std::uint64_t epoch, double lease_s);
 
   // -- local jobs --------------------------------------------------------------
   /// Run a graph as a local job owned by this peer (no code fetch). With

@@ -217,6 +217,16 @@ void RunSupervisor::probe_round() {
           self->missed_[i] = 0;
           ++self->stats_.probes_answered;
           self->obs_.probes_answered.inc();
+          // A suspended host answering at OUR epoch is a partition
+          // survivor, not a zombie: explicitly resume it. The worker never
+          // self-resumes off a probe, because a probe can be a stale
+          // retransmission from before a recovery.
+          if (m.suspended) {
+            ++self->stats_.resumes_sent;
+            self->home().resume_remote(self->run_->workers[i],
+                                       self->run_->remote_jobs[i],
+                                       self->epochs_[i], self->options_.lease_s);
+          }
         },
         epochs_[i], options_.lease_s);
   }
@@ -265,7 +275,8 @@ void RunSupervisor::recover(std::size_t idx) {
     if (self->stopped_) return;
     if (self->last_contact_[rec->idx] > rec->contact_at_detect) {
       // The host showed life during the wait: partitioned, not dead. It is
-      // sitting suspended; the next probe renews its lease and resumes it.
+      // sitting suspended; the next probe round sees suspended=true and
+      // sends it an explicit resume.
       ++self->stats_.recoveries_aborted;
       self->missed_[rec->idx] = 0;
       self->recovering_[rec->idx] = false;

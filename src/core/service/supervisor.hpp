@@ -93,8 +93,10 @@ struct SupervisorStats {
   std::uint64_t recoveries = 0;
   std::uint64_t recoveries_failed = 0;  ///< out of spares / all nacked
   /// Recoveries abandoned because the "dead" host showed life during the
-  /// lease wait (it resumes on the next probe instead).
+  /// lease wait (the next probe round sends it an explicit resume).
   std::uint64_t recoveries_aborted = 0;
+  /// Explicit kResume msgs sent to suspended-but-current hosts.
+  std::uint64_t resumes_sent = 0;
   std::uint64_t redeploys_nacked = 0;     ///< spare refused; returned to pool
   std::uint64_t redeploys_timed_out = 0;  ///< spare silent; dropped
   std::uint64_t fences_sent = 0;          ///< fence/rebind msgs broadcast

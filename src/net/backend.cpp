@@ -1,0 +1,18 @@
+#include "net/backend.hpp"
+
+namespace cg::net {
+
+bool SimBackend::run_until(double t_s, const std::function<bool()>& done) {
+  while (!done()) {
+    if (net_.now() >= t_s) break;
+    if (!net_.step()) break;  // event queue drained early
+  }
+  return done();
+}
+
+void SimBackend::arm_faults(const FaultPlan& plan, std::uint64_t seed) {
+  injector_ = std::make_unique<FaultInjector>(net_, plan, seed);
+  injector_->arm();
+}
+
+}  // namespace cg::net

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "serial/reader.hpp"
+
 namespace cg::net {
 namespace {
 
@@ -62,6 +64,10 @@ void ReliableTransport::set_obs(obs::Registry& registry, obs::Tracer* tracer,
       registry.counter(obs::scoped(scope, "reliable.passthrough_sent"));
   obs_.passthrough_delivered =
       registry.counter(obs::scoped(scope, "reliable.passthrough_delivered"));
+  obs_.batches_sent =
+      registry.counter(obs::scoped(scope, "reliable.batches_sent"));
+  obs_.frames_coalesced =
+      registry.counter(obs::scoped(scope, "reliable.frames_coalesced"));
   obs_.ack_latency_s =
       registry.histogram(obs::scoped(scope, "reliable.ack_latency_s"));
   obs_.backoff_wait_s =
@@ -80,7 +86,8 @@ void ReliableTransport::set_trace(std::uint64_t trace_id) {
 
 bool ReliableTransport::is_reliable_type(serial::FrameType t) const {
   // Never re-wrap the layer's own traffic, whatever the policy says.
-  if (t == serial::FrameType::kReliable || t == serial::FrameType::kAck) {
+  if (t == serial::FrameType::kReliable || t == serial::FrameType::kAck ||
+      t == serial::FrameType::kBatch) {
     return false;
   }
   if (config_.reliable_type) return config_.reliable_type(t);
@@ -93,11 +100,74 @@ double ReliableTransport::jittered(double delay_s) {
   return delay_s * (1.0 + config_.jitter_frac * (2.0 * rng_.uniform() - 1.0));
 }
 
+void ReliableTransport::wire_send(const Endpoint& to, serial::Frame frame) {
+  if (!config_.batch) {
+    inner_.send(to, std::move(frame));
+    return;
+  }
+  if (frame.payload.size() >= config_.batch_bypass_bytes) {
+    // Big frames gain nothing from coalescing; flush what's buffered first
+    // so per-destination send order is preserved, then send it standalone.
+    flush_dest(to);
+    ++stats_.batch_bypassed;
+    inner_.send(to, std::move(frame));
+    return;
+  }
+  BatchBuf& b = batch_[to.value];
+  b.to = to;
+  b.bytes += serial::kBatchEntryOverhead + frame.payload.size();
+  b.frames.push_back(std::move(frame));
+  if (b.frames.size() >= config_.batch_max_frames ||
+      b.bytes >= config_.batch_max_bytes) {
+    flush_dest(to);
+    return;
+  }
+  if (!b.flush_scheduled) {
+    b.flush_scheduled = true;
+    scheduler_(config_.batch_flush_s,
+               [this, key = to.value] { on_batch_timer(key); });
+  }
+}
+
+void ReliableTransport::on_batch_timer(const std::string& key) {
+  auto it = batch_.find(key);
+  if (it == batch_.end()) return;
+  it->second.flush_scheduled = false;
+  if (!it->second.frames.empty()) flush_dest(it->second.to);
+}
+
+void ReliableTransport::flush_dest(const Endpoint& to) {
+  auto it = batch_.find(to.value);
+  if (it == batch_.end() || it->second.frames.empty()) return;
+  std::vector<serial::Frame> frames = std::move(it->second.frames);
+  it->second.frames.clear();
+  it->second.bytes = 0;
+  if (frames.size() == 1) {
+    // No point paying batch framing for one frame.
+    inner_.send(to, std::move(frames.front()));
+    return;
+  }
+  ++stats_.batches_sent;
+  stats_.frames_coalesced += frames.size();
+  obs_.batches_sent.inc();
+  obs_.frames_coalesced.inc(frames.size());
+  inner_.send(to, serial::encode_batch(frames));
+}
+
+void ReliableTransport::flush() {
+  if (config_.batch) {
+    for (auto& [key, b] : batch_) {
+      if (!b.frames.empty()) flush_dest(b.to);
+    }
+  }
+  inner_.flush();
+}
+
 void ReliableTransport::send(const Endpoint& to, serial::Frame frame) {
   if (!is_reliable_type(frame.type)) {
     ++stats_.passthrough_sent;
     obs_.passthrough_sent.inc();
-    inner_.send(to, std::move(frame));
+    wire_send(to, std::move(frame));
     return;
   }
 
@@ -120,7 +190,7 @@ void ReliableTransport::send(const Endpoint& to, serial::Frame frame) {
   p.wire = serial::encode_envelope(id, frame, wire_trace);
   p.original = std::move(frame);
 
-  inner_.send(to, p.wire);
+  wire_send(to, p.wire);
   ++stats_.sent;
   obs_.sent.inc();
   const double first_retry = jittered(p.rto_s);
@@ -162,15 +232,36 @@ void ReliableTransport::on_retry_timer(std::uint64_t id) {
                           " conn=" + conn_name(inner_.local(), p.to) +
                           " try=" + std::to_string(p.retries));
   }
-  inner_.send(p.to, p.wire);
+  wire_send(p.to, p.wire);
   p.rto_s = std::min(p.rto_s * config_.backoff, config_.rto_max_s);
   schedule_retry(id, jittered(p.rto_s));
 }
 
 void ReliableTransport::on_frame(const Endpoint& from, serial::Frame frame) {
+  if (frame.type == serial::FrameType::kBatch) {
+    // Unwrap and process each sub-frame as if it arrived alone. Recursion
+    // cannot nest: the codec rejects a batch inside a batch.
+    std::vector<serial::Frame> subs;
+    try {
+      subs = serial::decode_batch(frame);
+    } catch (const serial::DecodeError&) {
+      ++stats_.malformed_dropped;
+      return;
+    }
+    ++stats_.batches_received;
+    for (serial::Frame& sub : subs) on_frame(from, std::move(sub));
+    return;
+  }
+
   if (on_activity_) on_activity_(from);
   if (frame.type == serial::FrameType::kAck) {
-    const std::uint64_t id = serial::decode_ack(frame);
+    std::uint64_t id = 0;
+    try {
+      id = serial::decode_ack(frame);
+    } catch (const serial::DecodeError&) {
+      ++stats_.malformed_dropped;
+      return;
+    }
     if (auto it = pending_.find(id); it != pending_.end()) {
       ++stats_.acked;
       obs_.acked.inc();
@@ -190,7 +281,15 @@ void ReliableTransport::on_frame(const Endpoint& from, serial::Frame frame) {
     return;
   }
 
-  serial::ReliableEnvelope env = serial::decode_envelope(frame);
+  serial::ReliableEnvelope env;
+  try {
+    env = serial::decode_envelope(frame);
+  } catch (const serial::DecodeError&) {
+    // A real-socket peer can hand us anything; drop instead of unwinding
+    // through the reactor.
+    ++stats_.malformed_dropped;
+    return;
+  }
 
   // Clock-merge rule: every received envelope advances the local Lamport
   // clock past the sender's (max(local, remote) + 1), so clock order
@@ -205,7 +304,7 @@ void ReliableTransport::on_frame(const Endpoint& from, serial::Frame frame) {
 
   // Always re-ack: the sender retransmits exactly because an earlier ack
   // (or the message itself) was lost.
-  inner_.send(from, serial::encode_ack(env.msg_id));
+  wire_send(from, serial::encode_ack(env.msg_id));
   ++stats_.acks_sent;
   obs_.acks_sent.inc();
 

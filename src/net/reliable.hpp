@@ -56,6 +56,20 @@ struct ReliableConfig {
   /// Which frame types are sent reliably; the rest pass through untouched.
   /// Null means the default policy (everything but kHeartbeat).
   std::function<bool(serial::FrameType)> reliable_type;
+
+  /// Wire batching (GraphLab-style buffered exchange): when on, small
+  /// outbound frames headed for the same peer -- envelopes, acks,
+  /// passthrough alike -- are coalesced and sent as one kBatch frame when
+  /// a size/count threshold fills or a short flush timer fires. Off by
+  /// default: batching reorders the event schedule, so deterministic sim
+  /// baselines opt in explicitly.
+  bool batch = false;
+  std::size_t batch_max_bytes = 16 * 1024;  ///< flush when buffered payload hits this
+  std::size_t batch_max_frames = 64;        ///< flush when this many are buffered
+  double batch_flush_s = 0.002;             ///< max added latency before a flush
+  /// Frames with payloads at least this large skip the coalescer (after
+  /// flushing what's buffered, so per-destination order still holds).
+  std::size_t batch_bypass_bytes = 4096;
 };
 
 /// Counters for the supervisor, benches and chaos tests. Deterministic for
@@ -70,6 +84,11 @@ struct ReliableStats {
   std::uint64_t acks_sent = 0;
   std::uint64_t passthrough_sent = 0;       ///< frames outside the policy
   std::uint64_t passthrough_delivered = 0;
+  std::uint64_t batches_sent = 0;           ///< kBatch frames put on the wire
+  std::uint64_t frames_coalesced = 0;       ///< frames that rode in a batch
+  std::uint64_t batch_bypassed = 0;         ///< oversized frames sent alone
+  std::uint64_t batches_received = 0;       ///< kBatch frames unpacked
+  std::uint64_t malformed_dropped = 0;      ///< undecodable frames discarded
 
   bool operator==(const ReliableStats&) const = default;
 };
@@ -103,6 +122,11 @@ class ReliableTransport final : public Transport {
     handler_ = std::move(handler);
   }
   std::size_t poll() override { return inner_.poll(); }
+
+  /// Flush every per-destination batch buffer, then the inner transport.
+  /// Hot paths call this after a burst so coalesced frames do not sit out
+  /// the flush timer.
+  void flush() override;
 
   void set_drop_handler(DropHandler h) { on_drop_ = std::move(h); }
   void set_activity_listener(ActivityListener l) {
@@ -150,7 +174,8 @@ class ReliableTransport final : public Transport {
 
   struct Obs {
     obs::CounterRef sent, retransmits, acked, expired, delivered, dedup_hits,
-        acks_sent, passthrough_sent, passthrough_delivered;
+        acks_sent, passthrough_sent, passthrough_delivered, batches_sent,
+        frames_coalesced;
     obs::HistogramRef ack_latency_s, backoff_wait_s;
     obs::TracerRef tracer;
     std::string node;  ///< tracer scope
@@ -162,11 +187,24 @@ class ReliableTransport final : public Transport {
     std::deque<std::uint64_t> order;
   };
 
+  /// Per-destination coalescing buffer (active only with config_.batch).
+  struct BatchBuf {
+    Endpoint to;
+    std::vector<serial::Frame> frames;
+    std::size_t bytes = 0;        ///< batched-wire cost accumulated so far
+    bool flush_scheduled = false; ///< a flush timer is in flight
+  };
+
   bool is_reliable_type(serial::FrameType t) const;
   void on_frame(const Endpoint& from, serial::Frame frame);
   void schedule_retry(std::uint64_t id, double delay_s);
   void on_retry_timer(std::uint64_t id);
   double jittered(double delay_s);
+  /// Every outbound frame (original, retransmit, ack, passthrough) goes
+  /// through here; it either forwards directly or coalesces into kBatch.
+  void wire_send(const Endpoint& to, serial::Frame frame);
+  void flush_dest(const Endpoint& to);
+  void on_batch_timer(const std::string& key);
 
   Transport& inner_;
   Clock clock_;
@@ -178,6 +216,7 @@ class ReliableTransport final : public Transport {
   DropHandler on_drop_;
   ActivityListener on_activity_;
   std::map<std::uint64_t, Pending> pending_;
+  std::unordered_map<std::string, BatchBuf> batch_;  // by endpoint value
   std::unordered_map<std::string, SeenWindow> seen_;
   std::uint64_t next_id_ = 1;
   std::uint64_t trace_id_ = 0;

@@ -5,6 +5,7 @@
 
 #include "serial/crc32.hpp"
 #include "serial/frame.hpp"
+#include "serial/reader.hpp"
 
 namespace cg::net {
 
@@ -179,6 +180,22 @@ void SimNetwork::deliver_copy(std::uint32_t from, std::uint32_t dst,
                if (obs_.tracer && f.type == serial::FrameType::kReliable &&
                    f.payload.size() >= 8 + obs::kTraceContextWireSize) {
                  lamports_[dst].merge(serial::peek_envelope_trace(f).lamport);
+               } else if (obs_.tracer &&
+                          f.type == serial::FrameType::kBatch) {
+                 // A batch may carry several envelopes; merge each stamp so
+                 // batching never loosens the happens-before order.
+                 try {
+                   for (const serial::Frame& sub : serial::decode_batch(f)) {
+                     if (sub.type == serial::FrameType::kReliable &&
+                         sub.payload.size() >=
+                             8 + obs::kTraceContextWireSize) {
+                       lamports_[dst].merge(
+                           serial::peek_envelope_trace(sub).lamport);
+                     }
+                   }
+                 } catch (const serial::DecodeError&) {
+                   // Corrupt batch: deliver anyway; the layer above drops it.
+                 }
                }
                auto& node = *nodes_.at(dst);
                if (node.handler_) {

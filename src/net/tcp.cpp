@@ -6,10 +6,12 @@
 #include <netinet/tcp.h>
 #include <sys/epoll.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <cerrno>
 #include <cstring>
+#include <deque>
 #include <stdexcept>
 #include <vector>
 
@@ -23,8 +25,8 @@ struct TcpTransport::Conn {
   bool hello_seen = false;      ///< first inbound HELLO consumed
   Endpoint peer;                ///< who the frames are "from"
   serial::FrameDecoder decoder;
-  serial::Bytes outbuf;
-  std::size_t out_pos = 0;      ///< bytes of outbuf already written
+  std::deque<serial::Bytes> outq;  ///< encoded frames awaiting the wire
+  std::size_t out_pos = 0;      ///< bytes of outq.front() already written
   bool want_write = false;      ///< EPOLLOUT currently requested
 };
 
@@ -112,11 +114,86 @@ TcpTransport::~TcpTransport() {
 Endpoint TcpTransport::local() const { return tcp_endpoint("127.0.0.1", port_); }
 
 void TcpTransport::queue_frame(Conn& c, const serial::Frame& f) {
-  const auto wire = serial::encode_frame(f);
-  c.outbuf.insert(c.outbuf.end(), wire.begin(), wire.end());
-  if (!c.want_write) {
-    c.want_write = true;
+  c.outq.push_back(serial::encode_frame(f));
+  ++stats_.frames_sent;
+  if (c.connecting) {
+    if (!c.want_write) {
+      c.want_write = true;
+      update_epoll(c);
+    }
+    return;
+  }
+  // Opportunistic drain: most sends go straight to the kernel without a
+  // round-trip through epoll. try_drain arms EPOLLOUT itself on EAGAIN.
+  try_drain(c);
+}
+
+void TcpTransport::apply_socket_buffers(int fd) {
+  if (socket_buf_bytes_ <= 0) return;
+  setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &socket_buf_bytes_,
+             sizeof(socket_buf_bytes_));
+  setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &socket_buf_bytes_,
+             sizeof(socket_buf_bytes_));
+}
+
+bool TcpTransport::try_drain(Conn& c) {
+  constexpr std::size_t kMaxIov = 64;
+  while (!c.outq.empty()) {
+    iovec iov[kMaxIov];
+    std::size_t niov = 0;
+    std::size_t queued = 0;
+    for (const serial::Bytes& b : c.outq) {
+      if (niov == kMaxIov) break;
+      const std::size_t skip = (niov == 0) ? c.out_pos : 0;
+      iov[niov].iov_base = const_cast<std::uint8_t*>(b.data() + skip);
+      iov[niov].iov_len = b.size() - skip;
+      queued += iov[niov].iov_len;
+      ++niov;
+    }
+    ssize_t n = ::writev(c.fd, iov, static_cast<int>(niov));
+    ++stats_.writev_calls;
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      close_conn(c.fd);
+      return false;
+    }
+    stats_.bytes_sent += static_cast<std::uint64_t>(n);
+    if (static_cast<std::size_t>(n) < queued) ++stats_.partial_writes;
+    // Retire fully-written buffers; a partially-written head stays put with
+    // its offset advanced, so its remaining bytes always go out first and
+    // two frames can never interleave on the wire.
+    std::size_t left = static_cast<std::size_t>(n);
+    while (left > 0) {
+      serial::Bytes& head = c.outq.front();
+      const std::size_t head_rem = head.size() - c.out_pos;
+      if (left >= head_rem) {
+        left -= head_rem;
+        c.out_pos = 0;
+        c.outq.pop_front();
+      } else {
+        c.out_pos += left;
+        left = 0;
+      }
+    }
+  }
+  const bool want = !c.outq.empty();
+  if (want != c.want_write) {
+    c.want_write = want;
     update_epoll(c);
+  }
+  return true;
+}
+
+void TcpTransport::flush() {
+  // Collect fds first: try_drain may close (and erase) a connection.
+  std::vector<int> fds;
+  fds.reserve(conns_.size());
+  for (const auto& [fd, c] : conns_) {
+    if (!c.connecting && !c.outq.empty()) fds.push_back(fd);
+  }
+  for (int fd : fds) {
+    auto it = conns_.find(fd);
+    if (it != conns_.end()) try_drain(it->second);
   }
 }
 
@@ -135,6 +212,8 @@ TcpTransport::Conn& TcpTransport::connect_to(const Endpoint& to) {
   set_nonblocking(fd);
   int one = 1;
   setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  apply_socket_buffers(fd);
+  ++stats_.conns_opened;
 
   int rc = connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
   if (rc < 0 && errno != EINPROGRESS) {
@@ -186,6 +265,8 @@ void TcpTransport::accept_ready() {
     }
     int one = 1;
     setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    apply_socket_buffers(fd);
+    ++stats_.conns_accepted;
 
     Conn c;
     c.fd = fd;
@@ -212,17 +293,16 @@ void TcpTransport::conn_readable(int fd) {
   if (it == conns_.end()) return;
   Conn& c = it->second;
 
-  std::uint8_t buf[16384];
+  // Zero-copy read: land bytes straight in the decoder's buffer.
   for (;;) {
-    ssize_t n = ::read(fd, buf, sizeof(buf));
+    auto span = c.decoder.recv_span(16384);
+    ssize_t n = ::read(fd, span.data(), span.size());
+    ++stats_.read_calls;
+    c.decoder.commit(n > 0 ? static_cast<std::size_t>(n) : 0);
     if (n > 0) {
-      try {
-        c.decoder.feed(buf, static_cast<std::size_t>(n));
-      } catch (const serial::DecodeError&) {
-        close_conn(fd);
-        return;
-      }
-      continue;
+      stats_.bytes_received += static_cast<std::uint64_t>(n);
+      if (static_cast<std::size_t>(n) == span.size()) continue;
+      break;  // short read: the socket buffer is drained
     }
     if (n == 0) {  // orderly shutdown
       close_conn(fd);
@@ -256,6 +336,7 @@ void TcpTransport::conn_readable(int fd) {
     }
     if (handler_) {
       ++delivered_in_poll_;
+      ++stats_.frames_delivered;
       handler_(c.peer, std::move(*f));
       // The handler may have closed this connection (indirectly); re-check.
       if (conns_.find(fd) == conns_.end()) return;
@@ -268,22 +349,7 @@ void TcpTransport::conn_writable(int fd) {
   if (it == conns_.end()) return;
   Conn& c = it->second;
   c.connecting = false;
-
-  while (c.out_pos < c.outbuf.size()) {
-    ssize_t n = ::write(fd, c.outbuf.data() + c.out_pos,
-                        c.outbuf.size() - c.out_pos);
-    if (n > 0) {
-      c.out_pos += static_cast<std::size_t>(n);
-      continue;
-    }
-    if (errno == EAGAIN || errno == EWOULDBLOCK) return;
-    close_conn(fd);
-    return;
-  }
-  c.outbuf.clear();
-  c.out_pos = 0;
-  c.want_write = false;
-  update_epoll(c);
+  try_drain(c);
 }
 
 void TcpTransport::close_conn(int fd) {
@@ -296,6 +362,7 @@ void TcpTransport::close_conn(int fd) {
   epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
   ::close(fd);
   conns_.erase(it);
+  ++stats_.conns_closed;
 }
 
 std::size_t TcpTransport::poll_wait(int timeout_ms) {

@@ -44,6 +44,12 @@ class Transport {
   /// frames delivered. For the simulated transport this is a no-op (the
   /// SimNetwork event loop delivers); for inproc/tcp the owner must poll.
   virtual std::size_t poll() = 0;
+
+  /// Push any coalesced-but-unsent output towards the wire now instead of
+  /// waiting for the next size threshold or flush tick. Latency hint only;
+  /// default is a no-op. Layered transports (ReliableTransport batching)
+  /// flush their own buffers and then their inner transport's.
+  virtual void flush() {}
 };
 
 }  // namespace cg::net

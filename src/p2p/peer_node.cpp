@@ -128,6 +128,9 @@ std::uint64_t PeerNode::discover_flood(const Query& q, int ttl,
       transport_.send(n, encode(m));
       ++stats_.queries_forwarded;
     }
+    // A flood is latency-sensitive fan-out: push coalesced frames out now
+    // rather than letting them sit out a batch flush tick.
+    transport_.flush();
   }
   return id;
 }

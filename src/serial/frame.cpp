@@ -87,14 +87,103 @@ std::uint64_t decode_ack(const Frame& f) {
   return id;
 }
 
+Frame encode_batch(std::span<const Frame> frames) {
+  if (frames.empty() || frames.size() > kMaxBatchFrames) {
+    throw std::invalid_argument("encode_batch: bad frame count");
+  }
+  std::size_t total = 2;
+  for (const Frame& f : frames) {
+    if (f.type == FrameType::kBatch) {
+      throw std::invalid_argument("encode_batch: batches do not nest");
+    }
+    total += kBatchEntryOverhead + f.payload.size();
+  }
+  Writer w(total);
+  w.u16(static_cast<std::uint16_t>(frames.size()));
+  for (const Frame& f : frames) {
+    w.u8(static_cast<std::uint8_t>(f.type));
+    w.u32(static_cast<std::uint32_t>(f.payload.size()));
+    w.raw(f.payload);
+  }
+  Frame out;
+  out.type = FrameType::kBatch;
+  out.payload = w.take();
+  return out;
+}
+
+std::vector<Frame> decode_batch(const Frame& f) {
+  if (f.type != FrameType::kBatch) {
+    throw DecodeError("decode_batch: frame is not kBatch");
+  }
+  Reader r(f.payload);
+  const std::uint16_t count = r.u16();
+  if (count == 0 || count > kMaxBatchFrames) {
+    throw DecodeError("decode_batch: bad frame count");
+  }
+  std::vector<Frame> out;
+  out.reserve(count);
+  for (std::uint16_t i = 0; i < count; ++i) {
+    Frame sub;
+    sub.type = static_cast<FrameType>(r.u8());
+    if (sub.type == FrameType::kBatch) {
+      throw DecodeError("decode_batch: nested batch");
+    }
+    const std::uint32_t len = r.u32();
+    if (len > kMaxFramePayload) throw DecodeError("decode_batch: entry too large");
+    sub.payload = r.raw(len);
+    out.push_back(std::move(sub));
+  }
+  if (!r.at_end()) throw DecodeError("decode_batch: trailing bytes");
+  return out;
+}
+
 void FrameDecoder::feed(const std::uint8_t* data, std::size_t len) {
+  if (recv_base_ != kNoRecv) {
+    throw std::logic_error("FrameDecoder: feed() with a recv_span outstanding");
+  }
+  compact();
   buf_.insert(buf_.end(), data, data + len);
 }
 
-std::optional<Frame> FrameDecoder::next() {
-  if (buf_.size() < kFrameHeaderSize) return std::nullopt;
+std::span<std::uint8_t> FrameDecoder::recv_span(std::size_t min_bytes) {
+  if (recv_base_ != kNoRecv) {
+    throw std::logic_error("FrameDecoder: recv_span() called twice");
+  }
+  compact();
+  recv_base_ = buf_.size();
+  buf_.resize(recv_base_ + min_bytes);
+  return {buf_.data() + recv_base_, min_bytes};
+}
 
-  Reader header(std::span<const std::uint8_t>(buf_.data(), kFrameHeaderSize));
+void FrameDecoder::commit(std::size_t n) {
+  if (recv_base_ == kNoRecv) {
+    throw std::logic_error("FrameDecoder: commit() without recv_span()");
+  }
+  if (recv_base_ + n > buf_.size()) {
+    throw std::logic_error("FrameDecoder: commit() larger than recv_span()");
+  }
+  buf_.resize(recv_base_ + n);
+  recv_base_ = kNoRecv;
+}
+
+void FrameDecoder::compact() {
+  if (pos_ == 0) return;
+  if (pos_ == buf_.size()) {
+    buf_.clear();
+  } else {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(pos_));
+  }
+  pos_ = 0;
+}
+
+std::optional<Frame> FrameDecoder::next() {
+  if (recv_base_ != kNoRecv) {
+    throw std::logic_error("FrameDecoder: next() with a recv_span outstanding");
+  }
+  if (buffered() < kFrameHeaderSize) return std::nullopt;
+
+  const std::uint8_t* base = buf_.data() + pos_;
+  Reader header(std::span<const std::uint8_t>(base, kFrameHeaderSize));
   std::uint32_t magic = header.u32();
   if (magic != kMagic) throw DecodeError("bad frame magic");
   auto type = static_cast<FrameType>(header.u8());
@@ -102,21 +191,25 @@ std::optional<Frame> FrameDecoder::next() {
   if (len > kMaxFramePayload) throw DecodeError("frame payload too large");
 
   const std::size_t total = kFrameHeaderSize + len + kFrameTrailerSize;
-  if (buf_.size() < total) return std::nullopt;
+  if (buffered() < total) return std::nullopt;
 
-  Frame f;
-  f.type = type;
-  f.payload.assign(
-      buf_.begin() + static_cast<std::ptrdiff_t>(kFrameHeaderSize),
-      buf_.begin() + static_cast<std::ptrdiff_t>(kFrameHeaderSize + len));
-
-  Reader trailer(std::span<const std::uint8_t>(
-      buf_.data() + kFrameHeaderSize + len, kFrameTrailerSize));
-  if (trailer.u32() != crc32(f.payload)) {
+  // CRC-check in place, before the payload is copied out.
+  const std::span<const std::uint8_t> body(base + kFrameHeaderSize, len);
+  Reader trailer(std::span<const std::uint8_t>(base + kFrameHeaderSize + len,
+                                               kFrameTrailerSize));
+  if (trailer.u32() != crc32(body.data(), body.size())) {
     throw DecodeError("frame CRC mismatch");
   }
 
-  buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(total));
+  Frame f;
+  f.type = type;
+  f.payload.assign(body.begin(), body.end());
+
+  pos_ += total;
+  if (pos_ == buf_.size()) {
+    buf_.clear();
+    pos_ = 0;
+  }
   return f;
 }
 

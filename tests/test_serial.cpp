@@ -391,5 +391,155 @@ TEST(Frame, OversizedLengthRejected) {
   EXPECT_THROW(d.next(), DecodeError);
 }
 
+TEST(Batch, RoundTripPreservesOrderTypesAndPayloads) {
+  std::vector<Frame> in;
+  in.push_back({FrameType::kControl, Bytes{1, 2, 3}});
+  in.push_back({FrameType::kAck, Bytes{}});
+  in.push_back({FrameType::kReliable, Bytes(300, 0xAB)});
+
+  Frame b = encode_batch(in);
+  EXPECT_EQ(b.type, FrameType::kBatch);
+
+  auto out = decode_batch(b);
+  ASSERT_EQ(out.size(), in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    EXPECT_EQ(out[i].type, in[i].type);
+    EXPECT_EQ(out[i].payload, in[i].payload);
+  }
+}
+
+TEST(Batch, PerEntryOverheadBeatsStandaloneFraming) {
+  // The point of batching: N small frames cost 5 bytes each inside a batch
+  // versus 13 bytes of magic/header/CRC each standalone.
+  std::vector<Frame> in(10, Frame{FrameType::kAck, Bytes{0, 1, 2, 3}});
+  Frame b = encode_batch(in);
+  const std::size_t batched_wire = encode_frame(b).size();
+  std::size_t standalone_wire = 0;
+  for (const Frame& f : in) standalone_wire += encode_frame(f).size();
+  EXPECT_LT(batched_wire, standalone_wire);
+}
+
+TEST(Batch, RejectsNestingAndBadCounts) {
+  std::vector<Frame> empty;
+  EXPECT_THROW(encode_batch(empty), std::invalid_argument);
+
+  std::vector<Frame> nested;
+  nested.push_back(encode_batch(std::vector<Frame>{
+      Frame{FrameType::kAck, Bytes{1}}}));
+  EXPECT_THROW(encode_batch(nested), std::invalid_argument);
+
+  Frame not_batch{FrameType::kData, Bytes{0, 0}};
+  EXPECT_THROW(decode_batch(not_batch), DecodeError);
+}
+
+TEST(Batch, MalformedPayloadsThrowNotCrash) {
+  Frame b = encode_batch(std::vector<Frame>{
+      Frame{FrameType::kControl, Bytes{1, 2, 3, 4}}});
+
+  Frame truncated = b;
+  truncated.payload.resize(truncated.payload.size() - 2);
+  EXPECT_THROW(decode_batch(truncated), DecodeError);
+
+  Frame trailing = b;
+  trailing.payload.push_back(0x00);
+  EXPECT_THROW(decode_batch(trailing), DecodeError);
+
+  Frame zero_count = b;
+  zero_count.payload[0] = 0;
+  zero_count.payload[1] = 0;
+  EXPECT_THROW(decode_batch(zero_count), DecodeError);
+
+  // Entry length field pointing past the payload end.
+  Frame bad_len = b;
+  bad_len.payload[3] = 0xFF;
+  bad_len.payload[4] = 0xFF;
+  EXPECT_THROW(decode_batch(bad_len), DecodeError);
+}
+
+TEST(Batch, SurvivesFrameRoundTrip) {
+  std::vector<Frame> in;
+  for (int i = 0; i < 64; ++i) {
+    in.push_back({FrameType::kReliable,
+                  Bytes(static_cast<std::size_t>(i % 7), static_cast<std::uint8_t>(i))});
+  }
+  Bytes wire = encode_frame(encode_batch(in));
+  FrameDecoder d;
+  d.feed(wire);
+  auto f = d.next();
+  ASSERT_TRUE(f.has_value());
+  auto out = decode_batch(*f);
+  ASSERT_EQ(out.size(), in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    EXPECT_EQ(out[i].payload, in[i].payload);
+  }
+}
+
+TEST(FrameDecoderCursor, DrainsManySmallFramesAcrossFeeds) {
+  // Exercises the parse-cursor path: many frames in one buffer, drained
+  // with interleaved feeds, leaving partial frames buffered across calls.
+  FrameDecoder d;
+  Bytes wire;
+  constexpr int kFrames = 500;
+  for (int i = 0; i < kFrames; ++i) {
+    Frame f{FrameType::kData, Bytes{static_cast<std::uint8_t>(i & 0xFF)}};
+    Bytes one = encode_frame(f);
+    wire.insert(wire.end(), one.begin(), one.end());
+  }
+  // Feed in uneven chunks so frames straddle feed boundaries.
+  std::size_t off = 0;
+  int got = 0;
+  std::size_t chunk = 1;
+  while (off < wire.size()) {
+    const std::size_t n = std::min(chunk, wire.size() - off);
+    d.feed(wire.data() + off, n);
+    off += n;
+    chunk = (chunk * 7 + 3) % 97 + 1;
+    while (auto f = d.next()) {
+      EXPECT_EQ(f->payload[0], static_cast<std::uint8_t>(got & 0xFF));
+      ++got;
+    }
+  }
+  EXPECT_EQ(got, kFrames);
+  EXPECT_EQ(d.buffered(), 0u);
+}
+
+TEST(FrameDecoderCursor, RecvSpanCommitFeedsDecoder) {
+  // The zero-copy read path: "receive" into recv_span, commit the actual
+  // byte count, parse as usual.
+  Frame f{FrameType::kControl, Bytes{9, 8, 7}};
+  Bytes wire = encode_frame(f);
+
+  FrameDecoder d;
+  // Deliver in two reads with an oversized span (short read) each time.
+  const std::size_t half = wire.size() / 2;
+  auto s1 = d.recv_span(1024);
+  std::copy(wire.begin(), wire.begin() + static_cast<std::ptrdiff_t>(half),
+            s1.begin());
+  d.commit(half);
+  EXPECT_FALSE(d.next().has_value());
+
+  auto s2 = d.recv_span(1024);
+  std::copy(wire.begin() + static_cast<std::ptrdiff_t>(half), wire.end(),
+            s2.begin());
+  d.commit(wire.size() - half);
+
+  auto got = d.next();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->type, f.type);
+  EXPECT_EQ(got->payload, f.payload);
+  EXPECT_EQ(d.buffered(), 0u);
+}
+
+TEST(FrameDecoderCursor, UnbalancedRecvSpanIsALogicError) {
+  FrameDecoder d;
+  (void)d.recv_span(16);
+  EXPECT_THROW((void)d.recv_span(16), std::logic_error);
+  EXPECT_THROW((void)d.next(), std::logic_error);
+  EXPECT_THROW(d.feed(nullptr, 0), std::logic_error);
+  d.commit(0);  // balances; decoder usable again
+  EXPECT_FALSE(d.next().has_value());
+  EXPECT_THROW(d.commit(0), std::logic_error);
+}
+
 }  // namespace
 }  // namespace cg::serial

@@ -537,5 +537,55 @@ TEST(Supervisor, SpeculativeStandbyCancelledWhenSuspicionSubsides) {
   sup->stop();
 }
 
+// A lease-suspended job must not self-resume off a probe: over real sockets
+// a probe can be a stale retransmission from before a recovery, and resuming
+// on it lets an already-replaced zombie execute retransmitted payloads at the
+// old epoch (the result is then fenced at home while the reliable layer
+// counts the payload delivered -- a permanently lost item). Resume is an
+// explicit, epoch-gated supervisor verb.
+TEST(Supervisor, SuspendedJobResumesOnlyOnExplicitEpochGatedResume) {
+  SupGrid grid;
+  TaskGraph g = accum_farm_graph();
+  grid.home->publish_graph_modules(g);
+  TrianaController ctl(*grid.home);
+  auto run = ctl.distribute(g, "G", {grid.workers[0]->endpoint()});
+  grid.net.run_all();
+  ASSERT_TRUE(run->deployed_ok());
+  const std::string job = run->remote_jobs[0];
+  const net::Endpoint w = grid.workers[0]->endpoint();
+
+  // Grant a short lease via a probe, then go silent: the job self-suspends
+  // when the lease runs dry.
+  grid.home->request_status(w, job, [](const StatusMsg&) {}, 0, 2.0);
+  grid.net.run_until(10.0);
+  EXPECT_GE(grid.workers[0]->stats().jobs_suspended, 1u);
+
+  // A later leased probe -- indistinguishable from a stale retransmission
+  // -- renews the lease but must NOT resume; it only reports suspended.
+  StatusMsg seen;
+  grid.home->request_status(
+      w, job, [&](const StatusMsg& m) { seen = m; }, 0, 2.0);
+  grid.net.run_until(10.5);
+  EXPECT_TRUE(seen.known);
+  EXPECT_TRUE(seen.suspended);
+
+  // A resume at the wrong epoch is ignored...
+  grid.home->resume_remote(w, job, 7, 2.0);
+  grid.net.run_until(11.0);
+  grid.home->request_status(
+      w, job, [&](const StatusMsg& m) { seen = m; }, 0, 2.0);
+  grid.net.run_until(11.5);
+  EXPECT_TRUE(seen.suspended);
+
+  // ...and the current-epoch resume un-suspends it.
+  grid.home->resume_remote(w, job, 0, 2.0);
+  grid.net.run_until(12.0);
+  grid.home->request_status(
+      w, job, [&](const StatusMsg& m) { seen = m; }, 0, 2.0);
+  grid.net.run_until(12.5);
+  EXPECT_FALSE(seen.suspended);
+  EXPECT_TRUE(seen.running);
+}
+
 }  // namespace
 }  // namespace cg::core
