@@ -11,6 +11,12 @@ Both files hold {"bench": NAME, "rows": [{...}]}. Rows are matched on
 (default "throughput") falls more than --threshold (default 15%) below
 the baseline row, or when a baseline row is missing from the current run.
 
+--mode picks the direction: "floor" (default) treats the baseline as a
+minimum the metric must stay above (throughput-style, higher is better);
+"ceiling" treats it as a maximum the metric must stay below
+(message-count or latency-style, lower is better), failing when the
+current value rises more than --threshold above the baseline.
+
 A markdown delta table is printed to stdout and, when the
 GITHUB_STEP_SUMMARY environment variable is set, appended to the job
 summary. Exit status: 0 = within budget, 1 = regression, 2 = bad input.
@@ -45,6 +51,7 @@ def main():
     ap.add_argument("--key", default="threads")
     ap.add_argument("--metric", default="throughput")
     ap.add_argument("--threshold", type=float, default=0.15)
+    ap.add_argument("--mode", choices=["floor", "ceiling"], default="floor")
     args = ap.parse_args()
 
     base = load(args.baseline)
@@ -57,10 +64,11 @@ def main():
         )
         sys.exit(2)
 
+    ceiling = args.mode == "ceiling"
     cur_rows = {row[args.key]: row for row in cur.get("rows", [])}
     lines = [
         f"### bench_{base.get('bench')}: {args.metric} vs baseline "
-        f"(gate: -{args.threshold:.0%})",
+        f"(gate: {'+' if ceiling else '-'}{args.threshold:.0%})",
         "",
         f"| {args.key} | baseline | current | delta | status |",
         "| --- | --- | --- | --- | --- |",
@@ -76,14 +84,17 @@ def main():
             continue
         got = crow[args.metric]
         delta = (got - floor) / floor if floor else 0.0
-        bad = delta < -args.threshold
+        bad = delta > args.threshold if ceiling else delta < -args.threshold
         failed |= bad
         lines.append(
             f"| {key} | {floor:.1f} | {got:.1f} | {delta:+.1%} | "
             f"{'FAIL' if bad else 'ok'} |"
         )
     verdict = (
-        "**regression: current throughput is below the baseline floor**"
+        (
+            f"**regression: current {args.metric} is "
+            f"{'above the baseline ceiling' if ceiling else 'below the baseline floor'}**"
+        )
         if failed
         else "within budget"
     )

@@ -23,11 +23,13 @@ if [[ "${1:-}" == "tsan" ]]; then
   cmake -B "${TSAN_DIR}" -S . -DCONGRID_SANITIZE=thread >/dev/null
   # test_wire joins the TSan tier for its cross-thread socket test: the
   # epoll reactor's handler runs against sends from another thread.
+  # test_overlay rides along: single-threaded by design, but the overlay's
+  # timer closures must stay race-free if a threaded scheduler hosts them.
   cmake --build "${TSAN_DIR}" -j --target \
     test_parallel_runtime test_rm test_core_runtime test_cas test_chaos \
-    test_wire
+    test_wire test_overlay
   for t in test_parallel_runtime test_rm test_core_runtime test_cas \
-           test_chaos test_wire; do
+           test_chaos test_wire test_overlay; do
     "./${TSAN_DIR}/tests/${t}"
   done
   echo "tier-1 (tsan): OK"
@@ -48,10 +50,13 @@ echo "== tier-1: ASan/UBSan chaos pass (${ASAN_DIR}) =="
 # lifetime bug would hide (buffers retired mid-writev, spans into a
 # decoder that reallocated).
 cmake -B "${ASAN_DIR}" -S . -DCONGRID_SANITIZE=address,undefined >/dev/null
+# test_overlay joins the ASan tier: lookup/find state machines erase their
+# own entries from inside timer closures, the classic shape for a
+# use-after-free when a late reply races a timeout.
 cmake --build "${ASAN_DIR}" -j --target test_reliable test_chaos test_net \
-  test_obs test_wire test_tcp_parity
+  test_obs test_wire test_tcp_parity test_overlay
 for t in test_reliable test_chaos test_net test_obs test_wire \
-         test_tcp_parity; do
+         test_tcp_parity test_overlay; do
   "./${ASAN_DIR}/tests/${t}"
 done
 

@@ -50,9 +50,16 @@ void TrianaController::discover_workers(
     }
   };
 
-  const std::uint64_t qid =
-      ttl > 0 ? node.discover_flood(query, ttl, on_response)
-              : node.discover_rendezvous(query, on_response);
+  p2p::DiscoveryStrategy::CancelFn cancel;
+  if (strategy_ != nullptr) {
+    cancel = strategy_->start(query, on_response);
+  } else {
+    const std::uint64_t qid =
+        ttl > 0 ? node.discover_flood(query, ttl, on_response)
+                : node.discover_rendezvous(query, on_response);
+    auto* n = &node;
+    cancel = [n, qid] { n->cancel(qid); };
+  }
 
   // One deadline: report whatever arrived by then.
   // (Discovery responses keep no order guarantee; the deadline is the
@@ -61,10 +68,11 @@ void TrianaController::discover_workers(
   // the full timeout even when `want` is reached early -- responses keep
   // arriving and the deadline keeps the behaviour deterministic.
   home_.scheduler()(timeout_s,
-                    [this, state, qid, dspan, done = std::move(done)]() {
+                    [this, state, cancel = std::move(cancel), dspan,
+                     done = std::move(done)]() {
                       if (state->finished) return;
                       state->finished = true;
-                      home_.node().cancel(qid);
+                      cancel();
                       home_.tracer().end_span(
                           dspan, home_.id(), "discovery.round",
                           "found=" + std::to_string(state->found.size()));

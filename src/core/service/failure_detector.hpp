@@ -1,76 +1,18 @@
-// ConGrid -- phi-accrual failure detection (adaptive suspicion scoring).
+// ConGrid -- phi-accrual failure detection (compatibility forward).
 //
-// The paper's volunteers vanish without notice (3.6.2), but a fixed
-// missed-probe count is the wrong knife: on a lossy DSL link it kills
-// peers that are merely dropping frames, and on a quiet one it waits
-// probe_period * max_missed even when the peer has been answering like
-// clockwork. Following Hayashibara's phi-accrual design, the detector
-// keeps a sliding window of observed reply inter-arrival times and scores
-// the CURRENT silence against that history:
-//
-//   phi(now) = -log10( P[gap >= elapsed] )
-//
-// under a normal model of the window. phi ~ 1 means "this gap happens one
-// time in ten", phi ~ 8 "one time in 10^8". Consumers pick thresholds
-// (suspect / dead) instead of counts, and the same thresholds adapt
-// automatically: a jittery link widens the window's deviation and earns
-// proportionally more patience.
-//
-// Liveness evidence comes in two grades:
-//   * heartbeat(now) -- a probe reply on the regular cadence; records the
-//     inter-arrival interval AND refreshes the evidence clock;
-//   * touch(now)     -- piggybacked proof of life from ordinary data-plane
-//     traffic (any frame received from the host); refreshes the evidence
-//     clock WITHOUT polluting the interval history, so bursty data
-//     traffic cannot shrink the window and make the detector
-//     trigger-happy afterwards.
+// The detector moved to net/failure_detector.hpp so that layers below
+// cg_core -- the overlay routing table in cg_p2p grades its contacts
+// with the same suspicion model the supervisor grades its workers --
+// can share it without a dependency cycle. This header keeps the
+// original spelling (cg::core::PhiAccrualDetector) working for the
+// supervisor and existing tests.
 #pragma once
 
-#include <cstddef>
-#include <deque>
+#include "net/failure_detector.hpp"
 
 namespace cg::core {
 
-struct FailureDetectorOptions {
-  /// Sliding window of reply inter-arrival samples.
-  std::size_t window = 32;
-  /// Floor on the modelled standard deviation: perfectly regular simulated
-  /// replies would otherwise make any gap look infinitely suspicious.
-  double min_std_s = 0.25;
-};
-
-class PhiAccrualDetector {
- public:
-  explicit PhiAccrualDetector(FailureDetectorOptions options = {});
-
-  /// A probe reply arrived: record the interval since the previous
-  /// heartbeat and reset the evidence clock.
-  void heartbeat(double now);
-
-  /// Any other proof of life (data ack, status for another epoch, ...):
-  /// reset the evidence clock only.
-  void touch(double now);
-
-  /// Suspicion level of the silence since the last evidence. 0 before the
-  /// first heartbeat and whenever the elapsed gap is no longer than the
-  /// window's mean.
-  double phi(double now) const;
-
-  /// Recorded inter-arrival samples. Callers should fall back to simple
-  /// missed-probe counting until this reaches 2 (a host that dies before
-  /// ever answering gives the detector nothing to model).
-  std::size_t samples() const { return intervals_.size(); }
-
-  /// Forget everything (fragment moved to a different host).
-  void reset();
-
- private:
-  FailureDetectorOptions options_;
-  std::deque<double> intervals_;
-  double sum_ = 0.0;
-  double sum_sq_ = 0.0;
-  double last_heartbeat_ = -1.0;  ///< < 0 until the first heartbeat
-  double last_evidence_ = -1.0;
-};
+using FailureDetectorOptions = net::FailureDetectorOptions;
+using PhiAccrualDetector = net::PhiAccrualDetector;
 
 }  // namespace cg::core

@@ -1,9 +1,9 @@
-#include "core/service/failure_detector.hpp"
+#include "net/failure_detector.hpp"
 
 #include <algorithm>
 #include <cmath>
 
-namespace cg::core {
+namespace cg::net {
 namespace {
 
 /// -log10 of the normal upper-tail probability at z standard deviations.
@@ -66,4 +66,4 @@ void PhiAccrualDetector::reset() {
   last_evidence_ = -1.0;
 }
 
-}  // namespace cg::core
+}  // namespace cg::net

@@ -1,0 +1,66 @@
+#include "p2p/attribute_index.hpp"
+
+#include <limits>
+
+namespace cg::p2p {
+
+double AttributeIndex::key_of(const Advertisement& a) const {
+  const auto v = a.numeric_attr(primary_);
+  return v ? *v : -std::numeric_limits<double>::infinity();
+}
+
+bool AttributeIndex::put(const Advertisement& a, double now) {
+  if (a.expires_at <= now) return false;
+  auto it = by_id_.find(a.id);
+  if (it != by_id_.end()) {
+    order_.erase(it->second.pos);
+    it->second.advert = a;
+    it->second.pos = order_.emplace(key_of(a), a.id);
+    return false;
+  }
+  Entry e;
+  e.advert = a;
+  e.pos = order_.emplace(key_of(a), a.id);
+  by_id_.emplace(a.id, std::move(e));
+  return true;
+}
+
+std::vector<Advertisement> AttributeIndex::find(const Query& q, double now,
+                                                std::size_t limit) {
+  auto begin = order_.begin();
+  const auto min_it = q.require_min.find(primary_);
+  if (min_it != q.require_min.end()) {
+    begin = order_.lower_bound(min_it->second);
+  }
+  std::vector<Advertisement> out;
+  std::vector<std::string> stale;
+  for (auto it = begin; it != order_.end() && out.size() < limit; ++it) {
+    const Advertisement& a = by_id_.at(it->second).advert;
+    if (a.expires_at <= now) {
+      stale.push_back(a.id);
+      continue;
+    }
+    if (q.matches(a)) out.push_back(a);
+  }
+  for (const auto& id : stale) remove(id);
+  return out;
+}
+
+std::size_t AttributeIndex::purge(double now) {
+  std::vector<std::string> stale;
+  for (const auto& [id, e] : by_id_) {
+    if (e.advert.expires_at <= now) stale.push_back(id);
+  }
+  for (const auto& id : stale) remove(id);
+  return stale.size();
+}
+
+bool AttributeIndex::remove(const std::string& id) {
+  auto it = by_id_.find(id);
+  if (it == by_id_.end()) return false;
+  order_.erase(it->second.pos);
+  by_id_.erase(it);
+  return true;
+}
+
+}  // namespace cg::p2p

@@ -1,0 +1,63 @@
+// ConGrid -- sorted attribute index for rendezvous shards.
+//
+// The flat AdvertisementCache answers a query by scanning every live
+// entry. That is fine for a peer's working set, but a rendezvous replica
+// in the sharded federation holds its whole shard's adverts and is asked
+// almost exclusively range queries on the primary attribute ("cpu_mhz >=
+// 1800"). This index keeps the adverts sorted by that attribute so a
+// range query is a lower_bound plus a walk over only the matching band,
+// with the remaining (rarer) constraints checked per hit by
+// Query::matches.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "p2p/advert.hpp"
+
+namespace cg::p2p {
+
+class AttributeIndex {
+ public:
+  /// `primary` is the attribute the index sorts on; adverts lacking it
+  /// (or with a non-numeric value) sort at -inf so exact-match queries
+  /// still see them.
+  explicit AttributeIndex(std::string primary = "cpu_mhz")
+      : primary_(std::move(primary)) {}
+
+  const std::string& primary() const { return primary_; }
+  std::size_t size() const { return by_id_.size(); }
+
+  /// Insert or refresh (same advert id => replace). Returns true when
+  /// the entry was new.
+  bool put(const Advertisement& a, double now);
+
+  /// Live adverts matching `q`, cheapest constraint first: when `q` has
+  /// a minimum on the primary attribute only the tail band above it is
+  /// scanned. Stale entries encountered on the walk are dropped.
+  std::vector<Advertisement> find(const Query& q, double now,
+                                  std::size_t limit = SIZE_MAX);
+
+  /// Remove adverts whose expiry has passed. Returns how many.
+  std::size_t purge(double now);
+
+  /// Remove one advert by id; returns true when present.
+  bool remove(const std::string& id);
+
+ private:
+  struct Entry {
+    Advertisement advert;
+    std::multimap<double, std::string>::iterator pos;  ///< slot in order_
+  };
+
+  double key_of(const Advertisement& a) const;
+
+  std::string primary_;
+  std::unordered_map<std::string, Entry> by_id_;
+  std::multimap<double, std::string> order_;  ///< primary value -> advert id
+};
+
+}  // namespace cg::p2p

@@ -20,8 +20,13 @@ void ExpandingRingSearch::start(Done done) {
 void ExpandingRingSearch::issue_ring(int ttl) {
   ++result_.rings_issued;
   auto self = shared_from_this();
+  // Every ring reuses the first ring's query id: peers that already saw
+  // the query recognise it, skip re-answering, and forward only the
+  // widened frontier -- re-flooding the visited interior is what made
+  // naive TTL doubling cost more than one big flood.
   active_query_ = node_.discover_flood(
-      query_, ttl, [self, ttl](const std::vector<Advertisement>& adverts) {
+      query_, ttl,
+      [self, ttl](const std::vector<Advertisement>& adverts) {
         if (self->finished_) return;
         for (const auto& a : adverts) {
           // Dedup across rings and responders.
@@ -35,7 +40,8 @@ void ExpandingRingSearch::issue_ring(int ttl) {
         if (self->result_.adverts.size() >= self->options_.min_results) {
           self->finish(ttl);
         }
-      });
+      },
+      active_query_);
   scheduler_(options_.ring_timeout_s, [self, ttl] {
     self->on_ring_deadline(ttl);
   });
@@ -43,7 +49,8 @@ void ExpandingRingSearch::issue_ring(int ttl) {
 
 void ExpandingRingSearch::on_ring_deadline(int ttl) {
   if (finished_) return;
-  node_.cancel(active_query_);
+  // The query id stays live across rings (stragglers from the narrow ring
+  // still count); only finish() cancels it.
   if (result_.adverts.size() >= options_.min_results) {
     finish(ttl);
     return;

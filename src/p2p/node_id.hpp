@@ -1,0 +1,64 @@
+// ConGrid -- structured-overlay node identity.
+//
+// The flooding/rendezvous protocols address peers by endpoint only; the
+// structured overlay (overlay.hpp) places every peer on a 64-bit XOR
+// metric ring, Kademlia-style: the distance between two ids is their
+// bitwise XOR, and "closeness" under that metric is what routing tables
+// and rendezvous-shard placement are organised around. 64 bits is ample
+// for the north-star population (10^6 peers ~ birthday-collision odds of
+// ~3e-8) and keeps ids cheap enough to ship dozens per FIND_NODE reply.
+//
+// Ids are derived deterministically from the peer id string with FNV-1a
+// (std::hash is implementation-defined and would break cross-run bench
+// reproducibility); rendezvous shards hash a well-known label so every
+// peer independently agrees where shard s lives on the ring.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace cg::p2p {
+
+struct NodeId {
+  std::uint64_t bits = 0;
+
+  friend bool operator==(const NodeId&, const NodeId&) = default;
+};
+
+/// XOR metric: symmetric, zero iff equal, and unidirectional (for any
+/// target and distance there is exactly one id at that distance).
+inline std::uint64_t xor_distance(NodeId a, NodeId b) {
+  return a.bits ^ b.bits;
+}
+
+/// Bucket index of a non-self contact: floor(log2(distance)), i.e. the
+/// position of the highest differing bit. Bucket b covers distances
+/// [2^b, 2^{b+1}) -- exponentially larger ranges further from self.
+inline int bucket_index(std::uint64_t distance) {
+  return 63 - std::countl_zero(distance | 1ull);
+}
+
+/// FNV-1a 64-bit: stable across platforms and runs, unlike std::hash.
+inline std::uint64_t fnv1a64(std::string_view s) {
+  std::uint64_t h = 0xCBF29CE484222325ull;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
+
+/// Overlay id of a peer, from its peer-id string.
+inline NodeId node_id_of(std::string_view peer_id) {
+  return NodeId{fnv1a64(peer_id)};
+}
+
+/// Ring position of rendezvous shard `shard`: the peers whose ids are
+/// XOR-closest to this key form the shard's replica group.
+inline NodeId shard_key(std::uint32_t shard) {
+  return NodeId{fnv1a64("cg-shard:" + std::to_string(shard))};
+}
+
+}  // namespace cg::p2p

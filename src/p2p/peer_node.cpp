@@ -100,12 +100,15 @@ std::uint64_t PeerNode::fresh_query_id() {
 }
 
 std::uint64_t PeerNode::discover_flood(const Query& q, int ttl,
-                                       ResponseHandler on) {
-  const std::uint64_t id = fresh_query_id();
+                                       ResponseHandler on,
+                                       std::uint64_t reuse_id) {
+  const std::uint64_t id = reuse_id != 0 ? reuse_id : fresh_query_id();
   ++stats_.queries_initiated;
 
-  // Mark our own copy as seen so a neighbour echoing it back is dropped.
-  seen_before(endpoint().value + "#" + std::to_string(id));
+  // Mark our own copy as seen (at this reach) so a neighbour echoing it
+  // back is dropped; a reused id widens the existing mark.
+  seen_gate(endpoint().value + "#" + std::to_string(id),
+            static_cast<std::uint8_t>(std::clamp(ttl, 0, 255)));
 
   // Local cache may already answer.
   auto local = find_local(q, config_.max_response_adverts);
@@ -139,7 +142,7 @@ std::uint64_t PeerNode::discover_rendezvous(const Query& q,
                                             ResponseHandler on) {
   const std::uint64_t id = fresh_query_id();
   ++stats_.queries_initiated;
-  seen_before(endpoint().value + "#" + std::to_string(id));
+  seen_gate(endpoint().value + "#" + std::to_string(id), 2);
 
   auto local = find_local(q, config_.max_response_adverts);
   pending_[id] = std::move(on);
@@ -170,15 +173,21 @@ std::vector<Advertisement> PeerNode::find_local(const Query& q,
   return cache_.find(q, clock_(), limit);
 }
 
-bool PeerNode::seen_before(const std::string& key) {
-  if (seen_.contains(key)) return true;
-  seen_.insert(key);
+PeerNode::SeenGate PeerNode::seen_gate(const std::string& key,
+                                       std::uint8_t ttl) {
+  auto it = seen_.find(key);
+  if (it != seen_.end()) {
+    if (ttl <= it->second) return SeenGate::kDuplicate;
+    it->second = ttl;  // wider ring of the same query: extend the frontier
+    return SeenGate::kWiden;
+  }
+  seen_.emplace(key, ttl);
   seen_fifo_.push_back(key);
   while (seen_fifo_.size() > config_.seen_query_capacity) {
     seen_.erase(seen_fifo_.front());
     seen_fifo_.pop_front();
   }
-  return false;
+  return SeenGate::kNew;
 }
 
 void PeerNode::on_frame(const net::Endpoint& from, serial::Frame frame) {
@@ -196,24 +205,37 @@ void PeerNode::on_frame(const net::Endpoint& from, serial::Frame frame) {
     case DiscoveryMsgType::kPublish:
       handle_publish(decode_publish(frame));
       break;
+    default:
+      // Structured-overlay RPCs (subtypes >= 4): this node doesn't speak
+      // them; an attached OverlayNode does.
+      if (extension_) extension_(from, frame);
+      break;
   }
 }
 
 void PeerNode::handle_query(const net::Endpoint& from, QueryMsg m) {
   const std::string key = m.origin.value + "#" + std::to_string(m.query_id);
-  if (seen_before(key)) {
+  const SeenGate gate = seen_gate(key, m.ttl);
+  if (gate == SeenGate::kDuplicate) {
     ++stats_.duplicate_queries;
     return;
   }
-  ++stats_.queries_received;
-  if (tracer_) {
-    tracer_.event(trace_node_, "discovery.query_recv", m.trace,
-                  "qid=" + std::to_string(m.query_id) +
-                      " ttl=" + std::to_string(m.ttl));
+  if (gate == SeenGate::kNew) {
+    ++stats_.queries_received;
+    if (tracer_) {
+      tracer_.event(trace_node_, "discovery.query_recv", m.trace,
+                    "qid=" + std::to_string(m.query_id) +
+                        " ttl=" + std::to_string(m.ttl));
+    }
+  } else {
+    ++stats_.widened_queries;
   }
 
   // Answer what we can, straight back to the origin. The response echoes
   // the query's causal context so the round stays inside one trace.
+  // Widened re-arrivals answer again on purpose: the cache may have
+  // gained matches since the narrower ring (a migrated pipe re-advertises
+  // mid-search), and origins dedup responses by advert id anyway.
   auto matches = find_local(m.query, config_.max_response_adverts);
   if (!matches.empty()) {
     ResponseMsg r;

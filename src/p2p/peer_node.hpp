@@ -24,7 +24,6 @@
 #include <map>
 #include <string>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "net/time.hpp"
@@ -56,6 +55,7 @@ struct PeerNodeStats {
   std::uint64_t queries_initiated = 0;
   std::uint64_t queries_received = 0;   ///< excluding duplicates
   std::uint64_t duplicate_queries = 0;
+  std::uint64_t widened_queries = 0;    ///< re-seen with a larger TTL
   std::uint64_t queries_forwarded = 0;  ///< messages sent onward
   std::uint64_t responses_sent = 0;
   std::uint64_t responses_received = 0;
@@ -128,7 +128,13 @@ class PeerNode {
 
   /// Flood `q` to all neighbours with the given TTL. Also checks the local
   /// cache synchronously. Returns the query id (use cancel() when done).
-  std::uint64_t discover_flood(const Query& q, int ttl, ResponseHandler on);
+  ///
+  /// `reuse_id` lets an expanding-ring retry re-issue the SAME query id at
+  /// a larger TTL: peers that consumed the narrow ring recognise the id,
+  /// skip re-answering, and only forward the widened frontier -- the
+  /// visited set carries across rings instead of being re-flooded.
+  std::uint64_t discover_flood(const Query& q, int ttl, ResponseHandler on,
+                               std::uint64_t reuse_id = 0);
 
   /// Ask this node's first known rendezvous.
   std::uint64_t discover_rendezvous(const Query& q, ResponseHandler on);
@@ -151,6 +157,15 @@ class PeerNode {
   /// order.
   const net::FrameHandler& fallback_handler() const { return fallback_; }
 
+  /// Receives kDiscovery frames whose subtype this node does not speak
+  /// (the structured-overlay RPCs, subtypes >= 4). An attached OverlayNode
+  /// installs itself here; without one such frames are dropped.
+  using DiscoveryExtension =
+      std::function<void(const net::Endpoint&, const serial::Frame&)>;
+  void set_discovery_extension(DiscoveryExtension h) {
+    extension_ = std::move(h);
+  }
+
   // -- observability -----------------------------------------------------
   /// Bind a tracer: query initiation, query/response arrival and publish
   /// arrival become instant events on `node` (the peer id by default),
@@ -167,11 +182,18 @@ class PeerNode {
   const PeerNodeStats& stats() const { return stats_; }
 
  private:
+  /// How an arriving (origin, query id, ttl) relates to what we've seen.
+  enum class SeenGate : std::uint8_t {
+    kNew,        ///< first sighting: answer and forward
+    kWiden,      ///< same query back with MORE ttl: forward, don't re-answer
+    kDuplicate,  ///< already covered at this reach or better: drop
+  };
+
   void on_frame(const net::Endpoint& from, serial::Frame frame);
   void handle_query(const net::Endpoint& from, QueryMsg m);
   void handle_response(ResponseMsg m);
   void handle_publish(PublishMsg m);
-  bool seen_before(const std::string& key);
+  SeenGate seen_gate(const std::string& key, std::uint8_t ttl);
   std::uint64_t fresh_query_id();
 
   net::Transport& transport_;
@@ -183,13 +205,17 @@ class PeerNode {
   std::vector<net::Endpoint> rendezvous_;
   bool is_rendezvous_ = false;
 
-  std::unordered_set<std::string> seen_;
+  /// Seen queries, keyed "origin#id", valued with the largest remaining
+  /// TTL witnessed -- an expanding ring's wider retry re-arrives with
+  /// MORE ttl and must extend the frontier without being re-answered.
+  std::unordered_map<std::string, std::uint8_t> seen_;
   std::deque<std::string> seen_fifo_;
 
   std::unordered_map<std::uint64_t, ResponseHandler> pending_;
   std::uint64_t next_query_ = 1;
 
   net::FrameHandler fallback_;
+  DiscoveryExtension extension_;
   PeerNodeStats stats_;
   obs::TracerRef tracer_;
   std::string trace_node_;

@@ -1,0 +1,179 @@
+#include "p2p/routing_table.hpp"
+
+#include <algorithm>
+
+#include "dsp/rng.hpp"
+
+namespace cg::p2p {
+
+RoutingTable::RoutingTable(NodeId self, RoutingOptions options)
+    : self_(self), options_(options) {
+  if (options_.k == 0) options_.k = 1;
+}
+
+RoutingTable::Entry* RoutingTable::find(NodeId id) {
+  for (auto& e : entries_) {
+    if (e.contact.id == id) return &e;
+  }
+  return nullptr;
+}
+
+const RoutingTable::Entry* RoutingTable::find(NodeId id) const {
+  for (const auto& e : entries_) {
+    if (e.contact.id == id) return &e;
+  }
+  return nullptr;
+}
+
+std::size_t RoutingTable::bucket_count(int bucket) const {
+  std::size_t n = 0;
+  for (const auto& e : entries_) {
+    if (bucket_index(xor_distance(self_, e.contact.id)) == bucket) ++n;
+  }
+  return n;
+}
+
+bool RoutingTable::suspect(const Entry& e, double now) const {
+  // Until the detector has an interval history to model, fall back to
+  // plain consecutive-timeout counting (failure_detector.hpp's guidance).
+  if (e.detector && e.detector->samples() >= 2) {
+    return e.detector->phi(now) > options_.phi_evict;
+  }
+  return e.failures >= options_.max_failures;
+}
+
+void RoutingTable::erase(NodeId id) {
+  std::erase_if(entries_,
+                [id](const Entry& e) { return e.contact.id == id; });
+}
+
+bool RoutingTable::observe(const Contact& c, double now) {
+  if (c.id == self_) return false;
+  if (Entry* e = find(c.id)) {
+    e->contact.endpoint = c.endpoint;  // peers may re-appear elsewhere
+    e->last_seen = now;
+    e->failures = 0;
+    if (!e->detector) {
+      e->detector = std::make_unique<net::PhiAccrualDetector>();
+    }
+    e->detector->heartbeat(now);
+    return true;
+  }
+  const int bucket = bucket_index(xor_distance(self_, c.id));
+  if (bucket_count(bucket) >= options_.k) {
+    // Full bucket: a suspect member forfeits its slot; otherwise the
+    // incumbents (proven stayers) win and the newcomer is dropped.
+    Entry* worst = nullptr;
+    for (auto& e : entries_) {
+      if (bucket_index(xor_distance(self_, e.contact.id)) != bucket) continue;
+      if (!suspect(e, now)) continue;
+      if (worst == nullptr || e.last_seen < worst->last_seen) worst = &e;
+    }
+    if (worst == nullptr) return false;
+    ++evictions_;
+    erase(worst->contact.id);
+  }
+  Entry e;
+  e.contact = c;
+  e.last_seen = now;
+  e.detector = std::make_unique<net::PhiAccrualDetector>();
+  e.detector->heartbeat(now);
+  entries_.push_back(std::move(e));
+  return true;
+}
+
+bool RoutingTable::observe_candidate(const Contact& c, double now) {
+  if (c.id == self_) return false;
+  if (find(c.id) != nullptr) return true;
+  const int bucket = bucket_index(xor_distance(self_, c.id));
+  if (bucket_count(bucket) >= options_.k) return false;
+  Entry e;
+  e.contact = c;
+  e.last_seen = now;
+  entries_.push_back(std::move(e));
+  return true;
+}
+
+void RoutingTable::touch(NodeId id, double now) {
+  if (Entry* e = find(id)) {
+    e->last_seen = now;
+    e->failures = 0;
+    if (e->detector) e->detector->touch(now);
+  }
+}
+
+bool RoutingTable::failure(NodeId id, double now) {
+  Entry* e = find(id);
+  if (e == nullptr) return false;
+  ++e->failures;
+  if (!suspect(*e, now)) return false;
+  ++evictions_;
+  erase(id);
+  return true;
+}
+
+std::vector<Contact> RoutingTable::sweep(double now) {
+  std::vector<Contact> evicted;
+  for (const auto& e : entries_) {
+    // The sweep convicts on silence alone, so it only trusts entries
+    // with a modelled cadence; failure() handles the rest.
+    if (e.detector && e.detector->samples() >= 2 &&
+        e.detector->phi(now) > options_.phi_evict) {
+      evicted.push_back(e.contact);
+    }
+  }
+  for (const auto& c : evicted) {
+    ++evictions_;
+    erase(c.id);
+  }
+  return evicted;
+}
+
+std::vector<Contact> RoutingTable::closest(NodeId target,
+                                           std::size_t n) const {
+  std::vector<const Entry*> order;
+  order.reserve(entries_.size());
+  for (const auto& e : entries_) order.push_back(&e);
+  const std::size_t take = std::min(n, order.size());
+  std::partial_sort(order.begin(), order.begin() + take, order.end(),
+                    [target](const Entry* a, const Entry* b) {
+                      return xor_distance(a->contact.id, target) <
+                             xor_distance(b->contact.id, target);
+                    });
+  std::vector<Contact> out;
+  out.reserve(take);
+  for (std::size_t i = 0; i < take; ++i) out.push_back(order[i]->contact);
+  return out;
+}
+
+std::vector<Contact> RoutingTable::contacts() const {
+  std::vector<Contact> out;
+  out.reserve(entries_.size());
+  for (const auto& e : entries_) out.push_back(e.contact);
+  return out;
+}
+
+std::vector<NodeId> RoutingTable::refresh_targets(double now,
+                                                  std::uint64_t seed) {
+  dsp::Rng rng(seed);
+  bool stale[64] = {};
+  for (const auto& e : entries_) {
+    const int b = bucket_index(xor_distance(self_, e.contact.id));
+    if (now - std::max(e.last_seen, bucket_refreshed_[b]) >=
+        options_.refresh_interval_s) {
+      stale[b] = true;
+    }
+  }
+  std::vector<NodeId> targets;
+  for (int b = 0; b < 64; ++b) {
+    if (!stale[b]) continue;
+    bucket_refreshed_[b] = now;
+    // A random id inside bucket b's distance range [2^b, 2^{b+1}).
+    const std::uint64_t low_bits =
+        b == 0 ? 0 : (rng() & ((1ull << b) - 1));
+    targets.push_back(NodeId{self_.bits ^ ((1ull << b) | low_bits)});
+  }
+  return targets;
+}
+
+}  // namespace cg::p2p

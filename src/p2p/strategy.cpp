@@ -1,0 +1,45 @@
+#include "p2p/strategy.hpp"
+
+namespace cg::p2p {
+
+DiscoveryStrategy::CancelFn FloodingStrategy::start(const Query& q,
+                                                    ResponseHandler on) {
+  const std::uint64_t id = node_.discover_flood(q, ttl_, std::move(on));
+  PeerNode* node = &node_;
+  return [node, id] { node->cancel(id); };
+}
+
+DiscoveryStrategy::CancelFn RendezvousStrategy::start(const Query& q,
+                                                      ResponseHandler on) {
+  const std::uint64_t id = node_.discover_rendezvous(q, std::move(on));
+  PeerNode* node = &node_;
+  return [node, id] { node->cancel(id); };
+}
+
+DiscoveryStrategy::CancelFn ExpandingRingStrategy::start(const Query& q,
+                                                         ResponseHandler on) {
+  // The search object owns its own lifetime (shared_from_this); the
+  // cancel token just severs the handler.
+  auto cancelled = std::make_shared<bool>(false);
+  auto search =
+      std::make_shared<ExpandingRingSearch>(node_, scheduler_, q, options_);
+  search->start([cancelled, on = std::move(on)](SearchResult r) {
+    if (*cancelled) return;
+    if (!r.adverts.empty()) on(r.adverts);
+  });
+  return [cancelled] { *cancelled = true; };
+}
+
+DiscoveryStrategy::CancelFn OverlayStrategy::start(const Query& q,
+                                                   ResponseHandler on) {
+  auto cancelled = std::make_shared<bool>(false);
+  overlay_.find(q, limit_,
+                [cancelled, on = std::move(on)](
+                    std::vector<Advertisement> adverts) {
+                  if (*cancelled) return;
+                  if (!adverts.empty()) on(adverts);
+                });
+  return [cancelled] { *cancelled = true; };
+}
+
+}  // namespace cg::p2p

@@ -1,0 +1,89 @@
+// ConGrid -- pluggable discovery strategies.
+//
+// The controller's worker discovery (controller.hpp) predates the
+// structured overlay and speaks flooding/rendezvous directly. This seam
+// abstracts "issue a query, stream back responses, cancel at deadline" so
+// the controller -- and experiment E14 -- can swap protocols without
+// caring how each one routes: flooding stays the reference oracle (it
+// provably reaches everything within TTL), and the overlay is checked
+// against it on identical advert sets.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "p2p/discovery.hpp"
+#include "p2p/overlay.hpp"
+#include "p2p/peer_node.hpp"
+
+namespace cg::p2p {
+
+class DiscoveryStrategy {
+ public:
+  virtual ~DiscoveryStrategy() = default;
+
+  using ResponseHandler = PeerNode::ResponseHandler;
+  /// Stops responses from reaching the handler; idempotent.
+  using CancelFn = std::function<void()>;
+
+  virtual std::string name() const = 0;
+
+  /// Issue `q`. The handler may fire zero or more times (each call one
+  /// batch of adverts) until the returned cancel function runs.
+  virtual CancelFn start(const Query& q, ResponseHandler on) = 0;
+};
+
+/// TTL-bounded flooding on the unstructured overlay (the paper's baseline).
+class FloodingStrategy final : public DiscoveryStrategy {
+ public:
+  FloodingStrategy(PeerNode& node, int ttl) : node_(node), ttl_(ttl) {}
+  std::string name() const override { return "flooding"; }
+  CancelFn start(const Query& q, ResponseHandler on) override;
+
+ private:
+  PeerNode& node_;
+  int ttl_;
+};
+
+/// Ask the configured rendezvous super-peer (JXTA-style mitigation).
+class RendezvousStrategy final : public DiscoveryStrategy {
+ public:
+  explicit RendezvousStrategy(PeerNode& node) : node_(node) {}
+  std::string name() const override { return "rendezvous"; }
+  CancelFn start(const Query& q, ResponseHandler on) override;
+
+ private:
+  PeerNode& node_;
+};
+
+/// Expanding-ring search (discovery.hpp): TTL-doubling retries that carry
+/// the visited set across rings.
+class ExpandingRingStrategy final : public DiscoveryStrategy {
+ public:
+  ExpandingRingStrategy(PeerNode& node, Scheduler scheduler,
+                        ExpandingRingOptions options = {})
+      : node_(node), scheduler_(std::move(scheduler)), options_(options) {}
+  std::string name() const override { return "expanding-ring"; }
+  CancelFn start(const Query& q, ResponseHandler on) override;
+
+ private:
+  PeerNode& node_;
+  Scheduler scheduler_;
+  ExpandingRingOptions options_;
+};
+
+/// Structured overlay range query (overlay.hpp).
+class OverlayStrategy final : public DiscoveryStrategy {
+ public:
+  OverlayStrategy(OverlayNode& overlay, std::size_t limit = SIZE_MAX)
+      : overlay_(overlay), limit_(limit) {}
+  std::string name() const override { return "overlay"; }
+  CancelFn start(const Query& q, ResponseHandler on) override;
+
+ private:
+  OverlayNode& overlay_;
+  std::size_t limit_;
+};
+
+}  // namespace cg::p2p
