@@ -31,17 +31,21 @@
 // --trace PATH reruns a small calm scenario with the causal tracer bound to
 // the whole stack and exports merged JSONL for congrid-trace --validate.
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <functional>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "churn/availability.hpp"
 #include "core/service/supervisor.hpp"
 #include "core/unit/builtin.hpp"
 #include "net/sim_network.hpp"
+#include "obs/http_server.hpp"
 #include "obs/obs.hpp"
 
 using namespace cg;
@@ -257,13 +261,12 @@ Row run_campaign(const CampaignSpec& spec, obs::Registry* obs_registry,
     if (sup->degraded(i)) ++row.degraded;
   }
   if (obs_registry != nullptr) {
+    // One extraction path for table, JSON artifact and live /metrics: the
+    // snapshot's quantile helper (test_obs pins both against a fixture).
     const auto snap = obs_registry->snapshot();
-    const auto it =
-        snap.histograms.find(obs::scoped(scope, "supervisor.recovery_s"));
-    if (it != snap.histograms.end() && it->second.count > 0) {
-      row.recovery_p50_s = it->second.quantile(0.50);
-      row.recovery_p95_s = it->second.quantile(0.95);
-    }
+    const std::string hist = obs::scoped(scope, "supervisor.recovery_s");
+    row.recovery_p50_s = snap.histogram_quantile(hist, 0.50);
+    row.recovery_p95_s = snap.histogram_quantile(hist, 0.95);
   }
 
   // Close every deploy span before a trace export: cancel the remotes and
@@ -318,14 +321,21 @@ bool write_text(const std::string& path, const std::string& body) {
 int main(int argc, char** argv) {
   std::string json_path;
   std::string trace_path;
+  int obs_port = -1;       // -1: no server; 0: ephemeral
+  double obs_linger = 0;   // keep serving after the campaign ends
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
     } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
       trace_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--obs-port") == 0 && i + 1 < argc) {
+      obs_port = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--obs-linger") == 0 && i + 1 < argc) {
+      obs_linger = std::atof(argv[++i]);
     } else {
-      std::fprintf(
-          stderr, "usage: bench_churn_campaign [--json PATH] [--trace PATH]\n");
+      std::fprintf(stderr,
+                   "usage: bench_churn_campaign [--json PATH] [--trace PATH] "
+                   "[--obs-port PORT] [--obs-linger SECONDS]\n");
       return 2;
     }
   }
@@ -351,6 +361,25 @@ int main(int argc, char** argv) {
   };
 
   obs::Registry registry;
+  // --obs-port: serve the campaign's registry (and a live trace ring) over
+  // loopback HTTP while the sweep runs. Binding the tracer does not change
+  // sim behaviour (PR 5 invariant: obs never feeds back into scheduling).
+  obs::Tracer live_tracer(1 << 15);
+  obs::HttpServerOptions server_opt;
+  server_opt.port = static_cast<std::uint16_t>(obs_port > 0 ? obs_port : 0);
+  obs::HttpServer server(registry, &live_tracer, server_opt);
+  obs::Tracer* campaign_tracer = nullptr;
+  if (obs_port >= 0) {
+    if (!server.start()) {
+      std::fprintf(stderr, "bench_churn_campaign: --obs-port %d: bind "
+                           "failed or obs compiled out\n", obs_port);
+      return 1;
+    }
+    campaign_tracer = &live_tracer;
+    std::printf("obs: live metrics at %s (Prometheus: /metrics, JSON: "
+                "/metrics.json, trace: /trace)\n\n", server.url().c_str());
+  }
+
   std::vector<Row> rows;
   for (const Climate& c : climates) {
     for (double phi : {4.0, 8.0, 12.0}) {
@@ -360,7 +389,7 @@ int main(int argc, char** argv) {
       spec.mean_up_s = c.mean_up_s;
       spec.mean_down_s = c.mean_down_s;
       spec.phi_dead = phi;
-      Row row = run_campaign(spec, &registry, nullptr);
+      Row row = run_campaign(spec, &registry, campaign_tracer);
       rows.push_back(row);
       std::printf("%-13s %-6.0f %-7llu %-6.3f %-5llu %-7llu %-7llu %-7llu "
                   "%-7llu %-7llu %-5llu %-8.2f %-8.2f\n",
@@ -428,5 +457,15 @@ int main(int argc, char** argv) {
       std::printf("wrote %s\n", trace_path.c_str());
     }
   }
+
+  // --obs-linger: keep answering scrapes after the sweep so a dashboard or
+  // CI curl that raced the campaign's end still gets the final numbers.
+  if (server.running() && obs_linger > 0) {
+    std::printf("obs: lingering %.0f s at %s\n", obs_linger,
+                server.url().c_str());
+    std::fflush(stdout);
+    std::this_thread::sleep_for(std::chrono::duration<double>(obs_linger));
+  }
+  server.stop();
   return 0;
 }

@@ -31,12 +31,14 @@
 #include <cstring>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/service/supervisor.hpp"
 #include "core/unit/builtin.hpp"
 #include "net/backend.hpp"
 #include "net/loopback.hpp"
+#include "obs/http_server.hpp"
 #include "obs/obs.hpp"
 
 using namespace cg;
@@ -98,8 +100,10 @@ double run_stream(net::NetworkBackend& be, bool batch, Row& row,
   net::ReliableTransport b(tb, be.clock(), be.scheduler(),
                            wire_reliable(batch));
   if (registry != nullptr) {
-    a.set_obs(*registry, tracer, "wire.a");
-    b.set_obs(*registry, tracer, "wire.b");
+    // Scope by scenario so sim / tcp / tcp-batched keep separate counters
+    // in BENCH_wire.json and on a live /metrics scrape.
+    a.set_obs(*registry, tracer, "wire." + row.scenario + ".a");
+    b.set_obs(*registry, tracer, "wire." + row.scenario + ".b");
     if (tracer != nullptr) a.set_trace(0xe13c0ffeeULL);
   }
 
@@ -185,7 +189,7 @@ double run_deploy(net::NetworkBackend& be, bool batch) {
   return ok ? (wall_s() - t0) * 1000.0 : -1.0;
 }
 
-Row run_scenario(const std::string& name) {
+Row run_scenario(const std::string& name, obs::Registry* registry) {
   Row row;
   row.scenario = name;
   const bool batch = name == "tcp-batched";
@@ -195,7 +199,7 @@ Row run_scenario(const std::string& name) {
       be = std::make_unique<net::SimBackend>(net::LinkParams{}, 7);
     else
       be = std::make_unique<net::TcpLoopbackBackend>();
-    if (run_stream(*be, batch, row) < 0) return row;
+    if (run_stream(*be, batch, row, registry) < 0) return row;
   }
   {
     std::unique_ptr<net::NetworkBackend> be;
@@ -251,6 +255,8 @@ bool write_json(const std::string& path, const std::string& body) {
 int main(int argc, char** argv) {
   std::string json_path;
   std::string trace_path;
+  int obs_port = -1;      // -1: no server; 0: ephemeral
+  double obs_linger = 0;  // keep serving after the bench ends
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--messages") == 0 && i + 1 < argc) {
       g_messages = std::atoi(argv[++i]);
@@ -262,10 +268,15 @@ int main(int argc, char** argv) {
       json_path = argv[++i];
     } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
       trace_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--obs-port") == 0 && i + 1 < argc) {
+      obs_port = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--obs-linger") == 0 && i + 1 < argc) {
+      obs_linger = std::atof(argv[++i]);
     } else {
       std::fprintf(stderr,
                    "usage: bench_wire [--messages N] [--json PATH] "
-                   "[--trace PATH]\n");
+                   "[--trace PATH] [--obs-port PORT] "
+                   "[--obs-linger SECONDS]\n");
       return 2;
     }
   }
@@ -277,9 +288,21 @@ int main(int argc, char** argv) {
               "wall s", "deploy ms", "retx", "batches");
 
   obs::Registry registry;
+  obs::HttpServerOptions server_opt;
+  server_opt.port = static_cast<std::uint16_t>(obs_port > 0 ? obs_port : 0);
+  obs::HttpServer server(registry, nullptr, server_opt);
+  if (obs_port >= 0) {
+    if (!server.start()) {
+      std::fprintf(stderr, "bench_wire: --obs-port %d: bind failed or obs "
+                           "compiled out\n", obs_port);
+      return 1;
+    }
+    std::printf("obs: live metrics at %s\n\n", server.url().c_str());
+  }
+
   std::vector<Row> rows;
   for (const char* name : {"sim", "tcp", "tcp-batched"}) {
-    Row r = run_scenario(name);
+    Row r = run_scenario(name, &registry);
     rows.push_back(r);
     std::printf("%-12s %-12.0f %-10.3f %-11.2f %-8llu %-10llu\n",
                 r.scenario.c_str(), r.msgs_per_s, r.wall_s, r.deploy_ms,
@@ -348,5 +371,13 @@ int main(int argc, char** argv) {
       std::printf("wrote %s\n", trace_path.c_str());
     }
   }
+
+  if (server.running() && obs_linger > 0) {
+    std::printf("obs: lingering %.0f s at %s\n", obs_linger,
+                server.url().c_str());
+    std::fflush(stdout);
+    std::this_thread::sleep_for(std::chrono::duration<double>(obs_linger));
+  }
+  server.stop();
   return 0;
 }

@@ -25,11 +25,14 @@ if [[ "${1:-}" == "tsan" ]]; then
   # epoll reactor's handler runs against sends from another thread.
   # test_overlay rides along: single-threaded by design, but the overlay's
   # timer closures must stay race-free if a threaded scheduler hosts them.
+  # test_obs_http scrapes /metrics from client threads while a mutator
+  # thread pounds the instruments -- the exact race surface of the obs
+  # HTTP plane.
   cmake --build "${TSAN_DIR}" -j --target \
     test_parallel_runtime test_rm test_core_runtime test_cas test_chaos \
-    test_wire test_overlay
+    test_wire test_overlay test_obs_http
   for t in test_parallel_runtime test_rm test_core_runtime test_cas \
-           test_chaos test_wire test_overlay; do
+           test_chaos test_wire test_overlay test_obs_http; do
     "./${TSAN_DIR}/tests/${t}"
   done
   echo "tier-1 (tsan): OK"
@@ -54,9 +57,9 @@ cmake -B "${ASAN_DIR}" -S . -DCONGRID_SANITIZE=address,undefined >/dev/null
 # own entries from inside timer closures, the classic shape for a
 # use-after-free when a late reply races a timeout.
 cmake --build "${ASAN_DIR}" -j --target test_reliable test_chaos test_net \
-  test_obs test_wire test_tcp_parity test_overlay
-for t in test_reliable test_chaos test_net test_obs test_wire \
-         test_tcp_parity test_overlay; do
+  test_obs test_obs_http test_wire test_tcp_parity test_overlay
+for t in test_reliable test_chaos test_net test_obs test_obs_http \
+         test_wire test_tcp_parity test_overlay; do
   "./${ASAN_DIR}/tests/${t}"
 done
 

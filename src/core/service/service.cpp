@@ -4,6 +4,7 @@
 #include <set>
 
 #include "core/graph/taskgraph_xml.hpp"
+#include "obs/http_server.hpp"
 #include "serial/reader.hpp"
 
 namespace cg::core {
@@ -169,6 +170,11 @@ void TrianaService::set_obs(obs::Registry& registry, obs::Tracer* tracer,
   // bound it last; give each peer its own store when per-peer counters
   // matter (the benches do).
   if (config_.cas) config_.cas->set_obs(registry, s);
+  // CONGRID_OBS_PORT: the first service bound to a registry exports it on
+  // a loopback HTTP server (one per process; later binds reuse it). The
+  // registry outlives every service that registered into it in all current
+  // stacks, and stop_env_server() exists for ones where it would not.
+  obs::HttpServer::from_env(registry, tracer);
 }
 
 void TrianaService::join_trace(std::uint64_t trace_id,

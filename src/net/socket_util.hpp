@@ -1,0 +1,82 @@
+// ConGrid -- shared loopback socket helpers.
+//
+// TcpTransport (src/net/tcp.cpp) and the obs HTTP server
+// (src/obs/http_server.cpp) need the same few lines of listener plumbing: a
+// loopback TCP listener on an ephemeral-or-fixed port, non-blocking mode,
+// and a readable failure path. Header-only on purpose: cg_net links cg_obs,
+// so the obs layer cannot link back into cg_net -- but it can share inline
+// helpers that depend only on the system headers.
+#pragma once
+
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+namespace cg::net {
+
+[[noreturn]] inline void sys_fail(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+inline void set_nonblocking(int fd) {
+  int flags = fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    sys_fail("fcntl O_NONBLOCK");
+  }
+}
+
+/// A bound, listening, non-blocking loopback TCP socket and the port it
+/// actually got (read back for port 0 / ephemeral binds).
+struct Listener {
+  int fd = -1;
+  std::uint16_t port = 0;
+};
+
+/// Create a loopback listener on 127.0.0.1:`port` (0 picks an ephemeral
+/// port). SO_REUSEADDR + CLOEXEC + O_NONBLOCK are applied; throws
+/// std::runtime_error on any socket error. The caller owns the fd.
+/// Binding loopback-only is a deliberate security posture: nothing in
+/// ConGrid listens on a routable interface by default.
+inline Listener make_loopback_listener(std::uint16_t port, int backlog = 64) {
+  Listener l;
+  l.fd = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (l.fd < 0) sys_fail("socket");
+  int one = 1;
+  setsockopt(l.fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (bind(l.fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const int err = errno;
+    ::close(l.fd);
+    errno = err;
+    sys_fail("bind");
+  }
+  if (listen(l.fd, backlog) < 0) {
+    const int err = errno;
+    ::close(l.fd);
+    errno = err;
+    sys_fail("listen");
+  }
+  socklen_t len = sizeof(addr);
+  if (getsockname(l.fd, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    const int err = errno;
+    ::close(l.fd);
+    errno = err;
+    sys_fail("getsockname");
+  }
+  l.port = ntohs(addr.sin_port);
+  set_nonblocking(l.fd);
+  return l;
+}
+
+}  // namespace cg::net

@@ -15,6 +15,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "net/socket_util.hpp"
 #include "serial/reader.hpp"
 
 namespace cg::net {
@@ -32,16 +33,8 @@ struct TcpTransport::Conn {
 
 namespace {
 
-[[noreturn]] void sys_fail(const std::string& what) {
-  throw std::runtime_error(what + ": " + std::strerror(errno));
-}
-
-void set_nonblocking(int fd) {
-  int flags = fcntl(fd, F_GETFL, 0);
-  if (flags < 0 || fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
-    sys_fail("fcntl O_NONBLOCK");
-  }
-}
+// sys_fail / set_nonblocking come from net/socket_util.hpp, shared with the
+// obs HTTP server.
 
 /// Parse "tcp:<host>:<port>"; only dotted-quad IPv4 and "localhost".
 sockaddr_in parse_tcp(const Endpoint& e) {
@@ -73,27 +66,10 @@ TcpTransport::TcpTransport(std::uint16_t port) {
   epoll_fd_ = epoll_create1(EPOLL_CLOEXEC);
   if (epoll_fd_ < 0) sys_fail("epoll_create1");
 
-  listen_fd_ = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
-  if (listen_fd_ < 0) sys_fail("socket");
-  int one = 1;
-  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  const Listener l = make_loopback_listener(port);
+  listen_fd_ = l.fd;
+  port_ = l.port;
 
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(port);
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  if (bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
-    sys_fail("bind");
-  }
-  if (listen(listen_fd_, 64) < 0) sys_fail("listen");
-
-  socklen_t len = sizeof(addr);
-  if (getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
-    sys_fail("getsockname");
-  }
-  port_ = ntohs(addr.sin_port);
-
-  set_nonblocking(listen_fd_);
   epoll_event ev{};
   ev.events = EPOLLIN;
   ev.data.fd = listen_fd_;

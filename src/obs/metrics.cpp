@@ -152,6 +152,12 @@ const HistogramData* MetricsSnapshot::histogram(
   return it == histograms.end() ? nullptr : &it->second;
 }
 
+double MetricsSnapshot::histogram_quantile(const std::string& name,
+                                           double q) const {
+  const HistogramData* h = histogram(name);
+  return h == nullptr ? 0.0 : h->quantile(q);
+}
+
 std::string MetricsSnapshot::to_json(bool pretty) const {
   const char* nl = pretty ? "\n" : "";
   const char* ind = pretty ? "  " : "";
@@ -216,6 +222,7 @@ std::string MetricsSnapshot::to_json(bool pretty) const {
           out += ",\"max\":" + json_number(h.max);
           out += ",\"mean\":" + json_number(h.mean());
           out += ",\"p50\":" + json_number(h.quantile(0.5));
+          out += ",\"p95\":" + json_number(h.quantile(0.95));
           out += ",\"p99\":" + json_number(h.quantile(0.99));
           out += ",\"bounds\":[";
           for (std::size_t b = 0; b < h.bounds.size(); ++b) {

@@ -191,6 +191,10 @@ struct MetricsSnapshot {
   std::uint64_t counter(const std::string& name) const;
   double gauge(const std::string& name) const;
   const HistogramData* histogram(const std::string& name) const;
+  /// Quantile of a named histogram; 0 when the name is unknown or empty.
+  /// The one extraction path for benches and the HTTP plane alike, so a
+  /// dashboard p95 and a BENCH_*.json p95 can never disagree.
+  double histogram_quantile(const std::string& name, double q) const;
 
   /// One JSON object: {"counters":{...},"gauges":{...},"histograms":{...}}.
   /// Always valid JSON, including from an empty / OBS-off snapshot.

@@ -11,11 +11,17 @@
 //     once by name ("<scope>.<subsystem>.<metric>") -- no lock or lookup
 //     ever runs on the hot path afterwards;
 //   * benches call Registry::snapshot().to_json() and write BENCH_*.json,
-//     which CI uploads and validates.
+//     which CI uploads and validates;
+//   * for live inspection, obs/http_server.hpp serves the registry (and
+//     sampler-window rates, obs/sampler.hpp) over loopback HTTP -- in
+//     Prometheus text exposition (obs/prometheus.hpp) and JSON.
 //
-// See DESIGN.md section 4c for the metric name inventory.
+// See DESIGN.md section 4c for the metric name inventory and 4j for the
+// HTTP plane.
 #pragma once
 
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "obs/prometheus.hpp"
+#include "obs/sampler.hpp"
 #include "obs/trace.hpp"

@@ -1,0 +1,93 @@
+#include "obs/prometheus.hpp"
+
+#include <set>
+
+#include "obs/json.hpp"
+
+namespace cg::obs {
+
+namespace {
+
+bool prom_name_byte(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_' || c == ':';
+}
+
+/// Label values escape backslash, double quote and newline (exposition
+/// format rules); everything else passes through byte-for-byte.
+std::string prom_label_value(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string prometheus_name(std::string_view name) {
+  std::string out = "congrid_";
+  out.reserve(out.size() + name.size());
+  for (char c : name) out += prom_name_byte(c) ? c : '_';
+  return out;
+}
+
+std::string to_prometheus(const MetricsSnapshot& snapshot) {
+  std::string out;
+  // Sanitisation can collide ("a.b" and "a_b" share a Prometheus name); a
+  // second TYPE line for the same name is invalid exposition, so only the
+  // first is emitted. The `name` label keeps the samples distinguishable.
+  std::set<std::string> typed;
+  const auto type_line = [&](const std::string& pname, const char* kind) {
+    if (typed.insert(pname).second) {
+      out += "# TYPE " + pname + " " + kind + "\n";
+    }
+  };
+  const auto name_label = [](const std::string& raw) {
+    return "{name=\"" + prom_label_value(raw) + "\"}";
+  };
+
+  for (const auto& [name, v] : snapshot.counters) {
+    const std::string pname = prometheus_name(name);
+    type_line(pname, "counter");
+    out += pname + name_label(name) + " " + std::to_string(v) + "\n";
+  }
+  for (const auto& [name, v] : snapshot.gauges) {
+    const std::string pname = prometheus_name(name);
+    type_line(pname, "gauge");
+    out += pname + name_label(name) + " " + json_number(v) + "\n";
+  }
+  for (const auto& [name, h] : snapshot.histograms) {
+    const std::string pname = prometheus_name(name);
+    type_line(pname, "histogram");
+    const std::string base_label = prom_label_value(name);
+    std::uint64_t cum = 0;
+    for (std::size_t b = 0; b < h.counts.size(); ++b) {
+      cum += h.counts[b];
+      const std::string le =
+          b < h.bounds.size() ? json_number(h.bounds[b]) : "+Inf";
+      out += pname + "_bucket{name=\"" + base_label + "\",le=\"" + le +
+             "\"} " + std::to_string(cum) + "\n";
+    }
+    out += pname + "_sum" + name_label(name) + " " + json_number(h.sum) + "\n";
+    out +=
+        pname + "_count" + name_label(name) + " " + std::to_string(h.count) +
+        "\n";
+  }
+  return out;
+}
+
+}  // namespace cg::obs

@@ -1,0 +1,34 @@
+// ConGrid -- Prometheus text exposition (format 0.0.4) for a snapshot.
+//
+// The /metrics endpoint must speak the one format every scrape stack
+// already understands. The mapping is mechanical:
+//
+//   counters    -> `# TYPE <name> counter`  + one sample line
+//   gauges      -> `# TYPE <name> gauge`    + one sample line
+//   histograms  -> `# TYPE <name> histogram` + cumulative `_bucket{le=...}`
+//                  lines (ending with le="+Inf"), `_sum` and `_count`
+//
+// ConGrid metric names are dotted and scope-prefixed ("home.reliable.
+// retransmits", "e12.calm/phi8.net.sim.delivered"); Prometheus names admit
+// only [a-zA-Z0-9_:], so every other byte is rewritten to '_' and the
+// whole name is prefixed "congrid_". The original dotted name is preserved
+// verbatim in a `name` label so dashboards can group by the real scope
+// without reverse-engineering the sanitisation.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.hpp"
+
+namespace cg::obs {
+
+/// "home.reliable.sent" -> "congrid_home_reliable_sent".
+std::string prometheus_name(std::string_view name);
+
+/// The whole snapshot in exposition format. Deterministic: instruments are
+/// emitted in the registry's (sorted) order. Empty snapshots yield "" --
+/// still a valid exposition payload.
+std::string to_prometheus(const MetricsSnapshot& snapshot);
+
+}  // namespace cg::obs

@@ -1,0 +1,99 @@
+#include "obs/sampler.hpp"
+
+namespace cg::obs {
+
+#if CONGRID_OBS_ENABLED
+
+Sampler::Sampler(const Registry& registry) : Sampler(registry, Options{}) {}
+
+Sampler::Sampler(const Registry& registry, Options opt)
+    : opt_(opt), registry_(registry) {
+  if (opt_.period_s <= 0.0) opt_.period_s = 1.0;
+  if (opt_.window < 2) opt_.window = 2;
+}
+
+void Sampler::sample(double now_s) {
+  // Snapshot outside the sampler's own lock: Registry::snapshot() takes the
+  // registry mutex and may copy a few kilobytes.
+  MetricsSnapshot snap = registry_.snapshot();
+  std::lock_guard lock(mu_);
+  window_.push_back(Sample{now_s, std::move(snap)});
+  while (window_.size() > opt_.window) window_.pop_front();
+  last_sample_t_ = now_s;
+}
+
+bool Sampler::maybe_sample(double now_s) {
+  {
+    std::lock_guard lock(mu_);
+    if (last_sample_t_ >= 0.0 && now_s - last_sample_t_ < opt_.period_s) {
+      return false;
+    }
+  }
+  sample(now_s);
+  return true;
+}
+
+std::size_t Sampler::size() const {
+  std::lock_guard lock(mu_);
+  return window_.size();
+}
+
+double Sampler::span_s() const {
+  std::lock_guard lock(mu_);
+  if (window_.size() < 2) return 0.0;
+  return window_.back().t - window_.front().t;
+}
+
+MetricsSnapshot Sampler::latest() const {
+  std::lock_guard lock(mu_);
+  return window_.empty() ? MetricsSnapshot{} : window_.back().snapshot;
+}
+
+double Sampler::latest_t() const {
+  std::lock_guard lock(mu_);
+  return window_.empty() ? 0.0 : window_.back().t;
+}
+
+std::map<std::string, double> Sampler::counter_rates() const {
+  std::lock_guard lock(mu_);
+  std::map<std::string, double> rates;
+  if (window_.size() < 2) return rates;
+  const Sample& oldest = window_.front();
+  const Sample& newest = window_.back();
+  const double span = newest.t - oldest.t;
+  if (span <= 0.0) return rates;
+  for (const auto& [name, v] : newest.snapshot.counters) {
+    const auto it = oldest.snapshot.counters.find(name);
+    const std::uint64_t before = it == oldest.snapshot.counters.end()
+                                     ? 0
+                                     : it->second;
+    // Counters are monotonic; a registry swap mid-window would break that,
+    // so clamp rather than emit a negative rate.
+    const std::uint64_t delta = v >= before ? v - before : 0;
+    rates[name] = static_cast<double>(delta) / span;
+  }
+  return rates;
+}
+
+double Sampler::rate(const std::string& name) const {
+  const auto rates = counter_rates();
+  const auto it = rates.find(name);
+  return it == rates.end() ? 0.0 : it->second;
+}
+
+#else  // CONGRID_OBS_ENABLED == 0
+
+Sampler::Sampler(const Registry& registry) : Sampler(registry, Options{}) {}
+Sampler::Sampler(const Registry&, Options opt) : opt_(opt) {}
+void Sampler::sample(double) {}
+bool Sampler::maybe_sample(double) { return false; }
+std::size_t Sampler::size() const { return 0; }
+double Sampler::span_s() const { return 0.0; }
+MetricsSnapshot Sampler::latest() const { return {}; }
+double Sampler::latest_t() const { return 0.0; }
+std::map<std::string, double> Sampler::counter_rates() const { return {}; }
+double Sampler::rate(const std::string&) const { return 0.0; }
+
+#endif  // CONGRID_OBS_ENABLED
+
+}  // namespace cg::obs

@@ -1,0 +1,94 @@
+// ConGrid -- sampler: a short sliding window of registry snapshots.
+//
+// The registry's counters are monotonic totals, which is the right shape
+// for post-hoc JSON artifacts but the wrong shape for a live view: "what
+// is this run doing NOW" means msgs/s, retransmits/s, churn events/s --
+// rates over a recent window, not lifetime sums. The Sampler keeps the
+// last N snapshots of one registry, each stamped with the caller's clock,
+// and derives per-second counter rates from the window's endpoints. The
+// obs HTTP server drives it from its pump thread (one snapshot per
+// period) and serves the rates on /metrics.json; nothing else in the
+// system depends on it.
+//
+// Thread-safety: all methods take the sampler's mutex. Snapshotting the
+// registry is itself lock-cheap (one mutex, atomic reads), so a 1 Hz
+// sampling cadence is invisible to the instrumented hot paths.
+//
+// With CONGRID_OBS off every method is an inline no-op: nothing is
+// sampled, rates are empty, and the window never allocates.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace cg::obs {
+
+/// One entry of the sliding window.
+struct Sample {
+  double t = 0.0;  ///< caller's clock (wall seconds for the HTTP server)
+  MetricsSnapshot snapshot;
+};
+
+class Sampler {
+ public:
+  struct Options {
+    double period_s = 1.0;     ///< minimum spacing maybe_sample() enforces
+    std::size_t window = 64;   ///< samples retained (oldest evicted)
+  };
+
+  // Two overloads, not `Options opt = {}`: GCC parses a nested class's
+  // default member initialisers too late for that default argument.
+  explicit Sampler(const Registry& registry);
+  Sampler(const Registry& registry, Options opt);
+
+  Sampler(const Sampler&) = delete;
+  Sampler& operator=(const Sampler&) = delete;
+
+  /// Snapshot the registry now, stamped `now_s`; evicts the oldest sample
+  /// once the window is full.
+  void sample(double now_s);
+
+  /// sample() only if at least period_s has passed since the last sample
+  /// (or none has been taken). Returns true when a sample was taken. The
+  /// HTTP pump calls this every loop iteration.
+  bool maybe_sample(double now_s);
+
+  /// Samples currently resident.
+  std::size_t size() const;
+
+  /// Seconds spanned by the window (newest.t - oldest.t); 0 with < 2
+  /// samples.
+  double span_s() const;
+
+  /// Newest snapshot, or an empty one before the first sample.
+  MetricsSnapshot latest() const;
+
+  /// Timestamp of the newest sample (0 before the first).
+  double latest_t() const;
+
+  /// Per-second rate of every counter across the window: (newest value -
+  /// oldest value) / span. Counters that appeared mid-window rate against
+  /// an implicit 0 at the oldest sample's time. Empty with < 2 samples.
+  std::map<std::string, double> counter_rates() const;
+
+  /// Rate of one counter; 0 when unknown or the window is too short.
+  double rate(const std::string& name) const;
+
+  const Options& options() const { return opt_; }
+
+ private:
+  Options opt_;
+#if CONGRID_OBS_ENABLED
+  const Registry& registry_;
+  mutable std::mutex mu_;
+  std::deque<Sample> window_;
+  double last_sample_t_ = -1.0;
+#endif
+};
+
+}  // namespace cg::obs

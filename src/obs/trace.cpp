@@ -20,6 +20,8 @@ void Tracer::set_clock(std::function<double()> clock) {
 void Tracer::set_obs(Registry& registry, std::string_view scope) {
   std::lock_guard lock(mu_);
   dropped_c_ = registry.counter(scoped(scope, "trace.dropped_events"));
+  overwrites_g_ = registry.gauge(scoped(scope, "trace.ring_overwrites"));
+  overwrites_g_.set(static_cast<double>(dropped_));
 }
 
 void Tracer::push(TraceEvent ev) {
@@ -32,6 +34,7 @@ void Tracer::push(TraceEvent ev) {
   } else {
     ++dropped_;
     dropped_c_.inc();
+    overwrites_g_.set(static_cast<double>(dropped_));
   }
 }
 
@@ -107,6 +110,7 @@ void Tracer::clear() {
   head_ = 0;
   size_ = 0;
   dropped_ = 0;
+  overwrites_g_.set(0.0);
 }
 
 #else  // CONGRID_OBS_ENABLED == 0

@@ -56,10 +56,11 @@ class Tracer {
   /// virtual clock (SimNetwork::set_obs does this automatically).
   void set_clock(std::function<double()> clock);
 
-  /// Make ring overwrites visible as a metric: binds
-  /// "<scope>.trace.dropped_events", incremented once per overwritten
-  /// event, so an incomplete trace shows up in the same snapshot the run
-  /// exports.
+  /// Make ring overwrites visible as metrics: binds the counter
+  /// "<scope>.trace.dropped_events" (incremented once per overwritten
+  /// event) and the gauge "<scope>.trace.ring_overwrites" (current
+  /// dropped() total), so an incomplete trace shows up both in the
+  /// snapshot a run exports and on a live /metrics scrape.
   void set_obs(Registry& registry, std::string_view scope = {});
 
   void event(std::string node, std::string name, std::string detail = "");
@@ -108,6 +109,7 @@ class Tracer {
   std::uint64_t dropped_ = 0;
   std::uint64_t next_span_ = 1;
   CounterRef dropped_c_;
+  GaugeRef overwrites_g_;
 #endif
 };
 

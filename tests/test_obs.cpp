@@ -93,6 +93,33 @@ TEST(Metrics, SnapshotLookupAndJsonAlwaysValid) {
   EXPECT_TRUE(obs::json_valid(snap.to_json(/*pretty=*/false)));
 }
 
+TEST(Metrics, SnapshotQuantileHelperAgreesWithDirectExtraction) {
+  // Fixture for the two extraction paths that used to coexist: benches
+  // finding the HistogramData by hand vs the snapshot-level helper the
+  // HTTP plane and bench_churn_campaign now share. They must agree bit
+  // for bit, and unknown/empty names must read as 0 rather than throw.
+  obs::Registry reg;
+  auto& h = reg.histogram("sup.recovery_s", {1.0, 2.0, 4.0, 8.0});
+  for (double v : {0.5, 1.5, 1.5, 3.0, 3.5, 5.0, 7.0, 12.0}) h.observe(v);
+  const obs::MetricsSnapshot snap = reg.snapshot();
+#if CONGRID_OBS_ENABLED
+  const auto it = snap.histograms.find("sup.recovery_s");
+  ASSERT_NE(it, snap.histograms.end());
+  for (double q : {0.0, 0.5, 0.95, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(snap.histogram_quantile("sup.recovery_s", q),
+                     it->second.quantile(q))
+        << "q=" << q;
+  }
+  EXPECT_GT(snap.histogram_quantile("sup.recovery_s", 0.95), 0.0);
+  // The JSON export carries the same quantiles (p50/p95/p99 keys).
+  const std::string json = snap.to_json(/*pretty=*/false);
+  EXPECT_NE(json.find("\"p50\":"), std::string::npos);
+  EXPECT_NE(json.find("\"p95\":"), std::string::npos);
+  EXPECT_NE(json.find("\"p99\":"), std::string::npos);
+#endif
+  EXPECT_DOUBLE_EQ(snap.histogram_quantile("nope", 0.95), 0.0);
+}
+
 // -------------------------------------------------------------- validator
 
 TEST(Json, ValidatorAcceptsRealJson) {
@@ -253,6 +280,26 @@ TEST(Tracer, JsonlHeaderReportsRingOverwrites) {
   EXPECT_NE(header.find("\"capacity\":4"), std::string::npos) << header;
 #else
   EXPECT_TRUE(jsonl.empty());
+#endif
+}
+
+TEST(Tracer, RingOverwritesExportedAsGauge) {
+  obs::Registry reg;
+  obs::Tracer tr(4);
+  tr.set_obs(reg, "t");
+  for (int i = 0; i < 9; ++i) tr.event("n", "e" + std::to_string(i));
+  obs::MetricsSnapshot snap = reg.snapshot();
+#if CONGRID_OBS_ENABLED
+  // Both shapes of the same fact: the counter accumulates per overwrite,
+  // the gauge mirrors dropped() so a live scrape reads it directly.
+  EXPECT_EQ(snap.counter("t.trace.dropped_events"), 5u);
+  EXPECT_DOUBLE_EQ(snap.gauge("t.trace.ring_overwrites"), 5.0);
+  tr.clear();
+  snap = reg.snapshot();
+  EXPECT_DOUBLE_EQ(snap.gauge("t.trace.ring_overwrites"), 0.0);
+#else
+  EXPECT_EQ(snap.counter("t.trace.dropped_events"), 0u);
+  EXPECT_DOUBLE_EQ(snap.gauge("t.trace.ring_overwrites"), 0.0);
 #endif
 }
 
